@@ -1,0 +1,101 @@
+"""E2 — paper Fig. 11/12: validating a new ad exchange (case study 8.2).
+
+Counts impressions per exchange with two-level sampling (the paper
+samples 10% of impression events on 10% of the PresentationServers in
+DC1; at simulated scale we sample 50% of 12 servers and 50% of events),
+and regenerates the Fig. 12 time series: exchange D's impressions are
+zero until its activation instant, then ramp to a healthy share while
+the established exchanges stay steady.
+"""
+
+from repro.adplatform import new_exchange_scenario
+from repro.cluster import run_to_completion
+from repro.reporting import ExperimentReport
+
+TRACE_SECONDS = 180.0
+ACTIVATION = 90.0
+
+
+def run_experiment():
+    scenario = new_exchange_scenario(
+        users=400, pageview_rate=15.0, activation_time=ACTIVATION,
+        presentationservers=12,
+    )
+    scenario.start(until=TRACE_SECONDS)
+    handle = scenario.cluster.submit(
+        f"Select impression.exchange_id, COUNT(*) from impression "
+        f"@[Service in PresentationServers] "
+        f"sample hosts 50% sample events 50% "
+        f"window 10s duration {int(TRACE_SECONDS)}s "
+        f"group by impression.exchange_id;"
+    )
+    results = run_to_completion(scenario.cluster, handle)
+    return scenario, handle, results
+
+
+def test_fig12_new_exchange_rampup(benchmark):
+    scenario, handle, results = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    exchanges = scenario.extras["exchanges"]
+    new_ex = scenario.extras["new_exchange"]
+    names = {e.exchange_id: e.name for e in exchanges}
+
+    series_rows = []
+    per_exchange_before: dict[int, float] = {e.exchange_id: 0.0 for e in exchanges}
+    per_exchange_after: dict[int, float] = {e.exchange_id: 0.0 for e in exchanges}
+    for window in results.windows:
+        counts = {row[0]: row[1] for row in window.rows}
+        series_rows.append(
+            [window.window_start]
+            + [counts.get(e.exchange_id, 0) for e in exchanges]
+        )
+        for e in exchanges:
+            value = counts.get(e.exchange_id, 0)
+            if window.window_end <= ACTIVATION:
+                per_exchange_before[e.exchange_id] += value
+            elif window.window_start >= ACTIVATION:
+                per_exchange_after[e.exchange_id] += value
+
+    report = ExperimentReport(
+        "E2_fig12_new_exchange",
+        "estimated impressions per exchange per 10s window "
+        "(50% hosts x 50% events sampled)",
+    )
+    report.note(
+        f"targeted {len(handle.targeted_hosts)} of {len(handle.planned_hosts)} "
+        f"PresentationServers; exchange {new_ex.name} activates at t={ACTIVATION:g}s"
+    )
+    report.table(
+        "Fig. 12 series",
+        ["t"] + [names[e.exchange_id] for e in exchanges],
+        series_rows,
+    )
+    report.table(
+        "totals",
+        ["exchange", "before activation", "after activation"],
+        [
+            [names[e.exchange_id],
+             per_exchange_before[e.exchange_id],
+             per_exchange_after[e.exchange_id]]
+            for e in exchanges
+        ],
+    )
+    report.emit()
+
+    # Host sampling honored exactly.
+    assert len(handle.targeted_hosts) == 6
+    # D is silent before activation and healthy after.
+    assert per_exchange_before[new_ex.exchange_id] == 0
+    assert per_exchange_after[new_ex.exchange_id] > 0
+    # Established exchanges serve throughout.
+    for e in exchanges:
+        if e is not new_ex:
+            assert per_exchange_before[e.exchange_id] > 0
+            assert per_exchange_after[e.exchange_id] > 0
+    # D's configured share is the largest, so after ramp-up it should be
+    # a substantial fraction of the leader's volume (healthy integration).
+    leader_after = max(
+        v for k, v in per_exchange_after.items() if k != new_ex.exchange_id
+    )
+    assert per_exchange_after[new_ex.exchange_id] > 0.4 * leader_after

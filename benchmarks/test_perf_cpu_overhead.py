@@ -1,0 +1,119 @@
+"""E7 — paper §9/abstract: host CPU overhead vs query load.
+
+"On average, we observe a maximum CPU overhead of up to 2.5% on
+application hosts."  This experiment sweeps the number of concurrently
+active queries on a fixed bidding workload and reports, per service,
+Scrub CPU as a fraction of application CPU (simulated cost accounting;
+the per-operation constants are anchored by the E12 microbenchmarks —
+see DESIGN.md's substitution table).
+
+Two sweeps are run: one where queries touching the high-volume
+exclusion stream collect it in full, and one where they use the
+language's event sampling (paper §3.2: "sampling reduces the load on
+the hosts ... if the query touches many events").  Expected shape:
+overhead grows with query load; with sampling on the heavy streams it
+stays in the paper's ≤2.5% regime even at 8 concurrent queries, while
+full collection of every exclusion event visibly exceeds it — the
+trade the language construct exists to control.
+"""
+
+from repro.adplatform import perf_scenario
+from repro.reporting import ExperimentReport
+
+TRACE_SECONDS = 40.0
+
+#: Representative concurrent queries; '{s}' marks where the sampled
+#: variant inserts an event-sampling clause on high-volume streams.
+QUERY_POOL = [
+    "Select COUNT(*) from bid @[Service in BidServers] "
+    "window 10s duration {d}s;",
+    "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] "
+    "window 10s duration {d}s group by bid.user_id;",
+    "Select exclusion.reason, COUNT(*) from exclusion "
+    "@[Service in AdServers] {s} window 10s duration {d}s "
+    "group by exclusion.reason;",
+    "Select AVG(bid.bid_price) from bid where bid.exchange_id = 4000001 "
+    "@[Service in BidServers] window 10s duration {d}s;",
+    "Select COUNT(*) from auction @[Service in AdServers] "
+    "window 10s duration {d}s;",
+    "Select impression.exchange_id, COUNT(*) from impression "
+    "@[Service in PresentationServers] window 10s duration {d}s "
+    "group by impression.exchange_id;",
+    "Select COUNT_DISTINCT(bid.user_id) from bid "
+    "@[Service in BidServers] window 10s duration {d}s;",
+    "Select TOP(10, exclusion.line_item_id) from exclusion "
+    "@[Service in AdServers] {s} window 10s duration {d}s;",
+]
+
+SERVICES = ("BidServers", "AdServers", "PresentationServers")
+
+
+def run_point(n_queries: int, sample_heavy_streams: bool):
+    scenario = perf_scenario(users=300, pageview_rate=20.0)
+    scenario.start(until=TRACE_SECONDS)
+    sampling = "sample events 10%" if sample_heavy_streams else ""
+    for i in range(n_queries):
+        query = QUERY_POOL[i % len(QUERY_POOL)].format(
+            d=int(TRACE_SECONDS), s=sampling
+        )
+        scenario.cluster.submit(query)
+    scenario.cluster.run_until(TRACE_SECONDS + 4.0)
+    return {
+        service: scenario.cluster.overhead_summary(service)
+        for service in SERVICES
+    }
+
+
+def test_cpu_overhead_vs_query_load(benchmark):
+    query_counts = [0, 1, 2, 4, 8]
+
+    def sweep():
+        sampled = {n: run_point(n, True) for n in query_counts}
+        full = run_point(8, False)
+        return sampled, full
+
+    sampled, full8 = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        "E7_cpu_overhead", "host CPU overhead (scrub/app) vs active queries"
+    )
+    rows = []
+    for n in query_counts:
+        rows.append(
+            [n] + [f"{sampled[n][s].max_overhead * 100:.3f}%" for s in SERVICES]
+        )
+    report.table(
+        "max per-host overhead by service (heavy streams sampled at 10%)",
+        ["active queries", *SERVICES],
+        rows,
+    )
+    report.table(
+        "ablation: 8 queries with the exclusion stream collected in full",
+        ["collection", *SERVICES],
+        [
+            ["sampled 10%"] + [f"{sampled[8][s].max_overhead * 100:.3f}%" for s in SERVICES],
+            ["full"] + [f"{full8[s].max_overhead * 100:.3f}%" for s in SERVICES],
+        ],
+    )
+    report.note(
+        "paper-reported: max CPU overhead up to 2.5% on application hosts; "
+        "event sampling is the language's lever for queries touching "
+        "high-volume streams (paper §3.2)."
+    )
+    report.emit()
+
+    def worst(point):
+        return max(s.max_overhead for s in point.values())
+
+    # With no query, only the disabled-probe fast path runs: well under 1%.
+    assert worst(sampled[0]) < 0.005
+    # Overhead grows with query load.
+    assert worst(sampled[8]) > worst(sampled[1]) > worst(sampled[0])
+    # With sampling on the heavy streams, 8 concurrent queries stay in the
+    # paper's regime.
+    assert worst(sampled[8]) < 0.025
+    # Collecting every exclusion event in full costs measurably more —
+    # the trade the sampling construct controls.
+    assert worst(full8) > 1.5 * worst(sampled[8])
+    # ...and is what pushes past the paper's 2.5% figure.
+    assert worst(full8) > 0.025

@@ -1,0 +1,77 @@
+"""E8 — paper §9/abstract: request-latency impact.
+
+"...and a 1% increase in request latency."  Measures the end-to-end
+bid-transaction latency (BidServer + AdServer work, the paper's
+under-20 ms transaction) with Scrub idle versus under a realistic
+concurrent query load, on identical traffic.
+
+Expected shape: the mean and p99 latency increase by single-digit
+percent; absolute latencies stay far inside the 20 ms SLO.
+"""
+
+from repro.adplatform import perf_scenario
+from repro.cluster import summarize_latencies
+from repro.reporting import ExperimentReport
+
+TRACE_SECONDS = 40.0
+
+QUERIES = [
+    "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] "
+    "window 10s duration {d}s group by bid.user_id;",
+    "Select exclusion.reason, COUNT(*) from exclusion "
+    "@[Service in AdServers] window 10s duration {d}s "
+    "group by exclusion.reason;",
+    "Select AVG(bid.bid_price) from bid @[Service in BidServers] "
+    "window 10s duration {d}s;",
+    "Select COUNT(*) from auction @[Service in AdServers] "
+    "window 10s duration {d}s;",
+]
+
+
+def run_point(with_queries: bool):
+    scenario = perf_scenario(users=300, pageview_rate=20.0)
+    scenario.start(until=TRACE_SECONDS)
+    if with_queries:
+        for q in QUERIES:
+            scenario.cluster.submit(q.format(d=int(TRACE_SECONDS)))
+    scenario.cluster.run_until(TRACE_SECONDS + 4.0)
+    return summarize_latencies(scenario.platform.bid_latencies())
+
+
+def test_request_latency_impact(benchmark):
+    def run_both():
+        return run_point(False), run_point(True)
+
+    baseline, with_scrub = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    mean_increase = with_scrub.mean / baseline.mean - 1.0
+    p99_increase = with_scrub.p99 / baseline.p99 - 1.0
+
+    report = ExperimentReport(
+        "E8_request_latency", "bid transaction latency: Scrub off vs on"
+    )
+    report.table(
+        "latency (ms)",
+        ["metric", "scrub off", "scrub on (4 queries)", "increase"],
+        [
+            ["mean", baseline.mean * 1e3, with_scrub.mean * 1e3,
+             f"{mean_increase * 100:.2f}%"],
+            ["p50", baseline.p50 * 1e3, with_scrub.p50 * 1e3, ""],
+            ["p95", baseline.p95 * 1e3, with_scrub.p95 * 1e3, ""],
+            ["p99", baseline.p99 * 1e3, with_scrub.p99 * 1e3,
+             f"{p99_increase * 100:.2f}%"],
+            ["max", baseline.max * 1e3, with_scrub.max * 1e3, ""],
+        ],
+    )
+    report.note(
+        f"requests measured: {baseline.count} (off) / {with_scrub.count} (on); "
+        "paper-reported: ~1% request latency increase; 20 ms transaction SLO."
+    )
+    report.emit()
+
+    # Scrub adds latency, but little: between 0 and a few percent.
+    assert 0.0 < mean_increase < 0.05
+    # Absolute latency stays far inside the 20 ms transaction budget.
+    assert with_scrub.p99 < 0.020
+    # Identical traffic on both sides.
+    assert baseline.count == with_scrub.count

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Case study 8.6: debugging the incorrectly-set frequency-cap field.
+
+A customer capped their campaign at one ad per user per day, yet their
+analytics show users receiving more.  The platform code that maintains
+the per-user counters hasn't changed, so the paper's developers
+"suspected that the problem resulted from erroneous input data".
+
+The troubleshooting session below mirrors theirs:
+
+1. confirm the symptom — impressions per user per day for the capped
+   line item, some users above the cap;
+2. test the hypothesis — query ``profile_update`` events at the
+   ProfileStore, split by write source, looking for counter writes with
+   implausible values;
+3. find the smoking gun — the external profile feed intermittently
+   writes frequency 0, silently un-capping users it touches.
+
+Days are accelerated (60 s/day) so several days fit the trace.
+
+Run:  python examples/frequency_cap_debugging.py
+"""
+
+from repro.adplatform import frequency_cap_scenario
+
+DAY = 60.0
+TRACE = 4 * DAY
+
+
+def main() -> None:
+    scenario = frequency_cap_scenario(
+        users=120, pageview_rate=15.0, cap=1, corruption_rate=0.6,
+        seconds_per_day=DAY, feed_period=10.0,
+    )
+    scenario.start(until=TRACE)
+    capped = scenario.extras["capped_line_item"]
+    cluster = scenario.cluster
+    print(f"line item {capped.line_item_id}: frequency cap = "
+          f"{capped.frequency_cap} ad/user/day ({DAY:g}s days)\n")
+
+    # Step 1: the symptom.
+    per_user = cluster.submit(
+        f"Select impression.user_id, COUNT(*) from impression "
+        f"where impression.line_item_id = {capped.line_item_id} "
+        f"window {int(DAY)}s duration {int(TRACE)}s "
+        f"group by impression.user_id;"
+    )
+    # Step 2: the hypothesis — profile counter writes by source.
+    feed_writes = cluster.submit(
+        f"Select profile_update.source, COUNT(*), "
+        f"MIN(profile_update.frequency_count), "
+        f"MAX(profile_update.frequency_count) from profile_update "
+        f"where profile_update.line_item_id = {capped.line_item_id} "
+        f"window {int(TRACE)}s duration {int(TRACE)}s "
+        f"group by profile_update.source;"
+    )
+    # Step 3: the smoking gun — zero-valued feed writes over time.
+    zero_writes = cluster.submit(
+        f"Select COUNT(*) from profile_update "
+        f"where profile_update.line_item_id = {capped.line_item_id} "
+        f"and profile_update.source = 'feed' "
+        f"and profile_update.frequency_count = 0 "
+        f"window {int(DAY)}s duration {int(TRACE)}s;"
+    )
+    print("three queries running over live traffic...")
+    cluster.run_until(TRACE + 5.0)
+
+    impressions = cluster.server.finish(per_user.query_id)
+    writes = cluster.server.finish(feed_writes.query_id)
+    zeros = cluster.server.finish(zero_writes.query_id)
+
+    print("\nstep 1 — impressions per user per day (cap = 1):")
+    from collections import Counter
+
+    histogram = Counter()
+    for window in impressions.windows:
+        for row in window.rows:
+            histogram[row[1]] += 1
+    for count in sorted(histogram):
+        marker = "  <-- CAP VIOLATION" if count > 1 else ""
+        print(f"  {count} ad(s)/day: {histogram[count]:>4} user-days{marker}")
+    violations = sum(v for k, v in histogram.items() if k > 1)
+    print(f"  -> {violations} user-days over the cap: symptom confirmed.")
+
+    print("\nstep 2 — profile counter writes by source:")
+    for window in writes.windows:
+        for row in window.rows:
+            source, count, lo, hi = row[0], row[1], row[2], row[3]
+            note = "  <-- writes of 0?!" if lo == 0 else ""
+            print(f"  {source:12s} writes={count:>5}  "
+                  f"value range [{lo}, {hi}]{note}")
+
+    print("\nstep 3 — zero-valued feed writes per day:")
+    for window in zeros.windows:
+        day = int(window.window_start // DAY)
+        print(f"  day {day}: {window.rows[0][0]:>5} corrupt writes")
+
+    print("\nroot cause: the external profile feed resets served-counters "
+          "to 0, so the filtering phase believes capped users are fresh — "
+          "exactly the 'erroneous input data' of paper §8.6.")
+
+
+if __name__ == "__main__":
+    main()

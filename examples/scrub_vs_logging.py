@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scrub vs the logging baseline (paper Sections 1, 8.1).
+
+Runs the same troubleshooting question — "how many bid requests per
+user?" — two ways on identical workloads:
+
+* **log everything**: every event on every host is shipped to a central
+  log store; the answer comes from an offline batch job over the logs;
+* **Scrub**: the query is installed online; hosts ship only the
+  projected events the query needs; the answer arrives per window.
+
+Prints the paper's comparison: bytes shipped off the hosts, storage,
+and time-to-first-answer.
+
+Run:  python examples/scrub_vs_logging.py
+"""
+
+from repro.adplatform import spam_scenario
+from repro.baselines import BatchQueryEngine, LoggingBaseline
+from repro.cluster import run_to_completion
+
+TRACE = 60.0
+QUERY = (
+    "Select bid.user_id, COUNT(*) from bid "
+    "window 10s duration {dur}s group by bid.user_id;"
+)
+
+
+def main() -> None:
+    # -- regime 1: log everything, analyse offline ---------------------------
+    sc1 = spam_scenario(users=300, pageview_rate=10.0)
+    baseline = LoggingBaseline(sc1.cluster)
+    baseline.install()
+    sc1.start(until=TRACE)
+    sc1.cluster.run_until(TRACE + 3.0)
+
+    batch = BatchQueryEngine(sc1.cluster.registry)
+    report = batch.run(QUERY.format(dur=int(TRACE)), baseline.store)
+    logging_bytes = sc1.cluster.scrub_bytes_shipped()
+
+    # -- regime 2: Scrub, online ------------------------------------------------
+    sc2 = spam_scenario(users=300, pageview_rate=10.0)
+    sc2.start(until=TRACE)
+    first_window_at = []
+    sc2.cluster.on_window(
+        lambda w: first_window_at.append(sc2.cluster.now)
+        if not first_window_at else None
+    )
+    handle = sc2.cluster.submit(QUERY.format(dur=int(TRACE)))
+    results = run_to_completion(sc2.cluster, handle)
+    scrub_bytes = sc2.cluster.scrub_bytes_shipped()
+
+    # -- the comparison -----------------------------------------------------------
+    scrub_rows = sum(len(w.rows) for w in results.windows)
+    batch_rows = sum(len(w.rows) for w in report.results.windows)
+    print("same question, two regimes "
+          f"({TRACE:g}s trace, {report.records_scanned} events generated):\n")
+    print(f"  {'':28s} {'log-everything':>16s} {'Scrub':>12s}")
+    print(f"  {'bytes shipped off hosts':28s} "
+          f"{logging_bytes:>16,} {scrub_bytes:>12,}")
+    print(f"  {'central storage (JSON)':28s} "
+          f"{baseline.store.stats.json_bytes:>16,} {'0':>12s}")
+    print(f"  {'records scanned to answer':28s} "
+          f"{report.records_scanned:>16,} {'-':>12s}")
+    print(f"  {'time to first answer (s)':28s} "
+          f"{report.estimated_runtime_seconds + TRACE:>16.1f} "
+          f"{first_window_at[0] if first_window_at else float('nan'):>12.1f}")
+    print(f"  {'answer rows':28s} {batch_rows:>16,} {scrub_rows:>12,}")
+
+    ratio = logging_bytes / max(scrub_bytes, 1)
+    print(f"\nlogging shipped {ratio:.1f}x the bytes, answered after the whole "
+          f"trace plus a ~{report.estimated_runtime_seconds:.0f}s batch job; "
+          f"Scrub's first window arrived "
+          f"{first_window_at[0] if first_window_at else 0:.0f}s into the trace.")
+    print("'Offline analysis of logs is not an option in this environment' "
+          "(paper Section 11).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — a reproduction of *Scrub: Online TroubleShooting for Large
+Mission-Critical Applications* (Satish et al., EuroSys 2018).
+
+Package layout:
+
+* :mod:`repro.core`       — Scrub itself (events, query language, host
+  agents, ScrubCentral, probabilistic machinery)
+* :mod:`repro.cluster`    — deterministic simulated cluster substrate
+* :mod:`repro.adplatform` — a Turn-like ad bidding platform that generates
+  the paper's event workloads
+* :mod:`repro.baselines`  — the log-everything + batch-analysis baseline
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .core import ManualClock, Scrub, ScrubQueryServer
+
+__version__ = "1.0.0"
+
+__all__ = ["ManualClock", "Scrub", "ScrubQueryServer", "__version__"]

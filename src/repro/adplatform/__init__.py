@@ -1,0 +1,76 @@
+"""Turn-like ad bidding platform: the application Scrub troubleshoots."""
+
+from .adserver import AdServer
+from .auction import AuctionEntry, AuctionResult, InternalAuction
+from .bidserver import BidOutcome, BidServer
+from .entities import BidRequest, Campaign, Exchange, LineItem, Publisher, Targeting, User
+from .exchangesim import (
+    BotSpec,
+    ExchangeTraffic,
+    make_exchanges,
+    make_publishers,
+    make_users,
+)
+from .ids import IdSpace, RequestIdGenerator
+from .models import BaselineModel, ImprovedModel, TargetingModel
+from .platform import AdPlatform, Pod, PodSpec
+from .presentation import PresentationServer
+from .profilestore import ProfileStore, UserProfile
+from .scrub_events import ALL_SCHEMAS, make_platform_registry
+from .targeting import ExclusionReason, TargetingFilter
+from .workload import (
+    Scenario,
+    ab_test_scenario,
+    cannibalization_scenario,
+    exclusion_scenario,
+    frequency_cap_scenario,
+    make_line_items,
+    new_exchange_scenario,
+    perf_scenario,
+    spam_scenario,
+)
+
+__all__ = [
+    "ALL_SCHEMAS",
+    "AdPlatform",
+    "AdServer",
+    "AuctionEntry",
+    "AuctionResult",
+    "BaselineModel",
+    "BidOutcome",
+    "BidRequest",
+    "BidServer",
+    "BotSpec",
+    "Campaign",
+    "Exchange",
+    "ExchangeTraffic",
+    "ExclusionReason",
+    "IdSpace",
+    "ImprovedModel",
+    "InternalAuction",
+    "LineItem",
+    "Pod",
+    "PodSpec",
+    "PresentationServer",
+    "ProfileStore",
+    "Publisher",
+    "RequestIdGenerator",
+    "Scenario",
+    "TargetingFilter",
+    "TargetingModel",
+    "Targeting",
+    "User",
+    "UserProfile",
+    "ab_test_scenario",
+    "cannibalization_scenario",
+    "exclusion_scenario",
+    "frequency_cap_scenario",
+    "make_exchanges",
+    "make_line_items",
+    "make_platform_registry",
+    "make_publishers",
+    "make_users",
+    "new_exchange_scenario",
+    "perf_scenario",
+    "spam_scenario",
+]

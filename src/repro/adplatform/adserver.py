@@ -1,0 +1,95 @@
+"""AdServer: filtering (exclusions) and the internal auction.
+
+On each bid request the AdServer evaluates every active line item;
+failures emit ``exclusion`` events, survivors compete in the internal
+auction, which emits one ``auction`` event (paper Sections 7, 8.4,
+8.5).  All events are logged through the host's Scrub agent with the
+*request's* id, so bid/exclusion/auction events equi-join at
+ScrubCentral even though they are generated on different machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.host import SimHost
+from .auction import AuctionResult, InternalAuction
+from .entities import BidRequest, LineItem
+from .models import TargetingModel
+from .targeting import TargetingFilter
+
+__all__ = ["AdServer"]
+
+#: App CPU charged per line item evaluated in the filtering phase.
+FILTER_COST_PER_ITEM = 2.0e-6
+#: App CPU charged per auction participant (scoring + pricing).
+AUCTION_COST_PER_ITEM = 4.0e-6
+#: Fixed app CPU per request (parsing, profile fetch, response).
+BASE_REQUEST_COST = 300.0e-6
+
+
+class AdServer:
+    """One AdServer instance bound to a simulated host."""
+
+    def __init__(
+        self,
+        host: SimHost,
+        line_items: list[LineItem],
+        targeting_filter: TargetingFilter,
+        model: TargetingModel,
+    ) -> None:
+        if host.agent is None:
+            raise ValueError(f"host {host.name} has no Scrub agent attached")
+        self.host = host
+        self.line_items = line_items
+        self.filter = targeting_filter
+        self.auction = InternalAuction(model)
+        self.requests_processed = 0
+
+    @property
+    def model(self) -> TargetingModel:
+        return self.auction.model
+
+    def process(self, request: BidRequest) -> Optional[AuctionResult]:
+        """Filter + auction for one bid request; returns the auction
+        result, or None when no line item survived filtering."""
+        host = self.host
+        agent = host.agent
+        assert agent is not None
+        self.requests_processed += 1
+
+        host.charge_app(
+            BASE_REQUEST_COST + FILTER_COST_PER_ITEM * len(self.line_items)
+        )
+        passing, excluded = self.filter.split(self.line_items, request)
+
+        for line_item, reason in excluded:
+            agent.log(
+                "exclusion",
+                request_id=request.request_id,
+                timestamp=request.timestamp,
+                line_item_id=line_item.line_item_id,
+                campaign_id=line_item.campaign_id,
+                reason=reason.value,
+                exchange_id=request.exchange.exchange_id,
+                publisher_id=request.publisher.publisher_id,
+                user_id=request.user.user_id,
+            )
+
+        if not passing:
+            return None
+        host.charge_app(AUCTION_COST_PER_ITEM * len(passing))
+        result = self.auction.run(request.user, passing)
+        assert result is not None
+        agent.log(
+            "auction",
+            request_id=request.request_id,
+            timestamp=request.timestamp,
+            user_id=request.user.user_id,
+            exchange_id=request.exchange.exchange_id,
+            line_item_ids=result.line_item_ids,
+            bid_prices=result.bid_prices,
+            winner_line_item_id=result.winner.line_item.line_item_id,
+            winner_price=result.winner.bid_price,
+        )
+        return result

@@ -1,0 +1,73 @@
+"""The internal auction (paper Section 8.5).
+
+Line items that pass filtering compete in an internal auction: each is
+scored by the targeting model, and its bid price is the preconfigured
+advisory price adjusted by the score — "in practice, the bid prices for
+a line item winning an internal auction move in a narrow band around
+the preconfigured advisory price".  The highest bid wins and is sent in
+the bid response.
+
+The narrow band is what makes cannibalization possible: if line item
+A's advisory price is well above λ's, A's entire band sits above λ's
+band and λ never wins — the situation the Fig. 18/19 query diagnoses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .entities import LineItem, User
+from .models import TargetingModel
+
+__all__ = ["AuctionEntry", "AuctionResult", "InternalAuction", "PRICE_BAND"]
+
+#: Bid prices move within ±this fraction of the advisory price.
+PRICE_BAND = 0.15
+
+
+@dataclass(frozen=True)
+class AuctionEntry:
+    line_item: LineItem
+    score: float
+    bid_price: float
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    entries: tuple[AuctionEntry, ...]
+    winner: AuctionEntry
+
+    @property
+    def line_item_ids(self) -> list[int]:
+        return [e.line_item.line_item_id for e in self.entries]
+
+    @property
+    def bid_prices(self) -> list[float]:
+        return [e.bid_price for e in self.entries]
+
+
+class InternalAuction:
+    """Scores participants and picks the winner."""
+
+    def __init__(self, model: TargetingModel) -> None:
+        self.model = model
+
+    def price_of(self, line_item: LineItem, score: float) -> float:
+        """Advisory price adjusted by score, inside the narrow band:
+        score 0 -> advisory·(1-band), score 1 -> advisory·(1+band)."""
+        return line_item.advisory_price * (1.0 + PRICE_BAND * (2.0 * score - 1.0))
+
+    def run(self, user: User, participants: list[LineItem]) -> AuctionResult | None:
+        """Run one auction; None when there are no participants."""
+        if not participants:
+            return None
+        entries = []
+        for line_item in participants:
+            score = self.model.score(user, line_item)
+            entries.append(
+                AuctionEntry(line_item, score, self.price_of(line_item, score))
+            )
+        winner = max(
+            entries, key=lambda e: (e.bid_price, -e.line_item.line_item_id)
+        )
+        return AuctionResult(tuple(entries), winner)

@@ -1,0 +1,95 @@
+"""BidServer: the entry point of the bidding pipeline.
+
+A BidServer receives a bid request from an exchange, consults an
+AdServer (filtering + internal auction), and — when the auction
+produced a winner — sends the bid response back and emits the ``bid``
+event of paper Fig. 1.  "The above transaction has to complete in under
+20 milliseconds" (Section 7): the per-request latency the simulation
+records for BidServers is the quantity the +1%-latency experiment
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.host import SimHost
+from .adserver import AdServer
+from .auction import AuctionResult
+from .entities import BidRequest
+
+__all__ = ["BidServer", "BidOutcome"]
+
+#: Fixed app CPU per bid request on the BidServer (parse, route, respond).
+BASE_REQUEST_COST = 700.0e-6
+
+
+class BidOutcome:
+    """What one bid request produced end to end."""
+
+    __slots__ = ("request", "auction", "bid_price", "latency")
+
+    def __init__(
+        self,
+        request: BidRequest,
+        auction: Optional[AuctionResult],
+        bid_price: Optional[float],
+        latency: float,
+    ) -> None:
+        self.request = request
+        self.auction = auction
+        self.bid_price = bid_price
+        self.latency = latency
+
+    @property
+    def did_bid(self) -> bool:
+        return self.bid_price is not None
+
+
+class BidServer:
+    """One BidServer bound to a simulated host and a partner AdServer."""
+
+    def __init__(self, host: SimHost, adserver: AdServer) -> None:
+        if host.agent is None:
+            raise ValueError(f"host {host.name} has no Scrub agent attached")
+        self.host = host
+        self.adserver = adserver
+        self.requests_received = 0
+        self.bids_sent = 0
+
+    def handle(self, request: BidRequest) -> BidOutcome:
+        """Process one bid request synchronously (the 20 ms transaction)."""
+        self.requests_received += 1
+        host = self.host
+        agent = host.agent
+        assert agent is not None
+
+        with host.measure_request() as measure:
+            host.charge_app(BASE_REQUEST_COST)
+            # The AdServer call is part of the same transaction; its work is
+            # charged to the AdServer host, but its Scrub+app time adds to
+            # this request's end-to-end latency.
+            with self.adserver.host.measure_request() as ad_measure:
+                result = self.adserver.process(request)
+            host.charge_app(0.0)  # response serialization is in the base cost
+
+            bid_price: Optional[float] = None
+            if result is not None:
+                winner = result.winner
+                bid_price = winner.bid_price
+                self.bids_sent += 1
+                agent.log(
+                    "bid",
+                    request_id=request.request_id,
+                    timestamp=request.timestamp,
+                    exchange_id=request.exchange.exchange_id,
+                    city=request.user.city,
+                    country=request.user.country,
+                    bid_price=bid_price,
+                    campaign_id=winner.line_item.campaign_id,
+                    user_id=request.user.user_id,
+                    line_item_id=winner.line_item.line_item_id,
+                    publisher_id=request.publisher.publisher_id,
+                )
+        latency = measure.latency + ad_measure.latency
+        return BidOutcome(request, result, bid_price, latency)

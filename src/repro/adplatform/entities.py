@@ -1,0 +1,134 @@
+"""Domain entities of the ad bidding platform (paper Section 7).
+
+A *campaign* groups *line items*; each line item has targeting
+criteria, an advisory bid price, a daily frequency cap and a budget.
+*Exchanges* send bid requests on behalf of *users* viewing pages on
+*publishers*; the platform answers with a bid for one line item's ad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "BidRequest",
+    "Campaign",
+    "Exchange",
+    "LineItem",
+    "Publisher",
+    "Targeting",
+    "User",
+]
+
+
+@dataclass
+class User:
+    """An end user (browser/device) as seen by the platform."""
+
+    user_id: int
+    city: str
+    country: str
+    segments: frozenset[int] = frozenset()
+    is_bot: bool = False
+
+
+@dataclass
+class Exchange:
+    """An ad exchange sending bid requests.
+
+    ``active_from`` supports the new-exchange-integration case study
+    (paper Section 8.2): before that instant the exchange sends nothing.
+    """
+
+    exchange_id: int
+    name: str
+    traffic_share: float = 1.0
+    active_from: float = 0.0
+
+    def is_active(self, now: float) -> bool:
+        return now >= self.active_from
+
+
+@dataclass
+class Publisher:
+    publisher_id: int
+    name: str
+
+
+@dataclass
+class Targeting:
+    """Line-item targeting criteria evaluated in the filtering phase."""
+
+    countries: Optional[frozenset[str]] = None   # None = any
+    segments: Optional[frozenset[int]] = None    # user must have one of these
+    exchanges: Optional[frozenset[int]] = None   # None = any exchange
+
+    def describe(self) -> str:
+        parts = []
+        if self.countries is not None:
+            parts.append(f"countries={sorted(self.countries)}")
+        if self.segments is not None:
+            parts.append(f"segments={sorted(self.segments)}")
+        if self.exchanges is not None:
+            parts.append(f"exchanges={sorted(self.exchanges)}")
+        return ", ".join(parts) or "any"
+
+
+@dataclass
+class LineItem:
+    """A bid-able advertising line item.
+
+    ``advisory_price`` is the preconfigured price around which auction
+    bids move in a narrow band (paper Section 8.5); ``frequency_cap``
+    is ads per user per day (Section 8.6); ``daily_budget`` bounds
+    spend.
+    """
+
+    line_item_id: int
+    campaign_id: int
+    advisory_price: float
+    targeting: Targeting = field(default_factory=Targeting)
+    frequency_cap: Optional[int] = None
+    daily_budget: Optional[float] = None
+    spent_today: float = 0.0
+    active: bool = True
+
+    def budget_remaining(self) -> Optional[float]:
+        if self.daily_budget is None:
+            return None
+        return self.daily_budget - self.spent_today
+
+    def has_budget(self, price: float) -> bool:
+        remaining = self.budget_remaining()
+        return remaining is None or remaining >= price
+
+    def record_spend(self, amount: float) -> None:
+        self.spent_today += amount
+
+
+@dataclass
+class Campaign:
+    campaign_id: int
+    advertiser: str
+    line_items: list[LineItem] = field(default_factory=list)
+
+    def add(self, line_item: LineItem) -> LineItem:
+        if line_item.campaign_id != self.campaign_id:
+            raise ValueError(
+                f"line item {line_item.line_item_id} belongs to campaign "
+                f"{line_item.campaign_id}, not {self.campaign_id}"
+            )
+        self.line_items.append(line_item)
+        return line_item
+
+
+@dataclass(frozen=True)
+class BidRequest:
+    """One request for a bid on one ad slot, as sent by an exchange."""
+
+    request_id: int
+    user: User
+    exchange: Exchange
+    publisher: Publisher
+    timestamp: float

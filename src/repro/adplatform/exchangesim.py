@@ -1,0 +1,216 @@
+"""Exchange traffic simulation: users, page views, bid requests, bots.
+
+Human behaviour follows the shape the spam case study (paper
+Section 8.1, Fig. 10) relies on:
+
+* a page view produces a small batch of bid requests ("many web pages
+  show multiple ads"), so most users issue 1–3 requests in one window;
+* per-user request counts per window decay roughly exponentially;
+* most users produce a single page-view batch over a 20-minute trace,
+  some two ("two page views, consistent with human user behavior").
+
+Bots break the shape: they simulate page views at high frequency,
+producing large batches of bid requests in every window — the red
+triangles and black crosses of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cluster.simclock import EventLoop
+from .entities import BidRequest, Exchange, Publisher, User
+from .ids import IdSpace, RequestIdGenerator
+
+__all__ = [
+    "make_users",
+    "make_exchanges",
+    "make_publishers",
+    "BotSpec",
+    "ExchangeTraffic",
+]
+
+_COUNTRIES = [
+    ("US", ["San Jose", "New York", "Chicago", "Austin"], 0.45),
+    ("GB", ["London", "Manchester"], 0.15),
+    ("DE", ["Berlin", "Munich"], 0.12),
+    ("FR", ["Paris", "Lyon"], 0.10),
+    ("JP", ["Tokyo", "Osaka"], 0.10),
+    ("BR", ["Sao Paulo", "Rio"], 0.08),
+]
+
+
+def make_users(
+    count: int, ids: IdSpace, seed: int = 11, segment_pool: int = 40
+) -> list[User]:
+    """A deterministic user population with geo and segment diversity."""
+    rng = random.Random(seed)
+    weights = [w for _c, _cities, w in _COUNTRIES]
+    users = []
+    for _ in range(count):
+        country, cities, _w = rng.choices(_COUNTRIES, weights=weights)[0]
+        city = rng.choice(cities)
+        nsegments = rng.randint(1, 6)
+        segments = frozenset(rng.sample(range(1, segment_pool + 1), nsegments))
+        users.append(
+            User(
+                user_id=ids.next("user"),
+                city=city,
+                country=country,
+                segments=segments,
+            )
+        )
+    return users
+
+
+def make_exchanges(
+    ids: IdSpace, names: Sequence[str] = ("A", "B", "C", "D"), shares: Sequence[float] | None = None
+) -> list[Exchange]:
+    if shares is None:
+        shares = [1.0] * len(names)
+    if len(shares) != len(names):
+        raise ValueError("one share per exchange name")
+    return [
+        Exchange(exchange_id=ids.next("exchange"), name=name, traffic_share=share)
+        for name, share in zip(names, shares)
+    ]
+
+
+def make_publishers(ids: IdSpace, count: int = 5) -> list[Publisher]:
+    return [
+        Publisher(publisher_id=ids.next("publisher"), name=f"pub{i}")
+        for i in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class BotSpec:
+    """A spam bot: *batch_size* bid requests every *period* seconds."""
+
+    user: User
+    batch_size: int
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0 or self.period <= 0:
+            raise ValueError("bot batch_size and period must be positive")
+
+
+class ExchangeTraffic:
+    """Drives bid-request traffic into a sink callback on the event loop.
+
+    *sink* is called with each :class:`BidRequest` — the platform's
+    request router.  Human traffic: Poisson page views at
+    *pageviews_per_second* across the population; each page view sends
+    1..*max_slots* bid requests through one (active) exchange.  Bots
+    fire on their own fixed schedules.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        users: Sequence[User],
+        exchanges: Sequence[Exchange],
+        publishers: Sequence[Publisher],
+        sink: Callable[[BidRequest], None],
+        pageviews_per_second: float,
+        request_ids: RequestIdGenerator | None = None,
+        seed: int = 23,
+        tick_seconds: float = 0.5,
+        max_slots: int = 3,
+        bots: Sequence[BotSpec] = (),
+    ) -> None:
+        if pageviews_per_second < 0:
+            raise ValueError("pageview rate must be non-negative")
+        if not users and pageviews_per_second > 0:
+            raise ValueError("cannot generate traffic without users")
+        self.loop = loop
+        self.users = list(users)
+        self.exchanges = list(exchanges)
+        self.publishers = list(publishers)
+        self.sink = sink
+        self.rate = pageviews_per_second
+        self.request_ids = request_ids if request_ids is not None else RequestIdGenerator()
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed)
+        self._tick = tick_seconds
+        self._max_slots = max_slots
+        self.bots = list(bots)
+        self.requests_sent = 0
+        self.pageviews = 0
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self, until: float) -> None:
+        """Begin generating traffic, stopping at time *until*."""
+        if self._started:
+            raise RuntimeError("traffic already started")
+        self._started = True
+        if self.rate > 0:
+            self.loop.call_every(
+                self._tick, self._human_tick, start_after=self._tick, until=until
+            )
+        for bot in self.bots:
+            self.loop.call_every(
+                bot.period, self._bot_tick, bot, start_after=bot.period, until=until
+            )
+
+    # -- generation ---------------------------------------------------------------
+
+    def _active_exchanges(self, now: float) -> tuple[list[Exchange], list[float]]:
+        active = [e for e in self.exchanges if e.is_active(now)]
+        return active, [e.traffic_share for e in active]
+
+    def _human_tick(self) -> None:
+        now = self.loop.now
+        active, shares = self._active_exchanges(now)
+        if not active:
+            return
+        n_pageviews = int(self._np_rng.poisson(self.rate * self._tick))
+        for _ in range(n_pageviews):
+            user = self._rng.choice(self.users)
+            self._emit_pageview(user, active, shares, now)
+
+    def _bot_tick(self, bot: BotSpec) -> None:
+        """A bot burst: batch_size single-slot requests at once."""
+        now = self.loop.now
+        active, shares = self._active_exchanges(now)
+        if not active:
+            return
+        exchange = self._rng.choices(active, weights=shares)[0]
+        publisher = self._rng.choice(self.publishers)
+        for _ in range(bot.batch_size):
+            self._send(bot.user, exchange, publisher, now)
+
+    def _emit_pageview(
+        self,
+        user: User,
+        active: list[Exchange],
+        shares: list[float],
+        now: float,
+    ) -> None:
+        self.pageviews += 1
+        exchange = self._rng.choices(active, weights=shares)[0]
+        publisher = self._rng.choice(self.publishers)
+        slots = self._rng.randint(1, self._max_slots)
+        for _ in range(slots):
+            self._send(user, exchange, publisher, now)
+
+    def _send(
+        self, user: User, exchange: Exchange, publisher: Publisher, now: float
+    ) -> None:
+        self.requests_sent += 1
+        self.sink(
+            BidRequest(
+                request_id=self.request_ids.next(),
+                user=user,
+                exchange=exchange,
+                publisher=publisher,
+                timestamp=now,
+            )
+        )

@@ -1,0 +1,54 @@
+"""Identifier spaces for the simulated ad platform.
+
+Every entity kind draws ids from its own block so an id can never be
+mistaken for another kind's (a line-item id of 12 and a campaign id of
+12 would make troubleshooting the troubleshooter miserable).  Request
+ids are globally unique and monotone — they are Scrub's join key.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["IdSpace", "RequestIdGenerator"]
+
+_BLOCKS = {
+    "user": 1_000_000,
+    "campaign": 2_000_000,
+    "line_item": 3_000_000,
+    "exchange": 4_000_000,
+    "creative": 5_000_000,
+    "publisher": 6_000_000,
+}
+
+
+class IdSpace:
+    """Allocates ids per entity kind from disjoint blocks."""
+
+    def __init__(self) -> None:
+        self._counters = {kind: itertools.count(base + 1) for kind, base in _BLOCKS.items()}
+
+    def next(self, kind: str) -> int:
+        try:
+            return next(self._counters[kind])
+        except KeyError:
+            raise ValueError(
+                f"unknown id kind {kind!r}; known: {sorted(_BLOCKS)}"
+            ) from None
+
+    @staticmethod
+    def kind_of(entity_id: int) -> str:
+        for kind, base in sorted(_BLOCKS.items(), key=lambda kv: -kv[1]):
+            if entity_id > base:
+                return kind
+        raise ValueError(f"id {entity_id} belongs to no known block")
+
+
+class RequestIdGenerator:
+    """Monotone unique request ids — the equi-join key of the platform."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        return next(self._counter)

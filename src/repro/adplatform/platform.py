@@ -1,0 +1,206 @@
+"""AdPlatform: the assembled bidding platform on a simulated cluster.
+
+Topology follows paper Section 7: BidServers receive exchange traffic,
+AdServers run filtering and the internal auction, PresentationServers
+record impressions/clicks, and the ProfileStore keeps user state.
+Scrub is integrated with all four (its agents ride on every host).
+
+The platform is organised in *pods* — a slice of Bid/Ad/Presentation
+servers sharing one targeting model, with requests routed to pods by
+user hash.  A single pod is the normal deployment; the A/B-testing case
+study (Section 8.3) uses two pods so "the servers running model A" is a
+concrete host list a Scrub target expression can name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cluster.runtime import SimCluster
+from ..core.agent.sampling import uniform_from_hash
+from .adserver import AdServer
+from .bidserver import BidOutcome, BidServer
+from .entities import BidRequest, Campaign, LineItem
+from .ids import IdSpace, RequestIdGenerator
+from .models import TargetingModel
+from .presentation import PresentationServer
+from .profilestore import ProfileStore
+from .scrub_events import make_platform_registry
+from .targeting import TargetingFilter
+
+__all__ = ["PodSpec", "Pod", "AdPlatform"]
+
+_POD_SEED = 5150
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """Requested shape of one pod."""
+
+    name: str
+    model: TargetingModel
+    bidservers: int = 2
+    adservers: int = 2
+    presentationservers: int = 2
+    datacenter: str = "dc1"
+
+
+@dataclass
+class Pod:
+    """One provisioned pod: live server objects on their hosts."""
+
+    spec: PodSpec
+    bidservers: list[BidServer] = field(default_factory=list)
+    adservers: list[AdServer] = field(default_factory=list)
+    presentationservers: list[PresentationServer] = field(default_factory=list)
+
+    def host_names(self) -> list[str]:
+        names = [b.host.name for b in self.bidservers]
+        names += [a.host.name for a in self.adservers]
+        names += [p.host.name for p in self.presentationservers]
+        return names
+
+
+class AdPlatform:
+    """The whole platform: pods + profile store + request routing."""
+
+    def __init__(
+        self,
+        cluster: Optional[SimCluster] = None,
+        pods: Sequence[PodSpec] = (),
+        line_items: Sequence[LineItem] = (),
+        campaigns: Sequence[Campaign] = (),
+        profile_hosts: int = 1,
+        seconds_per_day: float = 86_400.0,
+        flush_interval: float = 1.0,
+    ) -> None:
+        if cluster is None:
+            cluster = SimCluster(make_platform_registry(), flush_interval=flush_interval)
+        self.cluster = cluster
+        self.ids = IdSpace()
+        self.request_ids = RequestIdGenerator()
+        self.line_items = list(line_items)
+        self.campaigns = list(campaigns)
+        self.seconds_per_day = seconds_per_day
+
+        self.profiles = ProfileStore()
+        self.targeting_filter = TargetingFilter(self.profiles, seconds_per_day)
+
+        self._profile_hosts = []
+        for i in range(profile_hosts):
+            self._profile_hosts.append(
+                cluster.add_host(f"profilestore-{i}", "dc1", ["ProfileStore"])
+            )
+        self.profiles.on_update(self._log_profile_update)
+
+        self.pods: list[Pod] = []
+        for spec in pods:
+            self.add_pod(spec)
+
+        self.outcomes: list[BidOutcome] = []
+        self.record_outcomes = False
+
+    # -- provisioning ---------------------------------------------------------------
+
+    def add_pod(self, spec: PodSpec) -> Pod:
+        cluster = self.cluster
+        pod = Pod(spec)
+        ad_hosts = cluster.add_service("AdServers", spec.datacenter, spec.adservers)
+        for host in ad_hosts:
+            pod.adservers.append(
+                AdServer(host, self.line_items, self.targeting_filter, spec.model)
+            )
+        bid_hosts = cluster.add_service("BidServers", spec.datacenter, spec.bidservers)
+        for i, host in enumerate(bid_hosts):
+            partner = pod.adservers[i % len(pod.adservers)]
+            pod.bidservers.append(BidServer(host, partner))
+        pres_hosts = cluster.add_service(
+            "PresentationServers", spec.datacenter, spec.presentationservers
+        )
+        for host in pres_hosts:
+            pod.presentationservers.append(
+                PresentationServer(
+                    host,
+                    cluster.loop,
+                    self.profiles,
+                    spec.model,
+                    self.seconds_per_day,
+                )
+            )
+        self.pods.append(pod)
+        return pod
+
+    def add_line_item(self, line_item: LineItem) -> LineItem:
+        """Line items are shared by reference with every AdServer, so
+        additions are visible platform-wide immediately."""
+        self.line_items.append(line_item)
+        return line_item
+
+    # -- request routing ------------------------------------------------------------
+
+    def pod_for(self, request: BidRequest) -> Pod:
+        """Pods are sticky per user so a user's whole funnel (bid →
+        impression → click) stays inside one model's servers."""
+        if len(self.pods) == 1:
+            return self.pods[0]
+        index = int(
+            uniform_from_hash(_POD_SEED, request.user.user_id) * len(self.pods)
+        )
+        return self.pods[min(index, len(self.pods) - 1)]
+
+    def handle_bid_request(self, request: BidRequest) -> BidOutcome:
+        """The platform's request sink: route, bid, schedule the outcome."""
+        pod = self.pod_for(request)
+        bidserver = pod.bidservers[request.request_id % len(pod.bidservers)]
+        outcome = bidserver.handle(request)
+        if outcome.did_bid and outcome.auction is not None:
+            presentation = pod.presentationservers[
+                request.user.user_id % len(pod.presentationservers)
+            ]
+            presentation.schedule_outcome(request, outcome.auction.winner)
+        if self.record_outcomes:
+            self.outcomes.append(outcome)
+        return outcome
+
+    def _log_profile_update(
+        self, user_id: int, line_item_id: int, count: int, day: int, source: str
+    ) -> None:
+        host = self._profile_hosts[user_id % len(self._profile_hosts)]
+        agent = host.agent
+        assert agent is not None
+        host.charge_app(20e-6)
+        agent.log(
+            "profile_update",
+            request_id=user_id,  # profile writes join per user, not per request
+            timestamp=self.cluster.loop.now,
+            user_id=user_id,
+            line_item_id=line_item_id,
+            frequency_count=count,
+            day=day,
+            source=source,
+        )
+
+    # -- convenience -----------------------------------------------------------------
+
+    @property
+    def bidservers(self) -> list[BidServer]:
+        return [b for pod in self.pods for b in pod.bidservers]
+
+    @property
+    def adservers(self) -> list[AdServer]:
+        return [a for pod in self.pods for a in pod.adservers]
+
+    @property
+    def presentationservers(self) -> list[PresentationServer]:
+        return [p for pod in self.pods for p in pod.presentationservers]
+
+    def bid_latencies(self) -> list[float]:
+        """End-to-end bid transaction latencies (BidServer + AdServer)."""
+        return [o.latency for o in self.outcomes]
+
+    def total_impressions(self) -> int:
+        return sum(p.impressions for p in self.presentationservers)
+
+    def total_clicks(self) -> int:
+        return sum(p.clicks for p in self.presentationservers)

@@ -1,0 +1,118 @@
+"""The ProfileStore: per-user state, including frequency-cap counters.
+
+The platform "records in the user's profile ... the number of times an
+ad has been served to this user"; that count drives frequency-cap
+filtering on subsequent bid requests (paper Section 8.6).  Profile
+writes can also arrive from *external input feeds* — and the
+incorrectly-set-field case study is exactly a corrupt feed overwriting
+counters with wrong values, which the troubleshooter finds by querying
+``profile_update`` events.
+
+Fault injection: :meth:`ProfileStore.install_corruption` makes a
+configurable fraction of feed writes store a wrong (reset-to-zero)
+counter, reproducing the bug of Section 8.6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["UserProfile", "ProfileStore"]
+
+
+@dataclass
+class UserProfile:
+    user_id: int
+    #: (line_item_id, day) -> ads served that day.
+    served: dict[tuple[int, int], int] = field(default_factory=dict)
+    last_updated: float = 0.0
+
+
+class ProfileStore:
+    """In-memory user-profile store with frequency counters."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[int, UserProfile] = {}
+        self._corruption_rate = 0.0
+        self._corruption_rng: Optional[random.Random] = None
+        self._on_update: Optional[Callable[[int, int, int, int, str], None]] = None
+        self.writes = 0
+        self.corrupted_writes = 0
+
+    def on_update(self, callback: Callable[[int, int, int, int, str], None]) -> None:
+        """Hook invoked after every counter write:
+        ``callback(user_id, line_item_id, count, day, source)``.  The
+        platform uses it to emit ``profile_update`` Scrub events."""
+        self._on_update = callback
+
+    def profile(self, user_id: int) -> UserProfile:
+        prof = self._profiles.get(user_id)
+        if prof is None:
+            prof = UserProfile(user_id)
+            self._profiles[user_id] = prof
+        return prof
+
+    def frequency(self, user_id: int, line_item_id: int, day: int) -> int:
+        prof = self._profiles.get(user_id)
+        if prof is None:
+            return 0
+        return prof.served.get((line_item_id, day), 0)
+
+    # -- writes -------------------------------------------------------------------
+
+    def record_impression(
+        self, user_id: int, line_item_id: int, day: int, now: float
+    ) -> int:
+        """Increment the served counter after an impression; returns the
+        new count.  This is the platform's own (correct) write path."""
+        prof = self.profile(user_id)
+        key = (line_item_id, day)
+        count = prof.served.get(key, 0) + 1
+        prof.served[key] = count
+        prof.last_updated = now
+        self.writes += 1
+        if self._on_update is not None:
+            self._on_update(user_id, line_item_id, count, day, "impression")
+        return count
+
+    def apply_feed_write(
+        self, user_id: int, line_item_id: int, count: int, day: int, now: float
+    ) -> int:
+        """Apply an external feed's counter write (profile sync/import).
+
+        When corruption is installed, a fraction of these writes store 0
+        instead of *count* — the erroneous input data of Section 8.6,
+        which silently un-caps frequency-capped line items.
+        """
+        stored = count
+        if self._corruption_rng is not None and (
+            self._corruption_rng.random() < self._corruption_rate
+        ):
+            stored = 0
+            self.corrupted_writes += 1
+        prof = self.profile(user_id)
+        prof.served[(line_item_id, day)] = stored
+        prof.last_updated = now
+        self.writes += 1
+        if self._on_update is not None:
+            self._on_update(user_id, line_item_id, stored, day, "feed")
+        return stored
+
+    # -- fault injection ------------------------------------------------------------
+
+    def install_corruption(self, rate: float, seed: int = 0) -> None:
+        """Make *rate* of feed writes corrupt (store 0)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        self._corruption_rate = rate
+        self._corruption_rng = random.Random(seed) if rate > 0 else None
+
+    def clear_corruption(self) -> None:
+        self._corruption_rate = 0.0
+        self._corruption_rng = None
+
+    @property
+    def user_count(self) -> int:
+        return len(self._profiles)

@@ -1,0 +1,128 @@
+"""Scrub event type definitions for the ad platform.
+
+"Tens of Scrub event types are defined" at Turn (paper Section 7); the
+case studies use ``bid`` (Fig. 1, generated at the BidServers),
+``auction`` and ``exclusion`` (AdServers), ``impression`` and ``click``
+(PresentationServers), and — for the incorrectly-set-field case study
+(Section 8.6) — profile updates at the ProfileStore.
+
+The ``bid`` schema extends paper Fig. 1's five fields with ``user_id``
+and ``line_item_id``: the spam case study groups bids by user id and
+the cannibalization study selects by line item, so those fields must be
+on the event (the paper's Fig. 9/19 queries reference them).
+"""
+
+from __future__ import annotations
+
+from ..core.events import EventRegistry, EventSchema
+
+__all__ = [
+    "BID",
+    "AUCTION",
+    "EXCLUSION",
+    "IMPRESSION",
+    "CLICK",
+    "PROFILE_UPDATE",
+    "ALL_SCHEMAS",
+    "make_platform_registry",
+]
+
+#: Bid response sent back to an exchange (BidServers; paper Fig. 1).
+BID = EventSchema(
+    "bid",
+    [
+        ("exchange_id", "long"),
+        ("city", "string"),
+        ("country", "string"),
+        ("bid_price", "double"),
+        ("campaign_id", "long"),
+        ("user_id", "long"),
+        ("line_item_id", "long"),
+        ("publisher_id", "long"),
+    ],
+    doc="A bid response returned to an ad exchange.",
+)
+
+#: One internal auction: participants with their bid prices (AdServers).
+AUCTION = EventSchema(
+    "auction",
+    [
+        ("user_id", "long"),
+        ("exchange_id", "long"),
+        ("line_item_ids", "list<long>"),
+        ("bid_prices", "list<double>"),
+        ("winner_line_item_id", "long"),
+        ("winner_price", "double"),
+    ],
+    doc="An internal auction among line items that passed filtering.",
+)
+
+#: One line item excluded during the filtering phase (AdServers).
+EXCLUSION = EventSchema(
+    "exclusion",
+    [
+        ("line_item_id", "long"),
+        ("campaign_id", "long"),
+        ("reason", "string"),
+        ("exchange_id", "long"),
+        ("publisher_id", "long"),
+        ("user_id", "long"),
+    ],
+    doc="A line item filtered out of a bid request, with the reason.",
+)
+
+#: An ad actually shown to the user (PresentationServers).
+IMPRESSION = EventSchema(
+    "impression",
+    [
+        ("line_item_id", "long"),
+        ("campaign_id", "long"),
+        ("exchange_id", "long"),
+        ("publisher_id", "long"),
+        ("user_id", "long"),
+        ("cost", "double"),
+    ],
+    doc="A served ad impression with its clearing cost.",
+)
+
+#: A user click on a served ad (PresentationServers).
+CLICK = EventSchema(
+    "click",
+    [
+        ("line_item_id", "long"),
+        ("campaign_id", "long"),
+        ("exchange_id", "long"),
+        ("user_id", "long"),
+    ],
+    doc="A click on a served ad.",
+)
+
+#: A frequency-counter update in the user's profile (ProfileStore).
+PROFILE_UPDATE = EventSchema(
+    "profile_update",
+    [
+        ("user_id", "long"),
+        ("line_item_id", "long"),
+        ("frequency_count", "long"),
+        ("day", "long"),
+        ("source", "string"),
+    ],
+    doc="A write of the ads-served-per-day counter in a user profile.",
+)
+
+ALL_SCHEMAS: tuple[EventSchema, ...] = (
+    BID,
+    AUCTION,
+    EXCLUSION,
+    IMPRESSION,
+    CLICK,
+    PROFILE_UPDATE,
+)
+
+
+def make_platform_registry() -> EventRegistry:
+    """A fresh event registry with every platform event type declared."""
+    registry = EventRegistry()
+    for schema in ALL_SCHEMAS:
+        registry.register(schema)
+    return registry

@@ -1,0 +1,469 @@
+"""Workload scenarios: one builder per case study / experiment.
+
+Each builder assembles an :class:`AdPlatform` on a fresh simulated
+cluster, provisions the entities the case study needs, wires the
+exchange traffic, and returns a :class:`Scenario` whose ``extras``
+carry the handles the experiment asserts on (the bots, the focal line
+items, the new exchange, ...).  The benchmarks and examples all build
+on these, so the workload parameters live in exactly one place.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from .entities import Campaign, Exchange, LineItem, Targeting, User
+from .exchangesim import (
+    BotSpec,
+    ExchangeTraffic,
+    make_exchanges,
+    make_publishers,
+    make_users,
+)
+from .ids import IdSpace
+from .models import BaselineModel, ImprovedModel, TargetingModel
+from .platform import AdPlatform, PodSpec
+
+__all__ = [
+    "Scenario",
+    "make_line_items",
+    "spam_scenario",
+    "new_exchange_scenario",
+    "ab_test_scenario",
+    "exclusion_scenario",
+    "cannibalization_scenario",
+    "frequency_cap_scenario",
+    "perf_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run workload."""
+
+    platform: AdPlatform
+    traffic: ExchangeTraffic
+    description: str
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cluster(self):
+        return self.platform.cluster
+
+    def start(self, until: float) -> None:
+        self.traffic.start(until)
+
+
+def make_line_items(
+    ids: IdSpace,
+    count: int,
+    seed: int = 31,
+    campaign_count: int = 8,
+    advisory_range: tuple[float, float] = (0.5, 5.0),
+    exchanges: list[Exchange] | None = None,
+) -> tuple[list[LineItem], list[Campaign]]:
+    """A varied line-item population.
+
+    Roughly a third of line items are country-restricted, a third
+    segment-restricted and a fifth exchange-restricted (overlapping),
+    so the filtering phase produces a rich exclusion-reason mix.
+    """
+    rng = random.Random(seed)
+    campaigns = [
+        Campaign(ids.next("campaign"), advertiser=f"adv{i}")
+        for i in range(campaign_count)
+    ]
+    line_items: list[LineItem] = []
+    countries_pool = ["US", "GB", "DE", "FR", "JP", "BR"]
+    for _ in range(count):
+        campaign = rng.choice(campaigns)
+        countries = (
+            frozenset(rng.sample(countries_pool, rng.randint(1, 2)))
+            if rng.random() < 0.35
+            else None
+        )
+        segments = (
+            frozenset(rng.sample(range(1, 41), rng.randint(2, 6)))
+            if rng.random() < 0.35
+            else None
+        )
+        exchange_ids = None
+        if exchanges and rng.random() < 0.20:
+            exchange_ids = frozenset(
+                e.exchange_id for e in rng.sample(exchanges, rng.randint(1, 2))
+            )
+        line_item = LineItem(
+            line_item_id=ids.next("line_item"),
+            campaign_id=campaign.campaign_id,
+            advisory_price=rng.uniform(*advisory_range),
+            targeting=Targeting(
+                countries=countries, segments=segments, exchanges=exchange_ids
+            ),
+        )
+        campaign.add(line_item)
+        line_items.append(line_item)
+    return line_items, campaigns
+
+
+def _base_platform(
+    pods: list[PodSpec],
+    line_items: list[LineItem],
+    campaigns: list[Campaign],
+    users: list[User],
+    exchanges: list[Exchange],
+    pageview_rate: float,
+    ids: IdSpace,
+    seconds_per_day: float = 86_400.0,
+    bots: tuple[BotSpec, ...] = (),
+    seed: int = 23,
+) -> tuple[AdPlatform, ExchangeTraffic]:
+    platform = AdPlatform(
+        pods=pods,
+        line_items=line_items,
+        campaigns=campaigns,
+        seconds_per_day=seconds_per_day,
+    )
+    publishers = make_publishers(ids)
+    traffic = ExchangeTraffic(
+        loop=platform.cluster.loop,
+        users=users,
+        exchanges=exchanges,
+        publishers=publishers,
+        sink=platform.handle_bid_request,
+        pageviews_per_second=pageview_rate,
+        request_ids=platform.request_ids,
+        seed=seed,
+        bots=bots,
+    )
+    return platform, traffic
+
+
+# -- 8.1: spam detection --------------------------------------------------------------
+
+
+def spam_scenario(
+    users: int = 400,
+    pageview_rate: float = 12.0,
+    line_items: int = 40,
+    bot_count: int = 2,
+    bot_batch: int = 60,
+    bot_period: float = 2.0,
+    seed: int = 101,
+) -> Scenario:
+    """Human page-view traffic plus *bot_count* bots issuing large
+    high-frequency request batches (paper Section 8.1 / Fig. 10)."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(ids, line_items, seed=seed, exchanges=exchanges)
+
+    bot_users = []
+    bots = []
+    rng = random.Random(seed + 1)
+    for i in range(bot_count):
+        bot = User(
+            user_id=ids.next("user"),
+            city="Unknown",
+            country="US",
+            segments=frozenset(rng.sample(range(1, 41), 3)),
+            is_bot=True,
+        )
+        bot_users.append(bot)
+        bots.append(
+            BotSpec(user=bot, batch_size=bot_batch, period=bot_period * (1 + 0.5 * i))
+        )
+
+    pods = [PodSpec("main", TargetingModel("prod"), bidservers=2, adservers=2)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids,
+        bots=tuple(bots), seed=seed,
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "spam bots hidden in human bid-request traffic (paper 8.1)",
+        extras={"bots": bot_users, "humans": population},
+    )
+
+
+# -- 8.2: validating a new ad exchange ---------------------------------------------------
+
+
+def new_exchange_scenario(
+    users: int = 400,
+    pageview_rate: float = 15.0,
+    line_items: int = 40,
+    activation_time: float = 550.0,
+    presentationservers: int = 10,
+    seed: int = 202,
+) -> Scenario:
+    """Exchanges A, B, C live from t=0; exchange D activates at
+    *activation_time* (paper Section 8.2 / Fig. 12)."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids, names=("A", "B", "C", "D"), shares=(1.0, 0.8, 0.6, 1.2))
+    new_exchange = exchanges[-1]
+    new_exchange.active_from = activation_time
+    items, campaigns = make_line_items(ids, line_items, seed=seed)
+
+    pods = [
+        PodSpec(
+            "main",
+            TargetingModel("prod"),
+            bidservers=2,
+            adservers=2,
+            presentationservers=presentationservers,
+        )
+    ]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "a new ad exchange comes online mid-trace (paper 8.2)",
+        extras={"new_exchange": new_exchange, "exchanges": exchanges},
+    )
+
+
+# -- 8.3: A/B testing of ad targeting models ----------------------------------------------
+
+
+def ab_test_scenario(
+    users: int = 600,
+    pageview_rate: float = 20.0,
+    line_items: int = 30,
+    seed: int = 303,
+) -> Scenario:
+    """Two pods: model A (baseline) and model B (improved) — plus one
+    broadly-targeted focal line item whose CPM/CTR the A/B queries
+    compare (paper Section 8.3 / Figs. 13-15)."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    # Price geometry tuned so the focal item wins auctions only when its
+    # model scores the user highly: background tops out well below the
+    # focal/rival bands, and the rival's band overlaps the focal's, so a
+    # model that tracks true affinity (B) funnels the focal item's
+    # impressions to genuinely clickier users.
+    items, campaigns = make_line_items(
+        ids, line_items, seed=seed, advisory_range=(0.5, 2.5)
+    )
+
+    focal = LineItem(
+        line_item_id=ids.next("line_item"),
+        campaign_id=campaigns[0].campaign_id,
+        advisory_price=2.8,
+        targeting=Targeting(),  # broad: competes in every auction
+    )
+    campaigns[0].add(focal)
+    rival = LineItem(
+        line_item_id=ids.next("line_item"),
+        campaign_id=campaigns[1].campaign_id,
+        advisory_price=2.9,
+        targeting=Targeting(),
+    )
+    campaigns[1].add(rival)
+    items = items + [focal, rival]
+
+    model_a = BaselineModel("model-A")
+    model_b = ImprovedModel("model-B")
+    pods = [
+        PodSpec("pod-A", model_a, bidservers=2, adservers=2, presentationservers=3),
+        PodSpec("pod-B", model_b, bidservers=2, adservers=2, presentationservers=3),
+    ]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "A/B test: targeting model A vs B on disjoint server sets (paper 8.3)",
+        extras={
+            "focal_line_item": focal,
+            "model_a_hosts": platform.pods[0].host_names(),
+            "model_b_hosts": platform.pods[1].host_names(),
+        },
+    )
+
+
+# -- 8.4: line item exclusions -----------------------------------------------------------
+
+
+def exclusion_scenario(
+    users: int = 300,
+    pageview_rate: float = 10.0,
+    line_items: int = 120,
+    seed: int = 404,
+) -> Scenario:
+    """A large line-item population so every bid request produces many
+    exclusion events (paper Section 8.4 / Fig. 16)."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(ids, line_items, seed=seed, exchanges=exchanges)
+
+    pods = [PodSpec("main", TargetingModel("prod"), bidservers=2, adservers=3)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "exclusion-reason distribution via bid ⋈ exclusion (paper 8.4)",
+        extras={"exchanges": exchanges, "line_items": items},
+    )
+
+
+# -- 8.5: line item cannibalization ---------------------------------------------------------
+
+
+def cannibalization_scenario(
+    users: int = 300,
+    pageview_rate: float = 12.0,
+    background_line_items: int = 20,
+    lam_advisory: float = 1.0,
+    rival_advisory: float = 4.0,
+    seed: int = 505,
+) -> Scenario:
+    """Line item λ has relaxed targeting and budget but a low advisory
+    price; rival line items with near-identical targeting price far
+    above it, so λ's whole band loses every auction (paper 8.5)."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(
+        ids, background_line_items, seed=seed,
+        advisory_range=(1.5, 3.0),
+    )
+
+    shared_targeting = Targeting()  # both pass filtering everywhere
+    lam = LineItem(
+        line_item_id=ids.next("line_item"),
+        campaign_id=campaigns[0].campaign_id,
+        advisory_price=lam_advisory,
+        targeting=shared_targeting,
+    )
+    campaigns[0].add(lam)
+    rivals = []
+    for i in range(3):
+        rival = LineItem(
+            line_item_id=ids.next("line_item"),
+            campaign_id=campaigns[1].campaign_id,
+            advisory_price=rival_advisory + 0.3 * i,
+            targeting=shared_targeting,
+        )
+        campaigns[1].add(rival)
+        rivals.append(rival)
+
+    items = items + [lam] + rivals
+    pods = [PodSpec("main", TargetingModel("prod"), bidservers=2, adservers=2)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "line item λ cannibalized by higher-advisory rivals (paper 8.5)",
+        extras={"lam": lam, "rivals": rivals},
+    )
+
+
+# -- 8.6: incorrectly set frequency-cap field ---------------------------------------------------
+
+
+def frequency_cap_scenario(
+    users: int = 150,
+    pageview_rate: float = 15.0,
+    cap: int = 1,
+    corruption_rate: float = 0.5,
+    seconds_per_day: float = 300.0,
+    feed_period: float = 20.0,
+    seed: int = 606,
+) -> Scenario:
+    """A frequency-capped line item plus a corrupt external profile feed
+    that resets served counters, letting ads exceed the cap (paper 8.6).
+
+    Days are accelerated (*seconds_per_day*) so multi-day behaviour fits
+    a short trace.  The feed periodically re-syncs profile counters; a
+    fraction of those writes are corrupt (store zero).
+    """
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(ids, 15, seed=seed, advisory_range=(0.5, 1.5))
+
+    capped = LineItem(
+        line_item_id=ids.next("line_item"),
+        campaign_id=campaigns[0].campaign_id,
+        advisory_price=6.0,  # wins auctions it enters, making cap violations visible
+        targeting=Targeting(),
+        frequency_cap=cap,
+    )
+    campaigns[0].add(capped)
+    items = items + [capped]
+
+    pods = [PodSpec("main", TargetingModel("prod"), bidservers=2, adservers=2)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids,
+        seconds_per_day=seconds_per_day, seed=seed,
+    )
+    platform.profiles.install_corruption(corruption_rate, seed=seed)
+
+    # The external feed: re-writes each recently-served counter with its
+    # current value (a no-op when healthy; corruption makes some writes 0).
+    def feed_sync() -> None:
+        now = platform.cluster.loop.now
+        day = int(now // seconds_per_day)
+        for user_id, prof in list(platform.profiles._profiles.items()):  # noqa: SLF001
+            count = prof.served.get((capped.line_item_id, day))
+            if count:
+                platform.profiles.apply_feed_write(
+                    user_id, capped.line_item_id, count, day, now
+                )
+
+    platform.cluster.loop.call_every(feed_period, feed_sync)
+    return Scenario(
+        platform,
+        traffic,
+        "corrupt profile feed breaks a frequency cap (paper 8.6)",
+        extras={"capped_line_item": capped, "cap": cap},
+    )
+
+
+# -- Section 9: performance ------------------------------------------------------------------
+
+
+def perf_scenario(
+    users: int = 300,
+    pageview_rate: float = 20.0,
+    line_items: int = 40,
+    bidservers: int = 4,
+    adservers: int = 4,
+    seed: int = 707,
+) -> Scenario:
+    """A plain single-pod deployment for the overhead/latency sweeps."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(ids, line_items, seed=seed, exchanges=exchanges)
+    pods = [
+        PodSpec(
+            "main",
+            TargetingModel("prod"),
+            bidservers=bidservers,
+            adservers=adservers,
+        )
+    ]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+    platform.record_outcomes = True
+    return Scenario(
+        platform,
+        traffic,
+        "plain deployment for CPU-overhead and latency measurements (paper §9)",
+        extras={},
+    )

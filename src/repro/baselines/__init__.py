@@ -1,0 +1,13 @@
+"""Baselines: log-everything collection + offline batch analysis."""
+
+from .batch import BatchCostModel, BatchJobReport, BatchQueryEngine
+from .logstore import LOG_ALL_QUERY_ID, LoggingBaseline, LogStore
+
+__all__ = [
+    "BatchCostModel",
+    "BatchJobReport",
+    "BatchQueryEngine",
+    "LOG_ALL_QUERY_ID",
+    "LogStore",
+    "LoggingBaseline",
+]

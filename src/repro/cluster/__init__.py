@@ -1,0 +1,39 @@
+"""Simulated cluster substrate: event loop, network, hosts, topology."""
+
+from .host import DEFAULT_COST_MODEL, CostModel, RequestMeasure, SimHost
+from .metrics import (
+    LatencySummary,
+    OverheadSampler,
+    OverheadSummary,
+    percentile,
+    summarize_latencies,
+    summarize_overhead,
+)
+from .runtime import CENTRAL_DATACENTER, SimCluster, SimTransport, run_to_completion
+from .simclock import EventLoop, ScheduledCall
+from .simnet import LinkSpec, LinkStats, SimNetwork
+from .topology import ClusterDirectory, Topology
+
+__all__ = [
+    "CENTRAL_DATACENTER",
+    "ClusterDirectory",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "EventLoop",
+    "LatencySummary",
+    "LinkSpec",
+    "LinkStats",
+    "OverheadSampler",
+    "OverheadSummary",
+    "RequestMeasure",
+    "ScheduledCall",
+    "SimCluster",
+    "SimHost",
+    "SimNetwork",
+    "SimTransport",
+    "Topology",
+    "percentile",
+    "run_to_completion",
+    "summarize_latencies",
+    "summarize_overhead",
+]

@@ -1,0 +1,147 @@
+"""Metric collection and summarisation for the cluster experiments.
+
+The overhead experiments (paper Section 9 / abstract: "a maximum CPU
+overhead of up to 2.5% ... and a 1% increase in request latency") need
+per-host CPU ratios and request-latency distributions; this module
+provides the samplers and summary statistics the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .host import SimHost
+from .simclock import EventLoop
+
+__all__ = [
+    "percentile",
+    "LatencySummary",
+    "OverheadSummary",
+    "summarize_latencies",
+    "summarize_overhead",
+    "OverheadSampler",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean * 1e3:.3f}ms p50={self.p50 * 1e3:.3f}ms "
+            f"p95={self.p95 * 1e3:.3f}ms p99={self.p99 * 1e3:.3f}ms "
+            f"max={self.max * 1e3:.3f}ms"
+        )
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    if not latencies:
+        raise ValueError("no latencies recorded")
+    return LatencySummary(
+        count=len(latencies),
+        mean=sum(latencies) / len(latencies),
+        p50=percentile(latencies, 50),
+        p95=percentile(latencies, 95),
+        p99=percentile(latencies, 99),
+        max=max(latencies),
+    )
+
+
+@dataclass(frozen=True)
+class OverheadSummary:
+    """Scrub CPU as a fraction of app CPU, across a host population."""
+
+    hosts: int
+    mean_overhead: float
+    max_overhead: float
+    total_app_cpu: float
+    total_scrub_cpu: float
+
+    @property
+    def aggregate_overhead(self) -> float:
+        if self.total_app_cpu <= 0:
+            return 0.0
+        return self.total_scrub_cpu / self.total_app_cpu
+
+    def __str__(self) -> str:
+        return (
+            f"hosts={self.hosts} mean={self.mean_overhead * 100:.3f}% "
+            f"max={self.max_overhead * 100:.3f}% "
+            f"aggregate={self.aggregate_overhead * 100:.3f}%"
+        )
+
+
+def summarize_overhead(hosts: Iterable[SimHost]) -> OverheadSummary:
+    hosts = list(hosts)
+    if not hosts:
+        raise ValueError("no hosts to summarize")
+    overheads = [h.cpu_overhead() for h in hosts]
+    return OverheadSummary(
+        hosts=len(hosts),
+        mean_overhead=sum(overheads) / len(overheads),
+        max_overhead=max(overheads),
+        total_app_cpu=sum(h.app_cpu_seconds for h in hosts),
+        total_scrub_cpu=sum(h.scrub_cpu_seconds for h in hosts),
+    )
+
+
+class OverheadSampler:
+    """Samples per-host CPU ledgers periodically, producing a per-interval
+    overhead time series (the shape a CPU-over-time figure plots)."""
+
+    def __init__(self, loop: EventLoop, hosts: Sequence[SimHost], interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._hosts = list(hosts)
+        self._last: dict[str, tuple[float, float]] = {
+            h.name: (h.app_cpu_seconds, h.scrub_cpu_seconds) for h in self._hosts
+        }
+        #: (time, mean overhead over interval, max overhead over interval)
+        self.series: list[tuple[float, float, float]] = []
+        self._loop = loop
+        self._handle = loop.call_every(interval, self._sample)
+
+    def _sample(self) -> None:
+        overheads = []
+        for host in self._hosts:
+            prev_app, prev_scrub = self._last[host.name]
+            app = host.app_cpu_seconds
+            scrub = host.scrub_cpu_seconds
+            delta_app = app - prev_app
+            delta_scrub = scrub - prev_scrub
+            self._last[host.name] = (app, scrub)
+            if delta_app > 0:
+                overheads.append(delta_scrub / delta_app)
+        if overheads:
+            self.series.append(
+                (self._loop.now, sum(overheads) / len(overheads), max(overheads))
+            )
+
+    def stop(self) -> None:
+        self._handle.cancel()

@@ -1,0 +1,140 @@
+"""Simulated network: data centers, links, message delivery.
+
+Scrub spans "thousands of machines in many data centers across the
+globe" (paper Section 4); what matters for the reproduction is that
+host→central traffic pays realistic latency and that the bytes shipped
+are accounted per link — the logging-baseline comparison (paper
+Section 8.1) is largely an argument about cross-continental bytes.
+
+Links are modelled as latency + bandwidth pairs per datacenter pair;
+delivery time is ``latency + size/bandwidth``.  Messages between hosts
+in the same datacenter use the intra-DC link spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .simclock import EventLoop
+
+__all__ = ["LinkSpec", "LinkStats", "SimNetwork"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One-way link characteristics."""
+
+    latency_seconds: float
+    bandwidth_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_time(self, nbytes: int) -> float:
+        return self.latency_seconds + nbytes / self.bandwidth_bytes_per_second
+
+
+#: 10 GbE within a datacenter, sub-millisecond latency.
+DEFAULT_INTRA_DC = LinkSpec(latency_seconds=0.0005, bandwidth_bytes_per_second=1.25e9)
+#: Cross-continental WAN link: 80 ms, ~1 Gb/s effective.
+DEFAULT_INTER_DC = LinkSpec(latency_seconds=0.080, bandwidth_bytes_per_second=1.25e8)
+
+
+@dataclass
+class LinkStats:
+    messages: int = 0
+    bytes: int = 0
+    dropped_messages: int = 0
+    dropped_bytes: int = 0
+
+
+class SimNetwork:
+    """Delivers messages between datacenters on the event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        intra_dc: LinkSpec = DEFAULT_INTRA_DC,
+        inter_dc: LinkSpec = DEFAULT_INTER_DC,
+    ) -> None:
+        self._loop = loop
+        self._intra = intra_dc
+        self._inter = inter_dc
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self.stats: dict[tuple[str, str], LinkStats] = {}
+        self._partitioned: set[tuple[str, str]] = set()
+
+    def set_link(self, src_dc: str, dst_dc: str, spec: LinkSpec, symmetric: bool = True) -> None:
+        self._links[(src_dc, dst_dc)] = spec
+        if symmetric:
+            self._links[(dst_dc, src_dc)] = spec
+
+    def link(self, src_dc: str, dst_dc: str) -> LinkSpec:
+        spec = self._links.get((src_dc, dst_dc))
+        if spec is not None:
+            return spec
+        return self._intra if src_dc == dst_dc else self._inter
+
+    def transfer_time(self, src_dc: str, dst_dc: str, nbytes: int) -> float:
+        return self.link(src_dc, dst_dc).transfer_time(nbytes)
+
+    def deliver(
+        self,
+        src_dc: str,
+        dst_dc: str,
+        nbytes: int,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> float:
+        """Schedule *fn* after the link delay; returns the delivery time.
+
+        On a partitioned link the message is silently lost (counted in
+        the link stats) — the failure mode host agents must tolerate by
+        design: they never block on delivery.
+        """
+        stats = self.stats.setdefault((src_dc, dst_dc), LinkStats())
+        if (src_dc, dst_dc) in self._partitioned:
+            stats.dropped_messages += 1
+            stats.dropped_bytes += nbytes
+            return self._loop.now
+        stats.messages += 1
+        stats.bytes += nbytes
+        delay = self.transfer_time(src_dc, dst_dc, nbytes)
+        self._loop.call_later(delay, fn, *args)
+        return self._loop.now + delay
+
+    # -- failure injection --------------------------------------------------------
+
+    def partition(self, src_dc: str, dst_dc: str, symmetric: bool = True) -> None:
+        """Drop all traffic on this link until :meth:`heal`."""
+        self._partitioned.add((src_dc, dst_dc))
+        if symmetric:
+            self._partitioned.add((dst_dc, src_dc))
+
+    def heal(self, src_dc: str, dst_dc: str, symmetric: bool = True) -> None:
+        self._partitioned.discard((src_dc, dst_dc))
+        if symmetric:
+            self._partitioned.discard((dst_dc, src_dc))
+
+    def is_partitioned(self, src_dc: str, dst_dc: str) -> bool:
+        return (src_dc, dst_dc) in self._partitioned
+
+    # -- accounting -----------------------------------------------------------------
+
+    def total_bytes(self, cross_dc_only: bool = False) -> int:
+        return sum(
+            stats.bytes
+            for (src, dst), stats in self.stats.items()
+            if not cross_dc_only or src != dst
+        )
+
+    def total_messages(self, cross_dc_only: bool = False) -> int:
+        return sum(
+            stats.messages
+            for (src, dst), stats in self.stats.items()
+            if not cross_dc_only or src != dst
+        )

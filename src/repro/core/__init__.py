@@ -1,0 +1,25 @@
+"""Scrub core: the paper's primary contribution.
+
+Subpackages:
+
+* :mod:`repro.core.events`  — typed event model and declarative API
+* :mod:`repro.core.query`   — the Scrub query language (lexer → planner)
+* :mod:`repro.core.agent`   — host-side runtime (selection/projection/sampling)
+* :mod:`repro.core.central` — ScrubCentral (join/group-by/aggregation)
+* :mod:`repro.core.approx`  — Space-Saving, HyperLogLog, sampling theory
+
+Top-level conveniences: :class:`Scrub` (full in-process deployment) and
+:class:`ScrubQueryServer`.
+"""
+
+from .api import ManualClock, Scrub
+from .server import HostDirectory, QueryHandle, ScrubQueryServer, StaticDirectory
+
+__all__ = [
+    "HostDirectory",
+    "ManualClock",
+    "QueryHandle",
+    "Scrub",
+    "ScrubQueryServer",
+    "StaticDirectory",
+]

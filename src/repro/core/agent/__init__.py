@@ -1,0 +1,19 @@
+"""Host-side Scrub runtime: agent, sampling, buffering, transport."""
+
+from .agent import AgentStats, QueryStats, ScrubAgent
+from .buffer import BoundedBuffer
+from .sampling import EventSampler, uniform_from_hash
+from .transport import DirectTransport, EventBatch, RecordingTransport, Transport
+
+__all__ = [
+    "AgentStats",
+    "BoundedBuffer",
+    "DirectTransport",
+    "EventBatch",
+    "EventSampler",
+    "QueryStats",
+    "RecordingTransport",
+    "ScrubAgent",
+    "Transport",
+    "uniform_from_hash",
+]

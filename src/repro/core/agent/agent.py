@@ -1,0 +1,440 @@
+"""The Scrub host agent: the only Scrub code that runs on application hosts.
+
+The agent holds the table of installed host query objects and exposes
+the ``log()`` call the application invokes at event-generation points
+(paper Section 3.1).  Per the design philosophy (Section 2), everything
+here is built for minimal impact:
+
+* **fast path**: with no query active for an event type, ``log()`` is a
+  dict lookup and a counter increment — no event object is even built;
+* only **selection, projection and sampling** run here (Section 4); the
+  agent never joins, groups or aggregates;
+* the outbound buffer is bounded and **drops instead of blocking**;
+  drops are counted and reported;
+* queries **expire**: every installed query carries an absolute
+  deadline derived from the query span, so forgotten queries cannot
+  keep loading the host (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from ..central.aggregates import AggregateState, make_state
+from ..central.groupby import _group_key_part
+from ..events import Event, EventRegistry
+from ..events.decorators import schema_of
+from ..query.compile import compile_expr, compile_predicate
+from ..query.planner import HostQueryObject
+from .buffer import BoundedBuffer
+from .sampling import EventSampler
+from .transport import EventBatch, PartialAggregate, Transport
+
+__all__ = ["ScrubAgent", "AgentStats", "QueryStats"]
+
+
+def _host_field_getter(_event_type: Optional[str], field: str) -> Callable[[Event], Any]:
+    """Host predicates run on single events of a known type, so the
+    qualifier is ignored and resolution is a direct event lookup."""
+    return lambda event: event.get(field)
+
+
+@dataclass
+class QueryStats:
+    """Per-installed-query accounting on one host."""
+
+    seen: int = 0      # events that matched selection (the estimator's M_i)
+    shipped: int = 0   # events sampled in and buffered for transport
+    dropped: int = 0   # events lost to a full buffer
+
+
+@dataclass
+class AgentStats:
+    """Whole-agent accounting used by the overhead experiments."""
+
+    events_logged: int = 0      # every log() call
+    events_examined: int = 0    # log() calls that found >= 1 active query
+    events_checked: int = 0     # (query, event) span+predicate evaluations
+    events_matched: int = 0     # (query, event) selection matches
+    events_shipped: int = 0     # (query, event) pairs buffered
+    events_dropped: int = 0     # (query, event) pairs dropped at the buffer
+    events_preaggregated: int = 0  # host-side aggregate-state updates
+    batches_flushed: int = 0
+    bytes_shipped: int = 0
+
+
+class _InstalledQuery:
+    """A host query object compiled and armed on this agent."""
+
+    __slots__ = (
+        "spec",
+        "predicate",
+        "project_fields",
+        "sampler",
+        "window_seconds",
+        "activates_at",
+        "expires_at",
+        "seen_by_window",
+        "stats",
+        "pending_dropped",
+        "group_fns",
+        "agg_arg_fns",
+        "partial_groups",
+    )
+
+    def __init__(
+        self,
+        spec: HostQueryObject,
+        keep_all_fields: bool,
+        activates_at: float,
+        expires_at: float,
+    ) -> None:
+        self.spec = spec
+        self.predicate = compile_predicate(spec.predicate, _host_field_getter)
+        self.project_fields: Optional[tuple[str, ...]] = (
+            None if keep_all_fields else spec.projection
+        )
+        self.sampler = EventSampler(spec.event_sampling_rate, spec.query_id)
+        self.window_seconds = spec.window_seconds
+        self.activates_at = activates_at
+        self.expires_at = expires_at
+        self.seen_by_window: dict[tuple[str, int], int] = {}
+        self.stats = QueryStats()
+        self.pending_dropped = 0
+        # AGGREGATE ON HOSTS mode: per-window per-group aggregate states
+        # held on the host instead of shipping events (ablation mode —
+        # note the memory grows with window x group cardinality, which is
+        # exactly the host impact the paper's central execution avoids).
+        self.group_fns = None
+        self.agg_arg_fns = None
+        self.partial_groups: dict[int, dict[tuple, list[AggregateState]]] = {}
+        if spec.aggregation is not None:
+            self.group_fns = [
+                compile_expr(g, _host_field_getter)
+                for g in spec.aggregation.group_by
+            ]
+            self.agg_arg_fns = [
+                (lambda _event: True)
+                if agg.arg is None
+                else compile_expr(agg.arg, _host_field_getter)
+                for agg in spec.aggregation.aggregates
+            ]
+
+    def preaggregate(self, event: Event, window: int) -> None:
+        per_window = self.partial_groups.get(window)
+        if per_window is None:
+            per_window = {}
+            self.partial_groups[window] = per_window
+        key = tuple(_group_key_part(fn(event)) for fn in self.group_fns)
+        states = per_window.get(key)
+        if states is None:
+            states = [make_state(agg) for agg in self.spec.aggregation.aggregates]
+            per_window[key] = states
+        for state, arg_fn in zip(states, self.agg_arg_fns):
+            state.update(arg_fn(event))
+
+    def drain_partials(self, cutoff_window: float) -> list[PartialAggregate]:
+        """Extract partials for windows strictly below *cutoff_window*."""
+        out: list[PartialAggregate] = []
+        for window in sorted(self.partial_groups):
+            if window >= cutoff_window:
+                continue
+            per_window = self.partial_groups.pop(window)
+            for key, states in per_window.items():
+                out.append(
+                    PartialAggregate(
+                        event_type=self.spec.event_type,
+                        window=window,
+                        group_key=key,
+                        values=tuple(state.to_partial() for state in states),
+                    )
+                )
+        return out
+
+    @property
+    def partial_state_count(self) -> int:
+        """Group states currently held on this host (the memory metric)."""
+        return sum(len(groups) for groups in self.partial_groups.values())
+
+
+class ScrubAgent:
+    """Per-host Scrub runtime embedded in the application process."""
+
+    def __init__(
+        self,
+        host: str,
+        registry: EventRegistry,
+        transport: Transport,
+        clock: Callable[[], float] = time.time,
+        buffer_capacity: int = 10_000,
+        flush_batch_size: int = 500,
+        validate_payloads: bool = False,
+        max_queries: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.registry = registry
+        self.transport = transport
+        self.clock = clock
+        self.validate_payloads = validate_payloads
+        #: Admission control: refuse installs beyond this many concurrent
+        #: queries ("query load can at times be considerable", paper §1) —
+        #: the host's impact budget is bounded no matter the demand.
+        self.max_queries = max_queries
+        self._buffer: BoundedBuffer[tuple[_InstalledQuery, Event]] = BoundedBuffer(
+            buffer_capacity
+        )
+        self._flush_batch_size = flush_batch_size
+        self._queries: dict[str, list[_InstalledQuery]] = {}  # query_id -> per-type
+        self._by_type: dict[str, list[_InstalledQuery]] = {}  # event_type -> queries
+        self.stats = AgentStats()
+
+    # -- query lifecycle -------------------------------------------------------
+
+    def install(
+        self,
+        spec: HostQueryObject,
+        activates_at: Optional[float] = None,
+        expires_at: Optional[float] = None,
+    ) -> None:
+        """Arm one host query object on this agent.
+
+        *expires_at* defaults to "never" only for callers that manage
+        lifecycle themselves (the query server always passes the span
+        deadline).
+        """
+        if (
+            self.max_queries is not None
+            and spec.query_id not in self._queries
+            and len(self._queries) >= self.max_queries
+        ):
+            raise RuntimeError(
+                f"host {self.host}: query limit reached "
+                f"({self.max_queries} concurrent); not installing {spec.query_id}"
+            )
+        if spec.event_type not in self.registry:
+            raise KeyError(
+                f"host {self.host}: cannot install query {spec.query_id} — "
+                f"event type {spec.event_type!r} not registered here"
+            )
+        schema = self.registry.get(spec.event_type)
+        keep_all = set(spec.projection) >= set(schema.field_names)
+        installed = _InstalledQuery(
+            spec,
+            keep_all_fields=keep_all,
+            activates_at=activates_at if activates_at is not None else -math.inf,
+            expires_at=expires_at if expires_at is not None else math.inf,
+        )
+        self._queries.setdefault(spec.query_id, []).append(installed)
+        self._by_type.setdefault(spec.event_type, []).append(installed)
+
+    def uninstall(self, query_id: str) -> bool:
+        """Remove every host query object for *query_id*; flushes first so
+        buffered events — and the seen/drop counters the estimator needs —
+        are not orphaned.  Returns False if unknown."""
+        if query_id not in self._queries:
+            return False
+        for iq in self._queries[query_id]:
+            iq.expires_at = min(iq.expires_at, self.clock())
+        self.flush()
+        installed = self._queries.pop(query_id, None)
+        if installed is None:
+            # The flush expired the query and already cleaned up.
+            return True
+        for iq in installed:
+            per_type = self._by_type.get(iq.spec.event_type, [])
+            if iq in per_type:
+                per_type.remove(iq)
+            if not per_type:
+                self._by_type.pop(iq.spec.event_type, None)
+        return True
+
+    @property
+    def active_query_ids(self) -> tuple[str, ...]:
+        return tuple(self._queries)
+
+    def query_stats(self, query_id: str) -> QueryStats:
+        """Aggregated stats across this query's per-type objects."""
+        installed = self._queries.get(query_id)
+        if not installed:
+            raise KeyError(f"query {query_id} not installed on {self.host}")
+        total = QueryStats()
+        for iq in installed:
+            total.seen += iq.stats.seen
+            total.shipped += iq.stats.shipped
+            total.dropped += iq.stats.dropped
+        return total
+
+    # -- the hot path ------------------------------------------------------------
+
+    def log(
+        self,
+        event_type: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        request_id: int,
+        timestamp: Optional[float] = None,
+        **fields: Any,
+    ) -> int:
+        """Record an application event; returns how many queries consumed it.
+
+        With no active query on *event_type* this returns after one dict
+        lookup — the fast path whose cost the overhead experiments
+        measure.  Field values may be given as a mapping, as keyword
+        arguments, or both (kwargs win).
+        """
+        stats = self.stats
+        stats.events_logged += 1
+        watchers = self._by_type.get(event_type)
+        if not watchers:
+            return 0
+        stats.events_examined += 1
+
+        now = timestamp if timestamp is not None else self.clock()
+        if payload is None:
+            data: Mapping[str, Any] = fields
+        elif fields:
+            data = {**payload, **fields}
+        else:
+            data = payload
+        if self.validate_payloads:
+            event = Event.checked(
+                self.registry.get(event_type), data, request_id, now, self.host
+            )
+        else:
+            event = Event(event_type, dict(data), request_id, now, self.host)
+
+        matched = 0
+        stats.events_checked += len(watchers)
+        for iq in watchers:
+            if not (iq.activates_at <= now < iq.expires_at):
+                continue
+            if not iq.predicate(event):
+                continue
+            matched += 1
+            stats.events_matched += 1
+            iq.stats.seen += 1
+            window = int(now // iq.window_seconds)
+            key = (event_type, window)
+            iq.seen_by_window[key] = iq.seen_by_window.get(key, 0) + 1
+            if iq.group_fns is not None:
+                iq.preaggregate(event, window)
+                stats.events_preaggregated += 1
+                continue
+            if not iq.sampler.keep(request_id):
+                continue
+            out = event if iq.project_fields is None else event.project(iq.project_fields)
+            if self._buffer.offer((iq, out)):
+                iq.stats.shipped += 1
+                stats.events_shipped += 1
+            else:
+                iq.stats.dropped += 1
+                iq.pending_dropped += 1
+                stats.events_dropped += 1
+        if len(self._buffer) >= self._flush_batch_size:
+            self.flush(now)
+        return matched
+
+    def log_object(self, obj: Any, *, request_id: int, timestamp: Optional[float] = None) -> int:
+        """``log()`` for instances of ``@scrub_type`` classes (paper Fig. 1)."""
+        schema = schema_of(obj)
+        return self.log(
+            schema.name, obj.payload(), request_id=request_id, timestamp=timestamp
+        )
+
+    # -- flushing ------------------------------------------------------------------
+
+    def flush(self, now: Optional[float] = None) -> int:
+        """Drain the buffer into per-query batches and hand them to the
+        transport.  Also emits empty 'heartbeat' batches for queries with
+        pending seen/drop counters so the central estimator learns M_i
+        even when sampling shipped nothing.  Returns batches sent."""
+        if now is None:
+            now = self.clock()
+        drained = self._buffer.drain()
+        by_query: dict[str, list[Event]] = {}
+        for iq, event in drained:
+            by_query.setdefault(iq.spec.query_id, []).append(event)
+
+        sent = 0
+        for query_id, installed in list(self._queries.items()):
+            events = by_query.pop(query_id, [])
+            seen: dict[tuple[str, int], int] = {}
+            dropped = 0
+            partials: list[PartialAggregate] = []
+            for iq in installed:
+                if iq.seen_by_window:
+                    for key, count in iq.seen_by_window.items():
+                        seen[key] = seen.get(key, 0) + count
+                    iq.seen_by_window = {}
+                dropped += iq.pending_dropped
+                iq.pending_dropped = 0
+                if iq.partial_groups:
+                    # Ship completed windows; the current window keeps
+                    # accumulating unless the query span has ended.
+                    cutoff = (
+                        math.inf
+                        if now >= iq.expires_at
+                        else int(now // iq.window_seconds)
+                    )
+                    partials.extend(iq.drain_partials(cutoff))
+            if not events and not seen and not dropped and not partials:
+                continue
+            batch = EventBatch(
+                host=self.host,
+                query_id=query_id,
+                events=events,
+                seen_counts=seen,
+                dropped=dropped,
+                sent_at=now,
+                partials=partials,
+            )
+            self.stats.batches_flushed += 1
+            self.stats.bytes_shipped += batch.wire_size()
+            self.transport.send(batch)
+            sent += 1
+        # Events for queries uninstalled between buffering and draining.
+        for query_id, events in by_query.items():
+            batch = EventBatch(
+                host=self.host, query_id=query_id, events=events, sent_at=now
+            )
+            self.stats.batches_flushed += 1
+            self.stats.bytes_shipped += batch.wire_size()
+            self.transport.send(batch)
+            sent += 1
+        self._expire(now)
+        return sent
+
+    def _expire(self, now: float) -> None:
+        expired = [
+            query_id
+            for query_id, installed in self._queries.items()
+            if all(iq.expires_at <= now for iq in installed)
+        ]
+        for query_id in expired:
+            installed = self._queries.pop(query_id)
+            for iq in installed:
+                per_type = self._by_type.get(iq.spec.event_type, [])
+                if iq in per_type:
+                    per_type.remove(iq)
+                if not per_type:
+                    self._by_type.pop(iq.spec.event_type, None)
+
+    @property
+    def preagg_state_count(self) -> int:
+        """Aggregate group states held for AGGREGATE ON HOSTS queries."""
+        return sum(
+            iq.partial_state_count
+            for installed in self._queries.values()
+            for iq in installed
+        )
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def buffer_dropped(self) -> int:
+        return self._buffer.dropped

@@ -1,0 +1,67 @@
+"""Deterministic per-event sampling on the host.
+
+Event sampling (paper Section 3.2) reduces host load when a query
+touches many events.  The sampler here is *deterministic in the request
+identifier*: whether an event is kept for query Q depends only on
+``hash(query_id, request_id)``.  Two properties follow:
+
+* **join coherence** — for a join query, the bid/auction/impression
+  events of one request are all kept or all dropped together, so
+  sampling never breaks up join pairs;
+* **no per-event RNG state** — the decision is a hash and a compare,
+  keeping the hot path cheap and the choice reproducible across runs.
+
+Uniformity comes from a splitmix64 finalizer, which is a strong enough
+mixer that consecutive request ids map to effectively independent
+uniform draws.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EventSampler", "uniform_from_hash"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def uniform_from_hash(seed: int, value: int) -> float:
+    """A deterministic uniform draw in [0, 1) from (seed, value)."""
+    mixed = _splitmix64((seed ^ _splitmix64(value & _MASK64)) & _MASK64)
+    return mixed / float(1 << 64)
+
+
+class EventSampler:
+    """Keeps a fraction ``rate`` of events, keyed by request identifier."""
+
+    __slots__ = ("_rate", "_seed", "_always", "_threshold")
+
+    def __init__(self, rate: float, query_id: str) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"sampling rate must be in (0, 1], got {rate}")
+        self._rate = rate
+        self._always = rate >= 1.0
+        # Stable across processes: derive the seed from the query id text.
+        seed = 0
+        for ch in query_id:
+            seed = (seed * 131 + ord(ch)) & _MASK64
+        self._seed = seed
+        # Integer threshold so the hot path is a mix + compare, with no
+        # float conversion: keep iff mix(seed, rid) < rate * 2^64.
+        self._threshold = int(rate * float(1 << 64))
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def keep(self, request_id: int) -> bool:
+        """Decide whether the event for *request_id* is sampled in."""
+        if self._always:
+            return True
+        mixed = _splitmix64((self._seed ^ _splitmix64(request_id & _MASK64)) & _MASK64)
+        return mixed < self._threshold

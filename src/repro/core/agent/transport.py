@@ -1,0 +1,117 @@
+"""Host → ScrubCentral transport abstraction.
+
+In production Scrub ships events over a messaging substrate; here the
+transport is a small interface with two implementations:
+
+* :class:`DirectTransport` — hands batches straight to a sink callable
+  (ScrubCentral's ``ingest``); used for in-process runs and tests.
+* :class:`RecordingTransport` — retains batches for inspection.
+
+The simulated cluster provides a third implementation that charges
+network latency/bandwidth before delivery (``repro.cluster.runtime``).
+Batches carry, besides the sampled events, the per-window matched-event
+counters (M_i) and drop counts the central estimator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from ..events import Event
+from ..events.encoding import encode_batch
+
+__all__ = [
+    "DirectTransport",
+    "EventBatch",
+    "PartialAggregate",
+    "RecordingTransport",
+    "Transport",
+]
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """One host's pre-aggregated contribution to one (window, group).
+
+    ``values`` holds one plain-value partial per aggregate call, in the
+    planner's ``unique_aggregates`` order.  Only produced by queries in
+    the opt-in AGGREGATE ON HOSTS mode.
+    """
+
+    event_type: str
+    window: int
+    group_key: tuple
+    values: tuple
+
+
+@dataclass
+class EventBatch:
+    """One flush from one host for one query."""
+
+    host: str
+    query_id: str
+    events: list[Event]
+    #: (event_type, window_index) -> events that matched selection on this
+    #: host since the previous flush (the estimator's M_i, per window).
+    seen_counts: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: Events dropped on the host since the previous flush (buffer full).
+    dropped: int = 0
+    sent_at: float = 0.0
+    #: Pre-aggregated partials (AGGREGATE ON HOSTS mode only).
+    partials: list["PartialAggregate"] = field(default_factory=list)
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes — what the host actually ships."""
+        size = len(encode_batch(self.events)) + 16 * len(self.seen_counts) + 32
+        for partial in self.partials:
+            size += 16  # window + framing
+            size += sum(8 + _sizeof(part) for part in partial.group_key)
+            size += sum(8 + _sizeof(v) for v in partial.values)
+        return size
+
+
+def _sizeof(value) -> int:
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (tuple, list)):
+        return sum(8 + _sizeof(v) for v in value)
+    return 8
+
+
+class Transport(Protocol):
+    """Anything that can deliver an :class:`EventBatch` to ScrubCentral."""
+
+    def send(self, batch: EventBatch) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class DirectTransport:
+    """Synchronous delivery to a sink callable (no simulated network)."""
+
+    def __init__(self, sink: Callable[[EventBatch], None]) -> None:
+        self._sink = sink
+        self.batches_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, batch: EventBatch) -> None:
+        self.batches_sent += 1
+        self.bytes_sent += batch.wire_size()
+        self._sink(batch)
+
+
+class RecordingTransport:
+    """Keeps every batch for later assertions (tests, examples)."""
+
+    def __init__(self) -> None:
+        self.batches: list[EventBatch] = []
+
+    def send(self, batch: EventBatch) -> None:
+        self.batches.append(batch)
+
+    @property
+    def events(self) -> list[Event]:
+        return [event for batch in self.batches for event in batch.events]
+
+    def clear(self) -> None:
+        self.batches.clear()

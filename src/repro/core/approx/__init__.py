@@ -1,0 +1,22 @@
+"""Probabilistic machinery: Space-Saving TOP-K, HyperLogLog, sampling theory."""
+
+from .hyperloglog import HyperLogLog
+from .sampling_theory import (
+    ApproxEstimate,
+    MachineSample,
+    estimate_avg,
+    estimate_count,
+    estimate_sum,
+)
+from .spacesaving import SpaceSaving, TopItem
+
+__all__ = [
+    "ApproxEstimate",
+    "HyperLogLog",
+    "MachineSample",
+    "SpaceSaving",
+    "TopItem",
+    "estimate_avg",
+    "estimate_count",
+    "estimate_sum",
+]

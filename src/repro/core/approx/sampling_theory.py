@@ -1,0 +1,261 @@
+"""Multi-stage sampling estimators and error bounds (paper Eqs. 1–3).
+
+Scrub samples at two levels — machines, and events within each chosen
+machine — and, like ApproxHadoop, derives error bounds from two-stage
+cluster-sampling theory.  For an approximate SUM it randomly selects
+``n`` of ``N`` machines and ``m_i`` of ``M_i`` events at machine ``i``:
+
+    τ̂ = (N/n) · Σ_i ( (M_i/m_i) · Σ_j v_ij )                    (Eq. 1)
+    ε = t_{n-1, 1-α/2} · sqrt(V̂ar(τ̂))                           (Eq. 2)
+    V̂ar(τ̂) = N(N-n)·s_u²/n + (N/n)·Σ_i M_i(M_i-m_i)·s_i²/m_i    (Eq. 3)
+
+where ``s_i²`` is the sample variance of readings at machine ``i`` and
+``s_u²`` the sample variance of the per-machine estimated totals
+``τ̂_i = (M_i/m_i)·Σ_j v_ij``.  The first variance term captures
+machine-stage sampling error (it vanishes when every machine is
+queried, n = N); the second captures event-stage error (it vanishes
+when every event is kept, m_i = M_i).
+
+The host agent reports, per flush, how many matching events it *saw*
+(``M_i``) alongside the sampled values it shipped, which is exactly the
+bookkeeping these estimators need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from scipy import stats as _stats
+
+__all__ = [
+    "MachineSample",
+    "ApproxEstimate",
+    "estimate_sum",
+    "estimate_count",
+    "estimate_avg",
+]
+
+
+@dataclass(frozen=True)
+class MachineSample:
+    """Per-machine sampling summary for one window.
+
+    ``machine_total`` is M_i — how many events matched the query's
+    selection on the machine; ``count`` is m_i — how many of those were
+    actually sampled/shipped; ``total``/``sum_sq`` summarise the shipped
+    values so the variance s_i² can be computed without retaining them.
+    """
+
+    machine_total: int
+    count: int
+    total: float
+    sum_sq: float
+
+    def __post_init__(self) -> None:
+        if self.machine_total < 0:
+            raise ValueError("machine_total must be non-negative")
+        if not 0 <= self.count <= max(self.machine_total, self.count):
+            raise ValueError("sample count must be non-negative")
+        if self.count > self.machine_total:
+            raise ValueError(
+                f"sampled {self.count} events but machine only saw {self.machine_total}"
+            )
+
+    @classmethod
+    def from_values(cls, machine_total: int, values: Sequence[float]) -> "MachineSample":
+        values = [float(v) for v in values]
+        return cls(
+            machine_total=machine_total,
+            count=len(values),
+            total=sum(values),
+            sum_sq=sum(v * v for v in values),
+        )
+
+    @property
+    def estimated_total(self) -> float:
+        """τ̂_i = (M_i / m_i) · Σ_j v_ij; 0 when nothing was sampled."""
+        if self.count == 0:
+            return 0.0
+        return (self.machine_total / self.count) * self.total
+
+    @property
+    def value_variance(self) -> float:
+        """Sample variance s_i² of the shipped readings (0 if m_i < 2)."""
+        m = self.count
+        if m < 2:
+            return 0.0
+        mean = self.total / m
+        # Numerically-guarded n-1 variance from the running sums.
+        var = (self.sum_sq - m * mean * mean) / (m - 1)
+        return max(var, 0.0)
+
+
+@dataclass(frozen=True)
+class ApproxEstimate:
+    """An approximate aggregate with its confidence interval."""
+
+    estimate: float
+    error_bound: float  # ε: half-width of the CI; inf when n < 2
+    confidence: float
+    variance: float
+    sampled_machines: int
+    total_machines: int
+
+    @property
+    def low(self) -> float:
+        return self.estimate - self.error_bound
+
+    @property
+    def high(self) -> float:
+        return self.estimate + self.error_bound
+
+    @property
+    def relative_error(self) -> float:
+        """ε / estimate; inf for a zero estimate with non-zero bound."""
+        if self.estimate == 0:
+            return 0.0 if self.error_bound == 0 else math.inf
+        return abs(self.error_bound / self.estimate)
+
+    def __str__(self) -> str:
+        pct = self.confidence * 100
+        return f"{self.estimate:.6g} ± {self.error_bound:.6g} ({pct:.0f}% CI)"
+
+
+def estimate_sum(
+    samples: Iterable[MachineSample],
+    total_machines: int,
+    confidence: float = 0.95,
+) -> ApproxEstimate:
+    """Approximate SUM with its error bound (paper Eqs. 1–3)."""
+    samples = list(samples)
+    n = len(samples)
+    big_n = total_machines
+    if big_n < n:
+        raise ValueError(f"total_machines ({big_n}) < sampled machines ({n})")
+    if n == 0:
+        return ApproxEstimate(0.0, math.inf, confidence, math.inf, 0, big_n)
+
+    machine_estimates = [s.estimated_total for s in samples]
+    tau_hat = (big_n / n) * sum(machine_estimates)
+
+    # Machine-stage variance term: N(N-n) s_u² / n.
+    if n >= 2:
+        mean_u = sum(machine_estimates) / n
+        s_u_sq = sum((u - mean_u) ** 2 for u in machine_estimates) / (n - 1)
+    else:
+        s_u_sq = 0.0
+    machine_term = big_n * (big_n - n) * s_u_sq / n
+
+    # Event-stage variance term: (N/n) Σ M_i (M_i - m_i) s_i² / m_i.
+    event_term = 0.0
+    for s in samples:
+        if s.count > 0:
+            event_term += s.machine_total * (s.machine_total - s.count) * (
+                s.value_variance / s.count
+            )
+    event_term *= big_n / n
+
+    variance = machine_term + event_term
+
+    if n >= 2:
+        t_quantile = float(_stats.t.ppf(1.0 - (1.0 - confidence) / 2.0, df=n - 1))
+        epsilon = t_quantile * math.sqrt(max(variance, 0.0))
+    elif big_n == 1 and samples[0].count == samples[0].machine_total:
+        # Exhaustive single-machine reading: exact.
+        epsilon = 0.0
+    else:
+        epsilon = math.inf
+    if big_n == n and all(s.count == s.machine_total for s in samples):
+        # No sampling anywhere: the estimate is exact.
+        epsilon = 0.0
+        variance = 0.0
+    return ApproxEstimate(tau_hat, epsilon, confidence, variance, n, big_n)
+
+
+def estimate_count(
+    machine_match_counts: Iterable[int],
+    total_machines: int,
+    confidence: float = 0.95,
+    event_sampling_rate: float = 1.0,
+) -> ApproxEstimate:
+    """Approximate COUNT over sampled machines.
+
+    COUNT is the SUM of v_ij = 1 over matching events, and the agent
+    counts *every* matching event it sees (counting is cheap; only
+    shipping is sampled), so there is no event-stage error: each
+    machine's contribution M_i is known exactly and only the machine
+    stage contributes variance.  When the caller only knows the shipped
+    counts (it did not receive per-machine totals), pass the event
+    sampling rate to scale up — the event-stage error is then folded
+    into the machine-stage term because scaled per-machine counts vary.
+    """
+    totals = [c / event_sampling_rate for c in machine_match_counts]
+    samples = [
+        MachineSample(machine_total=math.ceil(t), count=0, total=0.0, sum_sq=0.0)
+        for t in totals
+    ]
+    # Reuse the SUM machinery with exact per-machine totals.
+    n = len(samples)
+    big_n = total_machines
+    if big_n < n:
+        raise ValueError(f"total_machines ({big_n}) < sampled machines ({n})")
+    if n == 0:
+        return ApproxEstimate(0.0, math.inf, confidence, math.inf, 0, big_n)
+    tau_hat = (big_n / n) * sum(totals)
+    if n >= 2:
+        mean_u = sum(totals) / n
+        s_u_sq = sum((u - mean_u) ** 2 for u in totals) / (n - 1)
+    else:
+        s_u_sq = 0.0
+    variance = big_n * (big_n - n) * s_u_sq / n
+    if n >= 2:
+        t_quantile = float(_stats.t.ppf(1.0 - (1.0 - confidence) / 2.0, df=n - 1))
+        epsilon = t_quantile * math.sqrt(max(variance, 0.0))
+    else:
+        epsilon = 0.0 if (big_n == n and event_sampling_rate == 1.0) else math.inf
+    if big_n == n and event_sampling_rate == 1.0:
+        epsilon = 0.0
+        variance = 0.0
+    return ApproxEstimate(tau_hat, epsilon, confidence, variance, n, big_n)
+
+
+def estimate_avg(
+    sum_estimate: ApproxEstimate, count_estimate: ApproxEstimate
+) -> ApproxEstimate:
+    """Ratio estimator for AVG = SUM/COUNT.
+
+    The error bound uses first-order (delta-method) propagation,
+    treating the two estimates as independent — adequate for the
+    troubleshooting accuracy Scrub targets (Section 2 explicitly trades
+    accuracy for host impact).
+    """
+    if count_estimate.estimate == 0:
+        return ApproxEstimate(
+            0.0,
+            math.inf,
+            sum_estimate.confidence,
+            math.inf,
+            sum_estimate.sampled_machines,
+            sum_estimate.total_machines,
+        )
+    ratio = sum_estimate.estimate / count_estimate.estimate
+    rel_sq = 0.0
+    if sum_estimate.estimate != 0 and math.isfinite(sum_estimate.error_bound):
+        rel_sq += (sum_estimate.error_bound / sum_estimate.estimate) ** 2
+    elif not math.isfinite(sum_estimate.error_bound):
+        rel_sq = math.inf
+    if math.isfinite(count_estimate.error_bound):
+        rel_sq += (count_estimate.error_bound / count_estimate.estimate) ** 2
+    else:
+        rel_sq = math.inf
+    epsilon = abs(ratio) * math.sqrt(rel_sq) if math.isfinite(rel_sq) else math.inf
+    return ApproxEstimate(
+        ratio,
+        epsilon,
+        sum_estimate.confidence,
+        epsilon ** 2,
+        sum_estimate.sampled_machines,
+        sum_estimate.total_machines,
+    )

@@ -1,0 +1,231 @@
+"""Space-Saving stream summary for TOP-K queries.
+
+Scrub's ``TOP-K`` aggregate uses the Space-Saving algorithm (Metwally,
+Agrawal, El Abbadi — "Efficient Computation of Frequent and Top-k
+Elements in Data Streams", ICDT 2005), cited as [36] in the paper.
+
+The summary keeps at most ``capacity`` counters.  When a new item
+arrives and the summary is full, the item replaces the counter with the
+minimum count and inherits that count plus one; the displaced count is
+remembered as the new counter's maximum possible *error*.  Guarantees:
+
+* every item with true frequency > N/capacity is present;
+* for each monitored item, ``count - error <= true count <= count``.
+
+Counter bookkeeping uses the "stream summary" bucket structure from the
+paper, giving O(1) amortised updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+__all__ = ["SpaceSaving", "TopItem"]
+
+
+@dataclass(frozen=True)
+class TopItem:
+    """One reported heavy hitter: estimated count and max overestimation."""
+
+    item: Hashable
+    count: int
+    error: int
+
+    @property
+    def guaranteed_count(self) -> int:
+        """Lower bound on the item's true frequency."""
+        return self.count - self.error
+
+
+class _Counter:
+    __slots__ = ("item", "count", "error", "bucket", "prev", "next")
+
+    def __init__(self, item: Hashable) -> None:
+        self.item = item
+        self.count = 0
+        self.error = 0
+        self.bucket: "_Bucket | None" = None
+        self.prev: "_Counter | None" = None
+        self.next: "_Counter | None" = None
+
+
+class _Bucket:
+    """All counters sharing one count value, as a doubly linked list."""
+
+    __slots__ = ("value", "head", "prev", "next")
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.head: _Counter | None = None
+        self.prev: "_Bucket | None" = None
+        self.next: "_Bucket | None" = None
+
+    @property
+    def empty(self) -> bool:
+        return self.head is None
+
+
+class SpaceSaving:
+    """Space-Saving summary over a stream of hashable items."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._counters: dict[Hashable, _Counter] = {}
+        self._min_bucket: _Bucket | None = None  # ascending linked bucket list
+        self._total = 0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total(self) -> int:
+        """Number of items offered so far."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def offer(self, item: Hashable, count: int = 1) -> None:
+        """Record *count* occurrences of *item*."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._total += count
+        counter = self._counters.get(item)
+        if counter is not None:
+            self._increment(counter, count)
+            return
+        if len(self._counters) < self._capacity:
+            counter = _Counter(item)
+            self._counters[item] = counter
+            self._attach(counter, 0)
+            self._increment(counter, count)
+            return
+        # Evict the minimum counter; the newcomer inherits its count as error.
+        victim = self._min_bucket.head  # type: ignore[union-attr]
+        assert victim is not None
+        del self._counters[victim.item]
+        victim_error = victim.count
+        victim.item = item
+        victim.error = victim_error
+        self._counters[item] = victim
+        self._increment(victim, count)
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.offer(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Estimated count (upper bound on true count); 0 if unmonitored."""
+        counter = self._counters.get(item)
+        return counter.count if counter is not None else 0
+
+    def top(self, k: int) -> list[TopItem]:
+        """The k monitored items with the highest estimated counts."""
+        if k <= 0:
+            return []
+        items = sorted(
+            (TopItem(c.item, c.count, c.error) for c in self._counters.values()),
+            key=lambda t: (-t.count, t.error),
+        )
+        return items[:k]
+
+    def guaranteed_top(self, k: int) -> list[TopItem]:
+        """The subset of :meth:`top` whose order is provably correct.
+
+        Item i is guaranteed to be in the true top-k when its guaranteed
+        count is at least the (k+1)-th estimated count.
+        """
+        ranked = sorted(
+            (TopItem(c.item, c.count, c.error) for c in self._counters.values()),
+            key=lambda t: (-t.count, t.error),
+        )
+        if len(ranked) <= k:
+            return ranked
+        threshold = ranked[k].count
+        return [t for t in ranked[:k] if t.guaranteed_count >= threshold]
+
+    def merge(self, other: "SpaceSaving") -> None:
+        """Merge another summary into this one (used when ScrubCentral
+        combines per-window partial sketches).  The merged summary keeps
+        the Space-Saving error semantics: counts are upper bounds."""
+        for counter in list(other._counters.values()):
+            existing = self._counters.get(counter.item)
+            if existing is not None:
+                existing.error += counter.error
+                self._increment(existing, counter.count)
+                self._total += counter.count
+            else:
+                # offer() would add error only on eviction; replicate the
+                # incoming error explicitly.
+                self.offer(counter.item, counter.count)
+                merged = self._counters.get(counter.item)
+                if merged is not None:
+                    merged.error += counter.error
+
+    # -- bucket list maintenance ------------------------------------------------
+
+    def _attach(self, counter: _Counter, value: int) -> None:
+        """Place *counter* into the bucket for *value*, creating it if needed.
+
+        Buckets form an ascending doubly linked list starting at
+        ``_min_bucket``.
+        """
+        bucket = self._find_or_create_bucket(value)
+        counter.bucket = bucket
+        counter.prev = None
+        counter.next = bucket.head
+        if bucket.head is not None:
+            bucket.head.prev = counter
+        bucket.head = counter
+
+    def _detach(self, counter: _Counter) -> None:
+        bucket = counter.bucket
+        assert bucket is not None
+        if counter.prev is not None:
+            counter.prev.next = counter.next
+        else:
+            bucket.head = counter.next
+        if counter.next is not None:
+            counter.next.prev = counter.prev
+        counter.prev = counter.next = None
+        counter.bucket = None
+        if bucket.empty:
+            self._remove_bucket(bucket)
+
+    def _find_or_create_bucket(self, value: int) -> _Bucket:
+        prev: _Bucket | None = None
+        node = self._min_bucket
+        while node is not None and node.value < value:
+            prev = node
+            node = node.next
+        if node is not None and node.value == value:
+            return node
+        bucket = _Bucket(value)
+        bucket.prev = prev
+        bucket.next = node
+        if prev is not None:
+            prev.next = bucket
+        else:
+            self._min_bucket = bucket
+        if node is not None:
+            node.prev = bucket
+        return bucket
+
+    def _remove_bucket(self, bucket: _Bucket) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._min_bucket = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+
+    def _increment(self, counter: _Counter, count: int) -> None:
+        self._detach(counter)
+        counter.count += count
+        self._attach(counter, counter.count)

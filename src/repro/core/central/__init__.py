@@ -1,0 +1,33 @@
+"""ScrubCentral: windows, equi-join, group-by, aggregates, engine, results."""
+
+from .aggregates import AggregateState, make_state
+from .engine import DEFAULT_GRACE_SECONDS, CentralEngine, CentralStats
+from .groupby import GroupByProcessor, WindowGroups, make_field_getter
+from .join import JoinBuffer, JoinedRow
+from .results import ResultRow, ResultSet, WindowResult
+from .window import (
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowAssigner,
+    WindowTracker,
+)
+
+__all__ = [
+    "AggregateState",
+    "CentralEngine",
+    "CentralStats",
+    "DEFAULT_GRACE_SECONDS",
+    "GroupByProcessor",
+    "JoinBuffer",
+    "JoinedRow",
+    "ResultRow",
+    "ResultSet",
+    "SlidingWindowAssigner",
+    "TumblingWindowAssigner",
+    "WindowAssigner",
+    "WindowGroups",
+    "WindowResult",
+    "WindowTracker",
+    "make_field_getter",
+    "make_state",
+]

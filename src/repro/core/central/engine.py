@@ -1,0 +1,400 @@
+"""ScrubCentral: the dedicated centralized query execution facility.
+
+All join, group-by and aggregation activity happens here, not on the
+application hosts (paper Section 4).  The engine receives
+:class:`~repro.core.agent.transport.EventBatch` objects from host
+agents, assigns events to tumbling windows, joins on the request id,
+groups, aggregates, and emits a :class:`WindowResult` when a window
+closes.
+
+Sampling estimation: for *global* aggregates (no GROUP BY) over a
+single event type, the engine applies the multi-stage sampling
+estimator of paper Eqs. 1–3, using the per-host per-window matched
+counts (M_i) the agents report and the per-host value summaries it
+accumulates during ingest.  Grouped aggregates are scaled by the
+Horvitz–Thompson factor (hosts-planned / hosts-targeted) / event-rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..approx.sampling_theory import (
+    ApproxEstimate,
+    MachineSample,
+    estimate_avg,
+    estimate_count,
+    estimate_sum,
+)
+from ..agent.transport import EventBatch
+from ..query.ast import AggregateCall
+from ..query.errors import QueryNotFoundError, ScrubExecutionError
+from ..query.planner import CentralQueryObject
+from .groupby import GroupByProcessor, WindowGroups
+from .join import JoinBuffer
+from .results import ResultRow, ResultSet, WindowResult
+from .aggregates import make_state
+from .window import SlidingWindowAssigner, TumblingWindowAssigner, WindowTracker
+
+__all__ = ["CentralEngine", "CentralStats", "DEFAULT_GRACE_SECONDS"]
+
+#: How long past a window's end the engine waits before closing it, to
+#: absorb host flush delays.  Tuned to the agents' flush cadence.
+DEFAULT_GRACE_SECONDS = 2.0
+
+
+@dataclass
+class CentralStats:
+    """Whole-engine accounting (feeds the throughput experiments)."""
+
+    batches_received: int = 0
+    events_received: int = 0
+    events_late: int = 0
+    bytes_received: int = 0
+    windows_emitted: int = 0
+    rows_emitted: int = 0
+
+
+@dataclass
+class _HostWindowAcc:
+    """Per (host, window) accumulation for the sampling estimator."""
+
+    seen: int = 0  # M_i: matched events the host saw for this window
+    # Parallel to the query's aggregate list: per-aggregate shipped-value
+    # summaries (m_i, Σv, Σv²) — only filled for estimable aggregates.
+    counts: list[int] = field(default_factory=list)
+    totals: list[float] = field(default_factory=list)
+    sum_sqs: list[float] = field(default_factory=list)
+
+
+class _RunningQuery:
+    """Per-query state inside the engine."""
+
+    def __init__(
+        self,
+        spec: CentralQueryObject,
+        planned_hosts: int,
+        targeted_hosts: int,
+        grace_seconds: float,
+    ) -> None:
+        self.spec = spec
+        self.processor = GroupByProcessor(spec)
+        if spec.slide_seconds is not None:
+            assigner = SlidingWindowAssigner(
+                spec.window_seconds, slide=spec.slide_seconds
+            )
+        else:
+            assigner = TumblingWindowAssigner(spec.window_seconds)
+        self.tracker = WindowTracker(assigner, grace_seconds)
+        self.windows: dict[int, WindowGroups] = {}
+        self.join_buffers: dict[int, JoinBuffer] = {}
+        self.planned_hosts = planned_hosts
+        self.targeted_hosts = targeted_hosts
+        self.results = ResultSet(spec.query_id, spec.column_names)
+        self.dropped_by_window: dict[int, int] = {}
+        self.hosts_by_window: dict[int, set[str]] = {}
+        self.late_since_close = 0
+        # Estimation applies to global aggregates over one source under
+        # sampling; joins and grouped queries fall back to HT scaling.
+        # A residual predicate would make the host-reported M_i counts
+        # overcount the centrally-matched population, so estimation also
+        # requires that all selection ran on the hosts.
+        self.estimable = (
+            spec.sampling.is_sampled
+            and not spec.group_by
+            and len(spec.sources) == 1
+            and spec.residual_predicate is None
+            and spec.slide_seconds is None
+            and not spec.host_aggregated
+            and self.processor.is_aggregating
+        )
+        self.host_acc: dict[int, dict[str, _HostWindowAcc]] = {}
+        self.estimable_aggs: tuple[int, ...] = ()
+        if self.estimable:
+            self.estimable_aggs = tuple(
+                i
+                for i, agg in enumerate(self.processor.agg_calls)
+                if agg.func in ("COUNT", "SUM", "AVG")
+            )
+
+    @property
+    def scale_factor(self) -> float:
+        host_scale = (
+            self.planned_hosts / self.targeted_hosts if self.targeted_hosts else 1.0
+        )
+        return host_scale / self.spec.sampling.event_rate
+
+    def host_window_acc(self, window: int, host: str) -> _HostWindowAcc:
+        per_host = self.host_acc.setdefault(window, {})
+        acc = per_host.get(host)
+        if acc is None:
+            acc = _HostWindowAcc(
+                counts=[0] * len(self.processor.agg_calls),
+                totals=[0.0] * len(self.processor.agg_calls),
+                sum_sqs=[0.0] * len(self.processor.agg_calls),
+            )
+            per_host[host] = acc
+        return acc
+
+
+class CentralEngine:
+    """The ScrubCentral facility: register queries, ingest, advance time."""
+
+    def __init__(
+        self,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
+        on_window: Optional[Callable[[WindowResult], None]] = None,
+    ) -> None:
+        self._grace = grace_seconds
+        self._queries: dict[str, _RunningQuery] = {}
+        self._on_window = on_window
+        self.stats = CentralStats()
+
+    # -- query lifecycle -----------------------------------------------------
+
+    def register(
+        self,
+        spec: CentralQueryObject,
+        planned_hosts: int = 1,
+        targeted_hosts: int = 1,
+    ) -> None:
+        """Install the central query object for a new query.
+
+        *planned_hosts* is the host population the target expression
+        matched (N); *targeted_hosts* is how many were actually chosen
+        after host sampling (n).
+        """
+        if spec.query_id in self._queries:
+            raise ScrubExecutionError(f"query {spec.query_id} already registered")
+        if targeted_hosts > planned_hosts:
+            raise ScrubExecutionError(
+                f"targeted hosts ({targeted_hosts}) exceed planned ({planned_hosts})"
+            )
+        self._queries[spec.query_id] = _RunningQuery(
+            spec, planned_hosts, targeted_hosts, self._grace
+        )
+
+    def is_registered(self, query_id: str) -> bool:
+        return query_id in self._queries
+
+    def registered_queries(self) -> tuple[str, ...]:
+        return tuple(self._queries)
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, batch: EventBatch) -> None:
+        """Consume one host flush."""
+        rq = self._queries.get(batch.query_id)
+        if rq is None:
+            # The query ended while the batch was in flight; drop silently —
+            # this is the expected race, not an error.
+            return
+        stats = self.stats
+        stats.batches_received += 1
+        stats.events_received += len(batch.events)
+        stats.bytes_received += batch.wire_size()
+
+        # Per-window matched counts (M_i) from the agent.
+        for (_event_type, window), count in batch.seen_counts.items():
+            acc = rq.host_window_acc(window, batch.host)
+            acc.seen += count
+            rq.hosts_by_window.setdefault(window, set()).add(batch.host)
+
+        if batch.dropped:
+            open_windows = rq.tracker.open_windows
+            window = open_windows[-1] if open_windows else 0
+            rq.dropped_by_window[window] = (
+                rq.dropped_by_window.get(window, 0) + batch.dropped
+            )
+
+        for partial in batch.partials:
+            self._ingest_partial(rq, batch.host, partial)
+
+        is_join = rq.spec.is_join
+        for event in batch.events:
+            indices = rq.tracker.observe(event.timestamp)
+            if not indices:
+                stats.events_late += 1
+                rq.late_since_close += 1
+                continue
+            for window in indices:
+                rq.hosts_by_window.setdefault(window, set()).add(event.host)
+                if is_join:
+                    buffer = rq.join_buffers.get(window)
+                    if buffer is None:
+                        buffer = JoinBuffer(rq.spec.sources)
+                        rq.join_buffers[window] = buffer
+                    buffer.add(event)
+                else:
+                    state = rq.windows.get(window)
+                    if state is None:
+                        state = rq.processor.make_window_state()
+                        rq.windows[window] = state
+                    if state.process(event) and rq.estimable_aggs:
+                        self._accumulate_host_values(rq, window, event)
+
+    def _ingest_partial(self, rq: _RunningQuery, host: str, partial) -> None:
+        """Merge one host's pre-aggregated (window, group) contribution."""
+        start = rq.tracker.assigner.start_of(partial.window)
+        if not rq.tracker.observe(start):
+            self.stats.events_late += 1
+            rq.late_since_close += 1
+            return
+        rq.hosts_by_window.setdefault(partial.window, set()).add(host)
+        state = rq.windows.get(partial.window)
+        if state is None:
+            state = rq.processor.make_window_state()
+            rq.windows[partial.window] = state
+        states = state.groups.get(partial.group_key)
+        if states is None:
+            states = [make_state(agg) for agg in rq.processor.agg_calls]
+            state.groups[partial.group_key] = states
+        for aggregate_state, payload in zip(states, partial.values):
+            aggregate_state.merge_partial(payload)
+
+    def _accumulate_host_values(self, rq: _RunningQuery, window: int, event: Any) -> None:
+        acc = rq.host_window_acc(window, event.host)
+        arg_fns = rq.processor._agg_arg_fns
+        for i in rq.estimable_aggs:
+            agg = rq.processor.agg_calls[i]
+            if agg.func == "COUNT":
+                continue  # M_i alone estimates COUNT; no values needed
+            value = arg_fns[i](event)
+            if value is None:
+                continue
+            acc.counts[i] += 1
+            acc.totals[i] += value
+            acc.sum_sqs[i] += value * value
+
+    # -- window closing ------------------------------------------------------
+
+    def advance(self, now: float) -> list[WindowResult]:
+        """Close every window whose end + grace has passed; returns the
+        emitted results (also appended to each query's ResultSet)."""
+        emitted: list[WindowResult] = []
+        for rq in self._queries.values():
+            for window in rq.tracker.closable(now):
+                emitted.append(self._close_window(rq, window))
+        return emitted
+
+    def finish(self, query_id: str, drain: bool = True) -> ResultSet:
+        """End a query: close remaining windows, unregister, return results."""
+        rq = self._queries.pop(query_id, None)
+        if rq is None:
+            raise QueryNotFoundError(query_id)
+        if drain:
+            for window in rq.tracker.close_all():
+                self._close_window(rq, window)
+        return rq.results
+
+    def results_so_far(self, query_id: str) -> ResultSet:
+        rq = self._queries.get(query_id)
+        if rq is None:
+            raise QueryNotFoundError(query_id)
+        return rq.results
+
+    def _close_window(self, rq: _RunningQuery, window: int) -> WindowResult:
+        rq.tracker.close(window)
+        # Join queries defer all row processing to window close.
+        buffer = rq.join_buffers.pop(window, None)
+        state = rq.windows.pop(window, None)
+        if buffer is not None:
+            if state is None:
+                state = rq.processor.make_window_state()
+            for row in buffer.join():
+                state.process(row)
+        if state is None:
+            state = rq.processor.make_window_state()
+
+        estimates: dict[str, ApproxEstimate] = {}
+        overrides: dict[AggregateCall, Any] = {}
+        if rq.estimable:
+            estimates, overrides = self._estimate_window(rq, window)
+        rows = state.finalize(rq.scale_factor, overrides or None)
+
+        result = WindowResult(
+            query_id=rq.spec.query_id,
+            window_start=rq.tracker.assigner.start_of(window),
+            window_end=rq.tracker.assigner.end_of(window),
+            columns=rq.spec.column_names,
+            rows=rows,
+            estimates=estimates,
+            host_dropped=rq.dropped_by_window.pop(window, 0),
+            late_events=rq.late_since_close,
+            contributing_hosts=len(rq.hosts_by_window.pop(window, ())),
+        )
+        rq.late_since_close = 0
+        rq.host_acc.pop(window, None)
+        rq.results.add(result)
+        self.stats.windows_emitted += 1
+        self.stats.rows_emitted += len(result.rows)
+        if self._on_window is not None:
+            self._on_window(result)
+        return result
+
+    def _estimate_window(
+        self, rq: _RunningQuery, window: int
+    ) -> tuple[dict[str, ApproxEstimate], dict[AggregateCall, Any]]:
+        """Multi-stage sampling estimates for a global aggregate window."""
+        per_host = rq.host_acc.get(window, {})
+        n = rq.targeted_hosts
+        big_n = rq.planned_hosts
+        # Hosts that reported nothing still count as sampled machines with
+        # M_i = 0 — omitting them would bias every estimate upward.
+        silent_hosts = max(n - len(per_host), 0)
+
+        estimates: dict[str, ApproxEstimate] = {}
+        overrides: dict[AggregateCall, Any] = {}
+        count_estimate: Optional[ApproxEstimate] = None
+
+        match_counts = [acc.seen for acc in per_host.values()] + [0] * silent_hosts
+        # COUNT first: AVG's ratio estimator reuses it.
+        for i in rq.estimable_aggs:
+            agg = rq.processor.agg_calls[i]
+            if agg.func == "COUNT" or agg.func == "AVG":
+                if count_estimate is None:
+                    count_estimate = estimate_count(match_counts, big_n)
+        for i in rq.estimable_aggs:
+            agg = rq.processor.agg_calls[i]
+            column = self._column_for_agg(rq, agg)
+            if agg.func == "COUNT":
+                assert count_estimate is not None
+                estimates[column] = count_estimate
+                overrides[agg] = count_estimate.estimate
+            elif agg.func in ("SUM", "AVG"):
+                samples = [
+                    MachineSample(
+                        machine_total=acc.seen,
+                        count=acc.counts[i],
+                        total=acc.totals[i],
+                        sum_sq=acc.sum_sqs[i],
+                    )
+                    for acc in per_host.values()
+                ] + [MachineSample(0, 0, 0.0, 0.0)] * silent_hosts
+                sum_estimate = estimate_sum(samples, big_n)
+                if agg.func == "SUM":
+                    estimates[column] = sum_estimate
+                    overrides[agg] = sum_estimate.estimate
+                else:
+                    assert count_estimate is not None
+                    avg_estimate = estimate_avg(sum_estimate, count_estimate)
+                    estimates[column] = avg_estimate
+                    if math.isfinite(avg_estimate.estimate) and count_estimate.estimate:
+                        overrides[agg] = avg_estimate.estimate
+        return estimates, overrides
+
+    @staticmethod
+    def _column_for_agg(rq: _RunningQuery, agg: AggregateCall) -> str:
+        """Output column whose SELECT expression contains *agg*; falls back
+        to the aggregate's own text when it only appears nested."""
+        from ..query.ast import unparse, walk_exprs
+
+        for item, column in zip(rq.spec.select_items, rq.spec.column_names):
+            if item.expr == agg:
+                return column
+        for item, column in zip(rq.spec.select_items, rq.spec.column_names):
+            if any(node == agg for node in walk_exprs(item.expr)):
+                return column
+        return unparse(agg)

@@ -1,0 +1,218 @@
+"""Group-by and select-list evaluation at ScrubCentral.
+
+For each window the engine keeps a :class:`WindowGroups`: the per-group
+aggregate states (for aggregating queries) or the evaluated output rows
+(for plain selections).  At window close the group states are rendered
+into result rows by substituting aggregate results and group-key values
+into the SELECT expressions — so ``1000 * AVG(impression.cost)`` (paper
+Fig. 13) evaluates with AVG computed first, arithmetic after.
+
+Group-key and aggregate matching is by structural AST equality: a
+SELECT item equal to a GROUP BY expression reads the group key, and
+identical aggregate calls share one state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..events import Event
+from ..query.ast import (
+    AggregateCall,
+    BinaryOp,
+    Expr,
+    Literal,
+    UnaryOp,
+    unparse,
+    walk_exprs,
+)
+from ..query.compile import FieldGetter, compile_expr, compile_predicate
+from ..query.errors import ScrubExecutionError
+from ..query.planner import CentralQueryObject, unique_aggregates
+from .aggregates import AggregateState, make_state
+from .results import ResultRow
+
+__all__ = ["GroupByProcessor", "WindowGroups", "make_field_getter"]
+
+#: Sentinel passed to COUNT(*) states: always non-NULL, so every row counts.
+_COUNT_STAR = object()
+
+
+def make_field_getter(sources: tuple[str, ...]) -> FieldGetter:
+    """Field access over central rows.
+
+    Single-source queries pass events directly (no per-event dict); join
+    queries pass ``{event_type: Event}`` rows.
+    """
+    if len(sources) == 1:
+        def single(_event_type: Optional[str], field: str) -> Callable[[Event], Any]:
+            return lambda event: event.get(field)
+        return single
+
+    def joined(event_type: Optional[str], field: str) -> Callable[[dict[str, Event]], Any]:
+        if event_type is None:  # pragma: no cover - validator resolves all refs
+            raise ScrubExecutionError(f"unresolved field reference {field!r} in join")
+        return lambda row: row[event_type].get(field)
+
+    return joined
+
+
+class GroupByProcessor:
+    """Compiled per-query machinery shared by all of its windows."""
+
+    def __init__(self, spec: CentralQueryObject) -> None:
+        self.spec = spec
+        getter = make_field_getter(spec.sources)
+        self.residual = compile_predicate(spec.residual_predicate, getter)
+
+        self.group_exprs: tuple[Expr, ...] = spec.group_by
+        self._group_fns = [compile_expr(g, getter) for g in spec.group_by]
+
+        # Unique aggregate calls across the SELECT list (structural dedup);
+        # the shared helper fixes the order host partials are indexed by.
+        self.agg_calls: tuple[AggregateCall, ...] = unique_aggregates(
+            spec.select_items
+        )
+        self._agg_arg_fns: list[Callable[[Any], Any]] = [
+            (lambda _row: _COUNT_STAR)
+            if agg.arg is None
+            else compile_expr(agg.arg, getter)
+            for agg in self.agg_calls
+        ]
+
+        self.is_aggregating = bool(self.agg_calls) or bool(spec.group_by)
+        if not self.is_aggregating:
+            self._select_fns = [
+                compile_expr(item.expr, getter) for item in spec.select_items
+            ]
+        else:
+            self._select_fns = []
+
+    def make_window_state(self) -> "WindowGroups":
+        return WindowGroups(self)
+
+
+class WindowGroups:
+    """Mutable per-window state: groups & aggregate states, or raw rows."""
+
+    def __init__(self, processor: GroupByProcessor) -> None:
+        self._p = processor
+        self.groups: dict[tuple[Any, ...], list[AggregateState]] = {}
+        self.raw_rows: list[ResultRow] = []
+        self.rows_processed = 0
+
+    def process(self, row: Any) -> bool:
+        """Feed one central row (Event or JoinedRow); returns False when
+        the residual predicate rejected it."""
+        p = self._p
+        if not p.residual(row):
+            return False
+        self.rows_processed += 1
+        if not p.is_aggregating:
+            self.raw_rows.append(
+                ResultRow(tuple(fn(row) for fn in p._select_fns))
+            )
+            return True
+        key = tuple(_group_key_part(fn(row)) for fn in p._group_fns)
+        states = self.groups.get(key)
+        if states is None:
+            states = [make_state(agg) for agg in p.agg_calls]
+            self.groups[key] = states
+        for state, arg_fn in zip(states, p._agg_arg_fns):
+            state.update(arg_fn(row))
+        return True
+
+    def finalize(
+        self,
+        scale_factor: float = 1.0,
+        agg_overrides: Optional[dict[AggregateCall, Any]] = None,
+    ) -> list[ResultRow]:
+        """Render this window's output rows, applying the sampling scale
+        factor to scalable aggregates (COUNT/SUM/TOP-K counts).
+
+        *agg_overrides* lets the engine substitute better estimates — the
+        multi-stage sampling estimator's values — for specific aggregate
+        calls (global aggregates under sampling).
+        """
+        p = self._p
+        if not p.is_aggregating:
+            return self.raw_rows
+        rows: list[ResultRow] = []
+        for key, states in sorted(self.groups.items(), key=_sort_key):
+            group_values = dict(zip(p.group_exprs, key))
+            agg_values = {
+                agg: state.scaled_result(scale_factor)
+                for agg, state in zip(p.agg_calls, states)
+            }
+            if agg_overrides:
+                agg_values.update(agg_overrides)
+            values = tuple(
+                _eval_output(item.expr, group_values, agg_values)
+                for item in p.spec.select_items
+            )
+            rows.append(ResultRow(values))
+        return rows
+
+    def aggregate_states_for(self, key: tuple[Any, ...]) -> list[AggregateState]:
+        return self.groups[key]
+
+
+def _group_key_part(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_group_key_part(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _group_key_part(v)) for k, v in value.items()))
+    return value
+
+
+def _sort_key(item: tuple[tuple[Any, ...], Any]) -> tuple:
+    """Deterministic group ordering; None sorts first, mixed types by repr."""
+    key = item[0]
+    return tuple(
+        (0, "") if part is None else (1, part) if isinstance(part, (int, float, bool)) else (2, str(part))
+        for part in key
+    )
+
+
+def _eval_output(
+    expr: Expr,
+    group_values: dict[Expr, Any],
+    agg_values: dict[AggregateCall, Any],
+) -> Any:
+    """Evaluate a SELECT expression after aggregation.
+
+    Group-by expressions and aggregate calls are leaves here; anything
+    else must be literals and arithmetic over them (guaranteed by the
+    validator's single-value rule).
+    """
+    if expr in group_values:
+        return group_values[expr]
+    if isinstance(expr, AggregateCall):
+        return agg_values[expr]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, BinaryOp):
+        left = _eval_output(expr.left, group_values, agg_values)
+        right = _eval_output(expr.right, group_values, agg_values)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right if right != 0 else None
+        if expr.op == "%":
+            return left % right if right != 0 else None
+        raise ScrubExecutionError(f"bad arithmetic op {expr.op!r}")
+    if isinstance(expr, UnaryOp):
+        value = _eval_output(expr.operand, group_values, agg_values)
+        if value is None:
+            return None
+        return -value if expr.op == "-" else (not value)
+    raise ScrubExecutionError(
+        f"cannot evaluate {unparse(expr)} after aggregation; "
+        "it is neither a group key nor an aggregate"
+    )

@@ -1,0 +1,88 @@
+"""Windowed equi-join on the request identifier.
+
+Scrub restricts joins to equi-joins on the request id (paper Sections 1,
+11): event types listed together in FROM are matched per request within
+each tumbling window.  This is a hash join keyed by ``request_id``; the
+join runs at ScrubCentral only — hosts never see each other's events
+(contrast with baggage propagation, Section 8.4).
+
+A joined row maps event type -> event.  When a request produced several
+events of one type in the window (e.g. many ``exclusion`` events per
+bid request), the join emits the cross product for that request, which
+is the semantics SQL would give the underlying equi-join.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from ..events import Event
+
+__all__ = ["JoinedRow", "JoinBuffer"]
+
+#: A joined row: event type name -> the event instance for this request.
+JoinedRow = dict[str, Event]
+
+
+class JoinBuffer:
+    """Per-window buffer of events awaiting the window-close join."""
+
+    def __init__(self, sources: tuple[str, ...]) -> None:
+        if len(sources) < 2:
+            raise ValueError("JoinBuffer requires at least two event types")
+        self.sources = sources
+        # event_type -> request_id -> events of that type for the request.
+        self._by_type: dict[str, dict[int, list[Event]]] = {s: {} for s in sources}
+        self.buffered = 0
+
+    def add(self, event: Event) -> None:
+        per_request = self._by_type[event.event_type]
+        per_request.setdefault(event.request_id, []).append(event)
+        self.buffered += 1
+
+    def join(self) -> Iterator[JoinedRow]:
+        """Produce joined rows for every request id present in *all* types.
+
+        Iterates the smallest side's request ids — the classic hash-join
+        probe order — so a type with few matches bounds the work.
+        """
+        smallest = min(self._by_type.values(), key=len)
+        others = [
+            (name, table)
+            for name, table in self._by_type.items()
+            if table is not smallest
+        ]
+        smallest_name = next(
+            name for name, table in self._by_type.items() if table is smallest
+        )
+        for request_id, seed_events in smallest.items():
+            groups: list[list[Event]] = [seed_events]
+            names = [smallest_name]
+            missing = False
+            for name, table in others:
+                matches = table.get(request_id)
+                if not matches:
+                    missing = True
+                    break
+                groups.append(matches)
+                names.append(name)
+            if missing:
+                continue
+            for combo in product(*groups):
+                yield dict(zip(names, combo))
+
+    def unmatched_count(self) -> int:
+        """Events that will never join (their request id is absent from at
+        least one other type) — reported for observability."""
+        joined_requests = None
+        for table in self._by_type.values():
+            keys = set(table)
+            joined_requests = keys if joined_requests is None else joined_requests & keys
+        joined_requests = joined_requests or set()
+        unmatched = 0
+        for table in self._by_type.values():
+            for request_id, events in table.items():
+                if request_id not in joined_requests:
+                    unmatched += len(events)
+        return unmatched

@@ -1,0 +1,214 @@
+"""Query results: rows per tumbling window, and whole-query result sets.
+
+ScrubCentral emits one :class:`WindowResult` each time a tumbling window
+closes; a :class:`ResultSet` accumulates them for the query's lifetime
+and is what the query server hands back to the troubleshooter.
+Completeness metadata (host drops, late events, sampling estimates with
+error bounds) rides along with the rows, because Scrub deliberately
+trades accuracy for host impact and the user must be able to see by how
+much.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..approx.sampling_theory import ApproxEstimate
+
+__all__ = ["ResultRow", "WindowResult", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One output row: values in SELECT-list order."""
+
+    values: tuple[Any, ...]
+
+    def as_dict(self, columns: tuple[str, ...]) -> dict[str, Any]:
+        return dict(zip(columns, self.values))
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class WindowResult:
+    """All rows produced for one tumbling window of one query."""
+
+    query_id: str
+    window_start: float
+    window_end: float
+    columns: tuple[str, ...]
+    rows: list[ResultRow]
+    #: Per-column sampling estimates (global aggregates under sampling only);
+    #: key is the output column name.
+    estimates: dict[str, ApproxEstimate] = field(default_factory=dict)
+    #: Events dropped on hosts (full buffers) attributed to this window's span.
+    host_dropped: int = 0
+    #: Events that arrived after the window had closed and were discarded.
+    late_events: int = 0
+    #: Hosts that contributed at least one batch overlapping this window.
+    contributing_hosts: int = 0
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [row.as_dict(self.columns) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; columns are {list(self.columns)}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+
+@dataclass
+class ResultSet:
+    """Every window result a query produced, in window order."""
+
+    query_id: str
+    columns: tuple[str, ...]
+    windows: list[WindowResult] = field(default_factory=list)
+
+    def add(self, window: WindowResult) -> None:
+        self.windows.append(window)
+
+    @property
+    def rows(self) -> list[ResultRow]:
+        return [row for window in self.windows for row in window.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Flatten to dicts, each annotated with its window start."""
+        out = []
+        for window in self.windows:
+            for row in window.rows:
+                record = row.as_dict(self.columns)
+                record["_window"] = window.window_start
+                out.append(record)
+        return out
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; columns are {list(self.columns)}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    @property
+    def total_host_dropped(self) -> int:
+        return sum(w.host_dropped for w in self.windows)
+
+    @property
+    def total_late_events(self) -> int:
+        return sum(w.late_events for w in self.windows)
+
+    def window_starting_at(self, start: float) -> Optional[WindowResult]:
+        for window in self.windows:
+            if window.window_start == start:
+                return window
+        return None
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self) -> Iterator[WindowResult]:
+        return iter(self.windows)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize all windows to JSON (lists survive; estimates become
+        {estimate, error_bound, confidence} objects)."""
+        payload = {
+            "query_id": self.query_id,
+            "columns": list(self.columns),
+            "windows": [
+                {
+                    "start": w.window_start,
+                    "end": w.window_end,
+                    "rows": [list(_jsonable(v) for v in r.values) for r in w.rows],
+                    "estimates": {
+                        name: {
+                            "estimate": est.estimate,
+                            "error_bound": est.error_bound,
+                            "confidence": est.confidence,
+                        }
+                        for name, est in w.estimates.items()
+                    },
+                    "host_dropped": w.host_dropped,
+                    "late_events": w.late_events,
+                }
+                for w in self.windows
+            ],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_csv(self) -> str:
+        """Flatten all windows to CSV with a leading ``window_start`` column."""
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["window_start", *self.columns])
+        for window in self.windows:
+            for row in window.rows:
+                writer.writerow(
+                    [window.window_start]
+                    + [_csv_cell(value) for value in row.values]
+                )
+        return out.getvalue()
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        lines = [f"query {self.query_id}: {len(self.windows)} window(s)"]
+        for window in self.windows:
+            lines.append(
+                f"-- window [{window.window_start:g}, {window.window_end:g})"
+                + (f"  (+{window.late_events} late)" if window.late_events else "")
+            )
+            header = " | ".join(self.columns)
+            lines.append("   " + header)
+            for row in window.rows[:max_rows]:
+                lines.append(
+                    "   " + " | ".join(_fmt(value) for value in row.values)
+                )
+            if len(window.rows) > max_rows:
+                lines.append(f"   ... {len(window.rows) - max_rows} more row(s)")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and (value != value):  # NaN
+        return None
+    return value
+
+
+def _csv_cell(value: Any) -> Any:
+    if value is None:
+        return ""
+    if isinstance(value, (list, tuple)):
+        # TOP-K results and list fields: a compact JSON cell.
+        return json.dumps(_jsonable(value))
+    return value

@@ -1,0 +1,24 @@
+"""Scrub event model: typed schemas, events, registry, declarative API."""
+
+from .decorators import schema_of, scrub_field, scrub_type
+from .event import Event
+from .fields import FieldDef, FieldType, coerce_value
+from .registry import EventRegistry, UnknownEventTypeError
+from .schema import HOST, REQUEST_ID, SYSTEM_FIELDS, TIMESTAMP, EventSchema
+
+__all__ = [
+    "Event",
+    "EventRegistry",
+    "EventSchema",
+    "FieldDef",
+    "FieldType",
+    "HOST",
+    "REQUEST_ID",
+    "SYSTEM_FIELDS",
+    "TIMESTAMP",
+    "UnknownEventTypeError",
+    "coerce_value",
+    "schema_of",
+    "scrub_field",
+    "scrub_type",
+]

@@ -1,0 +1,143 @@
+"""Declarative event definition, mirroring the paper's annotation API.
+
+Paper Figure 1 declares event types with Java annotations::
+
+    @ScrubType("bid")
+    public class ScrubBid {
+        @ScrubField("exchange_id") private final long exchange_id;
+        ...
+    }
+
+The Python equivalent uses a class decorator plus typed field
+descriptors::
+
+    @scrub_type("bid", registry)
+    class ScrubBid:
+        exchange_id = scrub_field("long")
+        city = scrub_field("string")
+        country = scrub_field("string")
+        bid_price = scrub_field("double")
+        campaign_id = scrub_field("long")
+
+Instances of the decorated class behave as plain value objects; the
+agent's ``log()`` accepts either such instances or raw dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .fields import FieldDef, FieldType
+from .registry import EventRegistry
+from .schema import EventSchema
+
+__all__ = ["scrub_type", "scrub_field", "schema_of"]
+
+_SCHEMA_ATTR = "__scrub_schema__"
+
+
+class scrub_field:
+    """Field descriptor used inside a ``@scrub_type`` class body.
+
+    ``name`` defaults to the attribute name; pass it explicitly to mirror
+    the paper's ``@ScrubField("exchange_id")`` form when the wire name
+    differs from the attribute name.
+    """
+
+    _counter = 0
+
+    def __init__(self, ftype: FieldType | str, name: str | None = None, doc: str = "") -> None:
+        if isinstance(ftype, str):
+            ftype = FieldType.from_string(ftype)
+        self.ftype = ftype
+        self.name = name
+        self.doc = doc
+        # Preserve declaration order even on Pythons where class dicts
+        # are reordered by tooling.
+        scrub_field._counter += 1
+        self._order = scrub_field._counter
+        self._attr: str | None = None
+
+    def __set_name__(self, owner: type, attr: str) -> None:
+        self._attr = attr
+        if self.name is None:
+            self.name = attr
+
+    def __get__(self, obj: Any, objtype: type | None = None) -> Any:
+        if obj is None:
+            return self
+        return obj.__dict__.get(self.name)
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        fdef = FieldDef(self.name or "", self.ftype, self.doc)
+        obj.__dict__[self.name] = fdef.coerce(value)
+
+
+def scrub_type(name: str, registry: EventRegistry | None = None):
+    """Class decorator declaring a Scrub event type (paper Fig. 1).
+
+    Builds an :class:`EventSchema` from the class's :class:`scrub_field`
+    descriptors, optionally registers it, and injects an ``__init__``
+    accepting the fields as keyword arguments plus a ``payload()`` method
+    producing the dict the agent ships.
+    """
+
+    def decorate(cls: type) -> type:
+        descriptors = sorted(
+            (
+                d
+                for d in vars(cls).values()
+                if isinstance(d, scrub_field)
+            ),
+            key=lambda d: d._order,
+        )
+        if not descriptors:
+            raise ValueError(f"@scrub_type class {cls.__name__} declares no scrub_field")
+        schema = EventSchema(
+            name,
+            [FieldDef(d.name or "", d.ftype, d.doc) for d in descriptors],
+            doc=(cls.__doc__ or "").strip(),
+        )
+        if registry is not None:
+            registry.register(schema)
+        setattr(cls, _SCHEMA_ATTR, schema)
+
+        field_names = schema.field_names
+
+        def __init__(self: Any, **kwargs: Any) -> None:
+            unknown = set(kwargs) - set(field_names)
+            if unknown:
+                raise TypeError(
+                    f"{cls.__name__} got unexpected field(s): {sorted(unknown)}"
+                )
+            for fname in field_names:
+                if fname in kwargs:
+                    setattr(self, fname, kwargs[fname])
+
+        def payload(self: Any) -> dict[str, Any]:
+            return {
+                fname: self.__dict__[fname]
+                for fname in field_names
+                if fname in self.__dict__
+            }
+
+        def __repr__(self: Any) -> str:
+            body = ", ".join(f"{k}={v!r}" for k, v in payload(self).items())
+            return f"{cls.__name__}({body})"
+
+        if "__init__" not in vars(cls):
+            cls.__init__ = __init__  # type: ignore[method-assign]
+        cls.payload = payload  # type: ignore[attr-defined]
+        if "__repr__" not in vars(cls):
+            cls.__repr__ = __repr__  # type: ignore[method-assign]
+        return cls
+
+    return decorate
+
+
+def schema_of(obj_or_cls: Any) -> EventSchema:
+    """Return the :class:`EventSchema` attached by ``@scrub_type``."""
+    schema = getattr(obj_or_cls, _SCHEMA_ATTR, None)
+    if schema is None:
+        raise TypeError(f"{obj_or_cls!r} is not a @scrub_type class/instance")
+    return schema

@@ -1,0 +1,178 @@
+"""Field types for Scrub events.
+
+The paper (Section 3.1) specifies that Scrub supports fields of types
+boolean, int, long, float, double, date/time, string, homogeneous lists
+of those primitive types, and nested objects.  Python collapses some of
+those distinctions (``int`` covers int/long, ``float`` covers
+float/double) but we keep the paper's type vocabulary so schemas written
+against the paper's examples parse unchanged.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FieldType", "FieldDef", "coerce_value", "default_for"]
+
+
+class FieldType(enum.Enum):
+    """The primitive field types supported by Scrub event schemas."""
+
+    BOOLEAN = "boolean"
+    INT = "int"
+    LONG = "long"
+    FLOAT = "float"
+    DOUBLE = "double"
+    DATETIME = "datetime"
+    STRING = "string"
+    # Homogeneous lists of primitives.
+    LIST_BOOLEAN = "list<boolean>"
+    LIST_INT = "list<int>"
+    LIST_LONG = "list<long>"
+    LIST_FLOAT = "list<float>"
+    LIST_DOUBLE = "list<double>"
+    LIST_DATETIME = "list<datetime>"
+    LIST_STRING = "list<string>"
+    # Nested object (dict with string keys); the paper mentions XML-encoded
+    # objects — we use plain dicts addressed with dotted field paths.
+    OBJECT = "object"
+    LIST_OBJECT = "list<object>"
+
+    @property
+    def is_list(self) -> bool:
+        return self.value.startswith("list<")
+
+    @property
+    def element_type(self) -> "FieldType":
+        """For a list type, the type of its elements; identity otherwise."""
+        if not self.is_list:
+            return self
+        return FieldType(self.value[5:-1])
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC
+
+    @classmethod
+    def from_string(cls, name: str) -> "FieldType":
+        """Parse a type name, accepting the paper's aliases.
+
+        ``bool`` is accepted for ``boolean``, ``str``/``text`` for
+        ``string``, ``date``/``time``/``timestamp`` for ``datetime`` and
+        ``list<...>``/``[...]`` list syntax.
+        """
+        key = name.strip().lower()
+        if key.startswith("[") and key.endswith("]"):
+            key = f"list<{key[1:-1].strip()}>"
+        if key.startswith("list<") and key.endswith(">"):
+            inner = cls.from_string(key[5:-1])
+            return cls(f"list<{inner.value}>")
+        alias = _ALIASES.get(key, key)
+        try:
+            return cls(alias)
+        except ValueError:
+            raise ValueError(f"unknown Scrub field type: {name!r}") from None
+
+
+_ALIASES = {
+    "bool": "boolean",
+    "integer": "int",
+    "str": "string",
+    "text": "string",
+    "date": "datetime",
+    "time": "datetime",
+    "timestamp": "datetime",
+    "date/time": "datetime",
+    "dict": "object",
+    "map": "object",
+}
+
+_NUMERIC = {
+    FieldType.INT,
+    FieldType.LONG,
+    FieldType.FLOAT,
+    FieldType.DOUBLE,
+}
+
+# Python runtime types acceptable for each primitive Scrub type.  bool is a
+# subclass of int in Python, so integer checks must explicitly reject bool.
+_SCALAR_CHECKS = {
+    FieldType.BOOLEAN: lambda v: isinstance(v, bool),
+    FieldType.INT: lambda v: isinstance(v, int) and not isinstance(v, bool),
+    FieldType.LONG: lambda v: isinstance(v, int) and not isinstance(v, bool),
+    FieldType.FLOAT: lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    FieldType.DOUBLE: lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    FieldType.DATETIME: lambda v: isinstance(v, (_dt.datetime, int, float))
+    and not isinstance(v, bool),
+    FieldType.STRING: lambda v: isinstance(v, str),
+    FieldType.OBJECT: lambda v: isinstance(v, dict),
+}
+
+
+def coerce_value(ftype: FieldType, value: Any) -> Any:
+    """Validate *value* against *ftype* and normalise it.
+
+    Numeric float/double values are normalised to ``float``; datetimes may
+    be given as ``datetime`` objects or as POSIX seconds and are normalised
+    to ``float`` seconds.  Raises :class:`TypeError` on mismatch.  ``None``
+    is allowed for every type (a field may be absent).
+    """
+    if value is None:
+        return None
+    if ftype.is_list:
+        if not isinstance(value, (list, tuple)):
+            raise TypeError(f"expected list for {ftype.value}, got {type(value).__name__}")
+        elem = ftype.element_type
+        return [coerce_value(elem, v) for v in value]
+    check = _SCALAR_CHECKS[ftype]
+    if not check(value):
+        raise TypeError(
+            f"expected {ftype.value} value, got {type(value).__name__} ({value!r})"
+        )
+    if ftype in (FieldType.FLOAT, FieldType.DOUBLE):
+        return float(value)
+    if ftype is FieldType.DATETIME:
+        if isinstance(value, _dt.datetime):
+            return value.timestamp()
+        return float(value)
+    return value
+
+
+def default_for(ftype: FieldType) -> Any:
+    """A zero value of the given type, used by the logging baseline."""
+    if ftype.is_list:
+        return []
+    return {
+        FieldType.BOOLEAN: False,
+        FieldType.INT: 0,
+        FieldType.LONG: 0,
+        FieldType.FLOAT: 0.0,
+        FieldType.DOUBLE: 0.0,
+        FieldType.DATETIME: 0.0,
+        FieldType.STRING: "",
+        FieldType.OBJECT: {},
+    }[ftype]
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """A single named, typed field of an event schema."""
+
+    name: str
+    ftype: FieldType
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid field name: {self.name!r}")
+        if self.name[0].isdigit():
+            raise ValueError(f"field name may not start with a digit: {self.name!r}")
+
+    def coerce(self, value: Any) -> Any:
+        try:
+            return coerce_value(self.ftype, value)
+        except TypeError as exc:
+            raise TypeError(f"field {self.name!r}: {exc}") from None

@@ -1,0 +1,80 @@
+"""Event type registry.
+
+The query server validates every query against the set of event types
+the application declared (paper Section 4: "the server parses and
+validates the query").  The registry is that set.  Applications register
+schemas at startup — statically, mirroring the paper's decision to avoid
+dynamic instrumentation (Section 5/6): the set of instrumentable points
+is fixed when the application is built.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .schema import EventSchema
+
+__all__ = ["EventRegistry", "UnknownEventTypeError"]
+
+
+class UnknownEventTypeError(KeyError):
+    """Raised when a query references an event type never declared."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return f"unknown event type {self.name!r}; declared types: {list(self.known)}"
+
+
+class EventRegistry:
+    """Name -> :class:`EventSchema` mapping with conflict detection."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, EventSchema] = {}
+
+    def register(self, schema: EventSchema) -> EventSchema:
+        """Register a schema.
+
+        Re-registering an identical schema is a no-op (idempotent, so
+        modules can be imported repeatedly); registering a *different*
+        schema under an existing name raises ``ValueError``.
+        """
+        existing = self._schemas.get(schema.name)
+        if existing is not None:
+            if existing == schema:
+                return existing
+            raise ValueError(
+                f"event type {schema.name!r} already registered with a different shape"
+            )
+        self._schemas[schema.name] = schema
+        return schema
+
+    def define(self, name: str, fields, doc: str = "") -> EventSchema:
+        """Convenience: build an :class:`EventSchema` and register it."""
+        return self.register(EventSchema(name, fields, doc=doc))
+
+    def get(self, name: str) -> EventSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise UnknownEventTypeError(name, tuple(self._schemas)) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._schemas
+
+    def __iter__(self) -> Iterator[EventSchema]:
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._schemas)
+
+    def copy(self) -> "EventRegistry":
+        clone = EventRegistry()
+        clone._schemas = dict(self._schemas)
+        return clone

@@ -1,0 +1,50 @@
+"""Error hierarchy for the Scrub query pipeline.
+
+Every user-facing failure derives from :class:`ScrubError`, so callers
+(the query server, examples, tests) can catch one type.  Parse and
+validation errors carry source positions so a CLI can point at the
+offending token — problem resolution must be expedient (paper Section 2),
+which starts with good error messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ScrubError",
+    "ScrubSyntaxError",
+    "ScrubValidationError",
+    "ScrubExecutionError",
+    "QueryNotFoundError",
+]
+
+
+class ScrubError(Exception):
+    """Base class for all Scrub errors."""
+
+
+class ScrubSyntaxError(ScrubError):
+    """Lexical or grammatical error in a query string."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class ScrubValidationError(ScrubError):
+    """The query parsed but is semantically invalid (unknown event type or
+    field, type mismatch, unsupported construct such as a non-equi join)."""
+
+
+class ScrubExecutionError(ScrubError):
+    """Failure while a query was being installed or executed."""
+
+
+class QueryNotFoundError(ScrubError):
+    """An operation referenced a query id the server does not know."""
+
+    def __init__(self, query_id: str) -> None:
+        self.query_id = query_id
+        super().__init__(f"no such query: {query_id}")

@@ -1,0 +1,220 @@
+"""Tokenizer for the Scrub query language.
+
+Keywords are case-insensitive (the paper writes both ``Select`` and
+``from``).  Identifiers keep their case.  Durations (``10s``, ``20m``,
+``500ms``) are lexed as single DURATION tokens because they appear in
+window/span clauses where juxtaposed INT+IDENT would be ambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import ScrubSyntaxError
+
+__all__ = ["Token", "TokenType", "tokenize", "KEYWORDS"]
+
+
+class TokenType:
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    DURATION = "DURATION"
+    OP = "OP"            # = != <> < <= > >= + - * / %
+    COMMA = "COMMA"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    SEMI = "SEMI"
+    AT_LBRACKET = "AT_LBRACKET"  # '@['
+    RBRACKET = "RBRACKET"
+    DOT = "DOT"
+    PERCENT_SIGN = "PERCENT_SIGN"  # '%' in "10%" sampling rates
+    STAR = "STAR"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "group", "by", "and", "or", "not",
+        "in", "like", "between", "is", "null", "as", "true", "false",
+        "count", "sum", "avg", "min", "max", "count_distinct", "top",
+        "service", "services", "server", "servers", "datacenter", "all",
+        "sample", "hosts", "events", "start", "now", "duration", "window",
+        "slide", "aggregate", "on",
+    }
+)
+
+_DURATION_UNITS = ("ms", "s", "m", "h", "d")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    @property
+    def lowered(self) -> str:
+        return self.value.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r} @{self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; always ends with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # SQL-style line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_col = col(i)
+        if ch == "@":
+            if text.startswith("@[", i):
+                yield Token(TokenType.AT_LBRACKET, "@[", line, start_col)
+                i += 2
+                continue
+            raise ScrubSyntaxError("expected '[' after '@'", line, start_col)
+        if ch == "]":
+            yield Token(TokenType.RBRACKET, "]", line, start_col)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenType.COMMA, ",", line, start_col)
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenType.LPAREN, "(", line, start_col)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenType.RPAREN, ")", line, start_col)
+            i += 1
+            continue
+        if ch == ";":
+            yield Token(TokenType.SEMI, ";", line, start_col)
+            i += 1
+            continue
+        if ch == ".":
+            yield Token(TokenType.DOT, ".", line, start_col)
+            i += 1
+            continue
+        if ch == "*":
+            yield Token(TokenType.STAR, "*", line, start_col)
+            i += 1
+            continue
+        if ch in "'\"":
+            value, i = _scan_string(text, i, line, start_col)
+            yield Token(TokenType.STRING, value, line, start_col)
+            continue
+        if ch.isdigit():
+            tok, i = _scan_number(text, i, line, start_col)
+            yield tok
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            ttype = TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENT
+            yield Token(ttype, word, line, start_col)
+            i = j
+            continue
+        if ch in "=<>!+-/%":
+            op, i = _scan_operator(text, i, line, start_col)
+            if op == "%":
+                yield Token(TokenType.PERCENT_SIGN, "%", line, start_col)
+            else:
+                yield Token(TokenType.OP, op, line, start_col)
+            continue
+        raise ScrubSyntaxError(f"unexpected character {ch!r}", line, start_col)
+    yield Token(TokenType.EOF, "", line, col(i))
+
+
+def _scan_string(text: str, i: int, line: int, column: int) -> tuple[str, int]:
+    quote = text[i]
+    j = i + 1
+    parts: list[str] = []
+    while j < len(text):
+        ch = text[j]
+        if ch == quote:
+            # Doubled quote escapes it, SQL-style.
+            if text.startswith(quote * 2, j):
+                parts.append(quote)
+                j += 2
+                continue
+            return "".join(parts), j + 1
+        if ch == "\n":
+            break
+        parts.append(ch)
+        j += 1
+    raise ScrubSyntaxError("unterminated string literal", line, column)
+
+
+def _scan_number(text: str, i: int, line: int, column: int) -> tuple[Token, int]:
+    n = len(text)
+    j = i
+    while j < n and text[j].isdigit():
+        j += 1
+    is_float = False
+    if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+        is_float = True
+        j += 1
+        while j < n and text[j].isdigit():
+            j += 1
+    # Duration suffix? Longest match first so 'ms' beats 'm'.
+    for unit in sorted(_DURATION_UNITS, key=len, reverse=True):
+        if text.startswith(unit, j):
+            end = j + len(unit)
+            # Must not be followed by more identifier chars (e.g. '10second').
+            if end >= n or not (text[end].isalnum() or text[end] == "_"):
+                return Token(TokenType.DURATION, text[i:end], line, column), end
+    ttype = TokenType.FLOAT if is_float else TokenType.INT
+    if j < n and (text[j].isalpha() or text[j] == "_"):
+        raise ScrubSyntaxError(f"malformed number near {text[i:j + 1]!r}", line, column)
+    return Token(ttype, text[i:j], line, column), j
+
+
+def _scan_operator(text: str, i: int, line: int, column: int) -> tuple[str, int]:
+    two = text[i : i + 2]
+    if two in ("<=", ">=", "!=", "<>"):
+        return ("!=" if two == "<>" else two), i + 2
+    ch = text[i]
+    if ch == "!":
+        raise ScrubSyntaxError("expected '!=' ", line, column)
+    return ch, i + 1
+
+
+def parse_duration(text: str) -> float:
+    """Convert a DURATION token value (e.g. ``'10s'``, ``'20m'``) to seconds."""
+    for unit in sorted(_DURATION_UNITS, key=len, reverse=True):
+        if text.endswith(unit):
+            magnitude = float(text[: -len(unit)])
+            return magnitude * {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}[unit]
+    raise ValueError(f"not a duration: {text!r}")

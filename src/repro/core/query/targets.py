@@ -1,0 +1,87 @@
+"""Target-host resolution for the ``@[...]`` construct.
+
+Putting host targeting in the language — instead of a selection on a
+host-name field — lets Scrub install the query only on the specified
+hosts, so non-targeted hosts do no work at all (paper Section 3.2).
+This module implements the matching semantics shared by the in-process
+directory and the simulated cluster's registry, plus deterministic host
+sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterable, Sequence, TypeVar
+
+from .ast import (
+    DatacenterEq,
+    ServerEq,
+    ServersIn,
+    ServiceIn,
+    TargetAll,
+    TargetAnd,
+    TargetNode,
+)
+from .errors import ScrubValidationError
+
+__all__ = ["target_matches", "sample_hosts", "HostDescription"]
+
+
+class HostDescription:
+    """The attributes targeting can reference for one host."""
+
+    __slots__ = ("name", "services", "datacenter")
+
+    def __init__(self, name: str, services: Iterable[str] = (), datacenter: str = "") -> None:
+        self.name = name
+        self.services = frozenset(services)
+        self.datacenter = datacenter
+
+    def __repr__(self) -> str:
+        return (
+            f"HostDescription({self.name!r}, services={sorted(self.services)}, "
+            f"datacenter={self.datacenter!r})"
+        )
+
+
+def target_matches(target: TargetNode, host: HostDescription) -> bool:
+    """Does *host* satisfy the target expression?
+
+    Service and datacenter comparisons are case-insensitive (operators
+    write ``BidServers`` or ``bidservers`` interchangeably); host names
+    are compared exactly.
+    """
+    if isinstance(target, TargetAll):
+        return True
+    if isinstance(target, ServerEq):
+        return host.name == target.host
+    if isinstance(target, ServersIn):
+        return host.name in target.hosts
+    if isinstance(target, ServiceIn):
+        wanted = {s.lower() for s in target.services}
+        return any(s.lower() in wanted for s in host.services)
+    if isinstance(target, DatacenterEq):
+        return host.datacenter.lower() == target.datacenter.lower()
+    if isinstance(target, TargetAnd):
+        return all(target_matches(term, host) for term in target.terms)
+    raise ScrubValidationError(f"unknown target node: {type(target).__name__}")
+
+
+T = TypeVar("T")
+
+
+def sample_hosts(hosts: Sequence[T], rate: float, seed: int) -> list[T]:
+    """Randomly select ``ceil(rate * len(hosts))`` hosts, deterministically
+    in *seed* so a query's host set is reproducible.
+
+    At least one host is chosen whenever any host matched — a query that
+    silently targeted nobody would be a troubleshooting trap.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ScrubValidationError(f"host sampling rate must be in (0, 1], got {rate}")
+    if not hosts or rate >= 1.0:
+        return list(hosts)
+    n = max(1, math.ceil(rate * len(hosts)))
+    rng = random.Random(seed)
+    return rng.sample(list(hosts), n)

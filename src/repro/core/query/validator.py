@@ -1,0 +1,370 @@
+"""Semantic validation of parsed Scrub queries.
+
+The query server validates every query before generating query objects
+(paper Section 4).  Validation:
+
+* resolves every field reference against the event registry, fixing up
+  the parser's qualifier ambiguity (``bid.user_id`` — is ``bid`` an
+  event type or the root of a dotted object path?);
+* enforces the language restrictions the paper motivates: joins are
+  implicit equi-joins on the request identifier across the listed event
+  types — there is no join predicate to validate, but aggregates may not
+  nest, may not appear in WHERE or GROUP BY, and bare (non-aggregate)
+  SELECT expressions must be grouping expressions when the query
+  aggregates;
+* type-checks comparisons and arithmetic where both sides have known
+  static types (nested-object members are dynamically typed and pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..events import EventRegistry, EventSchema, FieldType, UnknownEventTypeError
+from .ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BoolOp,
+    Comparison,
+    Expr,
+    FieldRef,
+    InList,
+    IsNull,
+    Literal,
+    Query,
+    SelectItem,
+    UnaryOp,
+    unparse,
+    walk_exprs,
+)
+from .errors import ScrubValidationError
+
+__all__ = ["validate_query", "ValidatedQuery", "output_column_names"]
+
+
+@dataclass(frozen=True)
+class ValidatedQuery:
+    """A query whose field references are fully resolved.
+
+    ``query`` is the rewritten AST (every :class:`FieldRef` carries its
+    event type).  ``schemas`` maps each source event type to its schema.
+    ``column_names`` are the output column labels in SELECT order.
+    """
+
+    query: Query
+    schemas: dict[str, EventSchema]
+    column_names: tuple[str, ...]
+
+
+def validate_query(query: Query, registry: EventRegistry) -> ValidatedQuery:
+    """Validate *query* against *registry*; returns the resolved form.
+
+    Raises :class:`ScrubValidationError` on any semantic problem.
+    """
+    if not query.sources:
+        raise ScrubValidationError("query must name at least one event type")
+    if len(set(query.sources)) != len(query.sources):
+        raise ScrubValidationError(
+            f"duplicate event type in FROM: {list(query.sources)}"
+        )
+    schemas: dict[str, EventSchema] = {}
+    for source in query.sources:
+        try:
+            schemas[source] = registry.get(source)
+        except UnknownEventTypeError as exc:
+            raise ScrubValidationError(str(exc)) from None
+
+    resolver = _Resolver(schemas)
+
+    select_items = tuple(
+        SelectItem(resolver.resolve(item.expr), item.alias) for item in query.select_items
+    )
+    where = resolver.resolve(query.where) if query.where is not None else None
+    group_by = tuple(resolver.resolve(g) for g in query.group_by)
+
+    resolved = replace(query, select_items=select_items, where=where, group_by=group_by)
+
+    _check_aggregate_rules(resolved)
+    _check_types(resolved, schemas)
+    _check_host_aggregation(resolved)
+
+    return ValidatedQuery(
+        query=resolved,
+        schemas=schemas,
+        column_names=output_column_names(resolved),
+    )
+
+
+def output_column_names(query: Query) -> tuple[str, ...]:
+    """Output column labels: the alias when given, else the unparsed expr."""
+    names = []
+    for item in query.select_items:
+        names.append(item.alias if item.alias else unparse(item.expr))
+    return tuple(names)
+
+
+class _Resolver:
+    """Rewrites field references with their resolved event type."""
+
+    def __init__(self, schemas: dict[str, EventSchema]) -> None:
+        self._schemas = schemas
+
+    def resolve(self, expr: Expr) -> Expr:
+        if isinstance(expr, Literal):
+            return expr
+        if isinstance(expr, FieldRef):
+            return self._resolve_ref(expr)
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, self.resolve(expr.left), self.resolve(expr.right))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.resolve(expr.operand))
+        if isinstance(expr, Comparison):
+            return Comparison(expr.op, self.resolve(expr.left), self.resolve(expr.right))
+        if isinstance(expr, InList):
+            return InList(self.resolve(expr.expr), expr.values, expr.negated)
+        if isinstance(expr, Between):
+            return Between(
+                self.resolve(expr.expr),
+                self.resolve(expr.low),
+                self.resolve(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, IsNull):
+            return IsNull(self.resolve(expr.expr), expr.negated)
+        if isinstance(expr, BoolOp):
+            return BoolOp(expr.op, tuple(self.resolve(t) for t in expr.terms))
+        if isinstance(expr, AggregateCall):
+            arg = self.resolve(expr.arg) if expr.arg is not None else None
+            return AggregateCall(expr.func, arg, expr.k)
+        raise ScrubValidationError(f"unsupported expression node: {type(expr).__name__}")
+
+    def _resolve_ref(self, ref: FieldRef) -> FieldRef:
+        if ref.event_type is not None:
+            # Qualifier may be an event type, or the root of a dotted path.
+            if ref.event_type in self._schemas:
+                schema = self._schemas[ref.event_type]
+                if not schema.has_field(ref.field):
+                    raise ScrubValidationError(
+                        f"event type {ref.event_type!r} has no field {ref.field!r}; "
+                        f"fields: {list(schema.all_field_names)}"
+                    )
+                return ref
+            # Re-interpret 'a.b' as a dotted path 'a.b' on some unique source.
+            return self._resolve_bare(f"{ref.event_type}.{ref.field}")
+        return self._resolve_bare(ref.field)
+
+    def _resolve_bare(self, field: str) -> FieldRef:
+        owners = [name for name, schema in self._schemas.items() if schema.has_field(field)]
+        if not owners:
+            raise ScrubValidationError(
+                f"no source event type has a field {field!r} "
+                f"(sources: {list(self._schemas)})"
+            )
+        if len(owners) > 1:
+            raise ScrubValidationError(
+                f"field {field!r} is ambiguous across event types {owners}; qualify it"
+            )
+        return FieldRef(owners[0], field)
+
+
+def _check_aggregate_rules(query: Query) -> None:
+    if query.where is not None:
+        for node in walk_exprs(query.where):
+            if isinstance(node, AggregateCall):
+                raise ScrubValidationError("aggregate functions are not allowed in WHERE")
+    for group in query.group_by:
+        for node in walk_exprs(group):
+            if isinstance(node, AggregateCall):
+                raise ScrubValidationError("aggregate functions are not allowed in GROUP BY")
+    # No nested aggregates.
+    for agg in query.aggregates():
+        if agg.arg is not None:
+            for node in walk_exprs(agg.arg):
+                if node is not agg and isinstance(node, AggregateCall):
+                    raise ScrubValidationError(
+                        f"nested aggregate in {unparse(agg)}"
+                    )
+    if not query.is_aggregating:
+        return
+    # When aggregating, each SELECT item must be an aggregate expression or a
+    # grouping expression (standard SQL single-value rule).
+    groups = set(query.group_by)
+    for item in query.select_items:
+        if _item_is_aggregate_only(item.expr, groups):
+            continue
+        raise ScrubValidationError(
+            f"SELECT item {unparse(item.expr)!r} is neither aggregated "
+            "nor listed in GROUP BY"
+        )
+
+
+def _item_is_aggregate_only(expr: Expr, groups: set[Expr]) -> bool:
+    """True if every field reference in *expr* sits under an aggregate or
+    *expr* (or a subexpression containing the refs) is a grouping expr."""
+    if expr in groups:
+        return True
+    if isinstance(expr, AggregateCall):
+        return True
+    if isinstance(expr, Literal):
+        return True
+    if isinstance(expr, FieldRef):
+        return False
+    if isinstance(expr, BinaryOp):
+        return _item_is_aggregate_only(expr.left, groups) and _item_is_aggregate_only(
+            expr.right, groups
+        )
+    if isinstance(expr, UnaryOp):
+        return _item_is_aggregate_only(expr.operand, groups)
+    # Comparisons etc. in SELECT are unusual but handled uniformly.
+    return all(
+        _item_is_aggregate_only(sub, groups)
+        for sub in walk_exprs(expr)
+        if sub is not expr and isinstance(sub, FieldRef)
+    )
+
+
+def _check_host_aggregation(query: Query) -> None:
+    """Rules for the opt-in AGGREGATE ON HOSTS mode (DESIGN.md ablation).
+
+    Host pre-aggregation inverts the paper's central-execution default,
+    so it is deliberately narrow: single event type (joins need the
+    other side's events centrally), simple mergeable aggregates only,
+    no event sampling (partial counts would be silently under-scaled),
+    and tumbling windows.
+    """
+    if not query.host_aggregate:
+        return
+    if query.is_join:
+        raise ScrubValidationError(
+            "AGGREGATE ON HOSTS requires a single event type; joins must "
+            "execute centrally"
+        )
+    if not query.is_aggregating:
+        raise ScrubValidationError(
+            "AGGREGATE ON HOSTS requires aggregate functions in SELECT"
+        )
+    for agg in query.aggregates():
+        if agg.func not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise ScrubValidationError(
+                f"{agg.func} cannot be pre-aggregated on hosts; only "
+                "COUNT/SUM/AVG/MIN/MAX ship as plain-value partials"
+            )
+    if query.sampling.event_rate < 1.0:
+        raise ScrubValidationError(
+            "event sampling cannot be combined with AGGREGATE ON HOSTS"
+        )
+    if query.slide is not None:
+        raise ScrubValidationError(
+            "sliding windows cannot be combined with AGGREGATE ON HOSTS"
+        )
+
+
+# -- light static type checking -------------------------------------------------
+
+_NUMERIC = {FieldType.INT, FieldType.LONG, FieldType.FLOAT, FieldType.DOUBLE,
+            FieldType.DATETIME}
+
+
+def _check_types(query: Query, schemas: dict[str, EventSchema]) -> None:
+    checker = _TypeChecker(schemas)
+    for item in query.select_items:
+        checker.infer(item.expr)
+    if query.where is not None:
+        checker.infer(query.where)
+    for group in query.group_by:
+        checker.infer(group)
+
+
+class _TypeChecker:
+    """Best-effort static types; ``None`` means dynamically typed."""
+
+    def __init__(self, schemas: dict[str, EventSchema]) -> None:
+        self._schemas = schemas
+
+    def infer(self, expr: Expr) -> Optional[FieldType]:
+        if isinstance(expr, Literal):
+            value = expr.value
+            if isinstance(value, bool):
+                return FieldType.BOOLEAN
+            if isinstance(value, int):
+                return FieldType.LONG
+            if isinstance(value, float):
+                return FieldType.DOUBLE
+            if isinstance(value, str):
+                return FieldType.STRING
+            return None
+        if isinstance(expr, FieldRef):
+            schema = self._schemas[expr.event_type]
+            ftype = schema.field_type(expr.field)
+            # Members of OBJECT fields are dynamically typed.
+            if ftype is FieldType.OBJECT and "." in expr.field:
+                return None
+            return ftype
+        if isinstance(expr, BinaryOp):
+            left = self.infer(expr.left)
+            right = self.infer(expr.right)
+            for side, ftype in (("left", left), ("right", right)):
+                if ftype is not None and ftype not in _NUMERIC:
+                    raise ScrubValidationError(
+                        f"arithmetic {expr.op!r} requires numeric operands; "
+                        f"{side} side of {unparse(expr)} is {ftype.value}"
+                    )
+            return FieldType.DOUBLE
+        if isinstance(expr, UnaryOp):
+            inner = self.infer(expr.operand)
+            if expr.op == "-" and inner is not None and inner not in _NUMERIC:
+                raise ScrubValidationError(
+                    f"unary '-' requires a numeric operand, got {inner.value}"
+                )
+            return FieldType.BOOLEAN if expr.op == "NOT" else inner
+        if isinstance(expr, Comparison):
+            left = self.infer(expr.left)
+            right = self.infer(expr.right)
+            if expr.op == "LIKE":
+                for side, ftype in (("left", left), ("right", right)):
+                    if ftype is not None and ftype is not FieldType.STRING:
+                        raise ScrubValidationError(
+                            f"LIKE requires string operands; {side} side is {ftype.value}"
+                        )
+            elif left is not None and right is not None:
+                if not _comparable(left, right):
+                    raise ScrubValidationError(
+                        f"cannot compare {left.value} with {right.value} "
+                        f"in {unparse(expr)}"
+                    )
+            return FieldType.BOOLEAN
+        if isinstance(expr, (InList, Between, IsNull)):
+            self.infer(expr.expr)
+            if isinstance(expr, Between):
+                self.infer(expr.low)
+                self.infer(expr.high)
+            return FieldType.BOOLEAN
+        if isinstance(expr, BoolOp):
+            for term in expr.terms:
+                self.infer(term)
+            return FieldType.BOOLEAN
+        if isinstance(expr, AggregateCall):
+            if expr.arg is not None:
+                arg_type = self.infer(expr.arg)
+                if expr.func in ("SUM", "AVG") and arg_type is not None and arg_type not in _NUMERIC:
+                    raise ScrubValidationError(
+                        f"{expr.func} requires a numeric argument, got {arg_type.value}"
+                    )
+            if expr.func in ("COUNT", "COUNT_DISTINCT"):
+                return FieldType.LONG
+            if expr.func == "TOP":
+                return None
+            return FieldType.DOUBLE
+        return None
+
+
+def _comparable(a: FieldType, b: FieldType) -> bool:
+    if a in _NUMERIC and b in _NUMERIC:
+        return True
+    if a is b:
+        return True
+    if FieldType.BOOLEAN in (a, b):
+        return a is b
+    return False

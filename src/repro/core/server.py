@@ -1,0 +1,256 @@
+"""The Scrub query server.
+
+Execution of a query (paper Section 4, Fig. 3):
+
+1. the user submits query text;
+2. the server parses and validates it, generates a unique query id, and
+   creates the query objects;
+3. the host query object (selection + projection + sampling) is
+   installed on the hosts the target expression resolves to — and only
+   those hosts;
+4. the central query object (join, group-by, aggregation) is registered
+   at ScrubCentral;
+5. events flow host → central while the query span lasts;
+6. at span end the query is uninstalled everywhere and the result set
+   is returned.
+
+The server talks to hosts through a :class:`HostDirectory`; the
+in-process :class:`StaticDirectory` suffices for a single process, and
+``repro.cluster`` provides a simulated-cluster implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Protocol
+
+from .agent.agent import ScrubAgent
+from .central.engine import CentralEngine
+from .central.results import ResultSet
+from .events import EventRegistry
+from .query.ast import TargetNode
+from .query.errors import QueryNotFoundError, ScrubValidationError
+from .query.parser import parse_query
+from .query.planner import QueryPlan, plan_query
+from .query.targets import HostDescription, sample_hosts, target_matches
+from .query.validator import validate_query
+
+__all__ = ["ScrubQueryServer", "HostDirectory", "StaticDirectory", "QueryHandle"]
+
+
+class HostDirectory(Protocol):
+    """Resolution from a target expression to concrete host agents."""
+
+    def resolve(self, target: TargetNode) -> list[tuple[str, ScrubAgent]]:
+        """All (host name, agent) pairs matching the target."""
+        ...  # pragma: no cover - protocol
+
+
+class StaticDirectory:
+    """A directory over in-process agents, for tests and single-host use."""
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, tuple[HostDescription, ScrubAgent]] = {}
+
+    def add_host(
+        self,
+        name: str,
+        agent: ScrubAgent,
+        services: Iterable[str] = (),
+        datacenter: str = "dc1",
+    ) -> None:
+        if name in self._hosts:
+            raise ValueError(f"host {name!r} already in directory")
+        self._hosts[name] = (HostDescription(name, services, datacenter), agent)
+
+    def resolve(self, target: TargetNode) -> list[tuple[str, ScrubAgent]]:
+        return [
+            (name, agent)
+            for name, (description, agent) in self._hosts.items()
+            if target_matches(target, description)
+        ]
+
+    @property
+    def host_names(self) -> tuple[str, ...]:
+        return tuple(self._hosts)
+
+    def agent(self, name: str) -> ScrubAgent:
+        return self._hosts[name][1]
+
+    def all_agents(self) -> list[ScrubAgent]:
+        return [agent for _description, agent in self._hosts.values()]
+
+
+@dataclass
+class QueryHandle:
+    """What ``submit`` returns: identity, plan, and host placement."""
+
+    query_id: str
+    plan: QueryPlan
+    planned_hosts: tuple[str, ...]   # matched the target (N)
+    targeted_hosts: tuple[str, ...]  # chosen after host sampling (n)
+    activates_at: float
+    expires_at: float
+    finished: bool = field(default=False)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.plan.central_object.column_names
+
+
+class ScrubQueryServer:
+    """Front-end: parse, validate, plan, dispatch, collect."""
+
+    def __init__(
+        self,
+        registry: EventRegistry,
+        directory: HostDirectory,
+        central: CentralEngine,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.registry = registry
+        self.directory = directory
+        self.central = central
+        self.clock = clock
+        #: How long past a query's span end the periodic tick waits before
+        #: reaping it — lets in-flight host flushes land at ScrubCentral.
+        #: Agents stop matching at the span end regardless.
+        self.drain_margin = 0.0
+        self._sequence = 0
+        self._running: dict[str, tuple[QueryHandle, list[ScrubAgent]]] = {}
+        # Results survive query completion so callers can collect after the
+        # periodic tick reaped an expired span.
+        self._finished: dict[str, ResultSet] = {}
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, query_text: str) -> QueryHandle:
+        """Parse, validate, plan and dispatch a query; returns its handle."""
+        query = parse_query(query_text)
+        validated = validate_query(query, self.registry)
+        query_id = self._next_query_id()
+        plan = plan_query(validated, query_id)
+
+        resolved = self.directory.resolve(plan.target)
+        if not resolved:
+            raise ScrubValidationError(
+                "query target matches no host; check the @[...] expression"
+            )
+        chosen = sample_hosts(
+            resolved, plan.host_sampling_rate, seed=_seed_from(query_id)
+        )
+
+        now = self.clock()
+        activates_at = plan.start if plan.start is not None else now
+        expires_at = activates_at + plan.duration
+
+        agents: list[ScrubAgent] = []
+        installed: list[ScrubAgent] = []
+        try:
+            for _host, agent in chosen:
+                for host_object in plan.host_objects:
+                    agent.install(host_object, activates_at, expires_at)
+                installed.append(agent)
+                agents.append(agent)
+        except Exception:
+            for agent in installed:
+                agent.uninstall(query_id)
+            raise
+
+        self.central.register(
+            plan.central_object,
+            planned_hosts=len(resolved),
+            targeted_hosts=len(chosen),
+        )
+
+        handle = QueryHandle(
+            query_id=query_id,
+            plan=plan,
+            planned_hosts=tuple(host for host, _agent in resolved),
+            targeted_hosts=tuple(host for host, _agent in chosen),
+            activates_at=activates_at,
+            expires_at=expires_at,
+        )
+        self._running[query_id] = (handle, agents)
+        return handle
+
+    def _next_query_id(self) -> str:
+        self._sequence += 1
+        return f"q{self._sequence:05d}"
+
+    # -- collection ------------------------------------------------------------
+
+    def poll(self, query_id: str) -> ResultSet:
+        """Results emitted so far (windows already closed); for a query
+        whose span already ended, the complete result set."""
+        done = self._finished.get(query_id)
+        if done is not None:
+            return done
+        self._handle(query_id)
+        return self.central.results_so_far(query_id)
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """Periodic maintenance: flush agents of running queries and close
+        due windows.  Drive this from your scheduler or event loop."""
+        if now is None:
+            now = self.clock()
+        for handle, agents in list(self._running.values()):
+            if handle.finished:
+                continue
+            for agent in agents:
+                agent.flush(now)
+        self.central.advance(now)
+        # Reap queries whose span has fully elapsed (plus drain margin).
+        for query_id, (handle, _agents) in list(self._running.items()):
+            if not handle.finished and now >= handle.expires_at + self.drain_margin:
+                self.finish(query_id)
+
+    def finish(self, query_id: str) -> ResultSet:
+        """End a query now: uninstall from hosts (flushing), close all of
+        its windows, and return the full result set.  Idempotent: calling
+        again after completion returns the stored results."""
+        done = self._finished.get(query_id)
+        if done is not None:
+            return done
+        handle, agents = self._running_entry(query_id)
+        for agent in agents:
+            agent.uninstall(query_id)
+        handle.finished = True
+        results = self.central.finish(query_id)
+        del self._running[query_id]
+        self._finished[query_id] = results
+        return results
+
+    def cancel(self, query_id: str) -> None:
+        """Abort a query, discarding any un-emitted windows."""
+        handle, agents = self._running_entry(query_id)
+        for agent in agents:
+            agent.uninstall(query_id)
+        handle.finished = True
+        self._finished[query_id] = self.central.finish(query_id, drain=False)
+        del self._running[query_id]
+
+    @property
+    def running_query_ids(self) -> tuple[str, ...]:
+        return tuple(
+            query_id
+            for query_id, (handle, _agents) in self._running.items()
+            if not handle.finished
+        )
+
+    def _handle(self, query_id: str) -> QueryHandle:
+        return self._running_entry(query_id)[0]
+
+    def _running_entry(self, query_id: str) -> tuple[QueryHandle, list[ScrubAgent]]:
+        entry = self._running.get(query_id)
+        if entry is None:
+            raise QueryNotFoundError(query_id)
+        return entry
+
+
+def _seed_from(query_id: str) -> int:
+    seed = 0
+    for ch in query_id:
+        seed = seed * 131 + ord(ch)
+    return seed & 0xFFFFFFFF

@@ -1,0 +1,82 @@
+"""Experiment reporting: fixed-width tables persisted as text artifacts.
+
+Every benchmark regenerates one of the paper's tables or figures; this
+helper renders the rows/series in a uniform format, prints them, and
+writes them under ``benchmarks/results/`` so `pytest benchmarks/` leaves
+inspectable artifacts regardless of output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Sequence
+
+__all__ = ["ExperimentReport", "default_results_dir"]
+
+
+def default_results_dir() -> str:
+    """`benchmarks/results` relative to the repository root (the cwd
+    pytest runs from); falls back to the current directory."""
+    for candidate in ("benchmarks", "."):
+        if os.path.isdir(candidate):
+            path = os.path.join(candidate, "results")
+            os.makedirs(path, exist_ok=True)
+            return path
+    return "."
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+class ExperimentReport:
+    """Accumulates titled tables and notes for one experiment."""
+
+    def __init__(self, experiment_id: str, title: str) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self._blocks: list[str] = []
+
+    def note(self, text: str) -> None:
+        self._blocks.append(text)
+
+    def table(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Sequence[Sequence[Any]],
+    ) -> None:
+        cells = [[_fmt(v) for v in row] for row in rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [title]
+        lines.append("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        lines.append("  " + "  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        self._blocks.append("\n".join(lines))
+
+    def text(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n\n".join([header, *self._blocks]) + "\n"
+
+    def emit(self, directory: str | None = None) -> str:
+        """Print the report and write it to ``<dir>/<experiment_id>.txt``;
+        returns the file path."""
+        body = self.text()
+        print("\n" + body)
+        directory = directory if directory is not None else default_results_dir()
+        path = os.path.join(directory, f"{self.experiment_id}.txt")
+        with open(path, "w") as fh:
+            fh.write(body)
+        return path

@@ -1,0 +1,5 @@
+"""Operator tooling: the interactive Scrub shell."""
+
+from .shell import SCENARIOS, ScrubShell, main
+
+__all__ = ["SCENARIOS", "ScrubShell", "main"]

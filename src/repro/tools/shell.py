@@ -1,0 +1,195 @@
+"""An interactive Scrub shell over a live simulated platform.
+
+Runs one of the ad-platform workload scenarios on the simulated cluster
+and gives the troubleshooter a REPL: type a Scrub query, the simulation
+advances through the query's span, and the windows print as they would
+arrive.  This is the closest experience to the production tool the
+paper describes — queries against a system that is serving traffic
+*right now*.
+
+Usage::
+
+    python -m repro.tools.shell                # spam scenario, interactive
+    python -m repro.tools.shell --scenario exclusions
+    echo 'select COUNT(*) from bid duration 30s;' | python -m repro.tools.shell
+
+Shell commands (anything else is parsed as a Scrub query):
+
+    \\events            list event types and their fields
+    \\hosts             list hosts, services, datacenters
+    \\queries           list running queries
+    \\run <seconds>     advance virtual time without a query
+    \\csv               print the last result set as CSV
+    \\json              print the last result set as JSON
+    \\help              this text
+    \\quit              exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, TextIO
+
+from ..adplatform import (
+    Scenario,
+    ab_test_scenario,
+    cannibalization_scenario,
+    exclusion_scenario,
+    frequency_cap_scenario,
+    new_exchange_scenario,
+    spam_scenario,
+)
+from ..core.central.results import ResultSet
+from ..core.query.errors import ScrubError
+
+__all__ = ["ScrubShell", "SCENARIOS", "main"]
+
+SCENARIOS: dict[str, Callable[[], Scenario]] = {
+    "spam": lambda: spam_scenario(users=300, pageview_rate=10.0),
+    "new-exchange": lambda: new_exchange_scenario(activation_time=60.0),
+    "ab-test": lambda: ab_test_scenario(),
+    "exclusions": lambda: exclusion_scenario(),
+    "cannibalization": lambda: cannibalization_scenario(),
+    "frequency-cap": lambda: frequency_cap_scenario(),
+}
+
+#: Traffic keeps flowing this long; queries outliving it see silence.
+TRAFFIC_HORIZON = 3600.0
+
+
+class ScrubShell:
+    """Line-oriented front end over a running scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        out: TextIO = sys.stdout,
+    ) -> None:
+        self.scenario = scenario
+        self.cluster = scenario.cluster
+        self.out = out
+        self.last_results: Optional[ResultSet] = None
+        scenario.start(until=TRAFFIC_HORIZON)
+        # Let the platform warm up so first queries see steady traffic.
+        self.cluster.run_for(2.0)
+
+    # -- output ---------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- command dispatch ----------------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return True
+        if line.startswith("\\"):
+            return self._command(line)
+        self._query(line)
+        return True
+
+    def _command(self, line: str) -> bool:
+        parts = line.split()
+        cmd, args = parts[0], parts[1:]
+        if cmd in ("\\quit", "\\q", "\\exit"):
+            return False
+        if cmd == "\\help":
+            self._print(__doc__ or "")
+        elif cmd == "\\events":
+            for schema in self.cluster.registry:
+                fields = ", ".join(
+                    f"{f.name}:{f.ftype.value}" for f in schema
+                )
+                self._print(f"  {schema.name}({fields})")
+        elif cmd == "\\hosts":
+            for host in self.cluster.hosts():
+                services = ",".join(sorted(host.services)) or "-"
+                self._print(
+                    f"  {host.name:28s} {host.datacenter:8s} {services}"
+                )
+        elif cmd == "\\queries":
+            running = self.cluster.server.running_query_ids
+            self._print(f"  {len(running)} running: {list(running)}")
+        elif cmd == "\\run":
+            seconds = float(args[0]) if args else 10.0
+            self.cluster.run_for(seconds)
+            self._print(f"  t = {self.cluster.now:.1f}s")
+        elif cmd == "\\csv":
+            if self.last_results is None:
+                self._print("  no results yet")
+            else:
+                self._print(self.last_results.to_csv().rstrip())
+        elif cmd == "\\json":
+            if self.last_results is None:
+                self._print("  no results yet")
+            else:
+                self._print(self.last_results.to_json(indent=2))
+        else:
+            self._print(f"  unknown command {cmd}; \\help lists commands")
+        return True
+
+    def _query(self, text: str) -> None:
+        try:
+            handle = self.cluster.submit(text)
+        except ScrubError as exc:
+            self._print(f"  error: {exc}")
+            return
+        span = handle.expires_at - handle.activates_at
+        self._print(
+            f"  {handle.query_id}: installed on "
+            f"{len(handle.targeted_hosts)} host(s), span {span:g}s — running..."
+        )
+        margin = self.cluster.server.drain_margin + 2.0
+        self.cluster.run_until(handle.expires_at + margin)
+        results = self.cluster.server.finish(handle.query_id)
+        self.last_results = results
+        self._print(results.pretty())
+        if results.total_host_dropped:
+            self._print(f"  ! {results.total_host_dropped} events dropped on hosts")
+        for window in results.windows:
+            for name, est in window.estimates.items():
+                self._print(
+                    f"  ~ [{window.window_start:g},{window.window_end:g}) "
+                    f"{name} = {est}"
+                )
+
+    # -- loop ------------------------------------------------------------------------
+
+    def run(self, source: TextIO = sys.stdin, prompt: bool = True) -> None:
+        interactive = prompt and source.isatty()
+        while True:
+            if interactive:
+                self.out.write(f"scrub[t={self.cluster.now:.0f}s]> ")
+                self.out.flush()
+            line = source.readline()
+            if not line:
+                break
+            if not self.handle(line):
+                break
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Interactive Scrub shell over a simulated bidding platform."
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="spam",
+        help="workload to run underneath the shell",
+    )
+    args = parser.parse_args(argv)
+
+    scenario = SCENARIOS[args.scenario]()
+    print(f"scenario: {scenario.description}")
+    print(f"hosts: {len(scenario.cluster.hosts())}; \\help for commands")
+    shell = ScrubShell(scenario)
+    shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

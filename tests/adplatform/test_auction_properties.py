@@ -1,0 +1,113 @@
+"""Property tests for the internal auction and targeting filter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adplatform.auction import PRICE_BAND, InternalAuction
+from repro.adplatform.entities import (
+    BidRequest,
+    Exchange,
+    LineItem,
+    Publisher,
+    Targeting,
+    User,
+)
+from repro.adplatform.models import BaselineModel, ImprovedModel, TargetingModel
+from repro.adplatform.profilestore import ProfileStore
+from repro.adplatform.targeting import TargetingFilter
+
+_prices = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+_items = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10**6), _prices),
+    min_size=1,
+    max_size=12,
+    unique_by=lambda t: t[0],
+)
+_models = st.sampled_from(
+    [TargetingModel("t"), BaselineModel("a"), ImprovedModel("b")]
+)
+
+
+class TestAuctionProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(items=_items, uid=st.integers(min_value=1, max_value=10**6), model=_models)
+    def test_every_price_in_its_band_and_winner_is_max(self, items, uid, model):
+        auction = InternalAuction(model)
+        user = User(uid, "P", "PT", frozenset({1}))
+        line_items = [LineItem(lid, 1, price) for lid, price in items]
+        result = auction.run(user, line_items)
+        assert result is not None
+        for entry in result.entries:
+            advisory = entry.line_item.advisory_price
+            assert advisory * (1 - PRICE_BAND) - 1e-9 <= entry.bid_price
+            assert entry.bid_price <= advisory * (1 + PRICE_BAND) + 1e-9
+        assert result.winner.bid_price == max(result.bid_prices)
+
+    @settings(max_examples=60, deadline=None)
+    @given(items=_items, uid=st.integers(min_value=1, max_value=10**6))
+    def test_auction_deterministic(self, items, uid):
+        model = TargetingModel("t")
+        user = User(uid, "P", "PT", frozenset({1}))
+        line_items = [LineItem(lid, 1, price) for lid, price in items]
+        a = InternalAuction(model).run(user, list(line_items))
+        b = InternalAuction(model).run(user, list(line_items))
+        assert a.winner.line_item.line_item_id == b.winner.line_item.line_item_id
+        assert a.bid_prices == b.bid_prices
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        items=_items,
+        uid=st.integers(min_value=1, max_value=10**6),
+        factor=st.floats(min_value=2.0, max_value=5.0),
+    )
+    def test_dominant_advisory_price_always_wins(self, items, uid, factor):
+        """A band strictly above everyone else's cannot lose — the
+        cannibalization mechanism as a universal property."""
+        model = TargetingModel("t")
+        user = User(uid, "P", "PT", frozenset({1}))
+        line_items = [LineItem(lid, 1, price) for lid, price in items]
+        top_price = max(price for _lid, price in items)
+        dominant = LineItem(
+            999_999_999, 1,
+            top_price * factor * (1 + PRICE_BAND) / (1 - PRICE_BAND),
+        )
+        result = InternalAuction(model).run(user, line_items + [dominant])
+        assert result.winner.line_item is dominant
+
+
+class TestTargetingFilterProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        countries=st.one_of(st.none(), st.sets(st.sampled_from(["US", "GB", "PT"]))),
+        segments=st.one_of(
+            st.none(), st.sets(st.integers(min_value=1, max_value=10), max_size=4)
+        ),
+        user_segments=st.sets(st.integers(min_value=1, max_value=10), max_size=4),
+        country=st.sampled_from(["US", "GB", "PT", "JP"]),
+    )
+    def test_split_partitions_items(self, countries, segments, user_segments, country):
+        tfilter = TargetingFilter(ProfileStore())
+        item = LineItem(
+            1, 1, 1.0,
+            targeting=Targeting(
+                countries=frozenset(countries) if countries is not None else None,
+                segments=frozenset(segments) if segments is not None else None,
+            ),
+        )
+        request = BidRequest(
+            request_id=1,
+            user=User(1, "X", country, frozenset(user_segments)),
+            exchange=Exchange(1, "E"),
+            publisher=Publisher(1, "P"),
+            timestamp=0.0,
+        )
+        passing, excluded = tfilter.split([item], request)
+        assert len(passing) + len(excluded) == 1
+        # Consistency: passing iff exclusion_reason is None.
+        reason = tfilter.exclusion_reason(item, request)
+        assert bool(passing) == (reason is None)
+        # Empty targeting sets are perverse but must not crash: an empty
+        # countries set can never match, an empty segments set never
+        # overlaps.
+        if countries == set():
+            assert not passing

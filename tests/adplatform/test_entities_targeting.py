@@ -1,0 +1,227 @@
+"""Tests for platform entities, targeting filter, and the profile store."""
+
+import pytest
+
+from repro.adplatform.entities import (
+    BidRequest,
+    Campaign,
+    Exchange,
+    LineItem,
+    Publisher,
+    Targeting,
+    User,
+)
+from repro.adplatform.ids import IdSpace, RequestIdGenerator
+from repro.adplatform.profilestore import ProfileStore
+from repro.adplatform.targeting import ExclusionReason, TargetingFilter
+
+
+@pytest.fixture
+def profiles():
+    return ProfileStore()
+
+
+@pytest.fixture
+def tfilter(profiles):
+    return TargetingFilter(profiles, seconds_per_day=100.0)
+
+
+def request(user=None, exchange_id=1, ts=5.0):
+    user = user or User(1, "Porto", "PT", frozenset({1, 2}))
+    return BidRequest(
+        request_id=1,
+        user=user,
+        exchange=Exchange(exchange_id, "X"),
+        publisher=Publisher(1, "pub"),
+        timestamp=ts,
+    )
+
+
+def line_item(**kwargs):
+    defaults = dict(line_item_id=10, campaign_id=20, advisory_price=1.0)
+    defaults.update(kwargs)
+    return LineItem(**defaults)
+
+
+class TestIdSpace:
+    def test_disjoint_blocks(self):
+        ids = IdSpace()
+        user = ids.next("user")
+        li = ids.next("line_item")
+        assert IdSpace.kind_of(user) == "user"
+        assert IdSpace.kind_of(li) == "line_item"
+        assert user != li
+
+    def test_monotone(self):
+        ids = IdSpace()
+        assert ids.next("campaign") < ids.next("campaign")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            IdSpace().next("widget")
+
+    def test_request_ids_unique(self):
+        gen = RequestIdGenerator()
+        seen = {gen.next() for _ in range(1000)}
+        assert len(seen) == 1000
+
+
+class TestEntities:
+    def test_exchange_activation(self):
+        ex = Exchange(1, "D", active_from=550.0)
+        assert not ex.is_active(549.0)
+        assert ex.is_active(550.0)
+
+    def test_line_item_budget(self):
+        li = line_item(daily_budget=10.0)
+        assert li.has_budget(5.0)
+        li.record_spend(8.0)
+        assert li.budget_remaining() == pytest.approx(2.0)
+        assert not li.has_budget(5.0)
+
+    def test_line_item_no_budget_limit(self):
+        li = line_item()
+        assert li.budget_remaining() is None
+        assert li.has_budget(1e9)
+
+    def test_campaign_membership_check(self):
+        c = Campaign(20, "adv")
+        c.add(line_item())
+        with pytest.raises(ValueError):
+            c.add(line_item(campaign_id=99))
+
+    def test_targeting_describe(self):
+        t = Targeting(countries=frozenset({"US"}))
+        assert "US" in t.describe()
+        assert Targeting().describe() == "any"
+
+
+class TestTargetingFilter:
+    def test_passes_open_targeting(self, tfilter):
+        assert tfilter.exclusion_reason(line_item(), request()) is None
+
+    def test_geo_mismatch(self, tfilter):
+        li = line_item(targeting=Targeting(countries=frozenset({"US"})))
+        assert tfilter.exclusion_reason(li, request()) is ExclusionReason.GEO_MISMATCH
+
+    def test_geo_match(self, tfilter):
+        li = line_item(targeting=Targeting(countries=frozenset({"PT", "ES"})))
+        assert tfilter.exclusion_reason(li, request()) is None
+
+    def test_segment_mismatch(self, tfilter):
+        li = line_item(targeting=Targeting(segments=frozenset({99})))
+        assert (
+            tfilter.exclusion_reason(li, request())
+            is ExclusionReason.SEGMENT_MISMATCH
+        )
+
+    def test_segment_overlap_passes(self, tfilter):
+        li = line_item(targeting=Targeting(segments=frozenset({2, 77})))
+        assert tfilter.exclusion_reason(li, request()) is None
+
+    def test_exchange_not_allowed(self, tfilter):
+        li = line_item(targeting=Targeting(exchanges=frozenset({42})))
+        assert (
+            tfilter.exclusion_reason(li, request(exchange_id=1))
+            is ExclusionReason.EXCHANGE_NOT_ALLOWED
+        )
+
+    def test_budget_exhausted(self, tfilter):
+        li = line_item(daily_budget=1.0, advisory_price=2.0)
+        assert (
+            tfilter.exclusion_reason(li, request())
+            is ExclusionReason.BUDGET_EXHAUSTED
+        )
+
+    def test_inactive(self, tfilter):
+        li = line_item(active=False)
+        assert tfilter.exclusion_reason(li, request()) is ExclusionReason.INACTIVE
+
+    def test_frequency_cap(self, tfilter, profiles):
+        li = line_item(frequency_cap=2)
+        user = User(7, "Porto", "PT", frozenset({1}))
+        req = request(user=user, ts=150.0)  # day 1 at 100 s/day
+        assert tfilter.exclusion_reason(li, req) is None
+        profiles.record_impression(7, li.line_item_id, day=1, now=150.0)
+        profiles.record_impression(7, li.line_item_id, day=1, now=151.0)
+        assert tfilter.exclusion_reason(li, req) is ExclusionReason.FREQUENCY_CAP
+
+    def test_frequency_cap_resets_next_day(self, tfilter, profiles):
+        li = line_item(frequency_cap=1)
+        user = User(7, "Porto", "PT", frozenset({1}))
+        profiles.record_impression(7, li.line_item_id, day=1, now=150.0)
+        assert (
+            tfilter.exclusion_reason(li, request(user=user, ts=150.0))
+            is ExclusionReason.FREQUENCY_CAP
+        )
+        assert tfilter.exclusion_reason(li, request(user=user, ts=250.0)) is None
+
+    def test_reason_priority_deterministic(self, tfilter):
+        """Exchange check precedes geo (evaluation order is fixed)."""
+        li = line_item(
+            targeting=Targeting(
+                countries=frozenset({"US"}), exchanges=frozenset({42})
+            )
+        )
+        assert (
+            tfilter.exclusion_reason(li, request())
+            is ExclusionReason.EXCHANGE_NOT_ALLOWED
+        )
+
+    def test_split(self, tfilter):
+        items = [
+            line_item(line_item_id=1),
+            line_item(line_item_id=2, targeting=Targeting(countries=frozenset({"US"}))),
+        ]
+        passing, excluded = tfilter.split(items, request())
+        assert [li.line_item_id for li in passing] == [1]
+        assert [(li.line_item_id, r) for li, r in excluded] == [
+            (2, ExclusionReason.GEO_MISMATCH)
+        ]
+
+
+class TestProfileStore:
+    def test_record_impression_increments(self, profiles):
+        assert profiles.record_impression(1, 10, day=0, now=5.0) == 1
+        assert profiles.record_impression(1, 10, day=0, now=6.0) == 2
+        assert profiles.frequency(1, 10, day=0) == 2
+        assert profiles.frequency(1, 10, day=1) == 0
+        assert profiles.frequency(99, 10, day=0) == 0
+
+    def test_update_hook_fires(self, profiles):
+        calls = []
+        profiles.on_update(lambda *a: calls.append(a))
+        profiles.record_impression(1, 10, day=0, now=5.0)
+        assert calls == [(1, 10, 1, 0, "impression")]
+
+    def test_feed_write_healthy(self, profiles):
+        profiles.apply_feed_write(1, 10, count=5, day=0, now=1.0)
+        assert profiles.frequency(1, 10, day=0) == 5
+        assert profiles.corrupted_writes == 0
+
+    def test_feed_write_corruption(self, profiles):
+        profiles.install_corruption(1.0, seed=1)  # always corrupt
+        stored = profiles.apply_feed_write(1, 10, count=5, day=0, now=1.0)
+        assert stored == 0
+        assert profiles.frequency(1, 10, day=0) == 0
+        assert profiles.corrupted_writes == 1
+
+    def test_corruption_rate_partial(self, profiles):
+        profiles.install_corruption(0.5, seed=3)
+        for i in range(200):
+            profiles.apply_feed_write(i, 10, count=3, day=0, now=1.0)
+        assert 60 <= profiles.corrupted_writes <= 140
+
+    def test_clear_corruption(self, profiles):
+        profiles.install_corruption(1.0)
+        profiles.clear_corruption()
+        assert profiles.apply_feed_write(1, 10, count=5, day=0, now=1.0) == 5
+
+    def test_invalid_rate(self, profiles):
+        with pytest.raises(ValueError):
+            profiles.install_corruption(1.5)
+
+    def test_user_count(self, profiles):
+        profiles.record_impression(1, 10, 0, 0.0)
+        profiles.record_impression(2, 10, 0, 0.0)
+        assert profiles.user_count == 2

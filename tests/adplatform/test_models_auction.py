@@ -1,0 +1,107 @@
+"""Tests for targeting models and the internal auction."""
+
+import pytest
+
+from repro.adplatform.auction import PRICE_BAND, InternalAuction
+from repro.adplatform.entities import LineItem, Targeting, User
+from repro.adplatform.models import BaselineModel, ImprovedModel, TargetingModel
+
+
+def user(uid=1):
+    return User(uid, "Porto", "PT", frozenset({1}))
+
+
+def li(lid, price):
+    return LineItem(line_item_id=lid, campaign_id=1, advisory_price=price)
+
+
+class TestModels:
+    def test_scores_in_unit_interval(self):
+        model = TargetingModel("m")
+        for uid in range(50):
+            s = model.score(user(uid), li(10, 1.0))
+            assert 0.0 <= s <= 1.0
+
+    def test_deterministic(self):
+        a = TargetingModel("m", seed=7)
+        b = TargetingModel("m", seed=7)
+        assert a.score(user(3), li(10, 1.0)) == b.score(user(3), li(10, 1.0))
+
+    def test_improved_model_tracks_affinity_better(self):
+        """Model B's scores correlate with true affinity more than A's —
+        the mechanism behind Fig. 15's CTR gap."""
+        base, improved = BaselineModel("A"), ImprovedModel("B")
+        item = li(10, 1.0)
+
+        def corr(model):
+            pairs = [
+                (model.score(user(u), item), model.affinity(user(u), item))
+                for u in range(300)
+            ]
+            mean_s = sum(s for s, _ in pairs) / len(pairs)
+            mean_a = sum(a for _, a in pairs) / len(pairs)
+            cov = sum((s - mean_s) * (a - mean_a) for s, a in pairs)
+            var_s = sum((s - mean_s) ** 2 for s, _ in pairs)
+            var_a = sum((a - mean_a) ** 2 for _, a in pairs)
+            return cov / (var_s * var_a) ** 0.5
+
+        assert corr(improved) > corr(base) + 0.3
+
+    def test_click_probability_bounded(self):
+        model = ImprovedModel("B")
+        for uid in range(100):
+            p = model.click_probability(user(uid), li(10, 1.0))
+            assert 0.0 <= p <= 1.0
+
+    def test_affinity_model_independent(self):
+        a, b = BaselineModel("A"), ImprovedModel("B")
+        assert a.affinity(user(5), li(9, 1.0)) == b.affinity(user(5), li(9, 1.0))
+
+
+class TestInternalAuction:
+    def test_price_stays_in_band(self):
+        """Bid prices move in a narrow band around the advisory price
+        (paper Section 8.5)."""
+        auction = InternalAuction(TargetingModel("m"))
+        item = li(10, 2.0)
+        for uid in range(100):
+            result = auction.run(user(uid), [item])
+            price = result.winner.bid_price
+            assert 2.0 * (1 - PRICE_BAND) <= price <= 2.0 * (1 + PRICE_BAND)
+
+    def test_winner_has_max_price(self):
+        auction = InternalAuction(TargetingModel("m"))
+        items = [li(i, 1.0 + 0.1 * i) for i in range(5)]
+        result = auction.run(user(1), items)
+        assert result.winner.bid_price == max(result.bid_prices)
+
+    def test_disjoint_bands_guarantee_cannibalization(self):
+        """If A's band floor exceeds λ's band ceiling, λ can never win."""
+        auction = InternalAuction(TargetingModel("m"))
+        lam = li(1, 1.0)
+        rival = li(2, 4.0)
+        assert 4.0 * (1 - PRICE_BAND) > 1.0 * (1 + PRICE_BAND)
+        for uid in range(200):
+            result = auction.run(user(uid), [lam, rival])
+            assert result.winner.line_item is rival
+
+    def test_empty_auction(self):
+        auction = InternalAuction(TargetingModel("m"))
+        assert auction.run(user(1), []) is None
+
+    def test_result_vectors_aligned(self):
+        auction = InternalAuction(TargetingModel("m"))
+        items = [li(i, 1.0) for i in range(3)]
+        result = auction.run(user(1), items)
+        assert len(result.line_item_ids) == len(result.bid_prices) == 3
+        assert set(result.line_item_ids) == {0, 1, 2}
+
+    def test_deterministic_tiebreak(self):
+        """Equal prices break ties toward the lower line-item id."""
+        class ConstantModel(TargetingModel):
+            def score(self, _user, _li):
+                return 0.5
+
+        auction = InternalAuction(ConstantModel("c"))
+        result = auction.run(user(1), [li(7, 1.0), li(3, 1.0)])
+        assert result.winner.line_item.line_item_id == 3

@@ -1,0 +1,253 @@
+"""Tests for the assembled platform: servers, event flow, traffic, pods."""
+
+import pytest
+
+from repro.adplatform import (
+    AdPlatform,
+    BidRequest,
+    BotSpec,
+    Exchange,
+    ExchangeTraffic,
+    IdSpace,
+    LineItem,
+    PodSpec,
+    Publisher,
+    Targeting,
+    TargetingModel,
+    User,
+    make_exchanges,
+    make_publishers,
+    make_users,
+)
+from repro.baselines import LoggingBaseline
+
+
+def open_line_item(ids, price=2.0):
+    return LineItem(
+        line_item_id=ids.next("line_item"), campaign_id=1,
+        advisory_price=price, targeting=Targeting(),
+    )
+
+
+def tiny_platform(line_items=None, pods=None):
+    ids = IdSpace()
+    items = line_items if line_items is not None else [open_line_item(ids)]
+    platform = AdPlatform(
+        pods=pods or [PodSpec("main", TargetingModel("m"), 1, 1, 1)],
+        line_items=items,
+    )
+    platform.record_outcomes = True
+    return platform, ids
+
+
+def send_request(platform, ids, rid=None, user=None, ts=None):
+    req = BidRequest(
+        request_id=rid if rid is not None else platform.request_ids.next(),
+        user=user or User(ids.next("user"), "Porto", "PT", frozenset({1})),
+        exchange=Exchange(ids.next("exchange"), "X"),
+        publisher=Publisher(ids.next("publisher"), "pub"),
+        timestamp=ts if ts is not None else platform.cluster.loop.now,
+    )
+    return platform.handle_bid_request(req)
+
+
+class TestBidPipeline:
+    def test_bid_emitted_for_winning_auction(self):
+        platform, ids = tiny_platform()
+        baseline = LoggingBaseline(platform.cluster)
+        baseline.install()
+        outcome = send_request(platform, ids)
+        assert outcome.did_bid
+        platform.cluster.run_until(3.0)
+        bids = baseline.store.events_of_type("bid")
+        assert len(bids) == 1
+        assert bids[0].payload["country"] == "PT"
+        assert bids[0].request_id == outcome.request.request_id
+
+    def test_no_bid_when_all_excluded(self):
+        ids = IdSpace()
+        item = LineItem(
+            line_item_id=ids.next("line_item"), campaign_id=1,
+            advisory_price=1.0,
+            targeting=Targeting(countries=frozenset({"US"})),
+        )
+        platform, _ = tiny_platform(line_items=[item])
+        baseline = LoggingBaseline(platform.cluster)
+        baseline.install()
+        outcome = send_request(platform, ids)
+        assert not outcome.did_bid
+        platform.cluster.run_until(3.0)
+        assert baseline.store.events_of_type("bid") == []
+        exclusions = baseline.store.events_of_type("exclusion")
+        assert len(exclusions) == 1
+        assert exclusions[0].payload["reason"] == "GEO_MISMATCH"
+
+    def test_auction_event_lists_participants(self):
+        ids = IdSpace()
+        items = [open_line_item(ids, price=1.0 + i) for i in range(3)]
+        platform, _ = tiny_platform(line_items=items)
+        baseline = LoggingBaseline(platform.cluster)
+        baseline.install()
+        send_request(platform, ids)
+        platform.cluster.run_until(3.0)
+        (auction,) = baseline.store.events_of_type("auction")
+        assert len(auction.payload["line_item_ids"]) == 3
+        assert auction.payload["winner_price"] == max(auction.payload["bid_prices"])
+
+    def test_impression_and_profile_follow_win(self):
+        platform, ids = tiny_platform()
+        baseline = LoggingBaseline(platform.cluster)
+        baseline.install()
+        # Send until one wins the (hash-based) external auction.
+        for _ in range(10):
+            send_request(platform, ids)
+        platform.cluster.run_until(10.0)
+        impressions = baseline.store.events_of_type("impression")
+        assert impressions
+        assert platform.profiles.user_count >= 1
+        updates = baseline.store.events_of_type("profile_update")
+        assert len(updates) >= len(impressions)
+
+    def test_request_id_threads_through_funnel(self):
+        platform, ids = tiny_platform()
+        baseline = LoggingBaseline(platform.cluster)
+        baseline.install()
+        outcomes = [send_request(platform, ids) for _ in range(10)]
+        platform.cluster.run_until(10.0)
+        bid_rids = {e.request_id for e in baseline.store.events_of_type("bid")}
+        imp_rids = {e.request_id for e in baseline.store.events_of_type("impression")}
+        assert imp_rids <= bid_rids  # every impression traces to its bid
+        assert bid_rids == {o.request.request_id for o in outcomes if o.did_bid}
+
+    def test_latency_recorded(self):
+        platform, ids = tiny_platform()
+        outcome = send_request(platform, ids)
+        assert outcome.latency > 0
+        assert platform.bid_latencies() == [outcome.latency]
+
+    def test_budget_spend_recorded(self):
+        platform, ids = tiny_platform()
+        item = platform.line_items[0]
+        for _ in range(20):
+            send_request(platform, ids)
+        platform.cluster.run_until(10.0)
+        assert item.spent_today > 0
+
+
+class TestPods:
+    def test_user_sticky_pod_routing(self):
+        pods = [
+            PodSpec("A", TargetingModel("A"), 1, 1, 1),
+            PodSpec("B", TargetingModel("B"), 1, 1, 1),
+        ]
+        platform, ids = tiny_platform(pods=pods)
+        u = User(ids.next("user"), "Porto", "PT", frozenset({1}))
+        req = lambda: BidRequest(
+            platform.request_ids.next(), u,
+            Exchange(1, "X"), Publisher(1, "p"), platform.cluster.loop.now,
+        )
+        first = platform.pod_for(req())
+        assert all(platform.pod_for(req()) is first for _ in range(10))
+
+    def test_pod_host_lists_disjoint(self):
+        pods = [
+            PodSpec("A", TargetingModel("A"), 2, 2, 2),
+            PodSpec("B", TargetingModel("B"), 2, 2, 2),
+        ]
+        platform, _ = tiny_platform(pods=pods)
+        a, b = platform.pods
+        assert set(a.host_names()).isdisjoint(b.host_names())
+        assert len(a.host_names()) == 6
+
+    def test_add_line_item_visible_to_adservers(self):
+        platform, ids = tiny_platform()
+        new = open_line_item(ids, price=9.0)
+        platform.add_line_item(new)
+        assert new in platform.adservers[0].line_items
+
+
+class TestExchangeTraffic:
+    def _traffic(self, sink, rate=10.0, bots=(), users=None, exchanges=None):
+        from repro.cluster.simclock import EventLoop
+
+        loop = EventLoop()
+        ids = IdSpace()
+        users = users if users is not None else make_users(50, ids, seed=1)
+        exchanges = exchanges or make_exchanges(ids)
+        traffic = ExchangeTraffic(
+            loop=loop, users=users, exchanges=exchanges,
+            publishers=make_publishers(ids), sink=sink,
+            pageviews_per_second=rate, seed=5, bots=bots,
+        )
+        return loop, traffic
+
+    def test_rate_roughly_honored(self):
+        requests = []
+        loop, traffic = self._traffic(requests.append, rate=20.0)
+        traffic.start(until=30.0)
+        loop.run_until(30.0)
+        # 20 pv/s * 30 s * ~2 slots average => wide bounds.
+        assert 600 <= len(requests) <= 2000
+        assert traffic.pageviews > 0
+
+    def test_request_ids_unique_and_monotone(self):
+        requests = []
+        loop, traffic = self._traffic(requests.append, rate=10.0)
+        traffic.start(until=5.0)
+        loop.run_until(5.0)
+        rids = [r.request_id for r in requests]
+        assert rids == sorted(rids)
+        assert len(set(rids)) == len(rids)
+
+    def test_inactive_exchange_gets_no_traffic(self):
+        ids = IdSpace()
+        exchanges = make_exchanges(ids, names=("A", "D"))
+        exchanges[1].active_from = 1e9
+        requests = []
+        loop, traffic = self._traffic(
+            requests.append, rate=10.0, exchanges=exchanges,
+        )
+        traffic.start(until=5.0)
+        loop.run_until(5.0)
+        assert requests
+        assert all(r.exchange.name == "A" for r in requests)
+
+    def test_bots_send_fixed_batches(self):
+        ids = IdSpace()
+        bot_user = User(ids.next("user"), "X", "US", frozenset(), is_bot=True)
+        requests = []
+        loop, traffic = self._traffic(
+            requests.append, rate=0.0,
+            bots=[BotSpec(bot_user, batch_size=25, period=2.0)],
+            users=[],
+        )
+        traffic.start(until=10.0)
+        loop.run_until(10.0)
+        assert len(requests) == 5 * 25
+        assert all(r.user.is_bot for r in requests)
+
+    def test_deterministic_given_seed(self):
+        out1, out2 = [], []
+        loop1, t1 = self._traffic(out1.append, rate=15.0)
+        t1.start(until=5.0)
+        loop1.run_until(5.0)
+        loop2, t2 = self._traffic(out2.append, rate=15.0)
+        t2.start(until=5.0)
+        loop2.run_until(5.0)
+        assert [(r.user.user_id, r.exchange.name) for r in out1] == [
+            (r.user.user_id, r.exchange.name) for r in out2
+        ]
+
+    def test_double_start_rejected(self):
+        loop, traffic = self._traffic(lambda r: None)
+        traffic.start(until=1.0)
+        with pytest.raises(RuntimeError):
+            traffic.start(until=2.0)
+
+    def test_user_population_shape(self):
+        ids = IdSpace()
+        users = make_users(500, ids, seed=2)
+        assert len({u.user_id for u in users}) == 500
+        assert all(u.segments for u in users)
+        countries = {u.country for u in users}
+        assert {"US", "GB"} <= countries

@@ -1,0 +1,192 @@
+"""Tests for the logging baseline and the offline batch engine."""
+
+import pytest
+
+from repro.baselines import (
+    BatchCostModel,
+    BatchQueryEngine,
+    LoggingBaseline,
+    LogStore,
+)
+from repro.cluster import SimCluster
+from repro.core.agent.transport import EventBatch
+from repro.core.events import Event, EventRegistry
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [("exchange_id", "long"), ("bid_price", "double"),
+                     ("user_id", "long"), ("city", "string"),
+                     ("country", "string")])
+    r.define("click", [("user_id", "long")])
+    return r
+
+
+def cluster_with_traffic(registry, hosts=2, seconds=10.0, per_tick=3):
+    cluster = SimCluster(registry, flush_interval=0.5)
+    host_list = cluster.add_service("BidServers", "dc1", hosts)
+    counter = [0]
+
+    def emit():
+        for host in host_list:
+            for _ in range(per_tick):
+                counter[0] += 1
+                host.charge_app(0.001)
+                host.agent.log(
+                    "bid", exchange_id=counter[0] % 3, bid_price=1.0,
+                    user_id=counter[0] % 7, city="San Jose", country="US",
+                    request_id=counter[0],
+                )
+
+    cluster.loop.call_every(0.5, emit)
+    return cluster, counter
+
+
+class TestLogStore:
+    def test_ingest_accounting(self):
+        store = LogStore()
+        events = [Event("bid", {"x": i}, i, float(i)) for i in range(5)]
+        store.ingest(EventBatch(host="h", query_id="log", events=events))
+        assert store.stats.events == 5
+        assert store.stats.batches == 1
+        assert store.stats.json_bytes > 0
+        assert len(store.events) == 5
+
+    def test_no_retention_mode(self):
+        store = LogStore(retain_events=False)
+        store.ingest(EventBatch(host="h", query_id="log",
+                                events=[Event("bid", {}, 1, 0.0)]))
+        assert store.stats.events == 1
+        with pytest.raises(RuntimeError):
+            _ = store.events
+
+    def test_events_of_type(self):
+        store = LogStore()
+        store.ingest(EventBatch(host="h", query_id="log", events=[
+            Event("bid", {}, 1, 0.0), Event("click", {}, 1, 0.1),
+        ]))
+        assert len(store.events_of_type("bid")) == 1
+
+
+class TestLoggingBaseline:
+    def test_collects_every_event_type(self, registry):
+        cluster, counter = cluster_with_traffic(registry)
+        baseline = LoggingBaseline(cluster)
+        baseline.install()
+        cluster.run_until(10.0)
+        emitted = counter[0]
+        cluster.loop.call_every(0.5, lambda: None)  # keep loop ticking
+        cluster.run_until(13.0)  # drain in-flight flushes
+        # Everything logged, nothing filtered.
+        assert baseline.store.stats.events >= emitted
+
+    def test_scrub_queries_still_work_alongside(self, registry):
+        from repro.cluster import run_to_completion
+
+        cluster, _ = cluster_with_traffic(registry)
+        baseline = LoggingBaseline(cluster)
+        baseline.install()
+        handle = cluster.submit("select COUNT(*) from bid duration 5s;")
+        results = run_to_completion(cluster, handle)
+        assert sum(r[0] for r in results.rows) > 0
+        assert baseline.store.stats.events > 0
+
+    def test_double_install_rejected(self, registry):
+        cluster, _ = cluster_with_traffic(registry)
+        baseline = LoggingBaseline(cluster)
+        baseline.install()
+        with pytest.raises(RuntimeError):
+            baseline.install()
+
+    def test_uninstall_stops_collection(self, registry):
+        cluster, _ = cluster_with_traffic(registry)
+        baseline = LoggingBaseline(cluster)
+        baseline.install()
+        cluster.run_until(5.0)
+        baseline.uninstall()
+        cluster.run_until(8.0)  # drain batches already in flight
+        collected = baseline.store.stats.events
+        cluster.run_until(15.0)
+        assert baseline.store.stats.events == collected
+
+    def test_logging_ships_more_bytes_than_selective_query(self, registry):
+        """The core of the paper's anti-logging argument, in one assert."""
+        from repro.cluster import run_to_completion
+
+        # Run 1: log everything.
+        c1, _ = cluster_with_traffic(registry)
+        baseline = LoggingBaseline(c1)
+        baseline.install()
+        c1.run_until(10.0)
+        logging_bytes = c1.scrub_bytes_shipped()
+
+        # Run 2: one selective COUNT query, no logging.
+        c2, _ = cluster_with_traffic(registry)
+        handle = c2.submit(
+            "select COUNT(*) from bid where bid.exchange_id = 0 duration 9s;"
+        )
+        run_to_completion(c2, handle)
+        scrub_bytes = c2.scrub_bytes_shipped()
+
+        assert logging_bytes > 3 * scrub_bytes
+
+
+class TestBatchEngine:
+    def _store_with_events(self, n=100):
+        store = LogStore()
+        events = []
+        for i in range(n):
+            events.append(Event(
+                "bid", {"exchange_id": i % 3, "bid_price": 1.0, "user_id": i % 7},
+                i, float(i) / 10.0, "h1",
+            ))
+        store.ingest(EventBatch(host="h1", query_id="log", events=events))
+        return store
+
+    def test_batch_answers_match_semantics(self, registry):
+        store = self._store_with_events(90)
+        engine = BatchQueryEngine(registry)
+        report = engine.run(
+            "select bid.user_id, COUNT(*) from bid window 100s "
+            "group by bid.user_id;",
+            store,
+        )
+        rows = report.results.windows[0].as_dicts()
+        # 90 events, user_id = i % 7: counts 13 for ids < 6, 12 for 6.
+        by_user = {r["bid.user_id"]: r["COUNT(*)"] for r in rows}
+        assert sum(by_user.values()) == 90
+        assert by_user[0] == 13
+
+    def test_selection_applied_during_scan(self, registry):
+        store = self._store_with_events(90)
+        engine = BatchQueryEngine(registry)
+        report = engine.run(
+            "select COUNT(*) from bid where bid.exchange_id = 0 window 100s;",
+            store,
+        )
+        assert report.records_scanned == 90
+        assert report.records_matched == 30
+        assert report.results.rows[0][0] == 30
+
+    def test_scan_covers_unrelated_types(self, registry):
+        store = self._store_with_events(10)
+        store.ingest(EventBatch(host="h", query_id="log", events=[
+            Event("click", {"user_id": 1}, 1, 0.5) for _ in range(5)
+        ]))
+        engine = BatchQueryEngine(registry)
+        report = engine.run("select COUNT(*) from bid window 100s;", store)
+        assert report.records_scanned == 15  # clicks scanned, not matched
+        assert report.records_matched == 10
+
+    def test_cost_model_dominated_by_startup_for_small_jobs(self, registry):
+        store = self._store_with_events(100)
+        engine = BatchQueryEngine(registry)
+        report = engine.run("select COUNT(*) from bid window 100s;", store)
+        assert report.estimated_runtime_seconds >= BatchCostModel().job_startup_seconds
+
+    def test_cost_model_scales_with_records(self):
+        model = BatchCostModel()
+        small = model.estimate_runtime(records_scanned=10_000, shuffle_bytes=0)
+        large = model.estimate_runtime(records_scanned=100_000_000, shuffle_bytes=0)
+        assert large > small + 10

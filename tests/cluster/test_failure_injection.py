@@ -1,0 +1,175 @@
+"""Failure injection: partitions, silent hosts, install failures.
+
+Scrub's degraded modes must be *graceful and visible*: missing data
+shows up as lower counts plus accounting (drops, estimator treating
+silent hosts as zero), never as hangs, crashes, or silently wrong
+per-window semantics.
+"""
+
+import pytest
+
+from repro.cluster import CENTRAL_DATACENTER, SimCluster, run_to_completion
+from repro.core.events import EventRegistry
+from repro.core.query import ScrubValidationError
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [("exchange_id", "long"), ("bid_price", "double")])
+    return r
+
+
+def traffic(cluster, hosts, per_tick=3, tick=0.5):
+    counter = [0]
+
+    def emit():
+        for host in hosts:
+            for _ in range(per_tick):
+                counter[0] += 1
+                host.charge_app(0.001)
+                host.agent.log(
+                    "bid", exchange_id=1, bid_price=1.0, request_id=counter[0]
+                )
+
+    cluster.loop.call_every(tick, emit)
+    return counter
+
+
+class TestNetworkPartition:
+    def test_partitioned_host_contributes_nothing_but_query_completes(
+        self, registry
+    ):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        near = cluster.add_service("BidServers", "dc1", 1)
+        far = cluster.add_service("BidServers", "dc2", 1)
+        traffic(cluster, near + far, per_tick=2)
+        cluster.network.partition("dc2", CENTRAL_DATACENTER)
+
+        handle = cluster.submit(
+            "select COUNT(*) from bid @[Service in BidServers] "
+            "window 10s duration 20s;"
+        )
+        results = run_to_completion(cluster, handle)
+        counts = [w.rows[0][0] for w in results.windows]
+        # Only dc1's events arrive: half the fleet's volume, no hang.
+        assert sum(counts) > 0
+        per_window_one_host = 2 * 20  # 2 events x 20 ticks per 10s window
+        assert all(c <= per_window_one_host for c in counts)
+        # The loss is visible in link accounting.
+        stats = cluster.network.stats[("dc2", CENTRAL_DATACENTER)]
+        assert stats.dropped_messages > 0
+
+    def test_partition_heals_mid_query(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc2", 1)
+        traffic(cluster, hosts, per_tick=2)
+        cluster.network.partition("dc2", CENTRAL_DATACENTER)
+
+        handle = cluster.submit(
+            "select COUNT(*) from bid window 10s duration 40s;"
+        )
+        cluster.run_until(20.0)
+        cluster.network.heal("dc2", CENTRAL_DATACENTER)
+        results = run_to_completion(cluster, handle)
+        by_start = {w.window_start: w.rows[0][0] for w in results.windows}
+        # Early windows lost their batches (flushes were dropped in
+        # flight); post-heal windows are full.
+        assert by_start.get(30.0, 0) == 40  # 2/tick x 20 ticks
+        assert sum(by_start.values()) < 40 * 4
+
+    def test_is_partitioned_reporting(self, registry):
+        cluster = SimCluster(registry)
+        cluster.network.partition("a", "b")
+        assert cluster.network.is_partitioned("a", "b")
+        assert cluster.network.is_partitioned("b", "a")
+        cluster.network.heal("a", "b")
+        assert not cluster.network.is_partitioned("a", "b")
+
+    def test_asymmetric_partition(self, registry):
+        cluster = SimCluster(registry)
+        cluster.network.partition("a", "b", symmetric=False)
+        assert cluster.network.is_partitioned("a", "b")
+        assert not cluster.network.is_partitioned("b", "a")
+
+
+class TestSilentAndDyingHosts:
+    def test_host_dying_mid_query(self, registry):
+        """A host that stops emitting mid-span: its windows shrink, the
+        query still completes with every other host's data."""
+        cluster = SimCluster(registry, flush_interval=0.5)
+        stable = cluster.add_service("BidServers", "dc1", 1)
+        dying = cluster.add_service("BidServers", "dc1", 1)
+
+        counter = [0]
+
+        def emit():
+            now = cluster.now
+            for host in stable + (dying if now < 10.0 else []):
+                counter[0] += 1
+                host.agent.log("bid", exchange_id=1, bid_price=1.0,
+                               request_id=counter[0])
+
+        cluster.loop.call_every(0.5, emit)
+        handle = cluster.submit(
+            "select COUNT(*) from bid window 10s duration 30s;"
+        )
+        results = run_to_completion(cluster, handle)
+        by_start = {w.window_start: w.rows[0][0] for w in results.windows}
+        assert by_start[0.0] > by_start[20.0]  # both hosts vs one host
+        assert by_start[20.0] > 0              # survivor still reporting
+
+    def test_estimator_counts_silent_hosts_as_zero(self, registry):
+        """Under host sampling, a targeted-but-silent host must pull the
+        estimate down, not vanish from the population."""
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc1", 4)
+        # Only half the fleet produces events at all.
+        traffic(cluster, hosts[:2], per_tick=5)
+        handle = cluster.submit(
+            "select COUNT(*) from bid @[Service in BidServers] "
+            "sample hosts 100% sample events 50% window 10s duration 10s;"
+        )
+        results = run_to_completion(cluster, handle)
+        window = results.windows[0]
+        est = window.estimates["COUNT(*)"]
+        # True total in window [0,10): ticks at 0.5..9.5 = 19 ticks x
+        # 2 producing hosts x 5 events = 190.  All 4 targeted hosts are in
+        # the estimator population, two with M_i = 0 — M_i is exact, so
+        # the COUNT estimate is exact despite 50% event sampling.
+        assert est.estimate == pytest.approx(190.0)
+
+
+class TestInstallFailureRollback:
+    def test_failed_install_rolls_back_earlier_hosts(self, registry):
+        """If installation fails on host k, hosts 0..k-1 must be cleaned
+        up — no half-installed query lingers on the fleet."""
+        from repro.core import ManualClock, Scrub
+
+        scrub = Scrub(clock=ManualClock(), grace_seconds=0.0)
+        scrub.define_event("bid", [("exchange_id", "long")])
+        good = scrub.add_host("good", services=["S"])
+
+        # A host whose registry lacks the event type: install will raise.
+        from repro.core.agent import RecordingTransport, ScrubAgent
+
+        empty_registry = EventRegistry()
+        bad_agent = ScrubAgent("bad", empty_registry, RecordingTransport())
+        scrub.directory.add_host("bad", bad_agent, services=["S"])
+
+        with pytest.raises(KeyError):
+            scrub.submit("select COUNT(*) from bid @[Service in S];")
+        assert good.active_query_ids == ()
+        assert bad_agent.active_query_ids == ()
+        # The central engine never saw the query either.
+        assert scrub.central.registered_queries() == ()
+
+    def test_no_matching_host_is_clean_failure(self, registry):
+        from repro.core import ManualClock, Scrub
+
+        scrub = Scrub(clock=ManualClock())
+        scrub.define_event("bid", [("exchange_id", "long")])
+        scrub.add_host("h1", services=["Other"])
+        with pytest.raises(ScrubValidationError):
+            scrub.submit("select COUNT(*) from bid @[Service in Nothing];")
+        assert scrub.central.registered_queries() == ()

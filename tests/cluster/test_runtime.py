@@ -1,0 +1,124 @@
+"""End-to-end tests for the simulated cluster deployment."""
+
+import pytest
+
+from repro.cluster import LinkSpec, SimCluster, run_to_completion
+from repro.cluster.metrics import OverheadSampler
+from repro.core.events import EventRegistry
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [("exchange_id", "long"), ("bid_price", "double")])
+    return r
+
+
+def steady_traffic(cluster, hosts, per_tick=5, tick=0.1, price=1.0):
+    counter = [0]
+
+    def emit():
+        for host in hosts:
+            for _ in range(per_tick):
+                counter[0] += 1
+                host.charge_app(0.002)
+                host.agent.log(
+                    "bid", exchange_id=1, bid_price=price,
+                    request_id=counter[0],
+                )
+
+    cluster.loop.call_every(tick, emit)
+    return counter
+
+
+class TestSimClusterQueries:
+    def test_count_matches_traffic(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc1", 3)
+        steady_traffic(cluster, hosts, per_tick=4, tick=0.1)
+        handle = cluster.submit(
+            "select COUNT(*) from bid @[Service in BidServers] "
+            "window 10s duration 20s;"
+        )
+        results = run_to_completion(cluster, handle)
+        counts = [w.rows[0][0] for w in results.windows]
+        # Ticks at 0.1..9.9 (99) land in window 0; 10.0..19.9 (100) in
+        # window 1; 3 hosts x 4 events per tick.
+        assert counts == [1188, 1200]
+        assert results.total_late_events == 0
+
+    def test_events_pay_network_latency(self, registry):
+        """With a slow link, early windows close before batches arrive."""
+        cluster = SimCluster(
+            registry,
+            flush_interval=0.5,
+            grace_seconds=0.1,
+            inter_dc=LinkSpec(latency_seconds=5.0, bandwidth_bytes_per_second=1e9),
+        )
+        hosts = cluster.add_service("BidServers", "dc-remote", 1)
+        steady_traffic(cluster, hosts, per_tick=2, tick=0.1)
+        handle = cluster.submit(
+            "select COUNT(*) from bid window 2s duration 10s;"
+        )
+        results = run_to_completion(cluster, handle)
+        assert results.total_late_events > 0
+
+    def test_network_byte_accounting(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc1", 2)
+        steady_traffic(cluster, hosts)
+        handle = cluster.submit("select COUNT(*) from bid duration 5s;")
+        run_to_completion(cluster, handle)
+        assert cluster.network.total_bytes(cross_dc_only=True) > 0
+        assert cluster.scrub_bytes_shipped() > 0
+
+    def test_no_query_no_bytes(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc1", 2)
+        steady_traffic(cluster, hosts)
+        cluster.run_until(10.0)
+        assert cluster.scrub_bytes_shipped() == 0
+
+    def test_target_restricts_hosts(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        bid_hosts = cluster.add_service("BidServers", "dc1", 2)
+        ad_hosts = cluster.add_service("AdServers", "dc1", 2)
+        steady_traffic(cluster, bid_hosts + ad_hosts, per_tick=2)
+        handle = cluster.submit(
+            "select COUNT(*) from bid @[Service in BidServers] duration 5s;"
+        )
+        assert set(handle.targeted_hosts) == {h.name for h in bid_hosts}
+        run_to_completion(cluster, handle)
+        for host in ad_hosts:
+            assert host.agent.stats.events_examined == 0
+
+    def test_overhead_summary_small(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc1", 2)
+        steady_traffic(cluster, hosts)
+        handle = cluster.submit("select COUNT(*) from bid duration 10s;")
+        run_to_completion(cluster, handle)
+        summary = cluster.overhead_summary("BidServers")
+        assert 0 < summary.max_overhead < 0.05  # well under 5%
+
+    def test_overhead_sampler_series(self, registry):
+        cluster = SimCluster(registry, flush_interval=0.5)
+        hosts = cluster.add_service("BidServers", "dc1", 2)
+        steady_traffic(cluster, hosts)
+        sampler = OverheadSampler(cluster.loop, hosts, interval=2.0)
+        handle = cluster.submit("select COUNT(*) from bid duration 10s;")
+        run_to_completion(cluster, handle)
+        assert len(sampler.series) >= 4
+        times = [t for t, _mean, _mx in sampler.series]
+        assert times == sorted(times)
+
+    def test_two_clusters_are_isolated(self, registry):
+        c1 = SimCluster(registry, flush_interval=0.5)
+        c2 = SimCluster(registry.copy(), flush_interval=0.5)
+        h1 = c1.add_service("BidServers", "dc1", 1)
+        c2.add_service("BidServers", "dc1", 1)
+        steady_traffic(c1, h1)
+        handle = c1.submit("select COUNT(*) from bid duration 3s;")
+        results = run_to_completion(c1, handle)
+        assert sum(w.rows[0][0] for w in results.windows) > 0
+        assert c2.central.stats.events_received == 0

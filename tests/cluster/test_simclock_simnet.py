@@ -1,0 +1,173 @@
+"""Tests for the discrete-event loop and the simulated network."""
+
+import pytest
+
+from repro.cluster.simclock import EventLoop
+from repro.cluster.simnet import LinkSpec, SimNetwork
+
+
+class TestEventLoop:
+    def test_time_advances_to_deadline(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        assert loop.now == 5.0
+
+    def test_callbacks_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_at(3.0, order.append, "c")
+        loop.call_at(1.0, order.append, "a")
+        loop.call_at(2.0, order.append, "b")
+        loop.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abc":
+            loop.call_at(1.0, order.append, tag)
+        loop.run_until(2.0)
+        assert order == ["a", "b", "c"]
+
+    def test_now_during_callback(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(4.2, lambda: seen.append(loop.now))
+        loop.run_until(10.0)
+        assert seen == [4.2]
+
+    def test_call_later(self):
+        loop = EventLoop(start=10.0)
+        fired = []
+        loop.call_later(5.0, fired.append, True)
+        loop.run_until(14.9)
+        assert fired == []
+        loop.run_until(15.0)
+        assert fired == [True]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop(start=10.0)
+        with pytest.raises(ValueError):
+            loop.call_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            loop.call_later(-1.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        loop = EventLoop(start=10.0)
+        with pytest.raises(ValueError):
+            loop.run_until(5.0)
+
+    def test_cancellation(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.call_at(1.0, fired.append, True)
+        handle.cancel()
+        loop.run_until(2.0)
+        assert fired == []
+
+    def test_call_every(self):
+        loop = EventLoop()
+        ticks = []
+        loop.call_every(1.0, lambda: ticks.append(loop.now))
+        loop.run_until(5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_call_every_until(self):
+        loop = EventLoop()
+        ticks = []
+        loop.call_every(1.0, lambda: ticks.append(loop.now), until=3.0)
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_call_every_cancel(self):
+        loop = EventLoop()
+        ticks = []
+        series = loop.call_every(1.0, lambda: ticks.append(loop.now))
+        loop.run_until(2.5)
+        series.cancel()
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_callbacks_scheduling_callbacks(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: loop.call_later(1.0, lambda: fired.append(loop.now)))
+        loop.run_until(5.0)
+        assert fired == [2.0]
+
+    def test_call_every_no_float_drift(self):
+        loop = EventLoop()
+        ticks = []
+        loop.call_every(0.1, lambda: ticks.append(loop.now))
+        loop.run_until(30.0)
+        # Tick 100 lands on 10.0 within one ulp, not 9.999999999999998
+        # (repeated now+interval accumulates ~1e-13 by tick 200).
+        assert abs(ticks[99] - 10.0) < 1e-12
+        assert abs(ticks[199] - 20.0) < 1e-12
+
+    def test_drain(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(100.0, fired.append, True)
+        loop.drain()
+        assert fired == [True]
+        assert loop.now == 100.0
+
+    def test_run_for(self):
+        loop = EventLoop(start=3.0)
+        loop.run_for(2.0)
+        assert loop.now == 5.0
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(latency_seconds=0.01, bandwidth_bytes_per_second=1000)
+        assert link.transfer_time(500) == pytest.approx(0.51)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkSpec(-1.0, 100)
+        with pytest.raises(ValueError):
+            LinkSpec(0.0, 0.0)
+
+
+class TestSimNetwork:
+    def test_intra_vs_inter_dc_latency(self):
+        loop = EventLoop()
+        net = SimNetwork(loop)
+        assert net.transfer_time("dc1", "dc1", 0) < net.transfer_time("dc1", "dc2", 0)
+
+    def test_custom_link(self):
+        loop = EventLoop()
+        net = SimNetwork(loop)
+        net.set_link("dc1", "dc2", LinkSpec(1.0, 1e9))
+        assert net.transfer_time("dc1", "dc2", 0) == pytest.approx(1.0)
+        assert net.transfer_time("dc2", "dc1", 0) == pytest.approx(1.0)  # symmetric
+
+    def test_asymmetric_link(self):
+        loop = EventLoop()
+        net = SimNetwork(loop)
+        net.set_link("a", "b", LinkSpec(1.0, 1e9), symmetric=False)
+        assert net.transfer_time("a", "b", 0) == pytest.approx(1.0)
+        assert net.transfer_time("b", "a", 0) != pytest.approx(1.0)
+
+    def test_delivery_pays_latency(self):
+        loop = EventLoop()
+        net = SimNetwork(loop)
+        net.set_link("dc1", "central", LinkSpec(0.5, 1e6))
+        received = []
+        net.deliver("dc1", "central", 1_000_000, lambda: received.append(loop.now))
+        loop.run_until(0.1)
+        assert received == []
+        loop.run_until(3.0)
+        assert received == [pytest.approx(1.5)]  # 0.5 latency + 1.0 transfer
+
+    def test_stats_accounting(self):
+        loop = EventLoop()
+        net = SimNetwork(loop)
+        net.deliver("dc1", "dc1", 100, lambda: None)
+        net.deliver("dc1", "dc2", 200, lambda: None)
+        assert net.total_bytes() == 300
+        assert net.total_bytes(cross_dc_only=True) == 200
+        assert net.total_messages() == 2
+        assert net.total_messages(cross_dc_only=True) == 1

@@ -1,0 +1,382 @@
+"""Tests for the host agent: fast path, selection, projection, sampling,
+buffering/drops, spans, flush metadata."""
+
+import math
+
+import pytest
+
+from repro.core.agent import (
+    BoundedBuffer,
+    EventSampler,
+    RecordingTransport,
+    ScrubAgent,
+)
+from repro.core.events import EventRegistry
+from repro.core.query import parse_query, plan_query, validate_query
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [
+        ("exchange_id", "long"), ("city", "string"), ("bid_price", "double"),
+        ("user_id", "long"),
+    ])
+    r.define("click", [("user_id", "long")])
+    return r
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make_agent(registry, **kwargs):
+    transport = RecordingTransport()
+    clock = FakeClock()
+    agent = ScrubAgent("h1", registry, transport, clock=clock, **kwargs)
+    return agent, transport, clock
+
+
+def host_objects(text, registry, query_id="q1"):
+    plan = plan_query(validate_query(parse_query(text), registry), query_id)
+    return plan.host_objects
+
+
+class TestFastPath:
+    def test_no_queries_returns_zero(self, registry):
+        agent, transport, _ = make_agent(registry)
+        assert agent.log("bid", exchange_id=1, request_id=1) == 0
+        assert agent.stats.events_logged == 1
+        assert agent.stats.events_examined == 0
+        agent.flush()
+        assert transport.batches == []
+
+    def test_query_on_other_type_not_examined(self, registry):
+        agent, _, _ = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from click;", registry)
+        agent.install(obj)
+        agent.log("bid", exchange_id=1, request_id=1)
+        assert agent.stats.events_examined == 0
+
+
+class TestSelectionProjection:
+    def test_predicate_filters(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects(
+            "select COUNT(*) from bid where bid.exchange_id = 5;", registry
+        )
+        agent.install(obj)
+        assert agent.log("bid", exchange_id=5, request_id=1) == 1
+        assert agent.log("bid", exchange_id=6, request_id=2) == 0
+        agent.flush()
+        assert len(transport.events) == 1
+
+    def test_projection_strips_unneeded_fields(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects(
+            "select bid.city, COUNT(*) from bid where bid.exchange_id = 5 "
+            "group by bid.city;",
+            registry,
+        )
+        agent.install(obj)
+        agent.log("bid", exchange_id=5, city="Porto", bid_price=1.0, user_id=7,
+                  request_id=1)
+        agent.flush()
+        (event,) = transport.events
+        assert event.payload == {"city": "Porto"}  # price/user/exchange stripped
+        assert event.request_id == 1  # system fields always kept
+
+    def test_count_star_ships_empty_payload(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        agent.log("bid", exchange_id=1, city="Porto", request_id=9)
+        agent.flush()
+        assert transport.events[0].payload == {}
+
+    def test_payload_mapping_and_kwargs(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects("select bid.city from bid;", registry)
+        agent.install(obj)
+        agent.log("bid", {"city": "A"}, request_id=1)
+        agent.log("bid", {"city": "B"}, city="C", request_id=2)  # kwargs win
+        agent.flush()
+        assert [e.payload["city"] for e in transport.events] == ["A", "C"]
+
+    def test_multiple_queries_same_event(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (o1,) = host_objects("select COUNT(*) from bid;", registry, "q1")
+        (o2,) = host_objects(
+            "select COUNT(*) from bid where bid.exchange_id = 5;", registry, "q2"
+        )
+        agent.install(o1)
+        agent.install(o2)
+        assert agent.log("bid", exchange_id=5, request_id=1) == 2
+        assert agent.log("bid", exchange_id=6, request_id=2) == 1
+        agent.flush()
+        by_query = {b.query_id: len(b.events) for b in transport.batches}
+        assert by_query == {"q1": 2, "q2": 1}
+
+    def test_validate_payloads_mode(self, registry):
+        agent, _, _ = make_agent(registry, validate_payloads=True)
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        with pytest.raises(TypeError):
+            agent.log("bid", bid_price="expensive", request_id=1)
+
+
+class TestSampling:
+    def test_sampler_rate_roughly_honored(self):
+        sampler = EventSampler(0.25, "q1")
+        kept = sum(sampler.keep(rid) for rid in range(10_000))
+        assert 2200 <= kept <= 2800
+
+    def test_sampler_deterministic(self):
+        a, b = EventSampler(0.5, "q1"), EventSampler(0.5, "q1")
+        assert [a.keep(i) for i in range(100)] == [b.keep(i) for i in range(100)]
+
+    def test_different_queries_sample_differently(self):
+        a, b = EventSampler(0.5, "q1"), EventSampler(0.5, "q2")
+        assert [a.keep(i) for i in range(200)] != [b.keep(i) for i in range(200)]
+
+    def test_join_coherence(self, registry):
+        """Both event types of one request are sampled identically."""
+        agent, transport, _ = make_agent(registry)
+        objs = host_objects(
+            "select COUNT(*) from bid, click sample events 30%;", registry
+        )
+        for obj in objs:
+            agent.install(obj)
+        for rid in range(300):
+            agent.log("bid", exchange_id=1, request_id=rid)
+            agent.log("click", user_id=1, request_id=rid)
+        agent.flush()
+        bids = {e.request_id for e in transport.events if e.event_type == "bid"}
+        clicks = {e.request_id for e in transport.events if e.event_type == "click"}
+        assert bids == clicks
+        assert 0 < len(bids) < 300
+
+    def test_seen_counts_all_matches_despite_sampling(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects(
+            "select COUNT(*) from bid sample events 10%;", registry
+        )
+        agent.install(obj)
+        for rid in range(100):
+            agent.log("bid", exchange_id=1, request_id=rid, timestamp=1.0)
+        agent.flush()
+        (batch,) = transport.batches
+        assert sum(batch.seen_counts.values()) == 100  # M_i is exact
+        assert len(batch.events) < 100
+
+
+class TestBufferAndDrops:
+    def test_drop_instead_of_block(self, registry):
+        agent, transport, _ = make_agent(
+            registry, buffer_capacity=10, flush_batch_size=1_000_000
+        )
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        for rid in range(50):
+            agent.log("bid", exchange_id=1, request_id=rid)
+        assert agent.buffered == 10
+        assert agent.stats.events_dropped == 40
+        agent.flush()
+        (batch,) = transport.batches
+        assert batch.dropped == 40
+        assert len(batch.events) == 10
+
+    def test_auto_flush_at_batch_size(self, registry):
+        agent, transport, _ = make_agent(
+            registry, buffer_capacity=1000, flush_batch_size=5
+        )
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        for rid in range(12):
+            agent.log("bid", exchange_id=1, request_id=rid)
+        assert len(transport.batches) >= 2
+        assert agent.stats.events_dropped == 0
+
+    def test_bounded_buffer_semantics(self):
+        buf = BoundedBuffer(3)
+        assert all(buf.offer(i) for i in range(3))
+        assert not buf.offer(99)
+        assert buf.dropped == 1
+        assert buf.offered == 4
+        assert buf.drain() == [0, 1, 2]
+        assert len(buf) == 0
+        assert buf.offer(7)
+
+    def test_buffer_partial_drain(self):
+        buf = BoundedBuffer(10)
+        for i in range(6):
+            buf.offer(i)
+        assert buf.drain(4) == [0, 1, 2, 3]
+        assert buf.drain() == [4, 5]
+
+    def test_buffer_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(0)
+
+
+class TestSpanAndLifecycle:
+    def test_span_gating(self, registry):
+        agent, transport, clock = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj, activates_at=10.0, expires_at=20.0)
+        clock.now = 5.0
+        assert agent.log("bid", exchange_id=1, request_id=1) == 0
+        clock.now = 15.0
+        assert agent.log("bid", exchange_id=1, request_id=2) == 1
+        clock.now = 25.0
+        assert agent.log("bid", exchange_id=1, request_id=3) == 0
+
+    def test_expired_query_removed_on_flush(self, registry):
+        agent, _, clock = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj, expires_at=10.0)
+        assert agent.active_query_ids == ("q1",)
+        clock.now = 11.0
+        agent.flush()
+        assert agent.active_query_ids == ()
+
+    def test_uninstall_flushes_pending(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        agent.log("bid", exchange_id=1, request_id=1)
+        assert agent.uninstall("q1")
+        assert len(transport.events) == 1
+        assert not agent.uninstall("q1")
+
+    def test_install_unknown_event_type(self, registry):
+        agent, _, _ = make_agent(registry)
+        other = EventRegistry()
+        other.define("mystery", [("x", "long")])
+        (obj,) = host_objects("select COUNT(*) from mystery;", other)
+        with pytest.raises(KeyError, match="mystery"):
+            agent.install(obj)
+
+    def test_query_stats(self, registry):
+        agent, _, _ = make_agent(registry)
+        (obj,) = host_objects(
+            "select COUNT(*) from bid where bid.exchange_id = 5;", registry
+        )
+        agent.install(obj)
+        agent.log("bid", exchange_id=5, request_id=1)
+        agent.log("bid", exchange_id=6, request_id=2)
+        stats = agent.query_stats("q1")
+        assert stats.seen == 1
+        assert stats.shipped == 1
+        with pytest.raises(KeyError):
+            agent.query_stats("zzz")
+
+
+class TestFlushMetadata:
+    def test_seen_counts_binned_by_window(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid window 10s;", registry)
+        agent.install(obj)
+        agent.log("bid", exchange_id=1, request_id=1, timestamp=5.0)
+        agent.log("bid", exchange_id=1, request_id=2, timestamp=15.0)
+        agent.log("bid", exchange_id=1, request_id=3, timestamp=16.0)
+        agent.flush()
+        (batch,) = transport.batches
+        assert batch.seen_counts == {("bid", 0): 1, ("bid", 1): 2}
+
+    def test_seen_counts_reset_between_flushes(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid window 10s;", registry)
+        agent.install(obj)
+        agent.log("bid", exchange_id=1, request_id=1, timestamp=1.0)
+        agent.flush()
+        agent.log("bid", exchange_id=1, request_id=2, timestamp=2.0)
+        agent.flush()
+        assert transport.batches[0].seen_counts == {("bid", 0): 1}
+        assert transport.batches[1].seen_counts == {("bid", 0): 1}
+
+    def test_heartbeat_batch_without_events(self, registry):
+        """Sampling may ship nothing, but M_i must still reach central."""
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects(
+            "select COUNT(*) from bid sample events 1%;", registry
+        )
+        agent.install(obj)
+        # Find request ids the sampler rejects.
+        sampler = EventSampler(0.01, "q1")
+        rejected = [rid for rid in range(200) if not sampler.keep(rid)][:5]
+        for rid in rejected:
+            agent.log("bid", exchange_id=1, request_id=rid, timestamp=1.0)
+        agent.flush()
+        (batch,) = transport.batches
+        assert batch.events == []
+        assert sum(batch.seen_counts.values()) == 5
+
+    def test_no_batch_when_nothing_happened(self, registry):
+        agent, transport, _ = make_agent(registry)
+        (obj,) = host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        agent.flush()
+        assert transport.batches == []
+
+    def test_log_object_api(self, registry):
+        from repro.core.events import scrub_field, scrub_type
+
+        agent, transport, _ = make_agent(registry)
+
+        @scrub_type("click", registry)
+        class Click:
+            user_id = scrub_field("long")
+
+        (obj,) = host_objects("select click.user_id from click;", registry)
+        agent.install(obj)
+        assert agent.log_object(Click(user_id=3), request_id=4) == 1
+        agent.flush()
+        assert transport.events[0].payload == {"user_id": 3}
+
+
+class TestAdmissionControl:
+    def test_query_limit_enforced(self, registry):
+        transport = RecordingTransport()
+        agent = ScrubAgent("h1", registry, transport, max_queries=2)
+        (o1,) = host_objects("select COUNT(*) from bid;", registry, "q1")
+        (o2,) = host_objects("select COUNT(*) from bid;", registry, "q2")
+        (o3,) = host_objects("select COUNT(*) from bid;", registry, "q3")
+        agent.install(o1)
+        agent.install(o2)
+        with pytest.raises(RuntimeError, match="query limit"):
+            agent.install(o3)
+        # Uninstalling frees a slot.
+        agent.uninstall("q1")
+        agent.install(o3)
+        assert set(agent.active_query_ids) == {"q2", "q3"}
+
+    def test_limit_counts_queries_not_host_objects(self, registry):
+        """A join query installs one object per event type but occupies
+        a single query slot."""
+        transport = RecordingTransport()
+        agent = ScrubAgent("h1", registry, transport, max_queries=1)
+        objs = host_objects("select COUNT(*) from bid, click;", registry, "q1")
+        for obj in objs:
+            agent.install(obj)
+        assert agent.active_query_ids == ("q1",)
+
+    def test_server_rolls_back_when_limit_hit_mid_fleet(self, registry):
+        from repro.core import ManualClock, Scrub
+
+        scrub = Scrub(clock=ManualClock())
+        scrub.define_event("bid", [("exchange_id", "long")])
+        roomy = scrub.add_host("roomy", services=["S"])
+        # Replace the second host's agent with a zero-capacity one.
+        cramped = ScrubAgent(
+            "cramped", scrub.registry,
+            RecordingTransport(), max_queries=0,
+        )
+        scrub.directory.add_host("cramped", cramped, services=["S"])
+        with pytest.raises(RuntimeError, match="query limit"):
+            scrub.submit("select COUNT(*) from bid @[Service in S];")
+        assert roomy.active_query_ids == ()

@@ -1,0 +1,173 @@
+"""Tests for aggregate states: update, merge, NULL handling, scaling."""
+
+import pytest
+
+from repro.core.central.aggregates import make_state
+from repro.core.query.ast import AggregateCall, FieldRef
+
+
+def agg(func, k=None):
+    arg = None if func == "COUNT" and k is None else FieldRef("e", "x")
+    return AggregateCall(func, arg, k=k)
+
+
+class TestCount:
+    def test_counts_non_null(self):
+        s = make_state(agg("COUNT"))
+        for v in [1, None, 2, None, 3]:
+            s.update(v)
+        assert s.result() == 3
+
+    def test_merge(self):
+        a, b = make_state(agg("COUNT")), make_state(agg("COUNT"))
+        a.update(1)
+        b.update(1)
+        b.update(2)
+        a.merge(b)
+        assert a.result() == 3
+
+    def test_scaled(self):
+        s = make_state(agg("COUNT"))
+        s.update(1)
+        s.update(1)
+        assert s.scaled_result(10.0) == 20.0
+        assert s.scaled_result(1.0) == 2
+
+
+class TestSum:
+    def test_sum(self):
+        s = make_state(agg("SUM"))
+        for v in [1.5, None, 2.5]:
+            s.update(v)
+        assert s.result() == 4.0
+
+    def test_empty_sum_is_null(self):
+        assert make_state(agg("SUM")).result() is None
+        s = make_state(agg("SUM"))
+        s.update(None)
+        assert s.result() is None
+
+    def test_scaled(self):
+        s = make_state(agg("SUM"))
+        s.update(3.0)
+        assert s.scaled_result(4.0) == 12.0
+
+    def test_merge_preserves_emptiness(self):
+        a, b = make_state(agg("SUM")), make_state(agg("SUM"))
+        a.merge(b)
+        assert a.result() is None
+        b.update(1.0)
+        a.merge(b)
+        assert a.result() == 1.0
+
+
+class TestAvg:
+    def test_avg_ignores_nulls(self):
+        s = make_state(agg("AVG"))
+        for v in [2.0, None, 4.0]:
+            s.update(v)
+        assert s.result() == 3.0
+
+    def test_empty_avg_is_null(self):
+        assert make_state(agg("AVG")).result() is None
+
+    def test_avg_not_scaled(self):
+        s = make_state(agg("AVG"))
+        s.update(2.0)
+        s.update(4.0)
+        assert s.scaled_result(100.0) == 3.0  # ratio: factors cancel
+
+    def test_merge(self):
+        a, b = make_state(agg("AVG")), make_state(agg("AVG"))
+        a.update(1.0)
+        b.update(3.0)
+        a.merge(b)
+        assert a.result() == 2.0
+
+
+class TestMinMax:
+    def test_min_max(self):
+        mn, mx = make_state(agg("MIN")), make_state(agg("MAX"))
+        for v in [5, None, 2, 9]:
+            mn.update(v)
+            mx.update(v)
+        assert mn.result() == 2
+        assert mx.result() == 9
+
+    def test_empty_is_null(self):
+        assert make_state(agg("MIN")).result() is None
+        assert make_state(agg("MAX")).result() is None
+
+    def test_merge(self):
+        a, b = make_state(agg("MIN")), make_state(agg("MIN"))
+        a.update(5)
+        b.update(3)
+        a.merge(b)
+        assert a.result() == 3
+
+    def test_works_on_strings(self):
+        s = make_state(agg("MAX"))
+        s.update("apple")
+        s.update("pear")
+        assert s.result() == "pear"
+
+
+class TestCountDistinct:
+    def test_exactish_for_small(self):
+        s = make_state(agg("COUNT_DISTINCT"))
+        for v in [1, 2, 2, 3, 3, 3, None]:
+            s.update(v)
+        assert s.result() == 3
+
+    def test_merge_is_union(self):
+        a, b = make_state(agg("COUNT_DISTINCT")), make_state(agg("COUNT_DISTINCT"))
+        for i in range(50):
+            a.update(i)
+            b.update(i + 25)
+        a.merge(b)
+        assert abs(a.result() - 75) <= 3
+
+    def test_list_values_hashable(self):
+        s = make_state(agg("COUNT_DISTINCT"))
+        s.update([1, 2])
+        s.update([1, 2])
+        s.update([2, 1])
+        assert s.result() == 2
+
+    def test_dict_values_hashable(self):
+        s = make_state(agg("COUNT_DISTINCT"))
+        s.update({"a": 1})
+        s.update({"a": 1})
+        assert s.result() == 1
+
+
+class TestTopK:
+    def test_topk(self):
+        s = make_state(agg("TOP", k=2))
+        for v in ["a"] * 5 + ["b"] * 3 + ["c"]:
+            s.update(v)
+        assert s.result() == [("a", 5), ("b", 3)]
+
+    def test_scaled_counts(self):
+        s = make_state(agg("TOP", k=1))
+        s.update("x")
+        s.update("x")
+        assert s.scaled_result(3.0) == [("x", 6.0)]
+
+    def test_merge(self):
+        a, b = make_state(agg("TOP", k=2)), make_state(agg("TOP", k=2))
+        a.update("a")
+        b.update("a")
+        b.update("b")
+        a.merge(b)
+        assert dict(a.result())["a"] == 2
+
+    def test_nulls_skipped(self):
+        s = make_state(agg("TOP", k=5))
+        s.update(None)
+        assert s.result() == []
+
+
+def test_unknown_aggregate_rejected():
+    with pytest.raises(ValueError):
+        AggregateCall("MEDIAN", FieldRef("e", "x"))

@@ -1,0 +1,369 @@
+"""Tests for the ScrubCentral engine: windows, grouping, joins, estimates,
+late events, drops, lifecycle."""
+
+import math
+
+import pytest
+
+from repro.core.agent.transport import EventBatch
+from repro.core.central.engine import CentralEngine
+from repro.core.events import Event, EventRegistry
+from repro.core.query import (
+    QueryNotFoundError,
+    ScrubExecutionError,
+    parse_query,
+    plan_query,
+    validate_query,
+)
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [
+        ("exchange_id", "long"), ("city", "string"), ("bid_price", "double"),
+        ("user_id", "long"),
+    ])
+    r.define("exclusion", [("reason", "string"), ("exchange_id", "long")])
+    return r
+
+
+def central_obj(text, registry, query_id="q1"):
+    return plan_query(validate_query(parse_query(text), registry), query_id).central_object
+
+
+def ev(event_type, rid, ts, host="h1", **payload):
+    return Event(event_type, payload, rid, ts, host)
+
+
+def batch(events, host="h1", query_id="q1", seen=None, dropped=0):
+    return EventBatch(
+        host=host, query_id=query_id, events=events,
+        seen_counts=seen or {}, dropped=dropped,
+    )
+
+
+def make_engine(text, registry, planned=1, targeted=1, grace=0.0):
+    engine = CentralEngine(grace_seconds=grace)
+    engine.register(central_obj(text, registry), planned, targeted)
+    return engine
+
+
+class TestWindowsAndGrouping:
+    def test_grouped_counts_per_window(self, registry):
+        engine = make_engine(
+            "select bid.city, COUNT(*) from bid window 10s group by bid.city;",
+            registry,
+        )
+        events = [
+            ev("bid", 1, 1.0, city="A"), ev("bid", 2, 2.0, city="A"),
+            ev("bid", 3, 3.0, city="B"), ev("bid", 4, 11.0, city="A"),
+        ]
+        engine.ingest(batch(events))
+        results = engine.advance(now=25.0)
+        assert len(results) == 2
+        w0, w1 = results
+        assert dict((r[0], r[1]) for r in w0.rows) == {"A": 2, "B": 1}
+        assert dict((r[0], r[1]) for r in w1.rows) == {"A": 1}
+        assert w0.window_start == 0.0 and w0.window_end == 10.0
+
+    def test_global_aggregates(self, registry):
+        engine = make_engine(
+            "select COUNT(*), SUM(bid.bid_price), AVG(bid.bid_price), "
+            "MIN(bid.bid_price), MAX(bid.bid_price) from bid window 10s;",
+            registry,
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 1.0, bid_price=1.0),
+            ev("bid", 2, 2.0, bid_price=3.0),
+        ]))
+        (result,) = engine.advance(now=20.0)
+        assert result.rows[0].values == (2, 4.0, 2.0, 1.0, 3.0)
+
+    def test_arithmetic_over_aggregate(self, registry):
+        """Paper Fig. 13: 1000*AVG(cost)."""
+        engine = make_engine(
+            "select 1000 * AVG(bid.bid_price) from bid window 10s;", registry
+        )
+        engine.ingest(batch([ev("bid", 1, 1.0, bid_price=0.002)]))
+        (result,) = engine.advance(20.0)
+        assert result.rows[0][0] == pytest.approx(2.0)
+
+    def test_raw_selection_rows(self, registry):
+        engine = make_engine(
+            "select bid.city, bid.bid_price from bid window 10s;", registry
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 1.0, city="A", bid_price=1.0),
+            ev("bid", 2, 2.0, city="B", bid_price=2.0),
+        ]))
+        (result,) = engine.advance(20.0)
+        assert result.as_dicts() == [
+            {"bid.city": "A", "bid.bid_price": 1.0},
+            {"bid.city": "B", "bid.bid_price": 2.0},
+        ]
+
+    def test_residual_predicate_filters_centrally(self, registry):
+        engine = make_engine(
+            "select COUNT(*) from bid where 1 = 1 window 10s;", registry
+        )
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        (result,) = engine.advance(20.0)
+        assert result.rows[0][0] == 1
+
+    def test_empty_window_not_emitted(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        results = engine.advance(100.0)
+        # Only window 0 had data; silent gaps produce no windows.
+        assert [r.window_start for r in results] == [0.0]
+
+    def test_group_rows_deterministically_ordered(self, registry):
+        engine = make_engine(
+            "select bid.city, COUNT(*) from bid window 10s group by bid.city;",
+            registry,
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 1.0, city="B"), ev("bid", 2, 1.5, city="A"),
+        ]))
+        (result,) = engine.advance(20.0)
+        assert [r[0] for r in result.rows] == ["A", "B"]
+
+
+class TestJoinQueries:
+    def test_join_on_request_id(self, registry):
+        engine = make_engine(
+            "select exclusion.reason, COUNT(*) from bid, exclusion "
+            "where bid.exchange_id = 5 window 10s group by exclusion.reason;",
+            registry,
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 1.0, exchange_id=5),
+            ev("exclusion", 1, 1.1, reason="GEO"),
+            ev("exclusion", 1, 1.2, reason="BUDGET"),
+            ev("bid", 2, 2.0, exchange_id=5),   # no exclusions
+            ev("exclusion", 3, 3.0, reason="GEO"),  # no bid
+        ]))
+        (result,) = engine.advance(20.0)
+        assert dict((r[0], r[1]) for r in result.rows) == {"GEO": 1, "BUDGET": 1}
+
+    def test_join_across_hosts(self, registry):
+        """bid on one host, exclusion on another — joins centrally."""
+        engine = make_engine(
+            "select COUNT(*) from bid, exclusion window 10s;", registry
+        )
+        engine.ingest(batch([ev("bid", 7, 1.0, host="bidhost")], host="bidhost"))
+        engine.ingest(batch([ev("exclusion", 7, 1.3, host="adhost")], host="adhost"))
+        (result,) = engine.advance(20.0)
+        assert result.rows[0][0] == 1
+
+    def test_cross_type_residual_predicate(self, registry):
+        engine = make_engine(
+            "select COUNT(*) from bid, exclusion "
+            "where bid.exchange_id = exclusion.exchange_id window 10s;",
+            registry,
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 1.0, exchange_id=5),
+            ev("exclusion", 1, 1.1, exchange_id=5),
+            ev("bid", 2, 2.0, exchange_id=5),
+            ev("exclusion", 2, 2.1, exchange_id=6),  # mismatched
+        ]))
+        (result,) = engine.advance(20.0)
+        assert result.rows[0][0] == 1
+
+    def test_join_window_isolation(self, registry):
+        """Events of the same request in different windows do not join."""
+        engine = make_engine(
+            "select COUNT(*) from bid, exclusion window 10s;", registry
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 9.0),
+            ev("exclusion", 1, 11.0),  # lands in the next window
+        ]))
+        results = engine.advance(30.0)
+        assert all(r.rows[0][0] == 0 for r in results if r.rows)
+
+
+class TestAccountingAndLifecycle:
+    def test_late_events_counted(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        engine.advance(20.0)
+        engine.ingest(batch([ev("bid", 2, 2.0)]))  # window 0 already closed
+        results = engine.advance(40.0)
+        assert engine.stats.events_late == 1
+
+    def test_host_drops_attributed(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0)], dropped=5))
+        (result,) = engine.advance(20.0)
+        assert result.host_dropped == 5
+
+    def test_contributing_hosts(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0, host="h1")], host="h1"))
+        engine.ingest(batch([ev("bid", 2, 2.0, host="h2")], host="h2"))
+        (result,) = engine.advance(20.0)
+        assert result.contributing_hosts == 2
+
+    def test_finish_drains_open_windows(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        results = engine.finish("q1")
+        assert len(results.windows) == 1
+        assert not engine.is_registered("q1")
+
+    def test_finish_without_drain(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        results = engine.finish("q1", drain=False)
+        assert len(results.windows) == 0
+
+    def test_unknown_query_operations(self, registry):
+        engine = CentralEngine()
+        with pytest.raises(QueryNotFoundError):
+            engine.finish("zzz")
+        with pytest.raises(QueryNotFoundError):
+            engine.results_so_far("zzz")
+
+    def test_batch_for_finished_query_dropped_silently(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.finish("q1")
+        engine.ingest(batch([ev("bid", 1, 1.0)]))  # no exception
+
+    def test_duplicate_registration_rejected(self, registry):
+        engine = make_engine("select COUNT(*) from bid;", registry)
+        with pytest.raises(ScrubExecutionError, match="already registered"):
+            engine.register(central_obj("select COUNT(*) from bid;", registry))
+
+    def test_targeted_exceeds_planned_rejected(self, registry):
+        engine = CentralEngine()
+        with pytest.raises(ScrubExecutionError):
+            engine.register(
+                central_obj("select COUNT(*) from bid;", registry),
+                planned_hosts=2, targeted_hosts=5,
+            )
+
+    def test_on_window_callback(self, registry):
+        seen = []
+        engine = CentralEngine(grace_seconds=0.0, on_window=seen.append)
+        engine.register(central_obj("select COUNT(*) from bid window 10s;", registry))
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        engine.advance(20.0)
+        assert len(seen) == 1
+
+
+class TestSamplingEstimates:
+    def test_host_sampling_count_estimate(self, registry):
+        """COUNT under host sampling uses (N/n)·ΣM_i with exact M_i."""
+        engine = make_engine(
+            "select COUNT(*) from bid sample hosts 50% window 10s;",
+            registry, planned=10, targeted=5,
+        )
+        for h in range(5):
+            engine.ingest(batch(
+                [ev("bid", h, 1.0, host=f"h{h}")],
+                host=f"h{h}", seen={("bid", 0): 20},
+            ))
+        (result,) = engine.advance(20.0)
+        est = result.estimates["COUNT(*)"]
+        assert est.estimate == pytest.approx(200.0)  # (10/5) * 5*20
+        assert result.rows[0][0] == pytest.approx(200.0)  # row uses the estimate
+        assert est.error_bound == pytest.approx(0.0)  # identical machines
+
+    def test_event_sampling_sum_estimate(self, registry):
+        engine = make_engine(
+            "select SUM(bid.bid_price) from bid sample events 50% window 10s;",
+            registry, planned=1, targeted=1,
+        )
+        # Host saw 10 matches, shipped 5 with value 2.0 each.
+        events = [ev("bid", i, 1.0, bid_price=2.0) for i in range(5)]
+        engine.ingest(batch(events, seen={("bid", 0): 10}))
+        (result,) = engine.advance(20.0)
+        est = result.estimates["SUM(bid.bid_price)"]
+        assert est.estimate == pytest.approx(20.0)  # (10/5)*10.0
+        assert result.rows[0][0] == pytest.approx(20.0)
+
+    def test_silent_hosts_count_as_zero(self, registry):
+        """Targeted hosts that reported nothing must drag estimates down."""
+        engine = make_engine(
+            "select COUNT(*) from bid sample hosts 50% window 10s;",
+            registry, planned=8, targeted=4,
+        )
+        engine.ingest(batch([ev("bid", 1, 1.0)], host="h1", seen={("bid", 0): 12}))
+        # 3 other targeted hosts silent.
+        (result,) = engine.advance(20.0)
+        est = result.estimates["COUNT(*)"]
+        assert est.estimate == pytest.approx((8 / 4) * 12)
+        assert est.error_bound > 0  # unequal machines -> real uncertainty
+
+    def test_grouped_query_uses_ht_scaling(self, registry):
+        engine = make_engine(
+            "select bid.city, COUNT(*) from bid sample events 25% "
+            "window 10s group by bid.city;",
+            registry, planned=1, targeted=1,
+        )
+        engine.ingest(batch([ev("bid", i, 1.0, city="A") for i in range(5)]))
+        (result,) = engine.advance(20.0)
+        assert result.estimates == {}  # no CI machinery for grouped
+        assert result.rows[0][1] == pytest.approx(20.0)  # 5 / 0.25
+
+    def test_avg_estimate_is_ratio(self, registry):
+        engine = make_engine(
+            "select AVG(bid.bid_price) from bid sample events 50% window 10s;",
+            registry,
+        )
+        events = [ev("bid", i, 1.0, bid_price=4.0) for i in range(4)]
+        engine.ingest(batch(events, seen={("bid", 0): 8}))
+        (result,) = engine.advance(20.0)
+        assert result.rows[0][0] == pytest.approx(4.0)
+
+    def test_unsampled_query_has_no_estimates(self, registry):
+        engine = make_engine("select COUNT(*) from bid window 10s;", registry)
+        engine.ingest(batch([ev("bid", 1, 1.0)]))
+        (result,) = engine.advance(20.0)
+        assert result.estimates == {}
+
+
+class TestResultExports:
+    def _results(self, registry):
+        engine = make_engine(
+            "select bid.city, COUNT(*), AVG(bid.bid_price) from bid "
+            "window 10s group by bid.city;",
+            registry,
+        )
+        engine.ingest(batch([
+            ev("bid", 1, 1.0, city="A", bid_price=1.0),
+            ev("bid", 2, 2.0, city="B", bid_price=3.0),
+            ev("bid", 3, 12.0, city="A", bid_price=2.0),
+        ]))
+        return engine.finish("q1")
+
+    def test_to_json_round_trips(self, registry):
+        import json
+
+        results = self._results(registry)
+        payload = json.loads(results.to_json())
+        assert payload["query_id"] == "q1"
+        assert payload["columns"][0] == "bid.city"
+        assert len(payload["windows"]) == 2
+        assert payload["windows"][0]["rows"][0] == ["A", 1, 1.0]
+
+    def test_to_csv_has_header_and_rows(self, registry):
+        results = self._results(registry)
+        lines = results.to_csv().strip().splitlines()
+        assert lines[0] == "window_start,bid.city,COUNT(*),AVG(bid.bid_price)"
+        assert len(lines) == 4  # 3 group rows across 2 windows
+        assert lines[1].startswith("0.0,A,1,")
+
+    def test_csv_null_and_list_cells(self, registry):
+        engine = make_engine(
+            "select TOP(2, bid.city), MIN(bid.user_id) from bid window 10s;",
+            registry,
+        )
+        engine.ingest(batch([ev("bid", 1, 1.0, city="A")]))
+        results = engine.finish("q1")
+        text = results.to_csv()
+        assert '"[[""A"", 1]]"' in text  # TOP list rendered as JSON cell
+        assert text.strip().endswith(",")  # NULL MIN -> empty cell

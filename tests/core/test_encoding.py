@@ -1,0 +1,131 @@
+"""Round-trip tests for the event wire encodings, including properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Event
+from repro.core.events.encoding import (
+    decode_batch,
+    decode_binary,
+    decode_json,
+    encode_batch,
+    encode_binary,
+    encode_json,
+)
+
+
+def _event(payload, rid=7, ts=1.5, host="h1"):
+    return Event("bid", payload, rid, ts, host)
+
+
+SAMPLE_PAYLOADS = [
+    {},
+    {"city": "Porto"},
+    {"price": 1.25, "count": 3, "ok": True, "note": None},
+    {"ids": [1, 2, 3], "names": ["a", "b"]},
+    {"meta": {"device": {"os": "linux"}, "v": 2}},
+    {"mixed": [1, "two", 3.0, None, True]},
+    {"unicode": "日本語 ünïcode ✓", "quote": 'he said "hi"'},
+]
+
+
+class TestJsonEncoding:
+    @pytest.mark.parametrize("payload", SAMPLE_PAYLOADS)
+    def test_round_trip(self, payload):
+        event = _event(payload)
+        assert decode_json(encode_json(event)) == event
+
+    def test_one_line_per_event(self):
+        assert encode_json(_event({"a": 1})).count(b"\n") == 1
+
+    def test_decodes_from_str(self):
+        event = _event({"a": 1})
+        assert decode_json(encode_json(event).decode()) == event
+
+
+class TestBinaryEncoding:
+    @pytest.mark.parametrize("payload", SAMPLE_PAYLOADS)
+    def test_round_trip(self, payload):
+        event = _event(payload)
+        assert decode_binary(encode_binary(event)) == event
+
+    def test_denser_than_json_for_typical_payload(self):
+        event = _event(
+            {"exchange_id": 123456, "city": "San Jose", "country": "US",
+             "bid_price": 1.25, "campaign_id": 98765}
+        )
+        assert len(encode_binary(event)) < len(encode_json(event))
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_binary(_event({"a": 1})) + b"x"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_binary(data)
+
+    def test_corrupt_tag_rejected(self):
+        data = bytearray(encode_binary(_event({"a": 1})))
+        data[-9] = ord("Z")  # clobber the value tag of field 'a'
+        with pytest.raises(ValueError, match="unknown tag"):
+            decode_binary(bytes(data))
+
+    def test_unencodable_value(self):
+        with pytest.raises(TypeError, match="unencodable"):
+            encode_binary(_event({"bad": object()}))
+
+    def test_negative_ints(self):
+        event = _event({"a": -(2**40)})
+        assert decode_binary(encode_binary(event)) == event
+
+
+class TestBatchEncoding:
+    def test_round_trip(self):
+        events = [_event({"i": i}, rid=i) for i in range(10)]
+        assert decode_batch(encode_batch(events)) == events
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_batch_trailing_garbage(self):
+        with pytest.raises(ValueError, match="trailing"):
+            decode_batch(encode_batch([_event({})]) + b"!")
+
+
+# -- property-based round trips ---------------------------------------------------
+
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+_value = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(min_size=1, max_size=10), children, max_size=4),
+    ),
+    max_leaves=15,
+)
+_payload = st.dictionaries(
+    st.text(min_size=1, max_size=15), _value, max_size=6
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    payload=_payload,
+    rid=st.integers(min_value=0, max_value=2**62),
+    ts=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+    host=st.text(max_size=20),
+)
+def test_binary_round_trip_property(payload, rid, ts, host):
+    event = Event("evt", payload, rid, ts, host)
+    assert decode_binary(encode_binary(event)) == event
+
+
+@settings(max_examples=100, deadline=None)
+@given(payloads=st.lists(_payload, max_size=8))
+def test_batch_round_trip_property(payloads):
+    events = [Event("evt", p, i, float(i), "h") for i, p in enumerate(payloads)]
+    assert decode_batch(encode_batch(events)) == events

@@ -1,0 +1,133 @@
+"""Tests for the field type system."""
+
+import datetime
+
+import pytest
+
+from repro.core.events.fields import FieldDef, FieldType, coerce_value, default_for
+
+
+class TestFieldTypeParsing:
+    def test_primitive_names(self):
+        assert FieldType.from_string("boolean") is FieldType.BOOLEAN
+        assert FieldType.from_string("int") is FieldType.INT
+        assert FieldType.from_string("long") is FieldType.LONG
+        assert FieldType.from_string("float") is FieldType.FLOAT
+        assert FieldType.from_string("double") is FieldType.DOUBLE
+        assert FieldType.from_string("string") is FieldType.STRING
+        assert FieldType.from_string("datetime") is FieldType.DATETIME
+        assert FieldType.from_string("object") is FieldType.OBJECT
+
+    def test_aliases(self):
+        assert FieldType.from_string("bool") is FieldType.BOOLEAN
+        assert FieldType.from_string("str") is FieldType.STRING
+        assert FieldType.from_string("timestamp") is FieldType.DATETIME
+        assert FieldType.from_string("date/time") is FieldType.DATETIME
+        assert FieldType.from_string("dict") is FieldType.OBJECT
+
+    def test_case_insensitive(self):
+        assert FieldType.from_string("LONG") is FieldType.LONG
+        assert FieldType.from_string("Double") is FieldType.DOUBLE
+
+    def test_list_syntax(self):
+        assert FieldType.from_string("list<long>") is FieldType.LIST_LONG
+        assert FieldType.from_string("list<string>") is FieldType.LIST_STRING
+        assert FieldType.from_string("[double]") is FieldType.LIST_DOUBLE
+        assert FieldType.from_string("list<bool>") is FieldType.LIST_BOOLEAN
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError, match="unknown Scrub field type"):
+            FieldType.from_string("decimal")
+
+    def test_is_list_and_element_type(self):
+        assert FieldType.LIST_LONG.is_list
+        assert FieldType.LIST_LONG.element_type is FieldType.LONG
+        assert not FieldType.LONG.is_list
+        assert FieldType.LONG.element_type is FieldType.LONG
+
+    def test_is_numeric(self):
+        assert FieldType.INT.is_numeric
+        assert FieldType.DOUBLE.is_numeric
+        assert not FieldType.STRING.is_numeric
+        assert not FieldType.BOOLEAN.is_numeric
+
+
+class TestCoercion:
+    def test_none_allowed_everywhere(self):
+        for ftype in FieldType:
+            assert coerce_value(ftype, None) is None
+
+    def test_long_accepts_int_rejects_bool(self):
+        assert coerce_value(FieldType.LONG, 42) == 42
+        with pytest.raises(TypeError):
+            coerce_value(FieldType.LONG, True)
+
+    def test_double_normalises_to_float(self):
+        value = coerce_value(FieldType.DOUBLE, 3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_double_rejects_string(self):
+        with pytest.raises(TypeError):
+            coerce_value(FieldType.DOUBLE, "3.0")
+
+    def test_boolean_strict(self):
+        assert coerce_value(FieldType.BOOLEAN, True) is True
+        with pytest.raises(TypeError):
+            coerce_value(FieldType.BOOLEAN, 1)
+
+    def test_datetime_accepts_datetime_and_number(self):
+        dt = datetime.datetime(2018, 4, 23, 12, 0)
+        assert coerce_value(FieldType.DATETIME, dt) == dt.timestamp()
+        assert coerce_value(FieldType.DATETIME, 1000.5) == 1000.5
+
+    def test_string(self):
+        assert coerce_value(FieldType.STRING, "Porto") == "Porto"
+        with pytest.raises(TypeError):
+            coerce_value(FieldType.STRING, 5)
+
+    def test_list_coerces_elements(self):
+        assert coerce_value(FieldType.LIST_DOUBLE, [1, 2.5]) == [1.0, 2.5]
+        with pytest.raises(TypeError):
+            coerce_value(FieldType.LIST_DOUBLE, [1, "x"])
+
+    def test_list_rejects_scalar(self):
+        with pytest.raises(TypeError, match="expected list"):
+            coerce_value(FieldType.LIST_LONG, 5)
+
+    def test_object_accepts_dict(self):
+        assert coerce_value(FieldType.OBJECT, {"a": 1}) == {"a": 1}
+        with pytest.raises(TypeError):
+            coerce_value(FieldType.OBJECT, [1, 2])
+
+    def test_tuple_accepted_as_list(self):
+        assert coerce_value(FieldType.LIST_LONG, (1, 2)) == [1, 2]
+
+
+class TestDefaults:
+    def test_scalar_defaults(self):
+        assert default_for(FieldType.LONG) == 0
+        assert default_for(FieldType.STRING) == ""
+        assert default_for(FieldType.BOOLEAN) is False
+        assert default_for(FieldType.OBJECT) == {}
+
+    def test_list_default(self):
+        assert default_for(FieldType.LIST_STRING) == []
+
+
+class TestFieldDef:
+    def test_valid_names(self):
+        FieldDef("bid_price", FieldType.DOUBLE)
+        FieldDef("x1", FieldType.LONG)
+
+    def test_invalid_names(self):
+        with pytest.raises(ValueError):
+            FieldDef("", FieldType.LONG)
+        with pytest.raises(ValueError):
+            FieldDef("1abc", FieldType.LONG)
+        with pytest.raises(ValueError):
+            FieldDef("has space", FieldType.LONG)
+
+    def test_coerce_reports_field_name(self):
+        fdef = FieldDef("bid_price", FieldType.DOUBLE)
+        with pytest.raises(TypeError, match="bid_price"):
+            fdef.coerce("oops")

@@ -1,0 +1,115 @@
+"""Tests for the HyperLogLog COUNT_DISTINCT sketch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import HyperLogLog
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("true_n", [10, 100, 1_000, 20_000])
+    def test_relative_error_within_bounds(self, true_n):
+        hll = HyperLogLog(precision=12)
+        for i in range(true_n):
+            hll.add(f"user-{i}")
+        estimate = hll.count()
+        # Standard error at p=12 is ~1.6%; 6 sigma is a safely loose bound.
+        assert abs(estimate - true_n) <= max(6 * hll.standard_error * true_n, 3)
+
+    def test_small_cardinalities_near_exact(self):
+        hll = HyperLogLog(precision=12)
+        for i in range(5):
+            hll.add(i)
+        assert hll.count() == 5
+
+    def test_duplicates_not_double_counted(self):
+        hll = HyperLogLog()
+        for _ in range(1000):
+            hll.add("same")
+        assert hll.count() == 1
+
+    def test_empty(self):
+        assert HyperLogLog().count() == 0
+
+    def test_mixed_types_hash_distinctly(self):
+        hll = HyperLogLog()
+        hll.update([1, 1.5, "1", b"1", True, None])
+        assert 4 <= hll.count() <= 8
+
+
+class TestStructure:
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=3)
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=19)
+
+    def test_register_count(self):
+        assert HyperLogLog(precision=10).register_count == 1024
+
+    def test_standard_error_formula(self):
+        hll = HyperLogLog(precision=12)
+        assert hll.standard_error == pytest.approx(1.04 / 64.0)
+
+    def test_hash_stability(self):
+        """Two sketches built identically agree exactly (stable hashing)."""
+        a, b = HyperLogLog(), HyperLogLog()
+        for i in range(500):
+            a.add(f"k{i}")
+            b.add(f"k{i}")
+        assert a.count() == b.count()
+        assert a._registers == b._registers
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a, b, union = HyperLogLog(), HyperLogLog(), HyperLogLog()
+        for i in range(1000):
+            a.add(f"a{i}")
+            union.add(f"a{i}")
+        for i in range(1000):
+            b.add(f"b{i}")
+            union.add(f"b{i}")
+        a.merge(b)
+        assert a.count() == union.count()
+
+    def test_merge_idempotent(self):
+        a, b = HyperLogLog(), HyperLogLog()
+        for i in range(200):
+            a.add(i)
+            b.add(i)
+        before = a.count()
+        a.merge(b)
+        assert a.count() == before
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError, match="precision"):
+            HyperLogLog(10).merge(HyperLogLog(12))
+
+    def test_copy_independent(self):
+        a = HyperLogLog()
+        a.add("x")
+        c = a.copy()
+        c.add("y")
+        assert a.count() == 1
+        assert c.count() == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items_a=st.sets(st.integers(min_value=0, max_value=10_000), max_size=300),
+    items_b=st.sets(st.integers(min_value=0, max_value=10_000), max_size=300),
+)
+def test_property_merge_commutes(items_a, items_b):
+    ab, ba = HyperLogLog(), HyperLogLog()
+    other_a, other_b = HyperLogLog(), HyperLogLog()
+    for i in items_a:
+        ab.add(i)
+        other_a.add(i)
+    for i in items_b:
+        ba.add(i)
+        other_b.add(i)
+    ab.merge(other_b)
+    ba.merge(other_a)
+    assert ab.count() == ba.count()

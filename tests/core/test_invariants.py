@@ -1,0 +1,154 @@
+"""Cross-layer conservation invariants, property-tested.
+
+These pin the accounting identities the overhead and completeness
+claims rest on: every matched event is either shipped, sampled out, or
+dropped — never silently lost; the drop counts the user sees equal the
+drops the host took; join output sizes follow the per-request product
+rule exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ManualClock, Scrub
+from repro.core.agent import RecordingTransport, ScrubAgent
+from repro.core.central.join import JoinBuffer
+from repro.core.events import Event, EventRegistry
+from repro.core.query import parse_query, plan_query, validate_query
+
+
+def make_agent(registry, capacity=10_000, batch=10**9):
+    transport = RecordingTransport()
+    agent = ScrubAgent(
+        "h1", registry, transport,
+        buffer_capacity=capacity, flush_batch_size=batch,
+    )
+    return agent, transport
+
+
+def install(agent, registry, text, query_id="q1"):
+    plan = plan_query(validate_query(parse_query(text), registry), query_id)
+    for obj in plan.host_objects:
+        agent.install(obj)
+
+
+@st.composite
+def _event_stream(draw):
+    n = draw(st.integers(min_value=0, max_value=150))
+    return [
+        {
+            "exchange_id": draw(st.integers(min_value=0, max_value=3)),
+            "ts": draw(st.floats(min_value=0, max_value=50, allow_nan=False)),
+        }
+        for _ in range(n)
+    ]
+
+
+class TestAgentConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        events=_event_stream(),
+        rate=st.sampled_from([1.0, 0.5, 0.1]),
+        capacity=st.sampled_from([5, 50, 10_000]),
+    )
+    def test_matched_equals_shipped_plus_sampled_out_plus_dropped(
+        self, events, rate, capacity
+    ):
+        registry = EventRegistry()
+        registry.define("bid", [("exchange_id", "long")])
+        agent, transport = make_agent(registry, capacity=capacity)
+        sampling = f"sample events {rate * 100:g}%" if rate < 1.0 else ""
+        install(agent, registry,
+                f"select COUNT(*) from bid {sampling} window 10s;")
+        for rid, e in enumerate(events):
+            agent.log("bid", exchange_id=e["exchange_id"],
+                      request_id=rid, timestamp=e["ts"])
+        agent.flush()
+
+        stats = agent.stats
+        assert stats.events_matched == len(events)
+        sampled_out = stats.events_matched - stats.events_shipped - stats.events_dropped
+        assert sampled_out >= 0
+        if rate == 1.0:
+            assert sampled_out == 0
+        # Everything shipped actually reached the transport.
+        assert len(transport.events) == stats.events_shipped
+        # Seen counts conserve matches exactly, independent of sampling/drops.
+        total_seen = sum(
+            count for b in transport.batches for count in b.seen_counts.values()
+        )
+        assert total_seen == len(events)
+        # Reported drops equal buffer rejections.
+        assert sum(b.dropped for b in transport.batches) == stats.events_dropped
+
+    @settings(max_examples=30, deadline=None)
+    @given(events=_event_stream())
+    def test_end_to_end_count_conservation_without_sampling(self, events):
+        clock = ManualClock()
+        scrub = Scrub(clock=clock, grace_seconds=0.0)
+        scrub.define_event("bid", [("exchange_id", "long")])
+        host = scrub.add_host("h0")
+        handle = scrub.submit("select COUNT(*) from bid window 10s duration 60s;")
+        for rid, e in enumerate(events):
+            host.log("bid", exchange_id=e["exchange_id"],
+                     request_id=rid, timestamp=e["ts"])
+        clock.set(61.0)
+        results = scrub.finish(handle.query_id)
+        counted = sum(r[0] for r in results.rows)
+        assert counted + results.total_late_events + results.total_host_dropped == len(events)
+        assert results.total_late_events == 0  # nothing closed early here
+
+
+class TestJoinProductRule:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(st.integers(min_value=0, max_value=9), max_size=40),
+        right=st.lists(st.integers(min_value=0, max_value=9), max_size=40),
+    )
+    def test_output_size_is_sum_of_products(self, left, right):
+        jb = JoinBuffer(("a", "b"))
+        for i, rid in enumerate(left):
+            jb.add(Event("a", {"i": i}, rid, 0.0))
+        for i, rid in enumerate(right):
+            jb.add(Event("b", {"i": i}, rid, 0.0))
+        rows = list(jb.join())
+        expected = sum(
+            left.count(rid) * right.count(rid) for rid in set(left) & set(right)
+        )
+        assert len(rows) == expected
+        # And the unmatched count accounts for every remaining event.
+        assert jb.unmatched_count() == sum(
+            1 for rid in left if rid not in right
+        ) + sum(1 for rid in right if rid not in left)
+
+
+class TestGroupSumConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(events=_event_stream())
+    def test_group_counts_sum_to_total(self, events):
+        """Sum over GROUP BY cells == ungrouped COUNT(*) per window."""
+        clock = ManualClock()
+        scrub = Scrub(clock=clock, grace_seconds=0.0)
+        scrub.define_event("bid", [("exchange_id", "long")])
+        host = scrub.add_host("h0")
+        grouped = scrub.submit(
+            "select bid.exchange_id, COUNT(*) from bid window 10s duration 60s "
+            "group by bid.exchange_id;"
+        )
+        total = scrub.submit("select COUNT(*) from bid window 10s duration 60s;")
+        for rid, e in enumerate(events):
+            host.log("bid", exchange_id=e["exchange_id"],
+                     request_id=rid, timestamp=e["ts"])
+        clock.set(61.0)
+        grouped_results = scrub.finish(grouped.query_id)
+        total_results = scrub.finish(total.query_id)
+
+        grouped_by_window = {
+            w.window_start: sum(r[1] for r in w.rows)
+            for w in grouped_results.windows
+        }
+        total_by_window = {
+            w.window_start: w.rows[0][0] for w in total_results.windows
+        }
+        assert grouped_by_window == total_by_window

@@ -1,0 +1,102 @@
+"""Tests for the query tokenizer."""
+
+import pytest
+
+from repro.core.query.errors import ScrubSyntaxError
+from repro.core.query.lexer import TokenType, parse_duration, tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("Select FROM wHeRe")
+        assert all(t.type == TokenType.KEYWORD for t in toks[:-1])
+
+    def test_identifiers_keep_case(self):
+        toks = tokenize("BidServers")
+        assert toks[0].type == TokenType.IDENT
+        assert toks[0].value == "BidServers"
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14")
+        assert (toks[0].type, toks[0].value) == (TokenType.INT, "42")
+        assert (toks[1].type, toks[1].value) == (TokenType.FLOAT, "3.14")
+
+    def test_strings_single_and_double(self):
+        toks = tokenize("'abc' \"def\"")
+        assert [t.value for t in toks[:2]] == ["abc", "def"]
+
+    def test_string_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScrubSyntaxError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_durations(self):
+        toks = tokenize("10s 20m 500ms 2h 1d")
+        assert all(t.type == TokenType.DURATION for t in toks[:5])
+        assert [t.value for t in toks[:5]] == ["10s", "20m", "500ms", "2h", "1d"]
+
+    def test_duration_vs_identifier_boundary(self):
+        # '10second' is malformed, not DURATION('10s') + IDENT('econd').
+        with pytest.raises(ScrubSyntaxError, match="malformed number"):
+            tokenize("10second")
+
+    def test_at_bracket(self):
+        toks = tokenize("@[Service in BidServers]")
+        assert toks[0].type == TokenType.AT_LBRACKET
+        assert toks[-2].type == TokenType.RBRACKET
+
+    def test_at_without_bracket(self):
+        with pytest.raises(ScrubSyntaxError, match="after '@'"):
+            tokenize("@Service")
+
+    def test_operators(self):
+        toks = tokenize("= != <> < <= > >= + - /")
+        ops = [t.value for t in toks[:-1]]
+        assert ops == ["=", "!=", "!=", "<", "<=", ">", ">=", "+", "-", "/"]
+
+    def test_star_and_percent(self):
+        toks = tokenize("* %")
+        assert toks[0].type == TokenType.STAR
+        assert toks[1].type == TokenType.PERCENT_SIGN
+
+    def test_comment_skipped(self):
+        toks = tokenize("select -- a comment\nfrom")
+        assert [t.lowered for t in toks[:-1]] == ["select", "from"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("select\n  from")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ScrubSyntaxError, match="unexpected character"):
+            tokenize("select #")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type == TokenType.EOF
+        assert tokenize("select")[-1].type == TokenType.EOF
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("10s", 10.0), ("500ms", 0.5), ("2m", 120.0), ("1h", 3600.0), ("1d", 86400.0),
+         ("1.5s", 1.5)],
+    )
+    def test_values(self, text, seconds):
+        assert parse_duration(text) == seconds
+
+    def test_not_a_duration(self):
+        with pytest.raises(ValueError):
+            parse_duration("10")

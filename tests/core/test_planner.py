@@ -1,0 +1,168 @@
+"""Tests for the host/central query-object split."""
+
+import pytest
+
+from repro.core.events import EventRegistry
+from repro.core.query import (
+    DEFAULT_DURATION_SECONDS,
+    DEFAULT_WINDOW_SECONDS,
+    BoolOp,
+    parse_query,
+    plan_query,
+    unparse,
+    validate_query,
+)
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [
+        ("exchange_id", "long"), ("city", "string"), ("bid_price", "double"),
+        ("user_id", "long"),
+    ])
+    r.define("exclusion", [
+        ("line_item_id", "long"), ("reason", "string"), ("exchange_id", "long"),
+    ])
+    return r
+
+
+def plan(text, registry):
+    return plan_query(validate_query(parse_query(text), registry), "q1")
+
+
+class TestPredicatePushdown:
+    def test_single_source_predicate_fully_pushed(self, registry):
+        p = plan("select COUNT(*) from bid where bid.exchange_id = 5;", registry)
+        host = p.host_object_for("bid")
+        assert host.predicate is not None
+        assert p.central_object.residual_predicate is None
+
+    def test_join_per_type_conjuncts_split(self, registry):
+        p = plan(
+            "select COUNT(*) from bid, exclusion "
+            "where bid.exchange_id = 5 and exclusion.reason = 'GEO';",
+            registry,
+        )
+        assert "exchange_id" in unparse(p.host_object_for("bid").predicate)
+        assert "reason" in unparse(p.host_object_for("exclusion").predicate)
+        assert p.central_object.residual_predicate is None
+
+    def test_cross_type_conjunct_stays_central(self, registry):
+        p = plan(
+            "select COUNT(*) from bid, exclusion "
+            "where bid.exchange_id = exclusion.exchange_id;",
+            registry,
+        )
+        assert p.host_object_for("bid").predicate is None
+        assert p.host_object_for("exclusion").predicate is None
+        assert p.central_object.residual_predicate is not None
+
+    def test_mixed_conjuncts(self, registry):
+        p = plan(
+            "select COUNT(*) from bid, exclusion "
+            "where bid.city = 'Porto' and bid.exchange_id = exclusion.exchange_id "
+            "and exclusion.reason = 'GEO';",
+            registry,
+        )
+        assert "city" in unparse(p.host_object_for("bid").predicate)
+        assert "reason" in unparse(p.host_object_for("exclusion").predicate)
+        assert "exchange_id" in unparse(p.central_object.residual_predicate)
+
+    def test_or_across_types_stays_central(self, registry):
+        p = plan(
+            "select COUNT(*) from bid, exclusion "
+            "where bid.city = 'x' or exclusion.reason = 'y';",
+            registry,
+        )
+        assert p.host_object_for("bid").predicate is None
+        assert isinstance(p.central_object.residual_predicate, BoolOp)
+
+    def test_nested_ands_flattened(self, registry):
+        p = plan(
+            "select COUNT(*) from bid "
+            "where (bid.city = 'a' and bid.exchange_id = 1) and bid.user_id = 2;",
+            registry,
+        )
+        host_pred = p.host_object_for("bid").predicate
+        assert isinstance(host_pred, BoolOp) and len(host_pred.terms) == 3
+
+    def test_constant_conjunct_stays_central(self, registry):
+        p = plan("select COUNT(*) from bid where 1 = 1;", registry)
+        assert p.host_object_for("bid").predicate is None
+        assert p.central_object.residual_predicate is not None
+
+
+class TestProjection:
+    def test_projection_only_needed_fields(self, registry):
+        p = plan(
+            "select bid.city, COUNT(*) from bid "
+            "where bid.exchange_id = 5 group by bid.city;",
+            registry,
+        )
+        # exchange_id is only used in the host predicate; city is needed
+        # centrally for group-by.
+        assert p.host_object_for("bid").projection == ("city",)
+
+    def test_count_star_projects_nothing(self, registry):
+        p = plan("select COUNT(*) from bid where bid.exchange_id = 5;", registry)
+        assert p.host_object_for("bid").projection == ()
+
+    def test_central_residual_fields_projected(self, registry):
+        p = plan(
+            "select COUNT(*) from bid, exclusion "
+            "where bid.exchange_id = exclusion.exchange_id;",
+            registry,
+        )
+        assert p.host_object_for("bid").projection == ("exchange_id",)
+        assert p.host_object_for("exclusion").projection == ("exchange_id",)
+
+    def test_dotted_path_projects_root(self, registry):
+        registry.define("evt", [("meta", "object")])
+        p = plan(
+            "select evt.meta.os, COUNT(*) from evt group by evt.meta.os;", registry
+        )
+        assert p.host_object_for("evt").projection == ("meta",)
+
+    def test_system_fields_not_in_projection(self, registry):
+        p = plan(
+            "select bid.timestamp, COUNT(*) from bid group by bid.timestamp;",
+            registry,
+        )
+        assert p.host_object_for("bid").projection == ()
+
+
+class TestDefaultsAndMetadata:
+    def test_default_window_and_duration(self, registry):
+        p = plan("select COUNT(*) from bid;", registry)
+        assert p.central_object.window_seconds == DEFAULT_WINDOW_SECONDS
+        assert p.duration == DEFAULT_DURATION_SECONDS
+
+    def test_explicit_window_propagates_to_hosts(self, registry):
+        p = plan("select COUNT(*) from bid window 30s;", registry)
+        assert p.central_object.window_seconds == 30.0
+        assert p.host_object_for("bid").window_seconds == 30.0
+
+    def test_sampling_rates_propagate(self, registry):
+        p = plan(
+            "select COUNT(*) from bid sample hosts 10% sample events 20%;", registry
+        )
+        assert p.host_sampling_rate == pytest.approx(0.10)
+        assert p.host_object_for("bid").event_sampling_rate == pytest.approx(0.20)
+        assert p.central_object.sampling.host_rate == pytest.approx(0.10)
+
+    def test_one_host_object_per_source(self, registry):
+        p = plan("select COUNT(*) from bid, exclusion;", registry)
+        assert {o.event_type for o in p.host_objects} == {"bid", "exclusion"}
+        with pytest.raises(KeyError):
+            p.host_object_for("click")
+
+    def test_query_id_tagged_everywhere(self, registry):
+        p = plan("select COUNT(*) from bid;", registry)
+        assert p.query_id == "q1"
+        assert all(o.query_id == "q1" for o in p.host_objects)
+        assert p.central_object.query_id == "q1"
+
+    def test_column_names_on_central_object(self, registry):
+        p = plan("select COUNT(*) as n from bid;", registry)
+        assert p.central_object.column_names == ("n",)

@@ -1,0 +1,133 @@
+"""Tests for the event registry and the @scrub_type declarative API."""
+
+import pytest
+
+from repro.core.events import (
+    EventRegistry,
+    EventSchema,
+    UnknownEventTypeError,
+    schema_of,
+    scrub_field,
+    scrub_type,
+)
+
+
+class TestEventRegistry:
+    def test_define_and_get(self):
+        registry = EventRegistry()
+        schema = registry.define("bid", [("price", "double")])
+        assert registry.get("bid") is schema
+        assert "bid" in registry
+        assert len(registry) == 1
+
+    def test_unknown_type_error_lists_known(self):
+        registry = EventRegistry()
+        registry.define("bid", [("price", "double")])
+        with pytest.raises(UnknownEventTypeError) as exc:
+            registry.get("click")
+        assert "bid" in str(exc.value)
+
+    def test_idempotent_reregistration(self):
+        registry = EventRegistry()
+        schema = EventSchema("bid", [("price", "double")])
+        registry.register(schema)
+        registry.register(EventSchema("bid", [("price", "double")]))
+        assert len(registry) == 1
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = EventRegistry()
+        registry.define("bid", [("price", "double")])
+        with pytest.raises(ValueError, match="different shape"):
+            registry.define("bid", [("price", "long")])
+
+    def test_iteration_and_names(self):
+        registry = EventRegistry()
+        registry.define("a", [("x", "long")])
+        registry.define("b", [("y", "long")])
+        assert registry.names() == ("a", "b")
+        assert [s.name for s in registry] == ["a", "b"]
+
+    def test_copy_is_independent(self):
+        registry = EventRegistry()
+        registry.define("a", [("x", "long")])
+        clone = registry.copy()
+        clone.define("b", [("y", "long")])
+        assert "b" in clone
+        assert "b" not in registry
+
+
+class TestScrubTypeDecorator:
+    def test_paper_figure_1(self):
+        """The bid event type of paper Fig. 1, in the Python API."""
+        registry = EventRegistry()
+
+        @scrub_type("bid", registry)
+        class ScrubBid:
+            exchange_id = scrub_field("long")
+            city = scrub_field("string")
+            country = scrub_field("string")
+            bid_price = scrub_field("double")
+            campaign_id = scrub_field("long")
+
+        schema = registry.get("bid")
+        assert schema.field_names == (
+            "exchange_id", "city", "country", "bid_price", "campaign_id",
+        )
+        assert schema_of(ScrubBid) is schema
+
+        bid = ScrubBid(exchange_id=3, city="Porto", country="PT",
+                       bid_price=1.5, campaign_id=9)
+        assert bid.payload() == {
+            "exchange_id": 3, "city": "Porto", "country": "PT",
+            "bid_price": 1.5, "campaign_id": 9,
+        }
+
+    def test_explicit_wire_name(self):
+        @scrub_type("evt")
+        class Evt:
+            internal = scrub_field("long", name="wire_name")
+
+        assert schema_of(Evt).field_names == ("wire_name",)
+
+    def test_field_coercion_on_assignment(self):
+        @scrub_type("evt")
+        class Evt:
+            price = scrub_field("double")
+
+        e = Evt(price=2)
+        assert e.payload() == {"price": 2.0}
+        with pytest.raises(TypeError):
+            Evt(price="high")
+
+    def test_unknown_kwarg_rejected(self):
+        @scrub_type("evt")
+        class Evt:
+            a = scrub_field("long")
+
+        with pytest.raises(TypeError, match="unexpected"):
+            Evt(b=1)
+
+    def test_partial_payload_allowed(self):
+        @scrub_type("evt")
+        class Evt:
+            a = scrub_field("long")
+            b = scrub_field("string")
+
+        assert Evt(a=1).payload() == {"a": 1}
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError, match="no scrub_field"):
+            @scrub_type("evt")
+            class Evt:
+                pass
+
+    def test_schema_of_non_scrub_type(self):
+        with pytest.raises(TypeError):
+            schema_of(object())
+
+    def test_repr_shows_fields(self):
+        @scrub_type("evt")
+        class Evt:
+            a = scrub_field("long")
+
+        assert "a=5" in repr(Evt(a=5))

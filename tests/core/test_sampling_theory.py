@@ -1,0 +1,184 @@
+"""Tests for the multi-stage sampling estimators (paper Eqs. 1-3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.approx import (
+    MachineSample,
+    estimate_avg,
+    estimate_count,
+    estimate_sum,
+)
+
+
+class TestMachineSample:
+    def test_from_values(self):
+        s = MachineSample.from_values(10, [1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.total == 6.0
+        assert s.estimated_total == pytest.approx(20.0)  # (10/3)*6
+
+    def test_value_variance(self):
+        s = MachineSample.from_values(10, [1.0, 2.0, 3.0])
+        assert s.value_variance == pytest.approx(1.0)
+
+    def test_variance_of_singleton_zero(self):
+        assert MachineSample.from_values(5, [2.0]).value_variance == 0.0
+
+    def test_empty_sample(self):
+        s = MachineSample.from_values(5, [])
+        assert s.estimated_total == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            MachineSample(machine_total=2, count=3, total=0.0, sum_sq=0.0)
+        with pytest.raises(ValueError):
+            MachineSample(machine_total=-1, count=0, total=0.0, sum_sq=0.0)
+
+
+class TestEstimateSum:
+    def test_exhaustive_is_exact(self):
+        samples = [
+            MachineSample.from_values(3, [1.0, 2.0, 3.0]),
+            MachineSample.from_values(2, [4.0, 5.0]),
+        ]
+        est = estimate_sum(samples, total_machines=2)
+        assert est.estimate == pytest.approx(15.0)
+        assert est.error_bound == 0.0
+
+    def test_event_sampling_scales_up(self):
+        # Each machine saw 100 events, sampled 10, each value 1.0.
+        samples = [MachineSample.from_values(100, [1.0] * 10) for _ in range(4)]
+        est = estimate_sum(samples, total_machines=4)
+        assert est.estimate == pytest.approx(400.0)
+        # Values are constant -> within-machine variance 0 -> exact bound.
+        assert est.error_bound == pytest.approx(0.0)
+
+    def test_machine_sampling_scales_up(self):
+        samples = [MachineSample.from_values(10, [1.0] * 10) for _ in range(5)]
+        est = estimate_sum(samples, total_machines=20)
+        assert est.estimate == pytest.approx(200.0)
+        # Identical machines -> zero machine-stage variance.
+        assert est.error_bound == pytest.approx(0.0)
+
+    def test_single_machine_sample_infinite_bound(self):
+        samples = [MachineSample.from_values(100, [1.0] * 5)]
+        est = estimate_sum(samples, total_machines=10)
+        assert math.isinf(est.error_bound)
+
+    def test_no_samples(self):
+        est = estimate_sum([], total_machines=5)
+        assert est.estimate == 0.0
+        assert math.isinf(est.error_bound)
+
+    def test_machines_exceed_population_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sum([MachineSample.from_values(1, [1.0])] * 3, total_machines=2)
+
+    def test_confidence_widens_interval(self):
+        rng = random.Random(5)
+        samples = [
+            MachineSample.from_values(50, [rng.uniform(0, 2) for _ in range(10)])
+            for _ in range(8)
+        ]
+        e95 = estimate_sum(samples, total_machines=20, confidence=0.95)
+        e99 = estimate_sum(samples, total_machines=20, confidence=0.99)
+        assert e99.error_bound > e95.error_bound
+        assert e95.estimate == e99.estimate
+
+    def test_coverage_simulation(self):
+        """~95% of 95% CIs should contain the true total (allow slack)."""
+        rng = random.Random(42)
+        big_n, n_sampled, events_per, keep = 40, 12, 60, 20
+        trials, covered = 120, 0
+        for _ in range(trials):
+            machines = [
+                [rng.gauss(10.0, 3.0) for _ in range(events_per)]
+                for _ in range(big_n)
+            ]
+            truth = sum(sum(m) for m in machines)
+            chosen = rng.sample(range(big_n), n_sampled)
+            samples = [
+                MachineSample.from_values(events_per, rng.sample(machines[i], keep))
+                for i in chosen
+            ]
+            est = estimate_sum(samples, total_machines=big_n)
+            if est.low <= truth <= est.high:
+                covered += 1
+        assert covered / trials >= 0.85
+
+    def test_relative_error_property(self):
+        est = estimate_sum(
+            [MachineSample.from_values(4, [1.0, 2.0]) for _ in range(3)],
+            total_machines=3,
+        )
+        assert est.relative_error == est.error_bound / est.estimate
+
+
+class TestEstimateCount:
+    def test_full_population_exact(self):
+        est = estimate_count([10, 20, 30], total_machines=3)
+        assert est.estimate == 60.0
+        assert est.error_bound == 0.0
+
+    def test_host_sampled_scales(self):
+        est = estimate_count([10, 10], total_machines=8)
+        assert est.estimate == pytest.approx(80.0)
+
+    def test_event_rate_scales(self):
+        est = estimate_count([10, 10], total_machines=2, event_sampling_rate=0.1)
+        assert est.estimate == pytest.approx(200.0)
+
+    def test_event_rate_error_folded_into_machine_stage(self):
+        # Varying scaled per-machine counts carry the event-stage noise.
+        est = estimate_count(
+            [8, 12, 10, 14], total_machines=8, event_sampling_rate=0.1
+        )
+        assert est.estimate == pytest.approx(880.0)
+        assert est.error_bound > 0
+
+    def test_identical_machines_zero_variance(self):
+        est = estimate_count([5, 5, 5], total_machines=9)
+        assert est.error_bound == pytest.approx(0.0)
+
+    def test_empty(self):
+        est = estimate_count([], total_machines=4)
+        assert est.estimate == 0.0
+
+
+class TestEstimateAvg:
+    def test_ratio(self):
+        s = estimate_sum(
+            [MachineSample.from_values(2, [2.0, 4.0])] * 2, total_machines=2
+        )
+        c = estimate_count([2, 2], total_machines=2)
+        avg = estimate_avg(s, c)
+        assert avg.estimate == pytest.approx(3.0)
+        assert avg.error_bound == pytest.approx(0.0)
+
+    def test_zero_count(self):
+        s = estimate_sum([], total_machines=1)
+        c = estimate_count([], total_machines=1)
+        avg = estimate_avg(s, c)
+        assert math.isinf(avg.error_bound)
+
+    def test_error_propagation_positive(self):
+        rng = random.Random(9)
+        samples = [
+            MachineSample.from_values(30, [rng.uniform(0, 4) for _ in range(10)])
+            for _ in range(6)
+        ]
+        s = estimate_sum(samples, total_machines=12)
+        c = estimate_count([30] * 6, total_machines=12)
+        avg = estimate_avg(s, c)
+        assert avg.error_bound > 0
+        assert avg.estimate == pytest.approx(s.estimate / c.estimate)
+
+
+class TestApproxEstimateFormatting:
+    def test_str(self):
+        est = estimate_count([5, 5], total_machines=2)
+        assert "95% CI" in str(est)
+        assert est.low <= est.estimate <= est.high

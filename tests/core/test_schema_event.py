@@ -1,0 +1,157 @@
+"""Tests for event schemas and event instances."""
+
+import pytest
+
+from repro.core.events import (
+    HOST,
+    REQUEST_ID,
+    TIMESTAMP,
+    Event,
+    EventSchema,
+    FieldType,
+)
+
+
+@pytest.fixture
+def bid_schema():
+    return EventSchema(
+        "bid",
+        [
+            ("exchange_id", "long"),
+            ("city", "string"),
+            ("country", "string"),
+            ("bid_price", "double"),
+            ("campaign_id", "long"),
+        ],
+    )
+
+
+class TestEventSchema:
+    def test_field_order_preserved(self, bid_schema):
+        assert bid_schema.field_names == (
+            "exchange_id", "city", "country", "bid_price", "campaign_id",
+        )
+
+    def test_mapping_input(self):
+        schema = EventSchema("x", {"a": "long", "b": FieldType.STRING})
+        assert schema.field_names == ("a", "b")
+        assert schema.field_type("b") is FieldType.STRING
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            EventSchema("x", [("a", "long"), ("a", "string")])
+
+    def test_system_field_clash_rejected(self):
+        for name in (REQUEST_ID, TIMESTAMP, HOST):
+            with pytest.raises(ValueError, match="system field"):
+                EventSchema("x", [(name, "long")])
+
+    def test_bad_event_name(self):
+        with pytest.raises(ValueError):
+            EventSchema("has space", [("a", "long")])
+        with pytest.raises(ValueError):
+            EventSchema("", [("a", "long")])
+
+    def test_has_field_covers_system_fields(self, bid_schema):
+        assert bid_schema.has_field("city")
+        assert bid_schema.has_field(REQUEST_ID)
+        assert bid_schema.has_field(TIMESTAMP)
+        assert not bid_schema.has_field("nope")
+
+    def test_field_type_lookup(self, bid_schema):
+        assert bid_schema.field_type("bid_price") is FieldType.DOUBLE
+        assert bid_schema.field_type(REQUEST_ID) is FieldType.LONG
+        with pytest.raises(KeyError):
+            bid_schema.field_type("nope")
+
+    def test_dotted_path_into_object(self):
+        schema = EventSchema("x", [("meta", "object")])
+        assert schema.has_field("meta.device.os")
+        assert schema.field_type("meta.device") is FieldType.OBJECT
+
+    def test_dotted_path_into_non_object_rejected(self, bid_schema):
+        assert not bid_schema.has_field("city.part")
+
+    def test_equality_and_hash(self, bid_schema):
+        clone = EventSchema("bid", list(zip(bid_schema.field_names,
+                                            ["long", "string", "string", "double", "long"])))
+        assert clone == bid_schema
+        assert hash(clone) == hash(bid_schema)
+        other = EventSchema("bid", [("exchange_id", "long")])
+        assert other != bid_schema
+
+    def test_coerce_payload(self, bid_schema):
+        out = bid_schema.coerce_payload({"exchange_id": 5, "bid_price": 2})
+        assert out == {"exchange_id": 5, "bid_price": 2.0}
+        with pytest.raises(KeyError):
+            bid_schema.coerce_payload({"nope": 1})
+        with pytest.raises(TypeError):
+            bid_schema.coerce_payload({"bid_price": "high"})
+
+
+class TestEvent:
+    def test_system_fields_via_get(self):
+        event = Event("bid", {"city": "Porto"}, request_id=7, timestamp=12.5, host="h1")
+        assert event.get(REQUEST_ID) == 7
+        assert event.get(TIMESTAMP) == 12.5
+        assert event.get(HOST) == "h1"
+        assert event.get("city") == "Porto"
+
+    def test_missing_field_is_none(self):
+        event = Event("bid", {}, 1, 0.0)
+        assert event.get("city") is None
+
+    def test_dotted_path_resolution(self):
+        event = Event("e", {"meta": {"device": {"os": "linux"}}}, 1, 0.0)
+        assert event.get("meta.device.os") == "linux"
+        assert event.get("meta.device.missing") is None
+        assert event.get("meta.nope.os") is None
+
+    def test_dotted_path_through_non_dict_is_none(self):
+        event = Event("e", {"meta": "flat"}, 1, 0.0)
+        assert event.get("meta.device") is None
+
+    def test_literal_dotted_key_wins_over_path(self):
+        event = Event("e", {"a.b": 1, "a": {"b": 2}}, 1, 0.0)
+        assert event.get("a.b") == 1
+
+    def test_project_keeps_system_fields(self):
+        event = Event("bid", {"city": "Porto", "country": "PT"}, 9, 3.0, "h2")
+        slim = event.project(("city",))
+        assert slim.payload == {"city": "Porto"}
+        assert slim.request_id == 9
+        assert slim.timestamp == 3.0
+        assert slim.host == "h2"
+
+    def test_project_with_absent_field(self):
+        event = Event("bid", {"city": "Porto"}, 1, 0.0)
+        slim = event.project(("city", "country"))
+        assert slim.payload == {"city": "Porto"}
+
+    def test_to_dict(self):
+        event = Event("bid", {"city": "Porto"}, 1, 2.0, "h")
+        d = event.to_dict()
+        assert d == {"city": "Porto", REQUEST_ID: 1, TIMESTAMP: 2.0, HOST: "h"}
+
+    def test_checked_validates(self):
+        schema = EventSchema("bid", [("bid_price", "double")])
+        event = Event.checked(schema, {"bid_price": 3}, 1, 0.0)
+        assert event.payload["bid_price"] == 3.0
+        with pytest.raises(KeyError):
+            Event.checked(schema, {"oops": 1}, 1, 0.0)
+
+    def test_equality(self):
+        a = Event("bid", {"x": 1}, 1, 2.0, "h")
+        b = Event("bid", {"x": 1}, 1, 2.0, "h")
+        c = Event("bid", {"x": 2}, 1, 2.0, "h")
+        assert a == b
+        assert a != c
+
+    def test_approx_size_monotone_in_payload(self):
+        small = Event("bid", {"city": "P"}, 1, 0.0)
+        big = Event("bid", {"city": "P" * 100}, 1, 0.0)
+        assert big.approx_size() > small.approx_size()
+
+    def test_approx_size_counts_nested(self):
+        event = Event("e", {"lst": [1, 2, 3], "obj": {"k": "v"}}, 1, 0.0)
+        assert event.approx_size() > 24

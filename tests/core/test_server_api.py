@@ -1,0 +1,177 @@
+"""Tests for the query server and the Scrub façade (paper Fig. 3 flow)."""
+
+import pytest
+
+from repro.core import ManualClock, Scrub
+from repro.core.query import (
+    QueryNotFoundError,
+    ScrubSyntaxError,
+    ScrubValidationError,
+)
+
+
+@pytest.fixture
+def scrub():
+    s = Scrub(clock=ManualClock(), grace_seconds=0.0)
+    s.define_event("bid", [
+        ("exchange_id", "long"), ("city", "string"), ("bid_price", "double"),
+        ("user_id", "long"),
+    ])
+    return s
+
+
+@pytest.fixture
+def clock(scrub):
+    return scrub.clock
+
+
+class TestSubmission:
+    def test_submit_returns_handle(self, scrub):
+        scrub.add_host("h1", services=["BidServers"])
+        handle = scrub.submit("select COUNT(*) from bid duration 60s;")
+        assert handle.query_id == "q00001"
+        assert handle.targeted_hosts == ("h1",)
+        assert handle.expires_at == 60.0
+
+    def test_query_ids_unique(self, scrub):
+        scrub.add_host("h1")
+        h1 = scrub.submit("select COUNT(*) from bid;")
+        h2 = scrub.submit("select COUNT(*) from bid;")
+        assert h1.query_id != h2.query_id
+
+    def test_syntax_error_propagates(self, scrub):
+        scrub.add_host("h1")
+        with pytest.raises(ScrubSyntaxError):
+            scrub.submit("select from;")
+
+    def test_validation_error_propagates(self, scrub):
+        scrub.add_host("h1")
+        with pytest.raises(ScrubValidationError):
+            scrub.submit("select COUNT(*) from nonexistent;")
+
+    def test_empty_target_rejected(self, scrub):
+        scrub.add_host("h1", services=["BidServers"])
+        with pytest.raises(ScrubValidationError, match="no host"):
+            scrub.submit("select COUNT(*) from bid @[Service in AdServers];")
+
+    def test_target_installs_only_on_matching_hosts(self, scrub):
+        bid_host = scrub.add_host("h1", services=["BidServers"])
+        other = scrub.add_host("h2", services=["AdServers"])
+        scrub.submit("select COUNT(*) from bid @[Service in BidServers];")
+        assert bid_host.active_query_ids == ("q00001",)
+        assert other.active_query_ids == ()
+
+    def test_host_sampling_subset(self, scrub):
+        for i in range(20):
+            scrub.add_host(f"h{i}", services=["BidServers"])
+        handle = scrub.submit(
+            "select COUNT(*) from bid @[Service in BidServers] sample hosts 25%;"
+        )
+        assert len(handle.targeted_hosts) == 5
+        assert len(handle.planned_hosts) == 20
+        assert set(handle.targeted_hosts) <= set(handle.planned_hosts)
+
+
+class TestLifecycle:
+    def test_end_to_end_count(self, scrub, clock):
+        host = scrub.add_host("h1")
+        handle = scrub.submit("select COUNT(*) from bid window 10s duration 30s;")
+        for i in range(6):
+            clock.set(float(i))
+            host.log("bid", exchange_id=1, request_id=i)
+        clock.set(31.0)
+        results = scrub.finish(handle.query_id)
+        assert results.windows[0].rows[0][0] == 6
+
+    def test_poll_sees_closed_windows_only(self, scrub, clock):
+        host = scrub.add_host("h1")
+        handle = scrub.submit("select COUNT(*) from bid window 10s duration 100s;")
+        host.log("bid", exchange_id=1, request_id=1)
+        scrub.tick()
+        assert len(scrub.poll(handle.query_id)) == 0  # window still open
+        clock.set(15.0)
+        scrub.tick()
+        assert len(scrub.poll(handle.query_id)) == 1
+        scrub.cancel(handle.query_id)
+
+    def test_finish_idempotent(self, scrub, clock):
+        host = scrub.add_host("h1")
+        handle = scrub.submit("select COUNT(*) from bid duration 10s;")
+        host.log("bid", exchange_id=1, request_id=1)
+        first = scrub.finish(handle.query_id)
+        again = scrub.finish(handle.query_id)
+        assert first is again
+
+    def test_poll_after_finish_returns_results(self, scrub, clock):
+        host = scrub.add_host("h1")
+        handle = scrub.submit("select COUNT(*) from bid duration 10s;")
+        host.log("bid", exchange_id=1, request_id=1)
+        scrub.finish(handle.query_id)
+        assert len(scrub.poll(handle.query_id).rows) == 1
+
+    def test_tick_reaps_expired_spans(self, scrub, clock):
+        """The query span guards against forgotten queries (paper 3.2)."""
+        host = scrub.add_host("h1")
+        handle = scrub.submit("select COUNT(*) from bid duration 20s;")
+        assert host.active_query_ids == (handle.query_id,)
+        clock.set(25.0)
+        scrub.tick()
+        assert host.active_query_ids == ()
+        assert scrub.server.running_query_ids == ()
+        # Results are retained for collection.
+        scrub.poll(handle.query_id)
+
+    def test_cancel_discards_unclosed_windows(self, scrub, clock):
+        host = scrub.add_host("h1")
+        handle = scrub.submit("select COUNT(*) from bid window 10s duration 100s;")
+        host.log("bid", exchange_id=1, request_id=1)
+        scrub.cancel(handle.query_id)
+        assert len(scrub.poll(handle.query_id)) == 0
+        assert host.active_query_ids == ()
+
+    def test_unknown_query_id(self, scrub):
+        with pytest.raises(QueryNotFoundError):
+            scrub.finish("q99999")
+        with pytest.raises(QueryNotFoundError):
+            scrub.poll("q99999")
+
+    def test_concurrent_queries_independent(self, scrub, clock):
+        host = scrub.add_host("h1")
+        h1 = scrub.submit("select COUNT(*) from bid window 10s duration 100s;")
+        h2 = scrub.submit(
+            "select COUNT(*) from bid where bid.exchange_id = 5 "
+            "window 10s duration 100s;"
+        )
+        host.log("bid", exchange_id=5, request_id=1)
+        host.log("bid", exchange_id=6, request_id=2)
+        clock.set(101.0)
+        r1 = scrub.finish(h1.query_id)
+        r2 = scrub.finish(h2.query_id)
+        assert r1.rows[0][0] == 2
+        assert r2.rows[0][0] == 1
+
+    def test_delayed_start(self, scrub, clock):
+        host = scrub.add_host("h1")
+        handle = scrub.submit(
+            "select COUNT(*) from bid start 100 duration 50s;"
+        )
+        host.log("bid", exchange_id=1, request_id=1)  # before the span
+        clock.set(120.0)
+        host.log("bid", exchange_id=1, request_id=2)  # inside
+        clock.set(200.0)
+        results = scrub.finish(handle.query_id)
+        assert sum(r[0] for r in results.rows) == 1
+
+
+class TestRunClosedWorld:
+    def test_helper(self, scrub, clock):
+        host = scrub.add_host("h1")
+
+        def drive(s):
+            for i in range(4):
+                host.log("bid", exchange_id=1, request_id=i)
+
+        results = scrub.run_closed_world(
+            "select COUNT(*) from bid duration 60s;", drive
+        )
+        assert results.rows[0][0] == 4

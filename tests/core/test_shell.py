@@ -1,0 +1,97 @@
+"""Tests for the interactive Scrub shell (scripted, non-interactive)."""
+
+import io
+
+import pytest
+
+from repro.adplatform import spam_scenario
+from repro.tools import SCENARIOS, ScrubShell
+
+
+@pytest.fixture(scope="module")
+def shell_and_out():
+    scenario = spam_scenario(users=80, pageview_rate=5.0)
+    out = io.StringIO()
+    shell = ScrubShell(scenario, out=out)
+    return shell, out
+
+
+def run_lines(shell, out, *lines):
+    start = out.tell()
+    for line in lines:
+        keep_going = shell.handle(line)
+    out.seek(start)
+    return out.read(), keep_going
+
+
+class TestShellCommands:
+    def test_events_lists_schemas(self, shell_and_out):
+        shell, out = shell_and_out
+        text, _ = run_lines(shell, out, "\\events")
+        assert "bid(" in text and "exclusion(" in text
+
+    def test_hosts_lists_services(self, shell_and_out):
+        shell, out = shell_and_out
+        text, _ = run_lines(shell, out, "\\hosts")
+        assert "BidServers" in text
+        assert "profilestore-0" in text
+
+    def test_run_advances_time(self, shell_and_out):
+        shell, out = shell_and_out
+        before = shell.cluster.now
+        text, _ = run_lines(shell, out, "\\run 3")
+        assert shell.cluster.now == pytest.approx(before + 3.0)
+        assert "t =" in text
+
+    def test_unknown_command(self, shell_and_out):
+        shell, out = shell_and_out
+        text, _ = run_lines(shell, out, "\\frobnicate")
+        assert "unknown command" in text
+
+    def test_quit_stops(self, shell_and_out):
+        shell, out = shell_and_out
+        _, keep_going = run_lines(shell, out, "\\quit")
+        assert keep_going is False
+
+    def test_blank_and_comment_lines_ignored(self, shell_and_out):
+        shell, out = shell_and_out
+        text, keep_going = run_lines(shell, out, "", "   ", "-- a comment")
+        assert keep_going is True
+        assert text == ""
+
+
+class TestShellQueries:
+    def test_query_runs_and_prints_windows(self, shell_and_out):
+        shell, out = shell_and_out
+        text, _ = run_lines(
+            shell, out,
+            "select COUNT(*) from bid window 10s duration 20s;",
+        )
+        assert "installed on" in text
+        assert "-- window" in text
+        assert shell.last_results is not None
+
+    def test_csv_and_json_of_last_result(self, shell_and_out):
+        shell, out = shell_and_out
+        run_lines(shell, out, "select COUNT(*) from bid window 10s duration 10s;")
+        text, _ = run_lines(shell, out, "\\csv")
+        assert text.splitlines()[0].startswith("window_start,")
+        text, _ = run_lines(shell, out, "\\json")
+        assert '"query_id"' in text
+
+    def test_query_error_reported_not_raised(self, shell_and_out):
+        shell, out = shell_and_out
+        text, keep_going = run_lines(shell, out, "select from nowhere;")
+        assert "error:" in text
+        assert keep_going is True
+
+    def test_validation_error_reported(self, shell_and_out):
+        shell, out = shell_and_out
+        text, _ = run_lines(shell, out, "select COUNT(*) from nosuchevent;")
+        assert "error:" in text and "unknown event type" in text
+
+
+def test_all_scenarios_constructible():
+    for name, factory in SCENARIOS.items():
+        scenario = factory()
+        assert scenario.cluster.hosts(), name

@@ -1,0 +1,99 @@
+"""Unparse round-trip: parse(unparse(q)) == q for parsed queries.
+
+This is the invariant that keeps the wire format (query objects can be
+shipped as text) and error messages faithful to what the user wrote.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import parse_query, unparse
+
+CORPUS = [
+    "select COUNT(*) from bid;",
+    "select bid.user_id, COUNT(*) from bid group by bid.user_id;",
+    "select 1000 * AVG(impression.cost) from impression "
+    "where impression.line_item_id = 42 @[Servers in (h1, h2)];",
+    "select exclusion.reason, COUNT(*) from bid, exclusion "
+    "where bid.exchange_id = 5 and exclusion.reason != 'NONE' "
+    "group by exclusion.reason;",
+    "select COUNT(*) from impression @[Service in PresentationServers and "
+    "Datacenter = DC1] sample hosts 10% sample events 10% window 10s;",
+    "select MAX(bid.bid_price), MIN(bid.bid_price) from bid "
+    "where bid.bid_price between 0.5 and 5.0;",
+    "select COUNT(*) from bid where bid.city like 'San%' or bid.city in ('NY', 'LA');",
+    "select COUNT_DISTINCT(bid.user_id) from bid window 1m duration 20m;",
+    "select TOP(10, bid.user_id) from bid;",
+    "select COUNT(*) from bid where bid.note is null;",
+    "select COUNT(*) from bid where bid.note is not null and not bid.price > 3;",
+    "select COUNT(*) from bid where bid.x not in (1, 2);",
+    "select COUNT(*) from bid where bid.x not between 1 and 2;",
+    "select bid.user_id as uid, SUM(bid.bid_price) as spend from bid "
+    "group by bid.user_id;",
+    "select COUNT(*) from bid start 1000 duration 30m window 500ms;",
+    "select COUNT(*) from bid where -bid.x < 5;",
+    "select COUNT(*) from bid where bid.meta.device = 'mobile';",
+]
+
+
+@pytest.mark.parametrize("text", CORPUS)
+def test_round_trip_fixed_corpus(text):
+    q1 = parse_query(text)
+    q2 = parse_query(unparse(q1))
+    assert q1 == q2
+
+
+@pytest.mark.parametrize("text", CORPUS)
+def test_unparse_is_stable(text):
+    """unparse is a fixpoint after one round."""
+    q1 = parse_query(text)
+    once = unparse(q1)
+    assert unparse(parse_query(once)) == once
+
+
+# -- randomized round trips over generated queries --------------------------------
+
+_fields = st.sampled_from(["bid.user_id", "bid.bid_price", "bid.city", "bid.exchange_id"])
+_literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(lambda f: round(f, 3)),
+    st.text(alphabet="abcXYZ ", max_size=8),
+)
+_cmp_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def _predicates(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        field = draw(_fields)
+        op = draw(_cmp_ops)
+        lit = draw(_literals)
+        lit_text = repr(lit) if not isinstance(lit, str) else "'" + lit + "'"
+        return f"{field} {op} {lit_text}"
+    parts = [draw(_predicates(depth + 1)) for _ in range(draw(st.integers(2, 3)))]
+    joiner = draw(st.sampled_from([" and ", " or "]))
+    return "(" + joiner.join(parts) + ")"
+
+
+@st.composite
+def _queries(draw):
+    agg = draw(st.sampled_from(
+        ["COUNT(*)", "SUM(bid.bid_price)", "AVG(bid.bid_price)",
+         "MIN(bid.bid_price)", "MAX(bid.bid_price)",
+         "COUNT_DISTINCT(bid.user_id)"]
+    ))
+    group = draw(st.sampled_from(["", " group by bid.user_id"]))
+    select = f"bid.user_id, {agg}" if group else agg
+    where = draw(st.one_of(st.just(""), _predicates().map(lambda p: f" where {p}")))
+    window = draw(st.sampled_from(["", " window 10s", " window 2m"]))
+    sampling = draw(st.sampled_from(["", " sample events 50%", " sample hosts 25%"]))
+    return f"select {select} from bid{where}{sampling}{window}{group};"
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=_queries())
+def test_round_trip_property(text):
+    q1 = parse_query(text)
+    q2 = parse_query(unparse(q1))
+    assert q1 == q2

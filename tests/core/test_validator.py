@@ -1,0 +1,153 @@
+"""Tests for semantic validation."""
+
+import pytest
+
+from repro.core.events import EventRegistry
+from repro.core.query import (
+    FieldRef,
+    ScrubValidationError,
+    parse_query,
+    validate_query,
+)
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [
+        ("exchange_id", "long"), ("city", "string"), ("country", "string"),
+        ("bid_price", "double"), ("campaign_id", "long"), ("user_id", "long"),
+        ("meta", "object"),
+    ])
+    r.define("exclusion", [
+        ("line_item_id", "long"), ("reason", "string"), ("exchange_id", "long"),
+    ])
+    r.define("impression", [("cost", "double"), ("line_item_id", "long")])
+    return r
+
+
+def validate(text, registry):
+    return validate_query(parse_query(text), registry)
+
+
+class TestSourceResolution:
+    def test_unknown_event_type(self, registry):
+        with pytest.raises(ScrubValidationError, match="unknown event type"):
+            validate("select COUNT(*) from nope;", registry)
+
+    def test_duplicate_source(self, registry):
+        with pytest.raises(ScrubValidationError, match="duplicate"):
+            validate("select COUNT(*) from bid, bid;", registry)
+
+
+class TestFieldResolution:
+    def test_qualified_field(self, registry):
+        v = validate("select bid.city, COUNT(*) from bid group by bid.city;", registry)
+        assert v.query.select_items[0].expr == FieldRef("bid", "city")
+
+    def test_unqualified_field_unique_source(self, registry):
+        v = validate("select city, COUNT(*) from bid group by city;", registry)
+        assert v.query.select_items[0].expr == FieldRef("bid", "city")
+
+    def test_unqualified_field_resolves_across_join(self, registry):
+        v = validate(
+            "select reason, COUNT(*) from bid, exclusion group by reason;", registry
+        )
+        assert v.query.group_by[0] == FieldRef("exclusion", "reason")
+
+    def test_ambiguous_unqualified_field(self, registry):
+        with pytest.raises(ScrubValidationError, match="ambiguous"):
+            validate(
+                "select exchange_id, COUNT(*) from bid, exclusion "
+                "group by exchange_id;",
+                registry,
+            )
+
+    def test_unknown_field(self, registry):
+        with pytest.raises(ScrubValidationError, match="no field"):
+            validate("select bid.nope, COUNT(*) from bid group by bid.nope;", registry)
+
+    def test_unknown_bare_field(self, registry):
+        with pytest.raises(ScrubValidationError, match="no source event type"):
+            validate("select COUNT(*) from bid where nope = 1;", registry)
+
+    def test_system_fields_resolve(self, registry):
+        validate("select COUNT(*) from bid where request_id > 0;", registry)
+        validate("select COUNT(*) from bid where bid.timestamp > 0;", registry)
+
+    def test_dotted_object_path(self, registry):
+        v = validate("select COUNT(*) from bid where bid.meta.os = 'linux';", registry)
+        assert v is not None
+
+    def test_dotted_path_without_qualifier(self, registry):
+        # 'meta.os' parses as FieldRef('meta', 'os'); 'meta' is not an event
+        # type, so it re-resolves as a path on bid.
+        v = validate("select COUNT(*) from bid where meta.os = 'x';", registry)
+        assert v is not None
+
+
+class TestAggregateRules:
+    def test_aggregate_in_where_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="not allowed in WHERE"):
+            validate("select COUNT(*) from bid where COUNT(*) > 5;", registry)
+
+    def test_aggregate_in_group_by_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="not allowed in GROUP BY"):
+            validate("select COUNT(*) from bid group by SUM(bid_price);", registry)
+
+    def test_bare_column_with_aggregate_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="GROUP BY"):
+            validate("select bid.city, COUNT(*) from bid;", registry)
+
+    def test_grouped_column_in_select_ok(self, registry):
+        validate(
+            "select bid.city, COUNT(*) from bid group by bid.city;", registry
+        )
+
+    def test_arithmetic_over_aggregate_ok(self, registry):
+        validate("select 1000 * AVG(impression.cost) from impression;", registry)
+
+    def test_arithmetic_over_group_key_ok(self, registry):
+        validate(
+            "select bid.exchange_id + 1, COUNT(*) from bid "
+            "group by bid.exchange_id + 1;",
+            registry,
+        )
+
+    def test_plain_selection_without_aggregates_ok(self, registry):
+        validate("select bid.city, bid.bid_price from bid;", registry)
+
+
+class TestTypeChecking:
+    def test_arithmetic_on_string_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="numeric"):
+            validate("select COUNT(*) from bid where bid.city + 1 > 2;", registry)
+
+    def test_compare_string_to_number_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="cannot compare"):
+            validate("select COUNT(*) from bid where bid.city = 5;", registry)
+
+    def test_like_on_number_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="LIKE"):
+            validate("select COUNT(*) from bid where bid.bid_price like 'x%';", registry)
+
+    def test_sum_of_string_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="SUM"):
+            validate("select SUM(bid.city) from bid;", registry)
+
+    def test_object_member_dynamically_typed(self, registry):
+        # meta.os has no static type, so any comparison passes validation.
+        validate("select COUNT(*) from bid where bid.meta.os = 5;", registry)
+
+    def test_numeric_cross_type_compare_ok(self, registry):
+        validate("select COUNT(*) from bid where bid.exchange_id < 2.5;", registry)
+
+
+class TestColumnNames:
+    def test_alias_wins(self, registry):
+        v = validate("select COUNT(*) as total from bid;", registry)
+        assert v.column_names == ("total",)
+
+    def test_default_is_unparsed_expr(self, registry):
+        v = validate("select COUNT(*), AVG(bid.bid_price) from bid;", registry)
+        assert v.column_names == ("COUNT(*)", "AVG(bid.bid_price)")

@@ -1,0 +1,144 @@
+"""Tests for window assignment/tracking and the request-id equi-join."""
+
+import pytest
+
+from repro.core.central.join import JoinBuffer
+from repro.core.central.window import (
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowTracker,
+)
+from repro.core.events import Event
+
+
+class TestTumblingAssigner:
+    def test_assignment(self):
+        w = TumblingWindowAssigner(10.0)
+        assert list(w.assign(0.0)) == [0]
+        assert list(w.assign(9.999)) == [0]
+        assert list(w.assign(10.0)) == [1]
+        assert list(w.assign(25.0)) == [2]
+
+    def test_bounds(self):
+        w = TumblingWindowAssigner(10.0)
+        assert w.start_of(3) == 30.0
+        assert w.end_of(3) == 40.0
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            TumblingWindowAssigner(0.0)
+
+
+class TestSlidingAssigner:
+    def test_event_in_multiple_windows(self):
+        w = SlidingWindowAssigner(length=10.0, slide=5.0)
+        assert list(w.assign(12.0)) == [1, 2]  # [5,15) and [10,20)
+        assert w.start_of(2) == 10.0
+        assert w.end_of(2) == 20.0
+
+    def test_slide_equals_length_is_tumbling(self):
+        w = SlidingWindowAssigner(length=10.0, slide=10.0)
+        assert list(w.assign(12.0)) == [1]
+
+    def test_invalid_slide(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(length=10.0, slide=20.0)
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(length=10.0, slide=0.0)
+
+
+class TestWindowTracker:
+    def test_observe_and_close(self):
+        t = WindowTracker(TumblingWindowAssigner(10.0), grace_seconds=2.0)
+        assert t.observe(5.0) == (0,)
+        assert t.observe(15.0) == (1,)
+        assert t.open_windows == (0, 1)
+        assert t.closable(11.0) == ()       # 10 + grace 2 > 11
+        assert t.closable(12.0) == (0,)
+        t.close(0)
+        assert t.open_windows == (1,)
+
+    def test_late_event_counted_and_rejected(self):
+        t = WindowTracker(TumblingWindowAssigner(10.0))
+        t.observe(5.0)
+        t.close(0)
+        assert t.observe(3.0) == ()
+        assert t.late_events == 1
+
+    def test_implicitly_closed_below_watermark(self):
+        t = WindowTracker(TumblingWindowAssigner(10.0))
+        t.observe(25.0)
+        t.close(2)
+        # Window 1 was never seen, but closing 2 seals everything below.
+        assert t.observe(15.0) == ()
+        assert t.late_events == 1
+
+    def test_close_all(self):
+        t = WindowTracker(TumblingWindowAssigner(10.0))
+        t.observe(5.0)
+        t.observe(25.0)
+        assert t.close_all() == (0, 2)
+        assert t.open_windows == ()
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError):
+            WindowTracker(TumblingWindowAssigner(1.0), grace_seconds=-1.0)
+
+
+def ev(event_type, rid, **payload):
+    return Event(event_type, payload, rid, 0.0, "h")
+
+
+class TestJoinBuffer:
+    def test_simple_one_to_one_join(self):
+        jb = JoinBuffer(("bid", "click"))
+        jb.add(ev("bid", 1, price=1.0))
+        jb.add(ev("click", 1))
+        jb.add(ev("bid", 2, price=2.0))  # no matching click
+        rows = list(jb.join())
+        assert len(rows) == 1
+        assert rows[0]["bid"].request_id == 1
+        assert rows[0]["click"].event_type == "click"
+
+    def test_cross_product_for_duplicates(self):
+        """A request with several exclusions joins once per exclusion."""
+        jb = JoinBuffer(("bid", "exclusion"))
+        jb.add(ev("bid", 1))
+        for i in range(3):
+            jb.add(ev("exclusion", 1, idx=i))
+        rows = list(jb.join())
+        assert len(rows) == 3
+        assert {r["exclusion"].payload["idx"] for r in rows} == {0, 1, 2}
+
+    def test_three_way_join(self):
+        jb = JoinBuffer(("a", "b", "c"))
+        for t in ("a", "b", "c"):
+            jb.add(ev(t, 1))
+            jb.add(ev(t, 2))
+        jb.add(ev("a", 3))  # only in one type
+        rows = list(jb.join())
+        assert len(rows) == 2
+        assert all(set(r) == {"a", "b", "c"} for r in rows)
+
+    def test_empty_side_joins_nothing(self):
+        jb = JoinBuffer(("bid", "click"))
+        jb.add(ev("bid", 1))
+        assert list(jb.join()) == []
+
+    def test_unmatched_count(self):
+        jb = JoinBuffer(("bid", "click"))
+        jb.add(ev("bid", 1))
+        jb.add(ev("click", 1))
+        jb.add(ev("bid", 2))
+        jb.add(ev("bid", 3))
+        assert jb.unmatched_count() == 2
+
+    def test_requires_two_sources(self):
+        with pytest.raises(ValueError):
+            JoinBuffer(("bid",))
+
+    def test_buffered_counter(self):
+        jb = JoinBuffer(("a", "b"))
+        jb.add(ev("a", 1))
+        jb.add(ev("b", 1))
+        assert jb.buffered == 2
