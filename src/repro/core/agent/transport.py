@@ -1,25 +1,45 @@
 """Host → ScrubCentral transport abstraction.
 
 In production Scrub ships events over a messaging substrate; here the
-transport is a small interface with two implementations:
+transport is a small interface with several implementations:
 
 * :class:`DirectTransport` — hands batches straight to a sink callable
   (ScrubCentral's ``ingest``); used for in-process runs and tests.
 * :class:`RecordingTransport` — retains batches for inspection.
+* ``repro.live.transport.SocketTransport`` — ships batches over TCP to
+  a standalone ``scrubd`` daemon (the real-deployment mode).
 
-The simulated cluster provides a third implementation that charges
+The simulated cluster provides a fourth implementation that charges
 network latency/bandwidth before delivery (``repro.cluster.runtime``).
 Batches carry, besides the sampled events, the per-window matched-event
 counters (M_i) and drop counts the central estimator needs.
+
+This module also owns the **full-batch wire codec**: a lossless binary
+encoding of an entire :class:`EventBatch` — events, seen counts, drop
+counter, send timestamp, and host-side partial aggregates — layered on
+the primitives of ``events/encoding.py``.  ``wire_size()`` is exactly
+``len(encode_full_batch(batch))``, so every byte-accounting path (agent
+stats, transports, the central engine, the simulated network) reports
+what a host would really put on the wire.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Any, Callable, Protocol
 
 from ..events import Event
-from ..events.encoding import encode_batch
+from ..events.encoding import (
+    _F64,
+    _I64,
+    _U32,
+    _read_str,
+    _read_value,
+    _write_str,
+    _write_value,
+    encode_batch,
+)
+from ..events.encoding import _decode_binary_at
 
 __all__ = [
     "DirectTransport",
@@ -27,6 +47,8 @@ __all__ = [
     "PartialAggregate",
     "RecordingTransport",
     "Transport",
+    "decode_full_batch",
+    "encode_full_batch",
 ]
 
 
@@ -62,21 +84,116 @@ class EventBatch:
     partials: list["PartialAggregate"] = field(default_factory=list)
 
     def wire_size(self) -> int:
-        """Encoded size in bytes — what the host actually ships."""
-        size = len(encode_batch(self.events)) + 16 * len(self.seen_counts) + 32
-        for partial in self.partials:
-            size += 16  # window + framing
-            size += sum(8 + _sizeof(part) for part in partial.group_key)
-            size += sum(8 + _sizeof(v) for v in partial.values)
-        return size
+        """Encoded size in bytes — what the host actually ships.
+
+        Exactly ``len(encode_full_batch(self))``; no heuristics.
+        """
+        return len(encode_full_batch(self))
 
 
-def _sizeof(value) -> int:
-    if isinstance(value, str):
-        return len(value)
-    if isinstance(value, (tuple, list)):
-        return sum(8 + _sizeof(v) for v in value)
-    return 8
+# -- full-batch wire codec -----------------------------------------------------
+#
+# Layout (little-endian, layered on events/encoding.py primitives):
+#
+#   u8   version (currently 1)
+#   str  host                      str  query_id
+#   f64  sent_at                   i64  dropped
+#   batch  events (u32 count + compact-binary events)
+#   u32  seen-count entries; each: str event_type, i64 window, i64 count
+#   u32  partials;            each: str event_type, i64 window,
+#                                   value group_key (list), value values (list)
+
+_FULL_BATCH_VERSION = 1
+
+
+def encode_full_batch(batch: EventBatch) -> bytes:
+    """Encode an :class:`EventBatch` losslessly — metadata and all."""
+    out = bytearray()
+    out.append(_FULL_BATCH_VERSION)
+    _write_str(out, batch.host)
+    _write_str(out, batch.query_id)
+    out += _F64.pack(batch.sent_at)
+    out += _I64.pack(batch.dropped)
+    out += encode_batch(batch.events)
+    out += _U32.pack(len(batch.seen_counts))
+    for (event_type, window), count in batch.seen_counts.items():
+        _write_str(out, event_type)
+        out += _I64.pack(window)
+        out += _I64.pack(count)
+    out += _U32.pack(len(batch.partials))
+    for partial in batch.partials:
+        _write_str(out, partial.event_type)
+        out += _I64.pack(partial.window)
+        _write_value(out, list(partial.group_key))
+        _write_value(out, list(partial.values))
+    return bytes(out)
+
+
+def decode_full_batch(data: bytes | memoryview) -> EventBatch:
+    """Inverse of :func:`encode_full_batch`; rejects trailing garbage."""
+    buf = memoryview(data)
+    if len(buf) < 1 or buf[0] != _FULL_BATCH_VERSION:
+        version = buf[0] if len(buf) else None
+        raise ValueError(f"unsupported batch encoding version: {version!r}")
+    pos = 1
+    host, pos = _read_str(buf, pos)
+    query_id, pos = _read_str(buf, pos)
+    (sent_at,) = _F64.unpack_from(buf, pos)
+    pos += 8
+    (dropped,) = _I64.unpack_from(buf, pos)
+    pos += 8
+    (event_count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    events: list[Event] = []
+    for _ in range(event_count):
+        event, pos = _decode_binary_at(buf, pos)
+        events.append(event)
+    (seen_entries,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    seen_counts: dict[tuple[str, int], int] = {}
+    for _ in range(seen_entries):
+        event_type, pos = _read_str(buf, pos)
+        (window,) = _I64.unpack_from(buf, pos)
+        pos += 8
+        (count,) = _I64.unpack_from(buf, pos)
+        pos += 8
+        seen_counts[(event_type, window)] = count
+    (partial_count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    partials: list[PartialAggregate] = []
+    for _ in range(partial_count):
+        event_type, pos = _read_str(buf, pos)
+        (window,) = _I64.unpack_from(buf, pos)
+        pos += 8
+        group_key, pos = _read_value(buf, pos)
+        values, pos = _read_value(buf, pos)
+        partials.append(
+            PartialAggregate(
+                event_type=event_type,
+                window=window,
+                group_key=_retupled(group_key),
+                values=_retupled(values),
+            )
+        )
+    if pos != len(buf):
+        raise ValueError(f"trailing garbage after batch at offset {pos}")
+    return EventBatch(
+        host=host,
+        query_id=query_id,
+        events=events,
+        seen_counts=seen_counts,
+        dropped=dropped,
+        sent_at=sent_at,
+        partials=partials,
+    )
+
+
+def _retupled(value: Any) -> Any:
+    """Group keys and partial payloads are tuples in memory but travel as
+    the codec's list type; restore tuples recursively on decode."""
+    if isinstance(value, list):
+        return tuple(_retupled(item) for item in value)
+    return value
 
 
 class Transport(Protocol):
@@ -101,12 +218,21 @@ class DirectTransport:
 
 
 class RecordingTransport:
-    """Keeps every batch for later assertions (tests, examples)."""
+    """Keeps every batch for later assertions (tests, examples).
+
+    Tracks ``batches_sent``/``bytes_sent`` with the same semantics as
+    :class:`DirectTransport`, so wire-volume assertions hold regardless
+    of which transport a test wires in.
+    """
 
     def __init__(self) -> None:
         self.batches: list[EventBatch] = []
+        self.batches_sent = 0
+        self.bytes_sent = 0
 
     def send(self, batch: EventBatch) -> None:
+        self.batches_sent += 1
+        self.bytes_sent += batch.wire_size()
         self.batches.append(batch)
 
     @property

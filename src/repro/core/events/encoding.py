@@ -27,6 +27,8 @@ __all__ = [
     "decode_binary",
     "encode_batch",
     "decode_batch",
+    "encode_value",
+    "decode_value",
 ]
 
 # -- JSON lines ---------------------------------------------------------------
@@ -152,6 +154,24 @@ def _read_value(buf: memoryview, pos: int) -> tuple[Any, int]:
             mapping[key], pos = _read_value(buf, pos)
         return mapping, pos
     raise ValueError(f"corrupt event encoding: unknown tag {tag!r} at offset {pos - 1}")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one plain value (None/bool/int/float/str/list/dict) standalone.
+
+    The building block the live wire protocol uses for control-message
+    payloads; shares the tagged encoding of event payload fields.
+    """
+    out = bytearray()
+    _write_value(out, value)
+    return bytes(out)
+
+
+def decode_value(data: bytes | memoryview) -> Any:
+    value, pos = _read_value(memoryview(data), 0)
+    if pos != len(data):
+        raise ValueError(f"trailing garbage after value at offset {pos}")
+    return value
 
 
 def encode_binary(event: Event) -> bytes:

@@ -1,0 +1,370 @@
+"""Live-mode clients: embed an agent in an application, or drive queries.
+
+:class:`LiveAgent` is what an application process creates: a real
+``ScrubAgent`` (same hot path, same drop-not-block buffer) whose
+batches ship over a :class:`SocketTransport`, plus a control channel on
+which ``scrubd`` pushes query installs.  Install pushes carry the query
+*text*; the agent re-plans it locally against its own registry — the
+planner is deterministic in (text, query id), so every process derives
+identical host query objects and sampling decisions without shipping
+compiled objects across the wire.
+
+:class:`ControlClient` is the troubleshooter side: submit a query to a
+running ``scrubd``, poll or finish it, read daemon stats.  The
+``scrub-submit`` console entrypoint wraps it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import threading
+import time
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from ..core.agent.agent import ScrubAgent
+from ..core.central.results import ResultSet
+from ..core.events import EventRegistry, EventSchema
+from ..core.query.errors import ScrubError
+from ..core.query.parser import parse_query
+from ..core.query.planner import plan_query
+from ..core.query.validator import validate_query
+from .protocol import (
+    MsgType,
+    ProtocolError,
+    decode_message,
+    encode_message_frame,
+    recv_frame,
+    resultset_from_payload,
+    schema_to_payload,
+)
+from .transport import SocketTransport
+
+__all__ = ["ControlClient", "LiveAgent", "main"]
+
+
+class LiveAgentError(ScrubError):
+    """A live agent could not register with or talk to scrubd."""
+
+
+class LiveAgent:
+    """A Scrub host agent connected to a remote ``scrubd``.
+
+    Usage::
+
+        live = LiveAgent(("127.0.0.1", 7421), "web-7", services=["Frontends"])
+        live.define_event("pv", [("url", "string"), ("latency_ms", "double")])
+        live.start()
+        ...
+        live.log("pv", url="/", latency_ms=12.5, request_id=rid)
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        host: str,
+        services: Iterable[str] = (),
+        datacenter: str = "dc1",
+        registry: Optional[EventRegistry] = None,
+        clock: Callable[[], float] = time.time,
+        buffer_capacity: int = 10_000,
+        flush_batch_size: int = 500,
+        outbox_capacity: int = 256,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.address = address
+        self.host = host
+        self.services = tuple(services)
+        self.datacenter = datacenter
+        self.registry = registry if registry is not None else EventRegistry()
+        self._connect_timeout = connect_timeout
+        self.transport = SocketTransport(
+            address, host, outbox_capacity=outbox_capacity
+        )
+        self.agent = ScrubAgent(
+            host=host,
+            registry=self.registry,
+            transport=self.transport,
+            clock=clock,
+            buffer_capacity=buffer_capacity,
+            flush_batch_size=flush_batch_size,
+        )
+        self._control: Optional[socket.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self._started = False
+        self._closed = threading.Event()
+
+    # -- setup -------------------------------------------------------------------
+
+    def define_event(self, name: str, fields: Any, doc: str = "") -> EventSchema:
+        """Declare an event type; must happen before :meth:`start` so the
+        schema rides along in the registration hello."""
+        if self._started:
+            raise LiveAgentError(
+                "define events before start(); scrubd learns schemas from the hello"
+            )
+        return self.registry.define(name, fields, doc=doc)
+
+    def start(self) -> None:
+        """Register with scrubd and begin serving install pushes."""
+        if self._started:
+            return
+        sock = socket.create_connection(self.address, timeout=self._connect_timeout)
+        sock.sendall(
+            encode_message_frame(
+                MsgType.AGENT_HELLO,
+                {
+                    "host": self.host,
+                    "services": list(self.services),
+                    "datacenter": self.datacenter,
+                    "schemas": [schema_to_payload(s) for s in self.registry],
+                },
+            )
+        )
+        frame = recv_frame(sock)
+        if frame is None:
+            raise LiveAgentError("scrubd closed the connection during hello")
+        msg_type, payload = frame
+        if msg_type == MsgType.ERROR:
+            message = decode_message(payload)
+            raise LiveAgentError(
+                f"scrubd rejected agent {self.host!r}: {message.get('message')}"
+            )
+        if msg_type != MsgType.HELLO_OK:
+            raise LiveAgentError(f"unexpected {msg_type.name} during hello")
+        sock.settimeout(None)
+        self._control = sock
+        self._started = True
+        self._reader = threading.Thread(
+            target=self._control_loop, name=f"scrub-control-{self.host}", daemon=True
+        )
+        self._reader.start()
+
+    # -- application-facing API -----------------------------------------------------
+
+    def log(
+        self,
+        event_type: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        request_id: int,
+        timestamp: Optional[float] = None,
+        **fields: Any,
+    ) -> int:
+        return self.agent.log(
+            event_type, payload, request_id=request_id, timestamp=timestamp, **fields
+        )
+
+    def flush(self, now: Optional[float] = None) -> int:
+        return self.agent.flush(now)
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Flush and wait until scrubd has ingested everything shipped so
+        far (False on timeout or a down link)."""
+        self.agent.flush()
+        return self.transport.drain(timeout)
+
+    @property
+    def installed_query_ids(self) -> tuple[str, ...]:
+        return self.agent.active_query_ids
+
+    def close(self) -> None:
+        self._closed.set()
+        if self._control is not None:
+            # shutdown() first: it sends the FIN and wakes the reader
+            # thread blocked in recv(); a bare close() would do neither
+            # while that syscall pins the kernel socket.
+            try:
+                self._control.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._control.close()
+            except OSError:
+                pass
+        if self._reader is not None:
+            self._reader.join(timeout=2.0)
+        self.transport.close()
+
+    # -- install pushes ---------------------------------------------------------------
+
+    def _control_loop(self) -> None:
+        assert self._control is not None
+        try:
+            while not self._closed.is_set():
+                frame = recv_frame(self._control)
+                if frame is None:
+                    return  # scrubd went away; local queries expire on their own
+                msg_type, payload = frame
+                if msg_type == MsgType.INSTALL:
+                    self._install(decode_message(payload))
+                elif msg_type == MsgType.UNINSTALL:
+                    self.agent.uninstall(decode_message(payload)["query_id"])
+        except (OSError, ProtocolError):
+            return
+
+    def _install(self, message: dict[str, Any]) -> None:
+        try:
+            query = parse_query(message["query"])
+            validated = validate_query(query, self.registry)
+            plan = plan_query(validated, message["query_id"])
+            for host_object in plan.host_objects:
+                self.agent.install(
+                    host_object, message["activates_at"], message["expires_at"]
+                )
+        except Exception as exc:
+            # A query this host cannot plan (e.g. stale schema) must not
+            # kill the control loop; the host simply contributes nothing.
+            print(
+                f"scrub[{self.host}]: install of {message.get('query_id')} failed: {exc}",
+                file=sys.stderr,
+            )
+
+
+class ControlClient:
+    """Submit/poll/finish queries against a running ``scrubd``."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 30.0) -> None:
+        self.address = address
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _request(
+        self, msg_type: MsgType, message: dict[str, Any]
+    ) -> tuple[MsgType, dict[str, Any]]:
+        if self._sock is None:
+            self._sock = socket.create_connection(self.address, timeout=self._timeout)
+        try:
+            self._sock.sendall(encode_message_frame(msg_type, message))
+            frame = recv_frame(self._sock)
+        except OSError:
+            self.close()
+            raise
+        if frame is None:
+            self.close()
+            raise ConnectionError("scrubd closed the control connection")
+        reply_type, payload = frame
+        reply = decode_message(payload) if payload else {}
+        if reply_type == MsgType.ERROR:
+            raise ScrubError(f"{reply.get('error')}: {reply.get('message')}")
+        return reply_type, reply
+
+    # -- commands ------------------------------------------------------------------
+
+    def submit(self, query_text: str) -> dict[str, Any]:
+        """Returns the handle payload: query_id, columns, host placement,
+        activates_at/expires_at."""
+        _type, reply = self._request(MsgType.SUBMIT, {"query": query_text})
+        return reply
+
+    def poll(self, query_id: str) -> ResultSet:
+        _type, reply = self._request(MsgType.POLL, {"query_id": query_id})
+        return resultset_from_payload(reply)
+
+    def finish(self, query_id: str) -> ResultSet:
+        _type, reply = self._request(MsgType.FINISH, {"query_id": query_id})
+        return resultset_from_payload(reply)
+
+    def stats(self) -> dict[str, Any]:
+        _type, reply = self._request(MsgType.STATS, {})
+        return reply
+
+    def shutdown(self) -> None:
+        self._request(MsgType.SHUTDOWN, {})
+        self.close()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ControlClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``host:port`` (or bare ``:port`` / ``port``) → address tuple."""
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", text
+    return (host or "127.0.0.1", int(port))
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``scrub-submit``: run one query against a live scrubd."""
+    parser = argparse.ArgumentParser(
+        prog="scrub-submit",
+        description="Submit a Scrub query to a running scrubd and print results.",
+    )
+    parser.add_argument("query", nargs="?", help="query text ('-' or omitted = stdin)")
+    parser.add_argument(
+        "--address", default="127.0.0.1:7421", help="scrubd host:port"
+    )
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="submit and exit immediately (collect later with --finish)",
+    )
+    parser.add_argument(
+        "--finish", metavar="QUERY_ID",
+        help="collect (and end) a previously submitted query instead of submitting",
+    )
+    parser.add_argument(
+        "--format", choices=("pretty", "csv", "json"), default="pretty"
+    )
+    parser.add_argument(
+        "--margin", type=float, default=3.0,
+        help="extra seconds past the span end before collecting",
+    )
+    args = parser.parse_args(argv)
+
+    client = ControlClient(parse_address(args.address))
+    try:
+        if args.finish:
+            _print_results(client.finish(args.finish), args.format)
+            return 0
+        text = args.query
+        if text is None or text == "-":
+            text = sys.stdin.read()
+        handle = client.submit(text)
+        span = handle["expires_at"] - handle["activates_at"]
+        print(
+            f"{handle['query_id']}: installed on "
+            f"{len(handle['targeted_hosts'])} host(s), span {span:g}s",
+            file=sys.stderr,
+        )
+        if args.no_wait:
+            print(handle["query_id"])
+            return 0
+        wait = max(0.0, handle["expires_at"] - time.time()) + args.margin
+        time.sleep(wait)
+        _print_results(client.finish(handle["query_id"]), args.format)
+        return 0
+    except (ScrubError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
+def _print_results(results: ResultSet, fmt: str) -> None:
+    if fmt == "csv":
+        print(results.to_csv().rstrip())
+    elif fmt == "json":
+        print(results.to_json(indent=2))
+    else:
+        print(results.pretty())
+        if results.total_host_dropped:
+            print(f"! {results.total_host_dropped} events dropped on hosts")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

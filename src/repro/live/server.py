@@ -1,0 +1,586 @@
+"""``scrubd`` — the standalone ScrubCentral daemon.
+
+A single asyncio process that plays the roles the in-process façade
+(`repro.core.api.Scrub`) and the simulated cluster play elsewhere:
+
+* accepts **agent control** connections (``AGENT_HELLO``): each
+  registers a host (name, services, datacenter, event schemas) in the
+  daemon's directory and then receives ``INSTALL``/``UNINSTALL`` pushes
+  when queries target it;
+* accepts **agent data** connections (``DATA_HELLO``): decoded batches
+  are routed to N **shard workers** keyed on request-id hash — events of
+  one request always land on the same worker, preserving per-request
+  ingest order — which feed the shared :class:`CentralEngine`;
+  per-shard queues are bounded, so a slow engine backpressures the
+  socket instead of ballooning memory;
+* accepts **query control** connections: ``SUBMIT`` parses/validates/
+  plans against the schemas agents announced, resolves the target over
+  the registered hosts, samples hosts deterministically, registers the
+  central query object and pushes installs; ``POLL``/``FINISH`` collect
+  results; ``STATS`` exposes the engine counters;
+* runs the periodic **advance/reap tick** on the real clock: windows
+  close as wall time passes their end plus grace, and queries whose span
+  has elapsed are uninstalled everywhere and their results retained for
+  later collection.
+
+Run it: ``scrubd --port 7421`` (or ``python -m repro.live.server``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TextIO
+
+from ..core.agent.transport import EventBatch, decode_full_batch
+from ..core.central.engine import DEFAULT_GRACE_SECONDS, CentralEngine
+from ..core.central.results import ResultSet
+from ..core.events import EventRegistry
+from ..core.query.errors import (
+    QueryNotFoundError,
+    ScrubError,
+    ScrubValidationError,
+)
+from ..core.query.parser import parse_query
+from ..core.query.planner import QueryPlan, plan_query
+from ..core.query.targets import HostDescription, sample_hosts, target_matches
+from ..core.query.validator import validate_query
+from ..core.server import _seed_from
+from .protocol import (
+    MsgType,
+    ProtocolError,
+    decode_message,
+    encode_message_frame,
+    read_frame,
+    resultset_to_payload,
+    schema_from_payload,
+)
+
+__all__ = ["ScrubDaemon", "main"]
+
+DEFAULT_PORT = 7421
+
+
+class _AgentConn:
+    """One registered host: its description and the control writer used
+    to push installs/uninstalls to it."""
+
+    __slots__ = ("description", "writer", "lock")
+
+    def __init__(self, description: HostDescription, writer: asyncio.StreamWriter):
+        self.description = description
+        self.writer = writer
+        self.lock = asyncio.Lock()
+
+    async def push(self, msg_type: MsgType, message: dict[str, Any]) -> None:
+        async with self.lock:
+            self.writer.write(encode_message_frame(msg_type, message))
+            await self.writer.drain()
+
+
+@dataclass
+class _LiveQuery:
+    """Daemon-side record of one running query."""
+
+    plan: QueryPlan
+    text: str
+    activates_at: float
+    expires_at: float
+    planned: tuple[str, ...]
+    targeted: tuple[str, ...]
+
+
+class _ShardBarrier:
+    """Completes once every shard worker has drained past it."""
+
+    __slots__ = ("_remaining", "_event")
+
+    def __init__(self, shards: int) -> None:
+        self._remaining = shards
+        self._event = asyncio.Event()
+
+    def hit(self) -> None:
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._event.set()
+
+    async def wait(self) -> None:
+        await self._event.wait()
+
+
+class ScrubDaemon:
+    """The ScrubCentral facility as a network daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        shards: int = 4,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
+        tick_interval: float = 0.25,
+        queue_depth: int = 64,
+        drain_margin: float = 1.0,
+        clock: Callable[[], float] = time.time,
+        log: Optional[TextIO] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard worker, got {shards}")
+        self.host = host
+        self.port = port
+        self._tick_interval = tick_interval
+        self._drain_margin = drain_margin
+        self._clock = clock
+        self._log = log
+
+        self.registry = EventRegistry()
+        self.engine = CentralEngine(grace_seconds=grace_seconds)
+        self._agents: dict[str, _AgentConn] = {}
+        self._sequence = 0
+        self._running: dict[str, _LiveQuery] = {}
+        self._results: dict[str, ResultSet] = {}
+
+        self._shard_queues: list["asyncio.Queue[Any]"] = [
+            asyncio.Queue(maxsize=queue_depth) for _ in range(shards)
+        ]
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._tasks: list[asyncio.Task] = []
+        self._stopping = asyncio.Event()
+        self._started_at = 0.0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = self._clock()
+        for index, q in enumerate(self._shard_queues):
+            self._tasks.append(
+                asyncio.create_task(self._shard_worker(index, q))
+            )
+        self._tasks.append(asyncio.create_task(self._tick_loop()))
+        self._say(f"scrubd listening on {self.host}:{self.port}")
+
+    async def run(self) -> None:
+        """Start, serve until told to stop, then shut down cleanly."""
+        await self.start()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        pending = list(self._tasks) + list(self._conn_tasks)
+        for task in pending:
+            task.cancel()
+        for task in pending:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        self._conn_tasks.clear()
+
+    def _say(self, message: str) -> None:
+        if self._log is not None:
+            print(message, file=self._log, flush=True)
+
+    # -- connection dispatch -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            msg_type, payload = frame
+            if msg_type == MsgType.AGENT_HELLO:
+                await self._serve_agent(reader, writer, decode_message(payload))
+            elif msg_type == MsgType.DATA_HELLO:
+                await self._serve_data(reader, writer, decode_message(payload))
+            else:
+                await self._serve_control(reader, writer, msg_type, payload)
+        except ProtocolError as exc:
+            self._say(f"protocol error: {exc}")
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Daemon shutdown cancelled this handler mid-read; swallow it
+            # so asyncio's streams callback doesn't log a traceback for
+            # every open connection.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError, asyncio.CancelledError):
+                pass
+
+    # -- agent control channel ------------------------------------------------------
+
+    async def _serve_agent(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: dict[str, Any],
+    ) -> None:
+        name = hello["host"]
+        if name in self._agents:
+            writer.write(
+                encode_message_frame(
+                    MsgType.ERROR,
+                    {"error": "duplicate-host", "message": f"host {name!r} already registered"},
+                )
+            )
+            await writer.drain()
+            return
+        try:
+            for schema_payload in hello.get("schemas", []):
+                self.registry.register(schema_from_payload(schema_payload))
+        except ValueError as exc:
+            writer.write(
+                encode_message_frame(
+                    MsgType.ERROR, {"error": "schema-conflict", "message": str(exc)}
+                )
+            )
+            await writer.drain()
+            return
+        description = HostDescription(
+            name,
+            tuple(hello.get("services", [])),
+            hello.get("datacenter", "dc1"),
+        )
+        conn = _AgentConn(description, writer)
+        self._agents[name] = conn
+        async with conn.lock:
+            writer.write(encode_message_frame(MsgType.HELLO_OK, {}))
+            await writer.drain()
+        self._say(f"agent {name} registered ({len(self._agents)} hosts)")
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                msg_type, payload = frame
+                if msg_type == MsgType.PING:
+                    await conn.push(MsgType.PONG, decode_message(payload))
+        finally:
+            self._agents.pop(name, None)
+            self._say(f"agent {name} disconnected")
+
+    # -- data channel -----------------------------------------------------------------
+
+    async def _serve_data(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: dict[str, Any],
+    ) -> None:
+        del hello  # identity is informational; batches carry their host
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            msg_type, payload = frame
+            if msg_type == MsgType.BATCH:
+                batch = decode_full_batch(payload)
+                for shard, sub_batch in self._route(batch):
+                    # Bounded queues: a saturated engine backpressures the
+                    # socket (the sending host then drops, never blocks).
+                    await self._shard_queues[shard].put(sub_batch)
+            elif msg_type == MsgType.PING:
+                barrier = _ShardBarrier(len(self._shard_queues))
+                for q in self._shard_queues:
+                    await q.put(barrier)
+                await barrier.wait()
+                writer.write(encode_message_frame(MsgType.PONG, decode_message(payload)))
+                await writer.drain()
+            else:
+                raise ProtocolError(f"unexpected {msg_type.name} on data channel")
+
+    def _route(self, batch: EventBatch) -> list[tuple[int, EventBatch]]:
+        """Split one host flush into per-shard sub-batches keyed on the
+        request-id hash; the batch metadata (seen counts, drop counter,
+        partial aggregates) rides exactly once, on the host's home shard.
+        All shards feed one engine, so the merge is the engine's own."""
+        shards = len(self._shard_queues)
+        meta_shard = zlib.crc32(batch.host.encode()) % shards
+        if shards == 1 or not batch.events:
+            return [(meta_shard, batch)]
+        by_shard: dict[int, list] = {}
+        for event in batch.events:
+            by_shard.setdefault(event.request_id % shards, []).append(event)
+        routed: list[tuple[int, EventBatch]] = []
+        for shard, events in by_shard.items():
+            if shard == meta_shard:
+                continue
+            routed.append(
+                (
+                    shard,
+                    EventBatch(
+                        host=batch.host,
+                        query_id=batch.query_id,
+                        events=events,
+                        sent_at=batch.sent_at,
+                    ),
+                )
+            )
+        routed.append(
+            (
+                meta_shard,
+                EventBatch(
+                    host=batch.host,
+                    query_id=batch.query_id,
+                    events=by_shard.get(meta_shard, []),
+                    seen_counts=batch.seen_counts,
+                    dropped=batch.dropped,
+                    sent_at=batch.sent_at,
+                    partials=batch.partials,
+                ),
+            )
+        )
+        return routed
+
+    async def _shard_worker(self, index: int, q: "asyncio.Queue[Any]") -> None:
+        while True:
+            item = await q.get()
+            if isinstance(item, _ShardBarrier):
+                item.hit()
+                continue
+            try:
+                self.engine.ingest(item)
+            except Exception as exc:  # keep ingesting; one bad batch ≠ outage
+                self._say(f"shard {index}: ingest failed: {exc!r}")
+
+    # -- query control channel ---------------------------------------------------------
+
+    async def _serve_control(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        msg_type: MsgType,
+        payload: bytes,
+    ) -> None:
+        while True:
+            try:
+                reply_type, reply = await self._control_request(msg_type, payload)
+            except (ScrubError, QueryNotFoundError) as exc:
+                reply_type = MsgType.ERROR
+                reply = {"error": type(exc).__name__, "message": str(exc)}
+            writer.write(encode_message_frame(reply_type, reply))
+            await writer.drain()
+            if reply_type == MsgType.SHUTDOWN_OK:
+                return
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            msg_type, payload = frame
+
+    async def _control_request(
+        self, msg_type: MsgType, payload: bytes
+    ) -> tuple[MsgType, dict[str, Any]]:
+        message = decode_message(payload) if payload else {}
+        if msg_type == MsgType.SUBMIT:
+            return MsgType.SUBMIT_OK, await self._submit(message["query"])
+        if msg_type == MsgType.POLL:
+            return MsgType.RESULTS, resultset_to_payload(
+                self._poll(message["query_id"])
+            )
+        if msg_type == MsgType.FINISH:
+            return MsgType.RESULTS, resultset_to_payload(
+                await self._finish(message["query_id"])
+            )
+        if msg_type == MsgType.STATS:
+            return MsgType.STATS_OK, self._stats()
+        if msg_type == MsgType.SHUTDOWN:
+            self._stopping.set()
+            return MsgType.SHUTDOWN_OK, {}
+        raise ProtocolError(f"unexpected {msg_type.name} on control channel")
+
+    async def _submit(self, text: str) -> dict[str, Any]:
+        query = parse_query(text)
+        validated = validate_query(query, self.registry)
+        query_id = self._next_query_id()
+        plan = plan_query(validated, query_id)
+
+        resolved = [
+            (name, conn)
+            for name, conn in self._agents.items()
+            if target_matches(plan.target, conn.description)
+        ]
+        if not resolved:
+            raise ScrubValidationError(
+                "query target matches no registered host; check the @[...] "
+                "expression and that agents are connected"
+            )
+        chosen = sample_hosts(
+            resolved, plan.host_sampling_rate, seed=_seed_from(query_id)
+        )
+
+        now = self._clock()
+        activates_at = plan.start if plan.start is not None else now
+        expires_at = activates_at + plan.duration
+
+        self.engine.register(
+            plan.central_object,
+            planned_hosts=len(resolved),
+            targeted_hosts=len(chosen),
+        )
+        install = {
+            "query_id": query_id,
+            "query": text,
+            "activates_at": activates_at,
+            "expires_at": expires_at,
+        }
+        for _name, conn in chosen:
+            try:
+                await conn.push(MsgType.INSTALL, install)
+            except (ConnectionError, OSError):
+                # The agent died between registration and install; its
+                # silence just reads as a host that reported nothing.
+                pass
+
+        self._running[query_id] = _LiveQuery(
+            plan=plan,
+            text=text,
+            activates_at=activates_at,
+            expires_at=expires_at,
+            planned=tuple(name for name, _conn in resolved),
+            targeted=tuple(name for name, _conn in chosen),
+        )
+        self._say(
+            f"query {query_id} installed on {len(chosen)}/{len(resolved)} host(s)"
+        )
+        return {
+            "query_id": query_id,
+            "columns": list(plan.central_object.column_names),
+            "planned_hosts": list(name for name, _conn in resolved),
+            "targeted_hosts": list(name for name, _conn in chosen),
+            "activates_at": activates_at,
+            "expires_at": expires_at,
+        }
+
+    def _next_query_id(self) -> str:
+        self._sequence += 1
+        return f"q{self._sequence:05d}"
+
+    def _poll(self, query_id: str) -> ResultSet:
+        done = self._results.get(query_id)
+        if done is not None:
+            return done
+        if query_id not in self._running:
+            raise QueryNotFoundError(query_id)
+        return self.engine.results_so_far(query_id)
+
+    async def _finish(self, query_id: str) -> ResultSet:
+        done = self._results.get(query_id)
+        if done is not None:
+            return done
+        live = self._running.pop(query_id, None)
+        if live is None:
+            raise QueryNotFoundError(query_id)
+        for name in live.targeted:
+            conn = self._agents.get(name)
+            if conn is None:
+                continue
+            try:
+                await conn.push(MsgType.UNINSTALL, {"query_id": query_id})
+            except (ConnectionError, OSError):
+                pass  # agent gone; its query objects expire on their own
+        results = self.engine.finish(query_id)
+        self._results[query_id] = results
+        self._say(f"query {query_id} finished: {len(results.windows)} window(s)")
+        return results
+
+    def _stats(self) -> dict[str, Any]:
+        stats = self.engine.stats
+        return {
+            "hosts": [
+                {
+                    "host": conn.description.name,
+                    "services": sorted(conn.description.services),
+                    "datacenter": conn.description.datacenter,
+                }
+                for conn in self._agents.values()
+            ],
+            "running": sorted(self._running),
+            "finished": sorted(self._results),
+            "shards": len(self._shard_queues),
+            "uptime": self._clock() - self._started_at,
+            "engine": {
+                "batches_received": stats.batches_received,
+                "events_received": stats.events_received,
+                "events_late": stats.events_late,
+                "bytes_received": stats.bytes_received,
+                "windows_emitted": stats.windows_emitted,
+                "rows_emitted": stats.rows_emitted,
+            },
+        }
+
+    # -- the real-clock tick -------------------------------------------------------------
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._tick_interval)
+            now = self._clock()
+            try:
+                self.engine.advance(now)
+            except Exception as exc:
+                self._say(f"tick: advance failed: {exc!r}")
+            for query_id, live in list(self._running.items()):
+                if now >= live.expires_at + self._drain_margin:
+                    try:
+                        await self._finish(query_id)
+                    except Exception as exc:
+                        self._say(f"tick: reap of {query_id} failed: {exc!r}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="scrubd", description="Standalone ScrubCentral daemon."
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="TCP port (0 = ephemeral)")
+    parser.add_argument("--shards", type=int, default=4, help="ingest shard workers")
+    parser.add_argument(
+        "--grace", type=float, default=DEFAULT_GRACE_SECONDS,
+        help="seconds past a window end before it closes",
+    )
+    parser.add_argument("--tick", type=float, default=0.25, help="advance/reap interval (s)")
+    parser.add_argument("--queue-depth", type=int, default=64, help="per-shard queue bound")
+    args = parser.parse_args(argv)
+
+    daemon = ScrubDaemon(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        grace_seconds=args.grace,
+        tick_interval=args.tick,
+        queue_depth=args.queue_depth,
+        log=sys.stdout,
+    )
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

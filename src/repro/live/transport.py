@@ -1,0 +1,248 @@
+"""SocketTransport: the host side of the live deployment.
+
+Implements the two-method ``Transport`` protocol over TCP with the
+paper's minimal-impact contract preserved end to end:
+
+* ``send()`` **never blocks**: it moves the batch into a bounded outbox
+  and returns.  When the outbox is full — or the link is down long
+  enough to fill it — the batch is dropped *at the host* and its loss is
+  counted, exactly like a full agent buffer.
+* A background **flusher thread** owns the socket: it frames batches,
+  reconnects with capped exponential backoff, and re-sends the
+  ``DATA_HELLO`` after every reconnect.
+* Dropped batches are not silently forgotten: their event count and
+  matched-event counters are *carried* onto the next batch that does get
+  through (``dropped`` and ``seen_counts``), so the central estimator
+  still learns how much it missed.  The carry is capped so a long outage
+  cannot grow host memory without bound.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Optional
+
+from ..core.agent.transport import EventBatch
+from .protocol import (
+    MsgType,
+    encode_batch_frame,
+    encode_message_frame,
+    recv_frame,
+)
+
+__all__ = ["SocketTransport"]
+
+#: Entries kept in the carried seen-count map while the link is down.
+CARRY_SEEN_CAP = 1024
+
+
+class _Drain:
+    """A barrier token: set once every prior frame reached the daemon
+    *and* was ingested (the daemon PONGs only after its shard workers
+    pass the matching barrier)."""
+
+    __slots__ = ("event", "ok", "token")
+
+    def __init__(self, token: int) -> None:
+        self.event = threading.Event()
+        self.ok = False
+        self.token = token
+
+
+class SocketTransport:
+    """Ship batches to a ``scrubd`` daemon; drop, never block."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        host: str,
+        outbox_capacity: int = 256,
+        connect_timeout: float = 2.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        io_timeout: float = 10.0,
+    ) -> None:
+        self.address = address
+        self.host = host
+        self._outbox: "queue.Queue[object]" = queue.Queue(maxsize=outbox_capacity)
+        self.outbox_capacity = outbox_capacity
+        self._connect_timeout = connect_timeout
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._io_timeout = io_timeout
+
+        self.batches_sent = 0
+        self.bytes_sent = 0
+        self.dropped_batches = 0
+        self.dropped_events = 0
+        self.reconnects = 0
+
+        # Loss carried onto the next successful batch (single-producer:
+        # only the thread calling send() touches these).
+        self._carry_dropped = 0
+        self._carry_seen: dict[tuple[str, int], int] = {}
+
+        self._sock: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._drain_seq = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"scrub-flusher-{host}", daemon=True
+        )
+        self._thread.start()
+
+    # -- the Transport protocol ------------------------------------------------
+
+    def send(self, batch: EventBatch) -> None:
+        """Enqueue for shipping; on a full outbox, count the loss and
+        return immediately (the paper's drop-not-block invariant)."""
+        if self._carry_dropped or self._carry_seen:
+            batch.dropped += self._carry_dropped
+            self._carry_dropped = 0
+            if self._carry_seen:
+                merged = self._carry_seen
+                self._carry_seen = {}
+                for key, count in batch.seen_counts.items():
+                    merged[key] = merged.get(key, 0) + count
+                batch.seen_counts = merged
+        try:
+            self._outbox.put_nowait(batch)
+        except queue.Full:
+            self.dropped_batches += 1
+            self.dropped_events += len(batch.events)
+            self._carry_dropped += len(batch.events) + batch.dropped
+            if len(self._carry_seen) < CARRY_SEEN_CAP:
+                for key, count in batch.seen_counts.items():
+                    self._carry_seen[key] = self._carry_seen.get(key, 0) + count
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    @property
+    def outbox_depth(self) -> int:
+        return self._outbox.qsize()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block (caller-side only) until everything enqueued so far has
+        been ingested by the daemon; False on timeout or a dead link.
+        Test/shutdown helper — production senders never call this."""
+        self._drain_seq += 1
+        token = _Drain(self._drain_seq)
+        try:
+            self._outbox.put(token, timeout=timeout)
+        except queue.Full:
+            return False
+        if not token.event.wait(timeout):
+            return False
+        return token.ok
+
+    def close(self) -> None:
+        self._stop.set()
+        # Unblock the flusher if it is waiting on an empty outbox.
+        try:
+            self._outbox.put_nowait(None)
+        except queue.Full:
+            pass
+        self._thread.join(timeout=5.0)
+
+    # -- flusher thread ----------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                item = self._outbox.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if item is None:
+                continue
+            if isinstance(item, _Drain):
+                self._handle_drain(item)
+                continue
+            self._ship(item)
+        if self._sock is not None:
+            self._close_socket()
+
+    def _ship(self, batch: EventBatch) -> None:
+        frame = encode_batch_frame(batch)
+        if not self._ensure_connected():
+            self.dropped_batches += 1
+            self.dropped_events += len(batch.events)
+            self._note_lost(batch)
+            return
+        try:
+            assert self._sock is not None
+            self._sock.sendall(frame)
+            self.batches_sent += 1
+            self.bytes_sent += len(frame)
+        except OSError:
+            self._close_socket()
+            self.dropped_batches += 1
+            self.dropped_events += len(batch.events)
+            self._note_lost(batch)
+
+    def _note_lost(self, batch: EventBatch) -> None:
+        """Flusher-side loss: fold into the shared counters the producer
+        carries forward.  A read-modify-write race with send() could at
+        worst momentarily misplace a count between the two carry fields;
+        both end up reported, so the accounting stays conservative."""
+        self._carry_dropped += len(batch.events) + batch.dropped
+
+    def _handle_drain(self, token: _Drain) -> None:
+        if not self._ensure_connected():
+            token.event.set()
+            return
+        try:
+            assert self._sock is not None
+            self._sock.sendall(
+                encode_message_frame(MsgType.PING, {"token": token.token})
+            )
+            while True:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    break
+                msg_type, _payload = frame
+                if msg_type == MsgType.PONG:
+                    token.ok = True
+                    break
+        except OSError:
+            self._close_socket()
+        finally:
+            token.event.set()
+
+    def _ensure_connected(self) -> bool:
+        """Connect with capped exponential backoff; gives up (returning
+        False) once the retry budget for one batch is spent, so a dead
+        central can never wedge the flusher behind one frame."""
+        if self._sock is not None:
+            return True
+        backoff = self._backoff_base
+        for _attempt in range(4):
+            if self._stop.is_set():
+                return False
+            try:
+                sock = socket.create_connection(
+                    self.address, timeout=self._connect_timeout
+                )
+                sock.settimeout(self._io_timeout)
+                sock.sendall(
+                    encode_message_frame(MsgType.DATA_HELLO, {"host": self.host})
+                )
+                self._sock = sock
+                self.reconnects += 1
+                return True
+            except OSError:
+                self._stop.wait(backoff)
+                backoff = min(backoff * 2, self._backoff_cap)
+        return False
+
+    def _close_socket(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass

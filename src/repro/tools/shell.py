@@ -23,12 +23,17 @@ Shell commands (anything else is parsed as a Scrub query):
     \\json              print the last result set as JSON
     \\help              this text
     \\quit              exit
+
+With ``--connect HOST:PORT`` the shell attaches to a running ``scrubd``
+daemon (see ``repro.live``) instead of a simulation: queries run against
+the live agents registered there, in wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Optional, TextIO
 
 from ..adplatform import (
@@ -43,7 +48,7 @@ from ..adplatform import (
 from ..core.central.results import ResultSet
 from ..core.query.errors import ScrubError
 
-__all__ = ["ScrubShell", "SCENARIOS", "main"]
+__all__ = ["LiveShell", "ScrubShell", "SCENARIOS", "main"]
 
 SCENARIOS: dict[str, Callable[[], Scenario]] = {
     "spam": lambda: spam_scenario(users=300, pageview_rate=10.0),
@@ -171,9 +176,104 @@ class ScrubShell:
                 break
 
 
+class LiveShell:
+    """The same REPL against a running ``scrubd`` daemon (wall-clock)."""
+
+    def __init__(self, address: tuple[str, int], out: TextIO = sys.stdout) -> None:
+        from ..live.client import ControlClient
+
+        self.address = address
+        self.client = ControlClient(address)
+        self.out = out
+        self.last_results: Optional[ResultSet] = None
+        #: Seconds past a query's span end before collecting (covers the
+        #: daemon's window grace and in-flight host flushes).
+        self.collect_margin = 3.0
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def handle(self, line: str) -> bool:
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return True
+        if line.startswith("\\"):
+            return self._command(line)
+        self._query(line)
+        return True
+
+    def _command(self, line: str) -> bool:
+        cmd = line.split()[0]
+        if cmd in ("\\quit", "\\q", "\\exit"):
+            return False
+        if cmd == "\\help":
+            self._print(__doc__ or "")
+        elif cmd == "\\hosts":
+            for host in self._stats().get("hosts", []):
+                services = ",".join(host["services"]) or "-"
+                self._print(
+                    f"  {host['host']:28s} {host['datacenter']:8s} {services}"
+                )
+        elif cmd == "\\queries":
+            stats = self._stats()
+            self._print(
+                f"  running: {stats.get('running', [])}  "
+                f"finished: {stats.get('finished', [])}"
+            )
+        elif cmd == "\\csv":
+            self._print(
+                self.last_results.to_csv().rstrip()
+                if self.last_results is not None
+                else "  no results yet"
+            )
+        elif cmd == "\\json":
+            self._print(
+                self.last_results.to_json(indent=2)
+                if self.last_results is not None
+                else "  no results yet"
+            )
+        else:
+            self._print(f"  unknown command {cmd}; \\help lists commands")
+        return True
+
+    def _stats(self) -> dict:
+        return self.client.stats()
+
+    def _query(self, text: str) -> None:
+        try:
+            handle = self.client.submit(text)
+        except (ScrubError, ConnectionError, OSError) as exc:
+            self._print(f"  error: {exc}")
+            return
+        span = handle["expires_at"] - handle["activates_at"]
+        self._print(
+            f"  {handle['query_id']}: installed on "
+            f"{len(handle['targeted_hosts'])} host(s), span {span:g}s — running..."
+        )
+        time.sleep(max(0.0, handle["expires_at"] - time.time()) + self.collect_margin)
+        results = self.client.finish(handle["query_id"])
+        self.last_results = results
+        self._print(results.pretty())
+        if results.total_host_dropped:
+            self._print(f"  ! {results.total_host_dropped} events dropped on hosts")
+
+    def run(self, source: TextIO = sys.stdin, prompt: bool = True) -> None:
+        interactive = prompt and source.isatty()
+        while True:
+            if interactive:
+                self.out.write("scrub[live]> ")
+                self.out.flush()
+            line = source.readline()
+            if not line:
+                break
+            if not self.handle(line):
+                break
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Interactive Scrub shell over a simulated bidding platform."
+        description="Interactive Scrub shell over a simulated bidding platform "
+        "or a live scrubd daemon."
     )
     parser.add_argument(
         "--scenario",
@@ -181,7 +281,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         default="spam",
         help="workload to run underneath the shell",
     )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="attach to a running scrubd instead of simulating a cluster",
+    )
     args = parser.parse_args(argv)
+
+    if args.connect:
+        from ..live.client import parse_address
+
+        address = parse_address(args.connect)
+        print(f"connected to scrubd at {address[0]}:{address[1]}; \\help for commands")
+        LiveShell(address).run()
+        return 0
 
     scenario = SCENARIOS[args.scenario]()
     print(f"scenario: {scenario.description}")

@@ -1,0 +1,90 @@
+"""Subprocess worker for the live-mode integration test.
+
+Runs a real :class:`repro.live.LiveAgent` in its own process: registers
+with ``scrubd`` over TCP, waits for the query install push, logs a
+deterministic event stream, drains, and prints ``DONE``.
+
+The test process imports :data:`QUERY` and :func:`events_for` from this
+module so the in-process reference run replays the *identical* scenario.
+
+Run: ``python -m tests.integration.live_agent_worker --port P --index I --base B``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.live.client import LiveAgent
+
+#: The exact query both the live daemon and the in-process reference run.
+#: Windowed GROUP BY with event sampling — the sampler is deterministic
+#: in (query_id, request_id), so both runs keep the same events.
+QUERY = (
+    "select pv.url, COUNT(*), AVG(pv.latency_ms) from pv "
+    "@[Service in Frontends] window 10s sample events 50% "
+    "group by pv.url duration 600s;"
+)
+
+PV_FIELDS = [("url", "string"), ("latency_ms", "double")]
+
+URLS = ("/home", "/search", "/checkout")
+
+
+def events_for(index: int, base: float, count: int = 120) -> list[dict]:
+    """Worker *index*'s event stream: request ids disjoint across workers,
+    timestamps spread over ~3 windows, latencies exactly representable so
+    float sums are order-independent."""
+    return [
+        {
+            "request_id": index * 10_000 + i,
+            "timestamp": base + (i % 30),
+            "url": URLS[(index + i) % len(URLS)],
+            "latency_ms": 5.0 + (i % 7) * 3.0,
+        }
+        for i in range(count)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--index", type=int, required=True)
+    parser.add_argument("--base", type=float, required=True)
+    args = parser.parse_args(argv)
+
+    agent = LiveAgent(
+        ("127.0.0.1", args.port),
+        f"agent-{args.index}",
+        services=["Frontends"],
+        flush_batch_size=25,
+    )
+    agent.define_event("pv", PV_FIELDS)
+    agent.start()
+    try:
+        deadline = time.time() + 15.0
+        while not agent.installed_query_ids:
+            if time.time() > deadline:
+                print("INSTALL-TIMEOUT", flush=True)
+                return 1
+            time.sleep(0.05)
+
+        for event in events_for(args.index, args.base):
+            agent.log(
+                "pv",
+                url=event["url"],
+                latency_ms=event["latency_ms"],
+                request_id=event["request_id"],
+                timestamp=event["timestamp"],
+            )
+        if not agent.drain(15.0):
+            print("DRAIN-FAIL", flush=True)
+            return 1
+        print("DONE", flush=True)
+        return 0
+    finally:
+        agent.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""ScrubDaemon over real TCP: registration, query lifecycle, routing
+through the shard workers into the shared engine, and the reap tick."""
+
+import time
+
+import pytest
+
+from repro.core.query.errors import ScrubError
+from repro.live.client import ControlClient, LiveAgent, LiveAgentError
+
+from .conftest import wait_for
+
+QUERY = (
+    "select pv.url, COUNT(*) from pv @[Service in Frontends] "
+    "window 10s group by pv.url duration 600s;"
+)
+
+PV_FIELDS = [("url", "string"), ("latency_ms", "double")]
+
+
+def _agent(harness, name: str, services=("Frontends",)) -> LiveAgent:
+    agent = LiveAgent(
+        harness.address, name, services=services, flush_batch_size=10
+    )
+    agent.define_event("pv", PV_FIELDS)
+    agent.start()
+    return agent
+
+
+@pytest.fixture
+def ctl(harness):
+    client = ControlClient(harness.address)
+    yield client
+    client.close()
+
+
+class TestLifecycle:
+    def test_group_by_across_two_hosts(self, harness, ctl):
+        a0 = _agent(harness, "web-0")
+        a1 = _agent(harness, "web-1")
+        try:
+            handle = ctl.submit(QUERY)
+            qid = handle["query_id"]
+            assert qid == "q00001"
+            assert sorted(handle["targeted_hosts"]) == ["web-0", "web-1"]
+            assert wait_for(lambda: qid in a0.installed_query_ids)
+            assert wait_for(lambda: qid in a1.installed_query_ids)
+
+            # One shared timestamp → exactly one window holds everything.
+            stamp = time.time()
+            rid = 0
+            for url, count in (("/a", 12), ("/b", 6)):
+                for _ in range(count):
+                    a0.log("pv", url=url, latency_ms=1.0, request_id=rid, timestamp=stamp)
+                    rid += 1
+            for _ in range(6):
+                a1.log("pv", url="/a", latency_ms=2.0, request_id=rid, timestamp=stamp)
+                rid += 1
+            assert a0.drain(10.0) and a1.drain(10.0)
+
+            results = ctl.finish(qid)
+            assert results.query_id == qid
+            assert len(results.windows) == 1
+            window = results.windows[0]
+            assert window.contributing_hosts == 2
+            counts = {row[0]: row[1] for row in window.rows}
+            assert counts == {"/a": 18, "/b": 6}
+        finally:
+            a0.close()
+            a1.close()
+
+    def test_poll_while_running_then_finish(self, harness, ctl):
+        agent = _agent(harness, "web-0")
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+            agent.log("pv", url="/a", latency_ms=1.0, request_id=1)
+            assert agent.drain(10.0)
+            partial = ctl.poll(qid)
+            assert partial.query_id == qid  # open windows not emitted yet
+            final = ctl.finish(qid)
+            assert sum(len(w.rows) for w in final.windows) == 1
+            # Finishing twice returns the retained results, not an error.
+            assert ctl.finish(qid) == final
+        finally:
+            agent.close()
+
+    def test_query_reaped_after_span(self, harness, ctl):
+        agent = _agent(harness, "web-0")
+        try:
+            qid = ctl.submit(
+                "select pv.url, COUNT(*) from pv @[Service in Frontends] "
+                "window 1s group by pv.url duration 1s;"
+            )["query_id"]
+            # The tick reaps it once wall time passes expiry + margin.
+            assert wait_for(lambda: qid in ctl.stats()["finished"], timeout=10.0)
+            assert qid not in ctl.stats()["running"]
+            assert ctl.finish(qid).query_id == qid
+        finally:
+            agent.close()
+
+
+class TestRejections:
+    def test_unknown_query_id(self, harness, ctl):
+        with pytest.raises(ScrubError, match="QueryNotFound"):
+            ctl.poll("q99999")
+
+    def test_no_matching_host(self, harness, ctl):
+        agent = _agent(harness, "web-0")
+        try:
+            with pytest.raises(ScrubError, match="no registered host"):
+                ctl.submit(
+                    "select pv.url, COUNT(*) from pv @[Service in Backends] "
+                    "window 10s group by pv.url duration 600s;"
+                )
+        finally:
+            agent.close()
+
+    def test_unknown_event_type(self, harness, ctl):
+        with pytest.raises(ScrubError):
+            ctl.submit("select COUNT(*) from nosuch duration 600s;")
+
+    def test_duplicate_host_rejected(self, harness):
+        first = _agent(harness, "web-0")
+        dup = LiveAgent(harness.address, "web-0", services=["Frontends"])
+        dup.define_event("pv", PV_FIELDS)
+        try:
+            with pytest.raises(LiveAgentError, match="already registered"):
+                dup.start()
+        finally:
+            dup.close()
+            first.close()
+
+    def test_conflicting_schema_rejected(self, harness):
+        first = _agent(harness, "web-0")
+        other = LiveAgent(harness.address, "web-1", services=["Frontends"])
+        other.define_event("pv", [("url", "long")])
+        try:
+            with pytest.raises(LiveAgentError):
+                other.start()
+        finally:
+            other.close()
+            first.close()
+
+
+class TestStats:
+    def test_stats_reflect_hosts_and_traffic(self, harness, ctl):
+        agent = _agent(harness, "web-0")
+        try:
+            stats = ctl.stats()
+            assert stats["shards"] == len(harness.daemon._shard_queues)
+            assert [h["host"] for h in stats["hosts"]] == ["web-0"]
+            assert stats["hosts"][0]["services"] == ["Frontends"]
+            assert stats["uptime"] >= 0.0
+
+            qid = ctl.submit(QUERY)["query_id"]
+            assert qid in ctl.stats()["running"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+            agent.log("pv", url="/a", latency_ms=1.0, request_id=1)
+            assert agent.drain(10.0)
+            stats = ctl.stats()
+            assert stats["engine"]["events_received"] == 1
+            assert stats["engine"]["batches_received"] >= 1
+            ctl.finish(qid)
+            assert qid in ctl.stats()["finished"]
+        finally:
+            agent.close()
+
+    def test_agent_unregisters_on_disconnect(self, harness, ctl):
+        agent = _agent(harness, "web-0")
+        assert [h["host"] for h in ctl.stats()["hosts"]] == ["web-0"]
+        agent.close()
+        assert wait_for(lambda: not ctl.stats()["hosts"])

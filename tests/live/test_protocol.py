@@ -1,0 +1,187 @@
+"""The live wire protocol: framing over real sockets, the control-message
+codec, and the schema / result-set payload forms."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.core.agent.transport import EventBatch, decode_full_batch
+from repro.core.approx.sampling_theory import ApproxEstimate
+from repro.core.central.results import ResultRow, ResultSet, WindowResult
+from repro.core.events import Event, EventSchema
+from repro.core.events.encoding import encode_value
+from repro.live.protocol import (
+    MAX_FRAME_BYTES,
+    MsgType,
+    ProtocolError,
+    decode_message,
+    encode_batch_frame,
+    encode_frame,
+    encode_message_frame,
+    read_frame,
+    recv_frame,
+    resultset_from_payload,
+    resultset_to_payload,
+    schema_from_payload,
+    schema_to_payload,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_message_frame_round_trip(self, pair):
+        a, b = pair
+        a.sendall(encode_message_frame(MsgType.SUBMIT, {"query": "select ✓;"}))
+        frame = recv_frame(b)
+        assert frame is not None
+        msg_type, payload = frame
+        assert msg_type == MsgType.SUBMIT
+        assert decode_message(payload) == {"query": "select ✓;"}
+
+    def test_back_to_back_frames(self, pair):
+        a, b = pair
+        a.sendall(
+            encode_message_frame(MsgType.PING, {"token": 1})
+            + encode_message_frame(MsgType.PONG, {"token": 1})
+            + encode_frame(MsgType.STATS)
+        )
+        types = [recv_frame(b)[0] for _ in range(3)]
+        assert types == [MsgType.PING, MsgType.PONG, MsgType.STATS]
+
+    def test_batch_frame_round_trip(self, pair):
+        a, b = pair
+        batch = EventBatch(
+            host="h1",
+            query_id="q00001",
+            events=[Event("pv", {"url": "/x"}, 7, 1.5, "h1")],
+            seen_counts={("pv", 0): 3},
+            dropped=1,
+            sent_at=2.0,
+        )
+        a.sendall(encode_batch_frame(batch))
+        msg_type, payload = recv_frame(b)
+        assert msg_type == MsgType.BATCH
+        assert decode_full_batch(payload) == batch
+
+    def test_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_truncated_frame_is_none(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("<I", 10) + b"\x11oops")
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_zero_length_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("<I", 0))
+        with pytest.raises(ProtocolError, match="length"):
+            recv_frame(b)
+
+    def test_oversized_length_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("<I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="length"):
+            recv_frame(b)
+
+    def test_unknown_type_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack("<I", 1) + b"\x7e")
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            recv_frame(b)
+
+    def test_non_map_control_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="not a map"):
+            decode_message(encode_value([1, 2]))
+
+    def test_async_read_frame(self):
+        async def read_one(data: bytes):
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        frame = asyncio.run(read_one(encode_message_frame(MsgType.STATS, {"a": 1})))
+        assert frame == (MsgType.STATS, encode_value({"a": 1}))
+        assert asyncio.run(read_one(b"")) is None
+
+
+class TestPayloads:
+    def test_schema_round_trip(self):
+        schema = EventSchema(
+            "pv",
+            [("url", "string"), ("latency_ms", "double"), ("hits", "long")],
+            doc="page views",
+        )
+        restored = schema_from_payload(schema_to_payload(schema))
+        assert restored.name == schema.name
+        assert restored.doc == schema.doc
+        assert [(f.name, f.ftype) for f in restored] == [
+            (f.name, f.ftype) for f in schema
+        ]
+
+    def test_resultset_round_trip(self):
+        results = ResultSet("q00007", ("pv.url", "COUNT(*)"))
+        results.add(
+            WindowResult(
+                query_id="q00007",
+                window_start=10.0,
+                window_end=20.0,
+                columns=results.columns,
+                rows=[ResultRow(("/a", 3)), ResultRow(("/b", 1))],
+                estimates={
+                    "COUNT(*)": ApproxEstimate(
+                        estimate=4.0,
+                        error_bound=0.5,
+                        confidence=0.95,
+                        variance=0.1,
+                        sampled_machines=2,
+                        total_machines=3,
+                    )
+                },
+                host_dropped=2,
+                late_events=1,
+                contributing_hosts=2,
+            )
+        )
+        results.add(
+            WindowResult(
+                query_id="q00007",
+                window_start=20.0,
+                window_end=30.0,
+                columns=results.columns,
+                rows=[],
+            )
+        )
+        assert resultset_from_payload(resultset_to_payload(results)) == results
+
+    def test_resultset_rows_keep_tuples_and_lists_distinct(self):
+        # TOP-K style pair tuples and genuine list values must survive as
+        # their own types — the payload tags tuples explicitly.
+        results = ResultSet("q1", ("k", "v"))
+        results.add(
+            WindowResult(
+                query_id="q1",
+                window_start=0.0,
+                window_end=10.0,
+                columns=results.columns,
+                rows=[ResultRow(((("a", 3), ("b", 1)), ["x", ("y", 2)]))],
+            )
+        )
+        restored = resultset_from_payload(resultset_to_payload(results))
+        values = restored.windows[0].rows[0].values
+        assert values == ((("a", 3), ("b", 1)), ["x", ("y", 2)])
+        assert isinstance(values[0], tuple)
+        assert isinstance(values[1], list)
+        assert isinstance(values[1][1], tuple)
