@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from ..approx.sampling_theory import (
     ApproxEstimate,
@@ -34,7 +34,7 @@ from ..query.errors import QueryNotFoundError, ScrubExecutionError
 from ..query.planner import CentralQueryObject
 from .groupby import GroupByProcessor, WindowGroups
 from .join import JoinBuffer
-from .results import ResultRow, ResultSet, WindowResult
+from .results import ResultRow, ResultSet, WindowCoverage, WindowResult
 from .aggregates import make_state
 from .window import SlidingWindowAssigner, TumblingWindowAssigner, WindowTracker
 
@@ -78,8 +78,15 @@ class _RunningQuery:
         planned_hosts: int,
         targeted_hosts: int,
         grace_seconds: float,
+        targeted_names: tuple[str, ...] = (),
+        delivery_state: Optional[Callable[[], Mapping[str, str]]] = None,
     ) -> None:
         self.spec = spec
+        #: Host names chosen for this query; enables per-window coverage.
+        self.targeted_names = targeted_names
+        #: Live view of per-host delivery health (the daemon's lease
+        #: table); consulted when a window closes to explain absences.
+        self.delivery_state = delivery_state
         self.processor = GroupByProcessor(spec)
         if spec.slide_seconds is not None:
             assigner = SlidingWindowAssigner(
@@ -159,12 +166,19 @@ class CentralEngine:
         spec: CentralQueryObject,
         planned_hosts: int = 1,
         targeted_hosts: int = 1,
+        targeted_names: tuple[str, ...] = (),
+        delivery_state: Optional[Callable[[], Mapping[str, str]]] = None,
     ) -> None:
         """Install the central query object for a new query.
 
         *planned_hosts* is the host population the target expression
         matched (N); *targeted_hosts* is how many were actually chosen
-        after host sampling (n).
+        after host sampling (n).  When *targeted_names* is given, every
+        emitted window carries a :class:`WindowCoverage` naming the
+        targeted hosts that fed it and the ones that went missing;
+        *delivery_state* (a callable returning host -> state) lets the
+        caller explain *why* a host is absent (lease expired,
+        disconnected, ...) rather than defaulting to "silent".
         """
         if spec.query_id in self._queries:
             raise ScrubExecutionError(f"query {spec.query_id} already registered")
@@ -173,7 +187,12 @@ class CentralEngine:
                 f"targeted hosts ({targeted_hosts}) exceed planned ({planned_hosts})"
             )
         self._queries[spec.query_id] = _RunningQuery(
-            spec, planned_hosts, targeted_hosts, self._grace
+            spec,
+            planned_hosts,
+            targeted_hosts,
+            self._grace,
+            targeted_names=tuple(targeted_names),
+            delivery_state=delivery_state,
         )
 
     def is_registered(self, query_id: str) -> bool:
@@ -314,6 +333,26 @@ class CentralEngine:
             estimates, overrides = self._estimate_window(rq, window)
         rows = state.finalize(rq.scale_factor, overrides or None)
 
+        reporting = rq.hosts_by_window.pop(window, set())
+        coverage: Optional[WindowCoverage] = None
+        if rq.targeted_names:
+            states = dict(rq.delivery_state()) if rq.delivery_state else {}
+            missing: dict[str, str] = {}
+            for host in rq.targeted_names:
+                if host in reporting:
+                    continue
+                state_name = states.get(host, "silent")
+                if state_name == "connected":
+                    # Healthy link but nothing arrived for this window:
+                    # matched nothing, or its flushes never made it.
+                    state_name = "silent"
+                missing[host] = state_name
+            coverage = WindowCoverage(
+                expected=rq.targeted_names,
+                reporting=tuple(sorted(reporting)),
+                missing=missing,
+            )
+
         result = WindowResult(
             query_id=rq.spec.query_id,
             window_start=rq.tracker.assigner.start_of(window),
@@ -323,7 +362,8 @@ class CentralEngine:
             estimates=estimates,
             host_dropped=rq.dropped_by_window.pop(window, 0),
             late_events=rq.late_since_close,
-            contributing_hosts=len(rq.hosts_by_window.pop(window, ())),
+            contributing_hosts=len(reporting),
+            coverage=coverage,
         )
         rq.late_since_close = 0
         rq.host_acc.pop(window, None)

@@ -19,7 +19,38 @@ from typing import Any, Iterator, Optional
 
 from ..approx.sampling_theory import ApproxEstimate
 
-__all__ = ["ResultRow", "WindowResult", "ResultSet"]
+__all__ = ["ResultRow", "WindowCoverage", "WindowResult", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class WindowCoverage:
+    """Which targeted hosts actually fed one window — and why the rest
+    did not.
+
+    Numbers in a window are silently *partial* whenever a targeted host
+    shipped nothing into it; per the degraded-telemetry lesson of the
+    Facebook RCA work, that partiality must be flagged, not folded in.
+    ``missing`` maps each absent host to its delivery state at window
+    close: ``"silent"`` (connected, nothing matched or arrived),
+    ``"disconnected"``, ``"lease-expired"``, ``"unreachable"`` (an
+    install push failed), or ``"never-seen"`` (recovered from the
+    journal; the host has not re-attached).
+    """
+
+    expected: tuple[str, ...]
+    reporting: tuple[str, ...]
+    missing: dict[str, str]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "expected": list(self.expected),
+            "reporting": list(self.reporting),
+            "missing": dict(self.missing),
+        }
 
 
 @dataclass(frozen=True)
@@ -56,6 +87,14 @@ class WindowResult:
     late_events: int = 0
     #: Hosts that contributed at least one batch overlapping this window.
     contributing_hosts: int = 0
+    #: Per-host delivery accounting (only when the engine was told the
+    #: targeted host names); ``None`` means coverage was not tracked.
+    coverage: Optional[WindowCoverage] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when a targeted host is known to be absent from this window."""
+        return self.coverage is not None and self.coverage.degraded
 
     def as_dicts(self) -> list[dict[str, Any]]:
         return [row.as_dict(self.columns) for row in self.rows]
@@ -118,6 +157,26 @@ class ResultSet:
     def total_late_events(self) -> int:
         return sum(w.late_events for w in self.windows)
 
+    @property
+    def degraded_windows(self) -> list[WindowResult]:
+        """Windows where at least one targeted host is known absent."""
+        return [w for w in self.windows if w.degraded]
+
+    def coverage_summary(self) -> dict[str, Any]:
+        """Whole-query delivery health: how many windows were degraded and
+        which hosts went missing (host -> windows missed)."""
+        missed: dict[str, int] = {}
+        for window in self.windows:
+            if window.coverage is None:
+                continue
+            for host in window.coverage.missing:
+                missed[host] = missed.get(host, 0) + 1
+        return {
+            "windows": len(self.windows),
+            "degraded_windows": len(self.degraded_windows),
+            "hosts_missed": missed,
+        }
+
     def window_starting_at(self, start: float) -> Optional[WindowResult]:
         for window in self.windows:
             if window.window_start == start:
@@ -151,6 +210,9 @@ class ResultSet:
                     },
                     "host_dropped": w.host_dropped,
                     "late_events": w.late_events,
+                    "coverage": (
+                        None if w.coverage is None else w.coverage.as_dict()
+                    ),
                 }
                 for w in self.windows
             ],
@@ -174,9 +236,17 @@ class ResultSet:
         """A small fixed-width rendering for examples and debugging."""
         lines = [f"query {self.query_id}: {len(self.windows)} window(s)"]
         for window in self.windows:
+            degraded = ""
+            if window.degraded:
+                assert window.coverage is not None
+                degraded = "  (degraded: missing " + ", ".join(
+                    f"{host}[{state}]"
+                    for host, state in sorted(window.coverage.missing.items())
+                ) + ")"
             lines.append(
                 f"-- window [{window.window_start:g}, {window.window_end:g})"
                 + (f"  (+{window.late_events} late)" if window.late_events else "")
+                + degraded
             )
             header = " | ".join(self.columns)
             lines.append("   " + header)

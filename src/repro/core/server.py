@@ -162,6 +162,7 @@ class ScrubQueryServer:
             plan.central_object,
             planned_hosts=len(resolved),
             targeted_hosts=len(chosen),
+            targeted_names=tuple(host for host, _agent in chosen),
         )
 
         handle = QueryHandle(

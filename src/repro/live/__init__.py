@@ -16,13 +16,27 @@ multi-process system here:
   in an application process) and :class:`ControlClient` (submit/poll/
   finish queries against a running ``scrubd``), plus the ``scrub-submit``
   entrypoint.
+* :mod:`repro.live.journal` — :class:`QueryJournal`, the append-only
+  control-plane journal behind ``scrubd --journal`` crash recovery.
+* :mod:`repro.live.chaos` — :class:`ChaosProxy`, a frame-aware fault
+  injection proxy for the integration tests (test-only).
 
 See ``docs/LIVE_MODE.md`` for the two-terminal quickstart and the
 failure-semantics table.
 """
 
+from .chaos import ChaosProxy, FaultPlan
 from .client import ControlClient, LiveAgent
+from .journal import QueryJournal
 from .server import ScrubDaemon
 from .transport import SocketTransport
 
-__all__ = ["ControlClient", "LiveAgent", "ScrubDaemon", "SocketTransport"]
+__all__ = [
+    "ChaosProxy",
+    "ControlClient",
+    "FaultPlan",
+    "LiveAgent",
+    "QueryJournal",
+    "ScrubDaemon",
+    "SocketTransport",
+]

@@ -47,6 +47,12 @@ __all__ = ["ControlClient", "LiveAgent", "main"]
 class LiveAgentError(ScrubError):
     """A live agent could not register with or talk to scrubd."""
 
+    def __init__(self, message: str, reason: Optional[str] = None) -> None:
+        super().__init__(message)
+        #: The daemon's structured error code (e.g. ``"duplicate-host"``),
+        #: when the failure came from an ERROR frame.
+        self.reason = reason
+
 
 class LiveAgent:
     """A Scrub host agent connected to a remote ``scrubd``.
@@ -72,6 +78,10 @@ class LiveAgent:
         flush_batch_size: int = 500,
         outbox_capacity: int = 256,
         connect_timeout: float = 5.0,
+        heartbeat_interval: float = 1.0,
+        reconnect: bool = True,
+        reconnect_backoff_base: float = 0.1,
+        reconnect_backoff_cap: float = 2.0,
     ) -> None:
         self.address = address
         self.host = host
@@ -79,6 +89,10 @@ class LiveAgent:
         self.datacenter = datacenter
         self.registry = registry if registry is not None else EventRegistry()
         self._connect_timeout = connect_timeout
+        self._heartbeat_interval = heartbeat_interval
+        self._reconnect = reconnect
+        self._backoff_base = reconnect_backoff_base
+        self._backoff_cap = reconnect_backoff_cap
         self.transport = SocketTransport(
             address, host, outbox_capacity=outbox_capacity
         )
@@ -92,8 +106,17 @@ class LiveAgent:
         )
         self._control: Optional[socket.socket] = None
         self._reader: Optional[threading.Thread] = None
+        self._heartbeater: Optional[threading.Thread] = None
         self._started = False
         self._closed = threading.Event()
+        #: Session epoch: strictly increasing across (re)connections, so a
+        #: restarted agent always supersedes its own stale registration.
+        self.epoch = 0
+        #: Another session of this host took the name over; stop redialing.
+        self._superseded = False
+        #: Control-channel re-registrations after the initial start().
+        self.control_reconnects = 0
+        self.heartbeats_sent = 0
 
     # -- setup -------------------------------------------------------------------
 
@@ -107,39 +130,70 @@ class LiveAgent:
         return self.registry.define(name, fields, doc=doc)
 
     def start(self) -> None:
-        """Register with scrubd and begin serving install pushes."""
+        """Register with scrubd and begin serving install pushes.
+
+        The first registration is synchronous so callers see a rejection
+        (duplicate host, schema conflict) immediately; afterwards a
+        background thread serves pushes, renews the liveness lease with
+        periodic heartbeats, and — unless ``reconnect=False`` — redials
+        and re-registers whenever the control channel dies, at which
+        point scrubd replays the installs this host should be running.
+        """
         if self._started:
             return
-        sock = socket.create_connection(self.address, timeout=self._connect_timeout)
-        sock.sendall(
-            encode_message_frame(
-                MsgType.AGENT_HELLO,
-                {
-                    "host": self.host,
-                    "services": list(self.services),
-                    "datacenter": self.datacenter,
-                    "schemas": [schema_to_payload(s) for s in self.registry],
-                },
-            )
-        )
-        frame = recv_frame(sock)
-        if frame is None:
-            raise LiveAgentError("scrubd closed the connection during hello")
-        msg_type, payload = frame
-        if msg_type == MsgType.ERROR:
-            message = decode_message(payload)
-            raise LiveAgentError(
-                f"scrubd rejected agent {self.host!r}: {message.get('message')}"
-            )
-        if msg_type != MsgType.HELLO_OK:
-            raise LiveAgentError(f"unexpected {msg_type.name} during hello")
-        sock.settimeout(None)
-        self._control = sock
+        self._control = self._connect_control()
         self._started = True
         self._reader = threading.Thread(
             target=self._control_loop, name=f"scrub-control-{self.host}", daemon=True
         )
         self._reader.start()
+        self._heartbeater = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"scrub-heartbeat-{self.host}",
+            daemon=True,
+        )
+        self._heartbeater.start()
+
+    def _connect_control(self) -> socket.socket:
+        """Dial scrubd and register; returns the live control socket.
+        Raises :class:`LiveAgentError` (with the daemon's error code in
+        ``.reason``) on rejection."""
+        epoch = time.time_ns()
+        sock = socket.create_connection(self.address, timeout=self._connect_timeout)
+        try:
+            sock.sendall(
+                encode_message_frame(
+                    MsgType.AGENT_HELLO,
+                    {
+                        "host": self.host,
+                        "epoch": epoch,
+                        "services": list(self.services),
+                        "datacenter": self.datacenter,
+                        "schemas": [schema_to_payload(s) for s in self.registry],
+                    },
+                )
+            )
+            frame = recv_frame(sock)
+            if frame is None:
+                raise LiveAgentError("scrubd closed the connection during hello")
+            msg_type, payload = frame
+            if msg_type == MsgType.ERROR:
+                message = decode_message(payload)
+                raise LiveAgentError(
+                    f"scrubd rejected agent {self.host!r}: {message.get('message')}",
+                    reason=message.get("error"),
+                )
+            if msg_type != MsgType.HELLO_OK:
+                raise LiveAgentError(f"unexpected {msg_type.name} during hello")
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        sock.settimeout(None)
+        self.epoch = epoch
+        return sock
 
     # -- application-facing API -----------------------------------------------------
 
@@ -171,40 +225,99 @@ class LiveAgent:
 
     def close(self) -> None:
         self._closed.set()
-        if self._control is not None:
+        sock = self._control  # the reader may null the attr concurrently
+        if sock is not None:
             # shutdown() first: it sends the FIN and wakes the reader
             # thread blocked in recv(); a bare close() would do neither
             # while that syscall pins the kernel socket.
             try:
-                self._control.shutdown(socket.SHUT_RDWR)
+                sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
             try:
-                self._control.close()
+                sock.close()
             except OSError:
                 pass
         if self._reader is not None:
             self._reader.join(timeout=2.0)
+        if self._heartbeater is not None:
+            self._heartbeater.join(timeout=2.0)
         self.transport.close()
 
-    # -- install pushes ---------------------------------------------------------------
+    # -- control channel (install pushes, reconnect) ---------------------------------
 
     def _control_loop(self) -> None:
-        assert self._control is not None
+        """Serve one control connection; when it dies, redial forever
+        (capped backoff) unless closed or superseded by a newer session
+        of the same host."""
+        while not self._closed.is_set() and not self._superseded:
+            sock = self._control
+            if sock is None:
+                return
+            self._serve(sock)
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._control = None
+            if self._closed.is_set() or self._superseded or not self._reconnect:
+                return
+            self._control = self._redial()
+
+    def _serve(self, sock: socket.socket) -> None:
+        """Read frames until the connection dies or we are told to stop."""
         try:
             while not self._closed.is_set():
-                frame = recv_frame(self._control)
+                frame = recv_frame(sock)
                 if frame is None:
-                    return  # scrubd went away; local queries expire on their own
+                    return  # scrubd went away; redial (queries expire locally)
                 msg_type, payload = frame
                 if msg_type == MsgType.INSTALL:
                     self._install(decode_message(payload))
                 elif msg_type == MsgType.UNINSTALL:
                     self.agent.uninstall(decode_message(payload)["query_id"])
+                elif msg_type == MsgType.SYNC:
+                    self._reconcile(decode_message(payload))
+                elif msg_type == MsgType.ERROR:
+                    message = decode_message(payload)
+                    reason = message.get("error")
+                    if reason in ("superseded", "duplicate-host"):
+                        # Another session owns this host name now; redialing
+                        # would only evict it in turn.  Stand down.
+                        self._superseded = True
+                        return
+                    # Anything else (e.g. lease-expired after a long stall)
+                    # is cured by re-registering: fall out and redial.
+                    return
         except (OSError, ProtocolError):
             return
 
+    def _redial(self) -> Optional[socket.socket]:
+        """Reconnect + re-register with capped exponential backoff; a new
+        epoch per attempt means our fresh session supersedes the stale
+        registration scrubd may still hold for us."""
+        backoff = self._backoff_base
+        while not self._closed.is_set():
+            try:
+                sock = self._connect_control()
+            except LiveAgentError as exc:
+                if exc.reason == "duplicate-host":
+                    self._superseded = True
+                    return None
+                self._closed.wait(backoff)
+                backoff = min(backoff * 2, self._backoff_cap)
+            except OSError:
+                self._closed.wait(backoff)
+                backoff = min(backoff * 2, self._backoff_cap)
+            else:
+                self.control_reconnects += 1
+                return sock
+        return None
+
     def _install(self, message: dict[str, Any]) -> None:
+        query_id = message.get("query_id")
+        if query_id in self.agent.active_query_ids:
+            return  # replayed on reconnect; already running
         try:
             query = parse_query(message["query"])
             validated = validate_query(query, self.registry)
@@ -220,6 +333,39 @@ class LiveAgent:
                 f"scrub[{self.host}]: install of {message.get('query_id')} failed: {exc}",
                 file=sys.stderr,
             )
+
+    def _reconcile(self, message: dict[str, Any]) -> None:
+        """SYNC carries the full set of query ids that should be live
+        here; drop anything local the daemon no longer knows about (it
+        finished, or died with a journal-less scrubd)."""
+        wanted = set(message.get("query_ids", ()))
+        for query_id in self.agent.active_query_ids:
+            if query_id not in wanted:
+                self.agent.uninstall(query_id)
+
+    def _heartbeat_loop(self) -> None:
+        """Renew the liveness lease; scrubd expires agents it has not
+        heard from within its lease window."""
+        while not self._closed.wait(self._heartbeat_interval):
+            if self._superseded:
+                return
+            sock = self._control
+            if sock is None:
+                continue
+            try:
+                sock.sendall(
+                    encode_message_frame(
+                        MsgType.HEARTBEAT,
+                        {
+                            "host": self.host,
+                            "epoch": self.epoch,
+                            "sent_at": time.time(),
+                        },
+                    )
+                )
+                self.heartbeats_sent += 1
+            except OSError:
+                continue  # the reader notices the dead socket and redials
 
 
 class ControlClient:

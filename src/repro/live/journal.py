@@ -1,0 +1,169 @@
+"""The scrubd query journal: crash recovery for the control plane.
+
+Scrub's data plane is deliberately lossy — drop, never block — but the
+*control* plane (which query spans are open, which hosts they target)
+must survive a ``scrubd`` crash, or every open troubleshooting session
+dies with the daemon.  The journal is the smallest thing that restores
+it: an append-only file of JSON records, fsync'd per append, replayed
+on ``scrubd --journal`` startup.
+
+Three record kinds:
+
+* ``schema`` — an event schema an agent announced.  Replayed first so
+  journalled query text re-validates before any agent reconnects.
+* ``submit`` — one accepted query: id, text, span, and host placement.
+  The planner is deterministic in ``(text, query_id)``, so replay
+  re-derives the identical central query object and sampling decisions.
+* ``finish`` — the query's span ended and its results were collected;
+  replay treats the submit as closed.
+
+Events and result windows are *not* journalled — windows open at crash
+time are lost, exactly like events lost to a full buffer, and the loss
+is visible because post-recovery windows carry coverage metadata while
+pre-crash ones are simply absent.
+
+A torn final record (the crash happened mid-append) is tolerated:
+replay stops at the first undecodable line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.events.schema import EventSchema
+
+__all__ = ["JournalState", "QueryJournal", "open_journal"]
+
+_MAGIC = {"journal": "scrub-query-journal", "version": 1}
+
+
+@dataclass
+class JournalState:
+    """Everything replay recovered from a journal file."""
+
+    #: Schemas announced before the crash, in announcement order.
+    schemas: list[EventSchema] = field(default_factory=list)
+    #: query_id -> its submit record, for submits without a finish.
+    open_queries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: query_ids whose spans completed before the crash.
+    finished: set[str] = field(default_factory=set)
+    #: Records that failed to decode (torn tail) — at most one unless
+    #: the file was hand-edited.
+    torn_records: int = 0
+
+    @property
+    def max_sequence(self) -> int:
+        """Highest qNNNNN sequence ever journalled, so a recovered daemon
+        never reissues a used query id."""
+        best = 0
+        for query_id in list(self.open_queries) + list(self.finished):
+            try:
+                best = max(best, int(query_id.lstrip("q")))
+            except ValueError:
+                continue
+        return best
+
+
+class QueryJournal:
+    """Append-only, fsync'd record stream backing scrubd recovery."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.state = self._load(path)
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._file = open(path, "a", encoding="utf-8")
+        if fresh:
+            self._append(_MAGIC)
+
+    # -- reading -------------------------------------------------------------------
+
+    @staticmethod
+    def _load(path: str) -> JournalState:
+        state = JournalState()
+        if not os.path.exists(path):
+            return state
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn append from the crash; everything before it
+                    # is intact and everything after it cannot exist.
+                    state.torn_records += 1
+                    break
+                if not isinstance(record, dict):
+                    state.torn_records += 1
+                    break
+                op = record.get("op")
+                if op == "schema":
+                    state.schemas.append(
+                        EventSchema(
+                            record["name"],
+                            [(name, ftype) for name, ftype in record["fields"]],
+                            doc=record.get("doc", ""),
+                        )
+                    )
+                elif op == "submit":
+                    state.open_queries[record["query_id"]] = record
+                elif op == "finish":
+                    state.open_queries.pop(record["query_id"], None)
+                    state.finished.add(record["query_id"])
+        return state
+
+    # -- writing -------------------------------------------------------------------
+
+    def record_schema(self, schema: EventSchema) -> None:
+        self._append(
+            {
+                "op": "schema",
+                "name": schema.name,
+                "fields": [[f.name, f.ftype.value] for f in schema],
+                "doc": schema.doc,
+            }
+        )
+
+    def record_submit(
+        self,
+        query_id: str,
+        text: str,
+        activates_at: float,
+        expires_at: float,
+        planned: tuple[str, ...],
+        targeted: tuple[str, ...],
+    ) -> None:
+        self._append(
+            {
+                "op": "submit",
+                "query_id": query_id,
+                "query": text,
+                "activates_at": activates_at,
+                "expires_at": expires_at,
+                "planned": list(planned),
+                "targeted": list(targeted),
+            }
+        )
+
+    def record_finish(self, query_id: str) -> None:
+        self._append({"op": "finish", "query_id": query_id})
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self._file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+
+
+def open_journal(path: Optional[str]) -> Optional[QueryJournal]:
+    """``None``-propagating constructor for optional-journal call sites."""
+    return QueryJournal(path) if path else None

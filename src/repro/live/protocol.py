@@ -36,7 +36,7 @@ from typing import Any, Optional
 
 from ..core.agent.transport import EventBatch, encode_full_batch
 from ..core.approx.sampling_theory import ApproxEstimate
-from ..core.central.results import ResultRow, ResultSet, WindowResult
+from ..core.central.results import ResultRow, ResultSet, WindowCoverage, WindowResult
 from ..core.events.encoding import decode_value, encode_value
 from ..core.events.schema import EventSchema
 
@@ -79,6 +79,11 @@ class MsgType(enum.IntEnum):
     # central → agent pushes
     INSTALL = 0x20
     UNINSTALL = 0x21
+    #: After (re)registration: the full set of query ids that should be
+    #: live on this host, so the agent can reconcile (drop stale ones).
+    SYNC = 0x22
+    # agent → central liveness lease renewal (control channel)
+    HEARTBEAT = 0x23
     # query control
     SUBMIT = 0x30
     SUBMIT_OK = 0x31
@@ -210,6 +215,7 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
                 "host_dropped": w.host_dropped,
                 "late_events": w.late_events,
                 "contributing_hosts": w.contributing_hosts,
+                "coverage": None if w.coverage is None else w.coverage.as_dict(),
             }
             for w in results.windows
         ],
@@ -241,9 +247,20 @@ def resultset_from_payload(payload: dict[str, Any]) -> ResultSet:
                 host_dropped=w["host_dropped"],
                 late_events=w["late_events"],
                 contributing_hosts=w["contributing_hosts"],
+                coverage=_coverage_from_payload(w.get("coverage")),
             )
         )
     return results
+
+
+def _coverage_from_payload(payload: Optional[dict[str, Any]]) -> Optional[WindowCoverage]:
+    if payload is None:
+        return None
+    return WindowCoverage(
+        expected=tuple(payload["expected"]),
+        reporting=tuple(payload["reporting"]),
+        missing=dict(payload["missing"]),
+    )
 
 
 def _encodable(values: tuple) -> list:

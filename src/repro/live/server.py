@@ -33,7 +33,7 @@ import asyncio
 import sys
 import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TextIO
 
 from ..core.agent.transport import EventBatch, decode_full_batch
@@ -50,6 +50,7 @@ from ..core.query.planner import QueryPlan, plan_query
 from ..core.query.targets import HostDescription, sample_hosts, target_matches
 from ..core.query.validator import validate_query
 from ..core.server import _seed_from
+from .journal import QueryJournal
 from .protocol import (
     MsgType,
     ProtocolError,
@@ -64,17 +65,32 @@ __all__ = ["ScrubDaemon", "main"]
 
 DEFAULT_PORT = 7421
 
+#: Seconds without a control-channel frame (heartbeats included) before
+#: a registration is considered dead and its lease expires.
+DEFAULT_LEASE_SECONDS = 10.0
+
 
 class _AgentConn:
-    """One registered host: its description and the control writer used
-    to push installs/uninstalls to it."""
+    """One registered host: its description, the control writer used to
+    push installs/uninstalls to it, and its liveness lease."""
 
-    __slots__ = ("description", "writer", "lock")
+    __slots__ = ("description", "writer", "lock", "epoch", "last_seen")
 
-    def __init__(self, description: HostDescription, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        description: HostDescription,
+        writer: asyncio.StreamWriter,
+        epoch: int = 0,
+        last_seen: float = 0.0,
+    ):
         self.description = description
         self.writer = writer
         self.lock = asyncio.Lock()
+        #: Session epoch from the agent's hello; a reconnect carries a
+        #: larger one and takes the registration over.
+        self.epoch = epoch
+        #: Wall time of the last frame received on the control channel.
+        self.last_seen = last_seen
 
     async def push(self, msg_type: MsgType, message: dict[str, Any]) -> None:
         async with self.lock:
@@ -92,6 +108,12 @@ class _LiveQuery:
     expires_at: float
     planned: tuple[str, ...]
     targeted: tuple[str, ...]
+    #: Per targeted host: delivery health — "connected", "disconnected",
+    #: "lease-expired", "unreachable" (install push failed), or
+    #: "never-seen" (journal recovery; host not re-attached yet).  The
+    #: engine reads this dict live when it closes a window, so coverage
+    #: names the state the host was in at close time.
+    delivery: dict[str, str] = field(default_factory=dict)
 
 
 class _ShardBarrier:
@@ -124,6 +146,8 @@ class ScrubDaemon:
         tick_interval: float = 0.25,
         queue_depth: int = 64,
         drain_margin: float = 1.0,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        journal_path: Optional[str] = None,
         clock: Callable[[], float] = time.time,
         log: Optional[TextIO] = None,
     ) -> None:
@@ -133,6 +157,9 @@ class ScrubDaemon:
         self.port = port
         self._tick_interval = tick_interval
         self._drain_margin = drain_margin
+        self._lease_seconds = lease_seconds
+        self._journal_path = journal_path
+        self._journal: Optional[QueryJournal] = None
         self._clock = clock
         self._log = log
 
@@ -142,6 +169,9 @@ class ScrubDaemon:
         self._sequence = 0
         self._running: dict[str, _LiveQuery] = {}
         self._results: dict[str, ResultSet] = {}
+        #: INSTALL pushes that failed to reach an agent (SUBMIT-time or
+        #: reconnect-time); exposed via STATS.
+        self.push_failures = 0
 
         self._shard_queues: list["asyncio.Queue[Any]"] = [
             asyncio.Queue(maxsize=queue_depth) for _ in range(shards)
@@ -155,6 +185,8 @@ class ScrubDaemon:
     # -- lifecycle ---------------------------------------------------------------
 
     async def start(self) -> None:
+        if self._journal_path is not None:
+            self._recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -166,6 +198,60 @@ class ScrubDaemon:
             )
         self._tasks.append(asyncio.create_task(self._tick_loop()))
         self._say(f"scrubd listening on {self.host}:{self.port}")
+
+    def _recover(self) -> None:
+        """Replay the query journal: restore schemas and re-register every
+        open span so agents can re-attach and POLL/FINISH keep working."""
+        self._journal = QueryJournal(self._journal_path)
+        state = self._journal.state
+        for schema in state.schemas:
+            try:
+                self.registry.register(schema)
+            except ValueError as exc:
+                self._say(f"journal: conflicting schema {schema.name!r}: {exc}")
+        self._sequence = state.max_sequence
+        resumed = []
+        for query_id, record in state.open_queries.items():
+            try:
+                self._resume(query_id, record)
+            except ScrubError as exc:
+                self._say(f"journal: cannot resume {query_id}: {exc}")
+                continue
+            resumed.append(query_id)
+        if resumed or state.finished:
+            self._say(
+                f"scrubd resumed {len(resumed)} open span(s) from journal "
+                f"({sorted(resumed)}; {len(state.finished)} already finished)"
+            )
+        if state.torn_records:
+            self._say("journal: dropped a torn trailing record (crash mid-append)")
+
+    def _resume(self, query_id: str, record: dict[str, Any]) -> None:
+        """Re-register one journalled query.  Planning is deterministic in
+        (text, query id), so the central object is identical to the one
+        the crashed daemon ran; windows open at crash time are lost."""
+        query = parse_query(record["query"])
+        validated = validate_query(query, self.registry)
+        plan = plan_query(validated, query_id)
+        targeted = tuple(record["targeted"])
+        # Nobody has re-attached yet; reconnects flip hosts to "connected".
+        delivery = {name: "never-seen" for name in targeted}
+        self.engine.register(
+            plan.central_object,
+            planned_hosts=len(record["planned"]),
+            targeted_hosts=len(targeted),
+            targeted_names=targeted,
+            delivery_state=lambda d=delivery: d,
+        )
+        self._running[query_id] = _LiveQuery(
+            plan=plan,
+            text=record["query"],
+            activates_at=record["activates_at"],
+            expires_at=record["expires_at"],
+            planned=tuple(record["planned"]),
+            targeted=targeted,
+            delivery=delivery,
+        )
 
     async def run(self) -> None:
         """Start, serve until told to stop, then shut down cleanly."""
@@ -191,6 +277,9 @@ class ScrubDaemon:
                 pass
         self._tasks.clear()
         self._conn_tasks.clear()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     def _say(self, message: str) -> None:
         if self._log is not None:
@@ -241,18 +330,41 @@ class ScrubDaemon:
         hello: dict[str, Any],
     ) -> None:
         name = hello["host"]
-        if name in self._agents:
-            writer.write(
-                encode_message_frame(
-                    MsgType.ERROR,
-                    {"error": "duplicate-host", "message": f"host {name!r} already registered"},
+        epoch = int(hello.get("epoch", 0))
+        existing = self._agents.get(name)
+        if existing is not None:
+            if epoch > existing.epoch:
+                # A newer session of the same host (crash + restart, or a
+                # reconnect racing lease expiry): the newer epoch wins and
+                # the stale registration is evicted, not the newcomer.
+                await self._evict(
+                    name,
+                    existing,
+                    "superseded",
+                    f"host {name!r} re-registered with newer epoch {epoch}",
                 )
-            )
-            await writer.drain()
-            return
+            else:
+                writer.write(
+                    encode_message_frame(
+                        MsgType.ERROR,
+                        {
+                            "error": "duplicate-host",
+                            "message": (
+                                f"host {name!r} already registered with an equal or "
+                                f"newer session epoch"
+                            ),
+                        },
+                    )
+                )
+                await writer.drain()
+                return
         try:
             for schema_payload in hello.get("schemas", []):
-                self.registry.register(schema_from_payload(schema_payload))
+                schema = schema_from_payload(schema_payload)
+                known = schema.name in self.registry
+                self.registry.register(schema)
+                if not known and self._journal is not None:
+                    self._journal.record_schema(schema)
         except ValueError as exc:
             writer.write(
                 encode_message_frame(
@@ -266,23 +378,89 @@ class ScrubDaemon:
             tuple(hello.get("services", [])),
             hello.get("datacenter", "dc1"),
         )
-        conn = _AgentConn(description, writer)
+        conn = _AgentConn(description, writer, epoch=epoch, last_seen=self._clock())
         self._agents[name] = conn
         async with conn.lock:
-            writer.write(encode_message_frame(MsgType.HELLO_OK, {}))
+            writer.write(encode_message_frame(MsgType.HELLO_OK, {"epoch": epoch}))
             await writer.drain()
-        self._say(f"agent {name} registered ({len(self._agents)} hosts)")
+        self._say(
+            f"agent {name} registered (epoch {epoch}, {len(self._agents)} hosts)"
+        )
+        try:
+            await self._sync_queries(name, conn)
+        except (ConnectionError, OSError):
+            pass  # the read loop below will see the dead socket and clean up
         try:
             while True:
                 frame = await read_frame(reader)
                 if frame is None:
                     break
+                conn.last_seen = self._clock()
                 msg_type, payload = frame
                 if msg_type == MsgType.PING:
                     await conn.push(MsgType.PONG, decode_message(payload))
+                elif msg_type == MsgType.HEARTBEAT:
+                    pass  # the lease renewal is the last_seen update above
         finally:
-            self._agents.pop(name, None)
-            self._say(f"agent {name} disconnected")
+            # Only tear down our own registration: a takeover has already
+            # replaced it, and the new session must not be unregistered by
+            # the old connection's exit.
+            if self._agents.get(name) is conn:
+                self._agents.pop(name)
+                self._mark_delivery(name, "disconnected")
+                self._say(f"agent {name} disconnected")
+
+    async def _sync_queries(self, name: str, conn: _AgentConn) -> None:
+        """After HELLO_OK: push every open query span targeting this host,
+        then a SYNC of the full live set so the agent reconciles — installs
+        it lacks, uninstalls anything stale it still runs.  This is what
+        makes a span survive an agent restart."""
+        now = self._clock()
+        active: list[str] = []
+        for query_id, live in list(self._running.items()):
+            if name not in live.targeted or now >= live.expires_at:
+                continue
+            install = {
+                "query_id": query_id,
+                "query": live.text,
+                "activates_at": live.activates_at,
+                "expires_at": live.expires_at,
+            }
+            try:
+                await conn.push(MsgType.INSTALL, install)
+            except (ConnectionError, OSError, RuntimeError):
+                self.push_failures += 1
+                live.delivery[name] = "unreachable"
+                raise
+            live.delivery[name] = "connected"
+            active.append(query_id)
+        await conn.push(MsgType.SYNC, {"query_ids": active})
+
+    async def _evict(
+        self, name: str, conn: _AgentConn, error: str, message: str
+    ) -> None:
+        """Drop a registration: tell the old session why (a structured
+        ERROR frame, never a silent close), then close its channel."""
+        if self._agents.get(name) is conn:
+            self._agents.pop(name)
+        try:
+            await asyncio.wait_for(
+                conn.push(MsgType.ERROR, {"error": error, "message": message}),
+                timeout=1.0,
+            )
+        except (ConnectionError, OSError, RuntimeError, asyncio.TimeoutError):
+            pass
+        try:
+            conn.writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+
+    def _mark_delivery(self, name: str, state: str) -> None:
+        """Record a host's delivery-health transition on every open query
+        that targets it (the engine reads these when windows close)."""
+        for live in self._running.values():
+            if name in live.targeted:
+                live.delivery[name] = state
 
     # -- data channel -----------------------------------------------------------------
 
@@ -383,6 +561,15 @@ class ScrubDaemon:
             except (ScrubError, QueryNotFoundError) as exc:
                 reply_type = MsgType.ERROR
                 reply = {"error": type(exc).__name__, "message": str(exc)}
+            except ProtocolError:
+                raise  # corrupt peer; tear the connection down
+            except Exception as exc:
+                # An unexpected failure (e.g. a dead agent writer raising
+                # from deep inside a push) must reach the submitter as a
+                # structured ERROR, not a silently closed socket.
+                reply_type = MsgType.ERROR
+                reply = {"error": "internal", "message": f"{type(exc).__name__}: {exc}"}
+                self._say(f"control: request failed: {exc!r}")
             writer.write(encode_message_frame(reply_type, reply))
             await writer.drain()
             if reply_type == MsgType.SHUTDOWN_OK:
@@ -437,41 +624,65 @@ class ScrubDaemon:
         activates_at = plan.start if plan.start is not None else now
         expires_at = activates_at + plan.duration
 
+        planned_names = tuple(name for name, _conn in resolved)
+        targeted_names = tuple(name for name, _conn in chosen)
+        delivery = {name: "connected" for name in targeted_names}
         self.engine.register(
             plan.central_object,
             planned_hosts=len(resolved),
             targeted_hosts=len(chosen),
+            targeted_names=targeted_names,
+            delivery_state=lambda d=delivery: d,
         )
+        if self._journal is not None:
+            self._journal.record_submit(
+                query_id, text, activates_at, expires_at,
+                planned_names, targeted_names,
+            )
         install = {
             "query_id": query_id,
             "query": text,
             "activates_at": activates_at,
             "expires_at": expires_at,
         }
-        for _name, conn in chosen:
+        install_failures: list[str] = []
+        for name, conn in chosen:
             try:
                 await conn.push(MsgType.INSTALL, install)
-            except (ConnectionError, OSError):
-                # The agent died between registration and install; its
-                # silence just reads as a host that reported nothing.
-                pass
+            except (ConnectionError, OSError, RuntimeError):
+                # The agent died between registration and install.  Count
+                # it, flag the host unreachable (so its windows read as
+                # degraded, not merely quiet), evict the dead session so
+                # a restarted agent can re-register, and tell the
+                # submitter in the reply — never fail the whole SUBMIT.
+                self.push_failures += 1
+                delivery[name] = "unreachable"
+                install_failures.append(name)
+                await self._evict(
+                    name, conn, "install-push-failed",
+                    f"install of {query_id} could not be delivered",
+                )
 
         self._running[query_id] = _LiveQuery(
             plan=plan,
             text=text,
             activates_at=activates_at,
             expires_at=expires_at,
-            planned=tuple(name for name, _conn in resolved),
-            targeted=tuple(name for name, _conn in chosen),
+            planned=planned_names,
+            targeted=targeted_names,
+            delivery=delivery,
         )
         self._say(
-            f"query {query_id} installed on {len(chosen)}/{len(resolved)} host(s)"
+            f"query {query_id} installed on "
+            f"{len(chosen) - len(install_failures)}/{len(resolved)} host(s)"
+            + (f" ({len(install_failures)} push failure(s))" if install_failures else "")
         )
         return {
             "query_id": query_id,
             "columns": list(plan.central_object.column_names),
-            "planned_hosts": list(name for name, _conn in resolved),
-            "targeted_hosts": list(name for name, _conn in chosen),
+            "planned_hosts": list(planned_names),
+            "targeted_hosts": list(targeted_names),
+            "install_failures": install_failures,
             "activates_at": activates_at,
             "expires_at": expires_at,
         }
@@ -505,24 +716,45 @@ class ScrubDaemon:
                 pass  # agent gone; its query objects expire on their own
         results = self.engine.finish(query_id)
         self._results[query_id] = results
-        self._say(f"query {query_id} finished: {len(results.windows)} window(s)")
+        if self._journal is not None:
+            self._journal.record_finish(query_id)
+        degraded = len(results.degraded_windows)
+        self._say(
+            f"query {query_id} finished: {len(results.windows)} window(s)"
+            + (f", {degraded} degraded" if degraded else "")
+        )
         return results
 
     def _stats(self) -> dict[str, Any]:
         stats = self.engine.stats
+        now = self._clock()
         return {
             "hosts": [
                 {
                     "host": conn.description.name,
                     "services": sorted(conn.description.services),
                     "datacenter": conn.description.datacenter,
+                    "epoch": conn.epoch,
+                    "lease_age": now - conn.last_seen,
                 }
                 for conn in self._agents.values()
             ],
             "running": sorted(self._running),
             "finished": sorted(self._results),
+            "queries": {
+                query_id: {
+                    "targeted": list(live.targeted),
+                    "delivery": dict(live.delivery),
+                    "activates_at": live.activates_at,
+                    "expires_at": live.expires_at,
+                }
+                for query_id, live in self._running.items()
+            },
             "shards": len(self._shard_queues),
-            "uptime": self._clock() - self._started_at,
+            "lease_seconds": self._lease_seconds,
+            "push_failures": self.push_failures,
+            "journal": self._journal_path,
+            "uptime": now - self._started_at,
             "engine": {
                 "batches_received": stats.batches_received,
                 "events_received": stats.events_received,
@@ -539,6 +771,7 @@ class ScrubDaemon:
         while True:
             await asyncio.sleep(self._tick_interval)
             now = self._clock()
+            await self._expire_leases(now)
             try:
                 self.engine.advance(now)
             except Exception as exc:
@@ -549,6 +782,25 @@ class ScrubDaemon:
                         await self._finish(query_id)
                     except Exception as exc:
                         self._say(f"tick: reap of {query_id} failed: {exc!r}")
+
+    async def _expire_leases(self, now: float) -> None:
+        """Unregister agents whose lease lapsed (no heartbeat within the
+        window).  The dead session is told why — a structured ERROR, not
+        a silent close — so a *slow* (not dead) agent knows to redial."""
+        for name, conn in list(self._agents.items()):
+            if now - conn.last_seen <= self._lease_seconds:
+                continue
+            self._mark_delivery(name, "lease-expired")
+            self._say(
+                f"agent {name}: lease expired "
+                f"({now - conn.last_seen:.1f}s > {self._lease_seconds:g}s silent)"
+            )
+            await self._evict(
+                name,
+                conn,
+                "lease-expired",
+                f"no heartbeat for {now - conn.last_seen:.1f}s; re-register to resume",
+            )
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -564,6 +816,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--tick", type=float, default=0.25, help="advance/reap interval (s)")
     parser.add_argument("--queue-depth", type=int, default=64, help="per-shard queue bound")
+    parser.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_SECONDS,
+        help="seconds without an agent heartbeat before its lease expires",
+    )
+    parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="append-only query journal; open spans resume on restart",
+    )
     args = parser.parse_args(argv)
 
     daemon = ScrubDaemon(
@@ -573,6 +833,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         grace_seconds=args.grace,
         tick_interval=args.tick,
         queue_depth=args.queue_depth,
+        lease_seconds=args.lease,
+        journal_path=args.journal,
         log=sys.stdout,
     )
     try:

@@ -27,6 +27,8 @@ from typing import Optional
 from ..core.agent.transport import EventBatch
 from .protocol import (
     MsgType,
+    ProtocolError,
+    decode_message,
     encode_batch_frame,
     encode_message_frame,
     recv_frame,
@@ -79,8 +81,15 @@ class SocketTransport:
         self.dropped_events = 0
         self.reconnects = 0
 
-        # Loss carried onto the next successful batch (single-producer:
-        # only the thread calling send() touches these).
+        # Loss carried onto the next enqueued batch.  Both the producer
+        # (send() folding carry in / counting outbox drops) and the
+        # flusher (_note_lost after a failed ship) mutate these, so a
+        # lock guards every read-modify-write: an unsynchronized
+        # interleaving could *lose* counts (producer zeroes the field
+        # while the flusher's addition is in flight), violating the
+        # conservation guarantee the estimator depends on.  The lock is
+        # never held across I/O, so send() stays non-blocking.
+        self._carry_lock = threading.Lock()
         self._carry_dropped = 0
         self._carry_seen: dict[tuple[str, int], int] = {}
 
@@ -97,24 +106,22 @@ class SocketTransport:
     def send(self, batch: EventBatch) -> None:
         """Enqueue for shipping; on a full outbox, count the loss and
         return immediately (the paper's drop-not-block invariant)."""
-        if self._carry_dropped or self._carry_seen:
-            batch.dropped += self._carry_dropped
-            self._carry_dropped = 0
-            if self._carry_seen:
-                merged = self._carry_seen
-                self._carry_seen = {}
-                for key, count in batch.seen_counts.items():
-                    merged[key] = merged.get(key, 0) + count
-                batch.seen_counts = merged
+        with self._carry_lock:
+            if self._carry_dropped or self._carry_seen:
+                batch.dropped += self._carry_dropped
+                self._carry_dropped = 0
+                if self._carry_seen:
+                    merged = self._carry_seen
+                    self._carry_seen = {}
+                    for key, count in batch.seen_counts.items():
+                        merged[key] = merged.get(key, 0) + count
+                    batch.seen_counts = merged
         try:
             self._outbox.put_nowait(batch)
         except queue.Full:
             self.dropped_batches += 1
             self.dropped_events += len(batch.events)
-            self._carry_dropped += len(batch.events) + batch.dropped
-            if len(self._carry_seen) < CARRY_SEEN_CAP:
-                for key, count in batch.seen_counts.items():
-                    self._carry_seen[key] = self._carry_seen.get(key, 0) + count
+            self._carry_loss(batch)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -185,11 +192,17 @@ class SocketTransport:
             self._note_lost(batch)
 
     def _note_lost(self, batch: EventBatch) -> None:
-        """Flusher-side loss: fold into the shared counters the producer
-        carries forward.  A read-modify-write race with send() could at
-        worst momentarily misplace a count between the two carry fields;
-        both end up reported, so the accounting stays conservative."""
-        self._carry_dropped += len(batch.events) + batch.dropped
+        """Flusher-side loss: fold the dead batch — events, its own
+        carried drop count, and its matched-event counters — back into
+        the shared carry so the next delivered batch reports it."""
+        self._carry_loss(batch)
+
+    def _carry_loss(self, batch: EventBatch) -> None:
+        with self._carry_lock:
+            self._carry_dropped += len(batch.events) + batch.dropped
+            if len(self._carry_seen) < CARRY_SEEN_CAP:
+                for key, count in batch.seen_counts.items():
+                    self._carry_seen[key] = self._carry_seen.get(key, 0) + count
 
     def _handle_drain(self, token: _Drain) -> None:
         if not self._ensure_connected():
@@ -204,8 +217,18 @@ class SocketTransport:
                 frame = recv_frame(self._sock)
                 if frame is None:
                     break
-                msg_type, _payload = frame
-                if msg_type == MsgType.PONG:
+                msg_type, payload = frame
+                if msg_type != MsgType.PONG:
+                    continue
+                # Only the PONG answering *our* PING completes this
+                # drain; a stale one (a prior drain that timed out, or
+                # one replayed across a flaky link) proves nothing about
+                # the frames sent since.
+                try:
+                    answered = decode_message(payload).get("token")
+                except ProtocolError:
+                    continue
+                if answered == token.token:
                     token.ok = True
                     break
         except OSError:

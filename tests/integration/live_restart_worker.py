@@ -1,0 +1,71 @@
+"""Subprocess worker for the live fault-tolerance integration tests.
+
+Runs a :class:`repro.live.LiveAgent` in its own process, logs a fixed
+number of real-time events, drains, and reports ``LOGGED <n>``.  With
+``--linger`` it then sleeps forever so the test can SIGKILL it mid-span
+— modelling an application process crash, not a clean shutdown.
+
+Run: ``python -m tests.integration.live_restart_worker --port P
+--host NAME --count N --rid-base B [--linger]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.live.client import LiveAgent
+
+PV_FIELDS = [("url", "string"), ("latency_ms", "double")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--host", default="agent-1")
+    parser.add_argument("--count", type=int, default=200)
+    parser.add_argument("--rid-base", type=int, default=0)
+    parser.add_argument(
+        "--linger", action="store_true",
+        help="after draining, sleep until killed (crash-test target)",
+    )
+    args = parser.parse_args(argv)
+
+    agent = LiveAgent(
+        ("127.0.0.1", args.port),
+        args.host,
+        services=["Frontends"],
+        flush_batch_size=25,
+        heartbeat_interval=0.2,
+        reconnect_backoff_base=0.05,
+    )
+    agent.define_event("pv", PV_FIELDS)
+    agent.start()
+    try:
+        deadline = time.time() + 15.0
+        while not agent.installed_query_ids:
+            if time.time() > deadline:
+                print("INSTALL-TIMEOUT", flush=True)
+                return 1
+            time.sleep(0.05)
+
+        for i in range(args.count):
+            agent.log(
+                "pv", url="/w", latency_ms=1.0, request_id=args.rid_base + i
+            )
+            time.sleep(0.002)
+        if not agent.drain(15.0):
+            print("DRAIN-FAIL", flush=True)
+            return 1
+        print(f"LOGGED {args.count}", flush=True)
+        if args.linger:
+            while True:  # hold the span open until the test kills us
+                time.sleep(0.5)
+        return 0
+    finally:
+        if not args.linger:
+            agent.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,249 @@
+"""Fault tolerance at the daemon level: liveness leases, epoch takeover
+with install replay, SYNC reconciliation, push-failure accounting, and
+degraded-window coverage."""
+
+import socket
+import time
+
+import pytest
+
+from repro.live.client import ControlClient, LiveAgent
+from repro.live.protocol import (
+    MsgType,
+    decode_message,
+    encode_message_frame,
+    recv_frame,
+)
+from repro.live.server import _AgentConn
+
+from .conftest import DaemonHarness, wait_for
+
+QUERY = (
+    "select pv.url, COUNT(*) from pv @[Service in Frontends] "
+    "window 10s group by pv.url duration 600s;"
+)
+
+PV_FIELDS = [("url", "string"), ("latency_ms", "double")]
+
+PV_SCHEMA_PAYLOAD = {
+    "name": "pv",
+    "fields": [["url", "string"], ["latency_ms", "double"]],
+    "doc": "",
+}
+
+
+@pytest.fixture
+def fast_harness():
+    h = DaemonHarness(lease_seconds=0.6, tick_interval=0.05).start()
+    yield h
+    h.stop()
+
+
+@pytest.fixture
+def ctl(fast_harness):
+    client = ControlClient(fast_harness.address)
+    yield client
+    client.close()
+
+
+def _agent(harness, name, **kwargs) -> LiveAgent:
+    kwargs.setdefault("services", ["Frontends"])
+    kwargs.setdefault("heartbeat_interval", 0.1)
+    kwargs.setdefault("reconnect_backoff_base", 0.05)
+    agent = LiveAgent(harness.address, name, **kwargs)
+    agent.define_event("pv", PV_FIELDS)
+    agent.start()
+    return agent
+
+
+def _raw_register(address, name, epoch=1) -> socket.socket:
+    """Register a host the hard way: a socket that will never heartbeat."""
+    sock = socket.create_connection(address, timeout=5.0)
+    sock.settimeout(5.0)
+    sock.sendall(
+        encode_message_frame(
+            MsgType.AGENT_HELLO,
+            {
+                "host": name,
+                "epoch": epoch,
+                "services": ["Frontends"],
+                "datacenter": "dc1",
+                "schemas": [PV_SCHEMA_PAYLOAD],
+            },
+        )
+    )
+    frame = recv_frame(sock)
+    assert frame is not None and frame[0] == MsgType.HELLO_OK
+    frame = recv_frame(sock)  # the post-hello reconciliation SYNC
+    assert frame is not None and frame[0] == MsgType.SYNC
+    return sock
+
+
+class TestLeases:
+    def test_heartbeats_keep_the_lease_alive(self, fast_harness, ctl):
+        agent = _agent(fast_harness, "web-0")
+        try:
+            time.sleep(3 * 0.6)  # several lease windows
+            stats = ctl.stats()
+            assert [h["host"] for h in stats["hosts"]] == ["web-0"]
+            assert stats["hosts"][0]["lease_age"] < 0.6
+            assert agent.control_reconnects == 0
+            assert agent.heartbeats_sent >= 3
+        finally:
+            agent.close()
+
+    def test_silent_agent_lease_expires(self, fast_harness, ctl):
+        sock = _raw_register(fast_harness.address, "raw-0")
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            frame = recv_frame(sock)  # the INSTALL push
+            assert frame is not None and frame[0] == MsgType.INSTALL
+
+            # Never heartbeat: the daemon must expire the lease, evict the
+            # registration, and say why with a structured ERROR.
+            assert wait_for(lambda: not ctl.stats()["hosts"], timeout=5.0)
+            saw_error = None
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    break
+                if frame[0] == MsgType.ERROR:
+                    saw_error = decode_message(frame[1])
+                    break
+            assert saw_error is not None
+            assert saw_error["error"] == "lease-expired"
+
+            delivery = ctl.stats()["queries"][qid]["delivery"]
+            assert delivery["raw-0"] == "lease-expired"
+        finally:
+            sock.close()
+
+
+class TestReconnect:
+    def test_restarted_agent_gets_installs_replayed(self, fast_harness, ctl):
+        first = _agent(fast_harness, "web-0", reconnect=False)
+        qid = ctl.submit(QUERY)["query_id"]
+        assert wait_for(lambda: qid in first.installed_query_ids)
+
+        # A "restarted process": same host name, fresh epoch.  It must
+        # take the registration over and receive the open span again.
+        second = _agent(fast_harness, "web-0", reconnect=False)
+        try:
+            assert wait_for(lambda: qid in second.installed_query_ids)
+            assert wait_for(lambda: first._superseded)
+            delivery = ctl.stats()["queries"][qid]["delivery"]
+            assert delivery["web-0"] == "connected"
+        finally:
+            second.close()
+            first.close()
+
+    def test_agent_redials_and_reinstalls_after_link_loss(self, fast_harness, ctl):
+        agent = _agent(fast_harness, "web-0")
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+
+            control = agent._control
+            control.shutdown(socket.SHUT_RDWR)  # the network blips
+
+            assert wait_for(lambda: agent.control_reconnects >= 1, timeout=5.0)
+            assert wait_for(
+                lambda: any(
+                    h["host"] == "web-0" for h in ctl.stats()["hosts"]
+                ),
+                timeout=5.0,
+            )
+            assert qid in agent.installed_query_ids
+            assert not agent._superseded
+        finally:
+            agent.close()
+
+    def test_sync_uninstalls_queries_finished_while_disconnected(
+        self, fast_harness, ctl
+    ):
+        # The uninstall push is lost while the agent is away; the SYNC it
+        # receives on re-registration must reconcile the stale span away.
+        agent = _agent(fast_harness, "web-0", reconnect_backoff_base=0.5)
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+
+            agent._control.shutdown(socket.SHUT_RDWR)
+            assert wait_for(lambda: not ctl.stats()["hosts"], timeout=5.0)
+            ctl.finish(qid)  # nobody to push UNINSTALL to
+
+            assert wait_for(
+                lambda: qid not in agent.installed_query_ids, timeout=5.0
+            )
+            assert agent.control_reconnects >= 1
+        finally:
+            agent.close()
+
+
+class TestPushFailures:
+    def test_failed_install_push_is_counted_not_fatal(
+        self, fast_harness, ctl, monkeypatch
+    ):
+        agent = _agent(fast_harness, "web-0", reconnect=False)
+        try:
+            # Registration used the real push; now every push blows up the
+            # way a dead asyncio transport does.
+            async def boom(self, msg_type, message):
+                raise RuntimeError("injected: transport is closed")
+
+            monkeypatch.setattr(_AgentConn, "push", boom)
+
+            handle = ctl.submit(QUERY)
+            assert handle["install_failures"] == ["web-0"]
+            stats = ctl.stats()
+            assert stats["push_failures"] == 1
+            assert (
+                stats["queries"][handle["query_id"]]["delivery"]["web-0"]
+                == "unreachable"
+            )
+            # The dead session was evicted so a restart can re-register.
+            assert wait_for(lambda: not ctl.stats()["hosts"])
+        finally:
+            agent.close()
+
+
+class TestCoverage:
+    def test_degraded_window_names_the_missing_host(self, fast_harness, ctl):
+        a0 = _agent(fast_harness, "web-0")
+        a1 = _agent(fast_harness, "web-1")
+        qid = ctl.submit(QUERY)["query_id"]
+        assert wait_for(lambda: qid in a0.installed_query_ids)
+        assert wait_for(lambda: qid in a1.installed_query_ids)
+
+        t0 = time.time()
+        rid = 0
+        for _ in range(4):
+            a0.log("pv", url="/a", latency_ms=1.0, request_id=rid, timestamp=t0)
+            rid += 1
+            a1.log("pv", url="/a", latency_ms=1.0, request_id=rid, timestamp=t0)
+            rid += 1
+        assert a0.drain(10.0) and a1.drain(10.0)
+
+        a1.close()  # web-1 goes away mid-span
+        assert wait_for(
+            lambda: [h["host"] for h in ctl.stats()["hosts"]] == ["web-0"]
+        )
+        # web-0 alone reports into a later window.
+        for _ in range(4):
+            a0.log("pv", url="/a", latency_ms=1.0, request_id=rid, timestamp=t0 + 15)
+            rid += 1
+        assert a0.drain(10.0)
+
+        results = ctl.finish(qid)
+        a0.close()
+        windows = sorted(results.windows, key=lambda w: w.window_start)
+        assert len(windows) == 2
+        full, degraded = windows
+        assert full.coverage is not None and not full.coverage.degraded
+        assert sorted(full.coverage.reporting) == ["web-0", "web-1"]
+        assert degraded.degraded
+        assert degraded.coverage.reporting == ("web-0",)
+        assert degraded.coverage.missing == {"web-1": "disconnected"}
+        assert results.degraded_windows == [degraded]
+        summary = results.coverage_summary()
+        assert summary["degraded_windows"] == 1

@@ -1,0 +1,96 @@
+"""QueryJournal: append/replay round trips, torn-tail tolerance, and the
+sequence floor that keeps a recovered daemon from reusing query ids."""
+
+import json
+
+from repro.core.events import EventSchema
+from repro.live.journal import QueryJournal, open_journal
+
+PV = EventSchema("pv", [("url", "string"), ("latency_ms", "double")], doc="page view")
+
+
+def _journal(tmp_path) -> QueryJournal:
+    return QueryJournal(str(tmp_path / "scrubd.journal"))
+
+
+class TestRoundTrip:
+    def test_fresh_file_replays_empty(self, tmp_path):
+        journal = _journal(tmp_path)
+        assert journal.state.schemas == []
+        assert journal.state.open_queries == {}
+        assert journal.state.finished == set()
+        assert journal.state.max_sequence == 0
+        journal.close()
+
+    def test_submit_then_reload_sees_open_query(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_schema(PV)
+        journal.record_submit(
+            "q00003", "select ...;", 10.0, 70.0,
+            planned=("web-0", "web-1"), targeted=("web-0",),
+        )
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        assert [s.name for s in reloaded.state.schemas] == ["pv"]
+        assert reloaded.state.schemas[0] == PV
+        record = reloaded.state.open_queries["q00003"]
+        assert record["query"] == "select ...;"
+        assert record["targeted"] == ["web-0"]
+        assert record["activates_at"] == 10.0
+        assert reloaded.state.max_sequence == 3
+        reloaded.close()
+
+    def test_finish_closes_the_submit(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 1.0, ("h",), ("h",))
+        journal.record_submit("q00002", "b;", 0.0, 1.0, ("h",), ("h",))
+        journal.record_finish("q00001")
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        assert set(reloaded.state.open_queries) == {"q00002"}
+        assert reloaded.state.finished == {"q00001"}
+        # Finished ids still raise the sequence floor.
+        assert reloaded.state.max_sequence == 2
+        reloaded.close()
+
+    def test_reopen_appends_not_truncates(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 1.0, ("h",), ("h",))
+        journal.close()
+        again = QueryJournal(journal.path)
+        again.record_finish("q00001")
+        again.close()
+        final = QueryJournal(journal.path)
+        assert final.state.finished == {"q00001"}
+        assert final.state.open_queries == {}
+        final.close()
+
+
+class TestCrashTolerance:
+    def test_torn_trailing_record_is_dropped(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 1.0, ("h",), ("h",))
+        journal.close()
+        # Simulate a crash mid-append: a half-written record at the tail.
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "submit", "query_id": "q000')
+
+        reloaded = QueryJournal(journal.path)
+        assert set(reloaded.state.open_queries) == {"q00001"}
+        assert reloaded.state.torn_records == 1
+        reloaded.close()
+
+    def test_magic_header_written_once(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.close()
+        again = QueryJournal(journal.path)
+        again.close()
+        with open(journal.path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert records == [{"journal": "scrub-query-journal", "version": 1}]
+
+
+def test_open_journal_propagates_none():
+    assert open_journal(None) is None

@@ -120,15 +120,62 @@ class TestRejections:
         with pytest.raises(ScrubError):
             ctl.submit("select COUNT(*) from nosuch duration 600s;")
 
-    def test_duplicate_host_rejected(self, harness):
-        first = _agent(harness, "web-0")
-        dup = LiveAgent(harness.address, "web-0", services=["Frontends"])
-        dup.define_event("pv", PV_FIELDS)
+    def test_newer_epoch_takes_over_stale_registration(self, harness):
+        # A restarted process re-registers with a fresh (newer) epoch and
+        # must take the name over; the stale session stands down instead
+        # of fighting for it.
+        first = LiveAgent(
+            harness.address, "web-0", services=["Frontends"], reconnect=False
+        )
+        first.define_event("pv", PV_FIELDS)
+        first.start()
+        second = LiveAgent(
+            harness.address, "web-0", services=["Frontends"], reconnect=False
+        )
+        second.define_event("pv", PV_FIELDS)
         try:
-            with pytest.raises(LiveAgentError, match="already registered"):
-                dup.start()
+            second.start()  # succeeds: newer epoch supersedes
+            assert second.epoch > first.epoch
+            assert wait_for(lambda: first._superseded)
         finally:
-            dup.close()
+            second.close()
+            first.close()
+
+    def test_stale_epoch_rejected_as_duplicate(self, harness):
+        import socket as socket_mod
+
+        from repro.live.protocol import (
+            MsgType,
+            decode_message,
+            encode_message_frame,
+            recv_frame,
+        )
+
+        first = _agent(harness, "web-0")
+        try:
+            # A hello carrying an *older* epoch is a zombie of a session
+            # the daemon already superseded — refuse, don't evict.
+            with socket_mod.create_connection(harness.address, timeout=5.0) as raw:
+                raw.sendall(
+                    encode_message_frame(
+                        MsgType.AGENT_HELLO,
+                        {
+                            "host": "web-0",
+                            "epoch": 0,
+                            "services": ["Frontends"],
+                            "datacenter": "dc1",
+                            "schemas": [],
+                        },
+                    )
+                )
+                frame = recv_frame(raw)
+                assert frame is not None
+                msg_type, payload = frame
+                assert msg_type == MsgType.ERROR
+                message = decode_message(payload)
+                assert message["error"] == "duplicate-host"
+                assert "epoch" in message["message"]
+        finally:
             first.close()
 
     def test_conflicting_schema_rejected(self, harness):

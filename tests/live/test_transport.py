@@ -126,6 +126,97 @@ class TestCentralDown:
             transport.close()
 
 
+class TestLossCarryConservation:
+    """The carry is shared between the producer (send() folds it into the
+    next batch) and the flusher (_carry_loss after a failed ship).  The
+    estimator's honesty rests on conservation: every lost event and every
+    matched count ends up either on a delivered batch or still in the
+    carry — interleaving must never *lose* any."""
+
+    def _quiesced_transport(self) -> SocketTransport:
+        # Stop the flusher so the outbox only fills (huge capacity: no
+        # producer-side drops); the test then plays both roles itself.
+        transport = _fast_transport(_dead_address(), outbox_capacity=100_000)
+        transport._stop.set()
+        transport._thread.join(timeout=5.0)
+        assert not transport._thread.is_alive()
+        return transport
+
+    def test_interleaved_flusher_loss_and_producer_fold(self):
+        transport = self._quiesced_transport()
+        rounds, events_per_loss = 400, 3
+        enqueued: list[EventBatch] = []
+        start = threading.Barrier(3)
+
+        def flusher_side():
+            start.wait()
+            for _ in range(rounds):
+                transport._carry_loss(_batch(n_events=events_per_loss, seen=1))
+
+        def producer_side():
+            start.wait()
+            for _ in range(rounds):
+                batch = EventBatch(host="h1", query_id="q00001", events=[])
+                transport.send(batch)
+                enqueued.append(batch)
+
+        threads = [
+            threading.Thread(target=flusher_side),
+            threading.Thread(target=producer_side),
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join(timeout=30.0)
+            assert not t.is_alive()
+
+        total_lost = rounds * events_per_loss
+        folded = sum(b.dropped for b in enqueued)
+        assert folded + transport._carry_dropped == total_lost
+        folded_seen = sum(b.seen_counts.get(("pv", 0), 0) for b in enqueued)
+        assert folded_seen + transport._carry_seen.get(("pv", 0), 0) == rounds
+        transport.close()
+
+    def test_two_producers_race_the_fold(self):
+        # Two application threads logging concurrently while the flusher
+        # records losses: counts still conserve exactly.
+        transport = self._quiesced_transport()
+        rounds = 300
+        lock = threading.Lock()
+        enqueued: list[EventBatch] = []
+        start = threading.Barrier(4)
+
+        def flusher_side():
+            start.wait()
+            for _ in range(rounds):
+                transport._carry_loss(_batch(n_events=2, seen=1))
+
+        def producer_side():
+            start.wait()
+            for _ in range(rounds):
+                batch = EventBatch(host="h1", query_id="q00001", events=[])
+                transport.send(batch)
+                with lock:
+                    enqueued.append(batch)
+
+        threads = [threading.Thread(target=flusher_side)] + [
+            threading.Thread(target=producer_side) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join(timeout=30.0)
+            assert not t.is_alive()
+
+        folded = sum(b.dropped for b in enqueued)
+        assert folded + transport._carry_dropped == rounds * 2
+        folded_seen = sum(b.seen_counts.get(("pv", 0), 0) for b in enqueued)
+        assert folded_seen + transport._carry_seen.get(("pv", 0), 0) == rounds
+        transport.close()
+
+
 class TestLiveLink:
     def test_ships_and_drains(self):
         sink = _Sink()
@@ -141,6 +232,74 @@ class TestLiveLink:
             assert transport.bytes_sent > sum(b.wire_size() for b in sent)
             assert transport.dropped_events == 0
             assert transport.connected
+        finally:
+            transport.close()
+            sink.close()
+
+    def test_stale_pong_does_not_complete_drain(self):
+        # A PONG for an *earlier* drain (timed out, or replayed over a
+        # flaky link) proves nothing about frames sent since; the drain
+        # barrier must wait for the PONG echoing its own token.
+        class _StaleSink(_Sink):
+            def _serve(self, conn):
+                try:
+                    while True:
+                        frame = recv_frame(conn)
+                        if frame is None:
+                            return
+                        msg_type, payload = frame
+                        if msg_type == MsgType.DATA_HELLO:
+                            self.hellos.append(decode_message(payload))
+                        elif msg_type == MsgType.PING:
+                            token = decode_message(payload)["token"]
+                            # First a stale PONG, then the real one.
+                            conn.sendall(
+                                encode_message_frame(
+                                    MsgType.PONG, {"token": token - 1}
+                                )
+                            )
+                            conn.sendall(
+                                encode_message_frame(MsgType.PONG, {"token": token})
+                            )
+                except OSError:
+                    return
+                finally:
+                    conn.close()
+
+        sink = _StaleSink()
+        transport = _fast_transport(sink.address)
+        try:
+            assert transport.drain(timeout=5.0) is True
+        finally:
+            transport.close()
+            sink.close()
+
+        class _OnlyStaleSink(_Sink):
+            def _serve(self, conn):
+                try:
+                    while True:
+                        frame = recv_frame(conn)
+                        if frame is None:
+                            return
+                        msg_type, payload = frame
+                        if msg_type == MsgType.PING:
+                            token = decode_message(payload)["token"]
+                            conn.sendall(
+                                encode_message_frame(
+                                    MsgType.PONG, {"token": token + 17}
+                                )
+                            )
+                except OSError:
+                    return
+                finally:
+                    conn.close()
+
+        sink = _OnlyStaleSink()
+        transport = _fast_transport(sink.address, io_timeout=0.5)
+        try:
+            # Never answered with our token: the drain must fail, not
+            # accept the impostor.
+            assert transport.drain(timeout=5.0) is False
         finally:
             transport.close()
             sink.close()
