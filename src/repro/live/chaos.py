@@ -106,8 +106,8 @@ class ChaosProxy:
         self._partitioned = threading.Event()
         self._stopped = threading.Event()
 
-        # Counters (monotone; read them without the lock for assertions
-        # that only need monotonicity, with it for exact totals).
+        # Counters (monotone; incremented under _lock — the pump threads
+        # all write them — so stats() reads under the lock are exact).
         self.frames_forwarded = 0
         self.frames_dropped = 0
         self.frames_duplicated = 0
@@ -186,7 +186,8 @@ class ChaosProxy:
             if self._partitioned.is_set():
                 # A partitioned network: the SYN may complete (backlog)
                 # but the peer is unreachable — immediate reset.
-                self.connections_refused += 1
+                with self._lock:
+                    self.connections_refused += 1
                 try:
                     client.close()
                 except OSError:
@@ -195,7 +196,8 @@ class ChaosProxy:
             try:
                 upstream = socket.create_connection(self.upstream, timeout=5.0)
             except OSError:
-                self.connections_refused += 1
+                with self._lock:
+                    self.connections_refused += 1
                 try:
                     client.close()
                 except OSError:
@@ -206,7 +208,7 @@ class ChaosProxy:
                 self._link_ordinal += 1
                 link = _Link(client=client, upstream=upstream)
                 self._links.append(link)
-            self.connections_accepted += 1
+                self.connections_accepted += 1
             for name, src, dst in (
                 (f"chaos-c2s-{ordinal}", client, upstream),
                 (f"chaos-s2c-{ordinal}", upstream, client),
@@ -241,16 +243,19 @@ class ChaosProxy:
                 wire = encode_frame(msg_type, payload)
                 if plan.applies_to(msg_type):
                     if plan.drop_rate and rng.random() < plan.drop_rate:
-                        self.frames_dropped += 1
+                        with self._lock:
+                            self.frames_dropped += 1
                         continue
                     lo, hi = plan.delay_range
                     if hi > 0:
                         self._stopped.wait(rng.uniform(lo, hi))
                     if plan.dup_rate and rng.random() < plan.dup_rate:
                         dst.sendall(wire)
-                        self.frames_duplicated += 1
+                        with self._lock:
+                            self.frames_duplicated += 1
                 dst.sendall(wire)
-                self.frames_forwarded += 1
+                with self._lock:
+                    self.frames_forwarded += 1
         except (OSError, ProtocolError):
             pass
         finally:

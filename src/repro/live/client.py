@@ -54,6 +54,13 @@ class LiveAgentError(ScrubError):
         self.reason = reason
 
 
+#: Rejection reasons that re-registering with the same hello cannot cure:
+#: redialing would hammer the daemon with doomed registrations forever.
+#: (``duplicate-host`` is handled separately — it means another live
+#: session owns the name, which is a stand-down, not an error.)
+_PERMANENT_REJECTIONS = frozenset({"schema-conflict"})
+
+
 class LiveAgent:
     """A Scrub host agent connected to a remote ``scrubd``.
 
@@ -114,6 +121,10 @@ class LiveAgent:
         self.epoch = 0
         #: Another session of this host took the name over; stop redialing.
         self._superseded = False
+        #: Set when redialing stopped for good on a permanent rejection
+        #: (e.g. ``schema-conflict``): the error the application should
+        #: see instead of a silent retry loop.  ``None`` while healthy.
+        self.fatal_error: Optional[LiveAgentError] = None
         #: Control-channel re-registrations after the initial start().
         self.control_reconnects = 0
         self.heartbeats_sent = 0
@@ -138,6 +149,8 @@ class LiveAgent:
         periodic heartbeats, and — unless ``reconnect=False`` — redials
         and re-registers whenever the control channel dies, at which
         point scrubd replays the installs this host should be running.
+        A permanent rejection while redialing (e.g. ``schema-conflict``)
+        ends the retry loop and is surfaced in :attr:`fatal_error`.
         """
         if self._started:
             return
@@ -248,9 +261,13 @@ class LiveAgent:
 
     def _control_loop(self) -> None:
         """Serve one control connection; when it dies, redial forever
-        (capped backoff) unless closed or superseded by a newer session
-        of the same host."""
-        while not self._closed.is_set() and not self._superseded:
+        (capped backoff) unless closed, superseded by a newer session of
+        the same host, or permanently rejected (``fatal_error``)."""
+        while (
+            not self._closed.is_set()
+            and not self._superseded
+            and self.fatal_error is None
+        ):
             sock = self._control
             if sock is None:
                 return
@@ -260,7 +277,12 @@ class LiveAgent:
             except OSError:
                 pass
             self._control = None
-            if self._closed.is_set() or self._superseded or not self._reconnect:
+            if (
+                self._closed.is_set()
+                or self._superseded
+                or self.fatal_error is not None
+                or not self._reconnect
+            ):
                 return
             self._control = self._redial()
 
@@ -286,6 +308,13 @@ class LiveAgent:
                         # would only evict it in turn.  Stand down.
                         self._superseded = True
                         return
+                    if reason in _PERMANENT_REJECTIONS:
+                        self.fatal_error = LiveAgentError(
+                            f"scrubd rejected agent {self.host!r}: "
+                            f"{message.get('message')}",
+                            reason=reason,
+                        )
+                        return
                     # Anything else (e.g. lease-expired after a long stall)
                     # is cured by re-registering: fall out and redial.
                     return
@@ -303,6 +332,11 @@ class LiveAgent:
             except LiveAgentError as exc:
                 if exc.reason == "duplicate-host":
                     self._superseded = True
+                    return None
+                if exc.reason in _PERMANENT_REJECTIONS:
+                    # The same hello can only be rejected the same way
+                    # again; stop redialing and surface the error.
+                    self.fatal_error = exc
                     return None
                 self._closed.wait(backoff)
                 backoff = min(backoff * 2, self._backoff_cap)
@@ -347,7 +381,7 @@ class LiveAgent:
         """Renew the liveness lease; scrubd expires agents it has not
         heard from within its lease window."""
         while not self._closed.wait(self._heartbeat_interval):
-            if self._superseded:
+            if self._superseded or self.fatal_error is not None:
                 return
             sock = self._control
             if sock is None:

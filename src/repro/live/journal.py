@@ -23,7 +23,11 @@ is visible because post-recovery windows carry coverage metadata while
 pre-crash ones are simply absent.
 
 A torn final record (the crash happened mid-append) is tolerated:
-replay stops at the first undecodable line.
+replay stops at the first undecodable line and the file is truncated
+back to the last intact record before reopening for append — otherwise
+the next append would concatenate onto the partial line, and a later
+replay would stop there and silently drop everything written after the
+recovery.
 """
 
 from __future__ import annotations
@@ -72,7 +76,12 @@ class QueryJournal:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self.state = self._load(path)
+        self.state, intact_bytes = self._load(path)
+        if os.path.exists(path) and os.path.getsize(path) > intact_bytes:
+            # Cut the torn tail off *before* reopening for append: the
+            # next record must start on a clean line, not concatenate
+            # onto the partial one the crash left behind.
+            os.truncate(path, intact_bytes)
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._file = open(path, "a", encoding="utf-8")
         if fresh:
@@ -81,18 +90,29 @@ class QueryJournal:
     # -- reading -------------------------------------------------------------------
 
     @staticmethod
-    def _load(path: str) -> JournalState:
+    def _load(path: str) -> tuple[JournalState, int]:
+        """Replay *path*: returns the recovered state plus the length in
+        bytes of the journal's intact prefix — everything past it is the
+        torn tail of a crashed append."""
         state = JournalState()
+        intact_bytes = 0
         if not os.path.exists(path):
-            return state
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
+            return state, intact_bytes
+        with open(path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    # The crash hit before the record's newline made it
+                    # out; even if the fragment happens to decode, the
+                    # line is unfinished and must not be appended onto.
+                    state.torn_records += 1
+                    break
+                line = raw.strip()
                 if not line:
+                    intact_bytes += len(raw)
                     continue
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+                    record = json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
                     # A torn append from the crash; everything before it
                     # is intact and everything after it cannot exist.
                     state.torn_records += 1
@@ -114,7 +134,8 @@ class QueryJournal:
                 elif op == "finish":
                     state.open_queries.pop(record["query_id"], None)
                     state.finished.add(record["query_id"])
-        return state
+                intact_bytes += len(raw)
+        return state, intact_bytes
 
     # -- writing -------------------------------------------------------------------
 

@@ -388,8 +388,11 @@ class ScrubDaemon:
         )
         try:
             await self._sync_queries(name, conn)
-        except (ConnectionError, OSError):
-            pass  # the read loop below will see the dead socket and clean up
+        except (ConnectionError, OSError, RuntimeError):
+            # RuntimeError is what an asyncio StreamWriter raises once its
+            # transport is closed; all three mean the same thing here — the
+            # read loop below will see the dead socket and clean up.
+            pass
         try:
             while True:
                 frame = await read_frame(reader)

@@ -124,6 +124,35 @@ class TestForwarding:
         assert echo.received == 5  # only the PINGs arrived
         echo.close()
 
+    def test_concurrent_links_conserve_counter_totals(self):
+        # Many pump threads increment the shared counters at once; they
+        # do so under the proxy lock, so stats() totals are exact — not
+        # "roughly 2*links*pings" with lost updates.
+        echo = _Echo()
+        links, pings = 8, 50
+        with ChaosProxy(echo.address) as proxy:
+            answered = [0] * links
+
+            def run(i: int) -> None:
+                answered[i] = _ping_through(proxy, pings)
+
+            threads = [
+                threading.Thread(target=run, args=(i,)) for i in range(links)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert answered == [pings] * links
+            # Every PING and every PONG is forwarded exactly once.
+            total = 2 * links * pings
+            assert wait_for(lambda: proxy.stats()["frames_forwarded"] == total)
+            stats = proxy.stats()
+            assert stats["frames_dropped"] == 0
+            assert stats["frames_duplicated"] == 0
+            assert stats["connections_accepted"] == links
+        echo.close()
+
     def test_duplicates_are_injected(self):
         echo = _Echo()
         plan = FaultPlan.only([MsgType.PING], dup_rate=1.0)

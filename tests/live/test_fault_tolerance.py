@@ -3,11 +3,12 @@ with install replay, SYNC reconciliation, push-failure accounting, and
 degraded-window coverage."""
 
 import socket
+import threading
 import time
 
 import pytest
 
-from repro.live.client import ControlClient, LiveAgent
+from repro.live.client import ControlClient, LiveAgent, LiveAgentError
 from repro.live.protocol import (
     MsgType,
     decode_message,
@@ -159,18 +160,30 @@ class TestReconnect:
             agent.close()
 
     def test_sync_uninstalls_queries_finished_while_disconnected(
-        self, fast_harness, ctl
+        self, fast_harness, ctl, monkeypatch
     ):
         # The uninstall push is lost while the agent is away; the SYNC it
         # receives on re-registration must reconcile the stale span away.
-        agent = _agent(fast_harness, "web-0", reconnect_backoff_base=0.5)
+        agent = _agent(fast_harness, "web-0")
         try:
             qid = ctl.submit(QUERY)["query_id"]
             assert wait_for(lambda: qid in agent.installed_query_ids)
 
+            # Hold the redial until the span has finished, so the agent
+            # is deterministically away when the UNINSTALL would push.
+            gate = threading.Event()
+            real_connect = agent._connect_control
+
+            def gated_connect():
+                assert gate.wait(10.0)
+                return real_connect()
+
+            monkeypatch.setattr(agent, "_connect_control", gated_connect)
             agent._control.shutdown(socket.SHUT_RDWR)
+
             assert wait_for(lambda: not ctl.stats()["hosts"], timeout=5.0)
             ctl.finish(qid)  # nobody to push UNINSTALL to
+            gate.set()
 
             assert wait_for(
                 lambda: qid not in agent.installed_query_ids, timeout=5.0
@@ -203,6 +216,76 @@ class TestPushFailures:
             )
             # The dead session was evicted so a restart can re-register.
             assert wait_for(lambda: not ctl.stats()["hosts"])
+        finally:
+            agent.close()
+
+    def test_sync_push_failure_on_reconnect_keeps_handler_alive(
+        self, fast_harness, ctl, monkeypatch
+    ):
+        # An install replay that dies with RuntimeError (asyncio's "the
+        # transport is closed") must fall through to the normal read
+        # loop, not escape the handler and strand the registration.
+        agent = _agent(fast_harness, "web-0")
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+
+            async def boom(self, msg_type, message):
+                raise RuntimeError("injected: transport is closed")
+
+            monkeypatch.setattr(_AgentConn, "push", boom)
+            agent._control.shutdown(socket.SHUT_RDWR)  # force re-register
+
+            assert wait_for(
+                lambda: ctl.stats()["push_failures"] >= 1, timeout=5.0
+            )
+            # The handler survived the failed replay: its read loop keeps
+            # renewing the lease from heartbeats well past the window,
+            # and the delivery gap is recorded on the query.
+            time.sleep(3 * 0.6)
+            stats = ctl.stats()
+            assert [h["host"] for h in stats["hosts"]] == ["web-0"]
+            assert stats["queries"][qid]["delivery"]["web-0"] == "unreachable"
+        finally:
+            agent.close()
+        # Disconnect cleanup still runs for the failed session.
+        assert wait_for(lambda: not ctl.stats()["hosts"])
+
+
+class TestPermanentRejection:
+    def test_schema_conflict_on_redial_is_fatal_not_retried(
+        self, fast_harness, monkeypatch
+    ):
+        agent = _agent(fast_harness, "web-0")
+        try:
+
+            def reject():
+                raise LiveAgentError(
+                    "scrubd rejected agent 'web-0': pv conflicts",
+                    reason="schema-conflict",
+                )
+
+            monkeypatch.setattr(agent, "_connect_control", reject)
+            agent._control.shutdown(socket.SHUT_RDWR)  # force a redial
+
+            assert wait_for(lambda: agent.fatal_error is not None, timeout=5.0)
+            assert agent.fatal_error.reason == "schema-conflict"
+            # The control loop stood down instead of hammering scrubd
+            # with doomed re-registrations forever.
+            agent._reader.join(timeout=2.0)
+            assert not agent._reader.is_alive()
+            assert agent.control_reconnects == 0
+        finally:
+            agent.close()
+
+    def test_connection_blips_still_retry(self, fast_harness):
+        # The fatal path must not creep into transient failures: a plain
+        # link loss keeps the existing redial-and-reinstall behaviour.
+        agent = _agent(fast_harness, "web-0")
+        try:
+            agent._control.shutdown(socket.SHUT_RDWR)
+            assert wait_for(lambda: agent.control_reconnects >= 1, timeout=5.0)
+            assert agent.fatal_error is None
         finally:
             agent.close()
 

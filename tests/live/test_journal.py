@@ -82,6 +82,52 @@ class TestCrashTolerance:
         assert reloaded.state.torn_records == 1
         reloaded.close()
 
+    def test_torn_tail_is_truncated_so_recovery_appends_survive(self, tmp_path):
+        # Crash 1 leaves a torn record; the recovered daemon journals
+        # more work; crash 2 must replay *all* of it — the torn tail may
+        # not swallow the first post-recovery append.
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 1.0, ("h",), ("h",))
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "submit", "query_id": "q000')
+
+        recovered = QueryJournal(journal.path)  # recovery after crash 1
+        assert recovered.state.torn_records == 1
+        recovered.record_submit("q00002", "b;", 0.0, 1.0, ("h",), ("h",))
+        recovered.record_finish("q00001")
+        recovered.close()
+
+        final = QueryJournal(journal.path)  # recovery after crash 2
+        assert final.state.torn_records == 0
+        assert set(final.state.open_queries) == {"q00002"}
+        assert final.state.finished == {"q00001"}
+        # The sequence floor must not regress: q00002 was issued.
+        assert final.state.max_sequence == 2
+        final.close()
+
+    def test_decodable_fragment_without_newline_is_still_torn(self, tmp_path):
+        # A crash can land exactly between the record bytes and the
+        # newline; the fragment parses, but appending onto it would
+        # corrupt the next record, so it counts as torn and is dropped.
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 1.0, ("h",), ("h",))
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"op":"finish","query_id":"q00001"}')  # no \n
+
+        recovered = QueryJournal(journal.path)
+        assert recovered.state.torn_records == 1
+        assert set(recovered.state.open_queries) == {"q00001"}
+        recovered.record_finish("q00001")
+        recovered.close()
+
+        final = QueryJournal(journal.path)
+        assert final.state.torn_records == 0
+        assert final.state.finished == {"q00001"}
+        assert final.state.open_queries == {}
+        final.close()
+
     def test_magic_header_written_once(self, tmp_path):
         journal = _journal(tmp_path)
         journal.close()
