@@ -17,6 +17,7 @@ from typing import Iterable, Optional
 from ..core.agent.agent import ScrubAgent
 from ..core.agent.transport import EventBatch
 from ..core.central.engine import CentralEngine
+from ..core.central.pool import ShardPool
 from ..core.central.results import ResultSet, WindowResult
 from ..core.events import EventRegistry
 from ..core.server import QueryHandle, ScrubQueryServer
@@ -72,6 +73,7 @@ class SimCluster:
         flush_batch_size: int = 2_000,
         intra_dc: Optional[LinkSpec] = None,
         inter_dc: Optional[LinkSpec] = None,
+        central_workers: int = 0,
     ) -> None:
         self.registry = registry
         self.loop = EventLoop()
@@ -86,7 +88,15 @@ class SimCluster:
         # before their last batches arrive.
         if grace_seconds is None:
             grace_seconds = 2.0 * flush_interval + 0.5
-        self.central = CentralEngine(grace_seconds=grace_seconds)
+        # central_workers > 0 places the central facility on a process-
+        # parallel ShardPool (docs/SCALING.md); call close() to reap it.
+        self.central: CentralEngine
+        if central_workers > 0:
+            self.central = ShardPool(
+                workers=central_workers, grace_seconds=grace_seconds
+            )
+        else:
+            self.central = CentralEngine(grace_seconds=grace_seconds)
         self.directory = ClusterDirectory(self.topology)
         self.server = ScrubQueryServer(
             self.registry, self.directory, self.central, clock=self.loop.clock
@@ -189,6 +199,20 @@ class SimCluster:
     def on_window(self, callback) -> None:
         """Install a window-result callback on the central engine."""
         self.central._on_window = callback  # noqa: SLF001 - deliberate wiring
+
+    # -- teardown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release central engine resources (shard workers, if any)."""
+        close = getattr(self.central, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "SimCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def run_to_completion(cluster: SimCluster, handle: QueryHandle) -> ResultSet:

@@ -35,9 +35,12 @@ from ..events.encoding import (
     _U32,
     _read_str,
     _read_value,
+    _str_size,
     _write_str,
     _write_value,
     encode_batch,
+    encoded_size_batch,
+    encoded_size_value,
 )
 from ..events.encoding import _decode_binary_at
 
@@ -49,6 +52,7 @@ __all__ = [
     "Transport",
     "decode_full_batch",
     "encode_full_batch",
+    "full_batch_wire_size",
 ]
 
 
@@ -86,9 +90,11 @@ class EventBatch:
     def wire_size(self) -> int:
         """Encoded size in bytes — what the host actually ships.
 
-        Exactly ``len(encode_full_batch(self))``; no heuristics.
+        Exactly ``len(encode_full_batch(self))``, computed arithmetically
+        (the ingest hot path charges this per batch; encoding the whole
+        batch just to measure it was the single largest per-batch cost).
         """
-        return len(encode_full_batch(self))
+        return full_batch_wire_size(self)
 
 
 # -- full-batch wire codec -----------------------------------------------------
@@ -127,6 +133,25 @@ def encode_full_batch(batch: EventBatch) -> bytes:
         _write_value(out, list(partial.group_key))
         _write_value(out, list(partial.values))
     return bytes(out)
+
+
+def full_batch_wire_size(batch: EventBatch) -> int:
+    """Exactly ``len(encode_full_batch(batch))`` without encoding.
+
+    Mirrors the writer field-for-field; the codec tests pin the two to
+    byte equality, so a layout change that misses one side fails loudly.
+    """
+    size = 1 + _str_size(batch.host) + _str_size(batch.query_id) + 8 + 8
+    size += encoded_size_batch(batch.events)
+    size += 4
+    for (event_type, _window) in batch.seen_counts:
+        size += _str_size(event_type) + 16
+    size += 4
+    for partial in batch.partials:
+        size += _str_size(partial.event_type) + 8
+        size += encoded_size_value(list(partial.group_key))
+        size += encoded_size_value(list(partial.values))
+    return size
 
 
 def decode_full_batch(data: bytes | memoryview) -> EventBatch:

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, Optional
 from .agent.agent import ScrubAgent
 from .agent.transport import DirectTransport
 from .central.engine import CentralEngine
+from .central.pool import ShardPool
 from .central.results import ResultSet
 from .events import EventRegistry, EventSchema
 from .server import QueryHandle, ScrubQueryServer, StaticDirectory
@@ -69,10 +70,18 @@ class Scrub:
         grace_seconds: float = 2.0,
         buffer_capacity: int = 10_000,
         flush_batch_size: int = 500,
+        workers: int = 0,
     ) -> None:
         self.clock: Callable[[], float] = clock if clock is not None else time.time
         self.registry = EventRegistry()
-        self.central = CentralEngine(grace_seconds=grace_seconds)
+        # workers > 0 swaps in the process-parallel ShardPool (same
+        # results, multi-core ingest — docs/SCALING.md); call close()
+        # (or use the instance as a context manager) to reap workers.
+        self.central: CentralEngine
+        if workers > 0:
+            self.central = ShardPool(workers=workers, grace_seconds=grace_seconds)
+        else:
+            self.central = CentralEngine(grace_seconds=grace_seconds)
         self.directory = StaticDirectory()
         self.server = ScrubQueryServer(
             self.registry, self.directory, self.central, clock=self.clock
@@ -123,6 +132,18 @@ class Scrub:
 
     def cancel(self, query_id: str) -> None:
         self.server.cancel(query_id)
+
+    def close(self) -> None:
+        """Release engine resources (shard worker processes, if any)."""
+        close = getattr(self.central, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Scrub":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run_closed_world(self, query_text: str, drive: Callable[["Scrub"], None]) -> ResultSet:
         """Submit a query, run *drive* to generate traffic, then finish.

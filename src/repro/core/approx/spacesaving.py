@@ -131,7 +131,7 @@ class SpaceSaving:
             return []
         items = sorted(
             (TopItem(c.item, c.count, c.error) for c in self._counters.values()),
-            key=lambda t: (-t.count, t.error),
+            key=_rank_key,
         )
         return items[:k]
 
@@ -143,7 +143,7 @@ class SpaceSaving:
         """
         ranked = sorted(
             (TopItem(c.item, c.count, c.error) for c in self._counters.values()),
-            key=lambda t: (-t.count, t.error),
+            key=_rank_key,
         )
         if len(ranked) <= k:
             return ranked
@@ -167,6 +167,20 @@ class SpaceSaving:
                 merged = self._counters.get(counter.item)
                 if merged is not None:
                     merged.error += counter.error
+
+    # -- pickling ---------------------------------------------------------------
+
+    def __reduce__(self):
+        # The bucket structure is a web of doubly linked objects; default
+        # pickling would recurse counter-by-counter (and can exceed the
+        # recursion limit on large summaries).  Serialize the flat counter
+        # table instead and rebuild the buckets on load — this is the
+        # shard-pool boundary for TOP-K partials.
+        counters = sorted(
+            ((c.item, c.count, c.error) for c in self._counters.values()),
+            key=lambda t: -t[1],
+        )
+        return (_rebuild_spacesaving, (self._capacity, self._total, counters))
 
     # -- bucket list maintenance ------------------------------------------------
 
@@ -229,3 +243,28 @@ class SpaceSaving:
         self._detach(counter)
         counter.count += count
         self._attach(counter, counter.count)
+
+
+def _rank_key(t: TopItem) -> tuple:
+    """Deterministic total order for reported heavy hitters: by estimated
+    count (desc), then error (asc — tighter bounds first), then a stable
+    item rendering, so rankings are independent of insertion order (the
+    same summary reports the same TOP-K after a pickle round-trip or a
+    shard merge)."""
+    return (-t.count, t.error, str(t.item))
+
+
+def _rebuild_spacesaving(
+    capacity: int, total: int, counters: list[tuple]
+) -> SpaceSaving:
+    summary = SpaceSaving(capacity)
+    summary._total = total
+    # Descending count order makes every bucket insert O(1): each new
+    # value lands at the front of the ascending bucket list.
+    for item, count, error in counters:
+        counter = _Counter(item)
+        counter.count = count
+        counter.error = error
+        summary._counters[item] = counter
+        summary._attach(counter, count)
+    return summary

@@ -4,6 +4,7 @@ from .aggregates import AggregateState, make_state
 from .engine import DEFAULT_GRACE_SECONDS, CentralEngine, CentralStats
 from .groupby import GroupByProcessor, WindowGroups, make_field_getter
 from .join import JoinBuffer, JoinedRow
+from .pool import ShardPool
 from .results import ResultRow, ResultSet, WindowResult
 from .window import (
     SlidingWindowAssigner,
@@ -22,6 +23,7 @@ __all__ = [
     "JoinedRow",
     "ResultRow",
     "ResultSet",
+    "ShardPool",
     "SlidingWindowAssigner",
     "TumblingWindowAssigner",
     "WindowAssigner",

@@ -47,6 +47,16 @@ class AggregateState:
     def update(self, value: Any) -> None:
         raise NotImplementedError
 
+    def update_many(self, values: list) -> None:
+        """Feed a pre-extracted value sequence (batched ingest hot path).
+
+        Equivalent to ``update`` in iteration order — subclasses override
+        only to hoist attribute lookups / use builtins, never to change
+        the fold order, so batched and per-event ingest stay identical.
+        """
+        for value in values:
+            self.update(value)
+
     def merge(self, other: "AggregateState") -> None:
         raise NotImplementedError
 
@@ -76,6 +86,9 @@ class CountState(AggregateState):
         # COUNT(expr) counts non-NULL values; COUNT(*) passes a sentinel.
         if value is not None:
             self.count += 1
+
+    def update_many(self, values: list) -> None:
+        self.count += len(values) - values.count(None)
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, CountState)
@@ -108,6 +121,18 @@ class SumState(AggregateState):
         if value is not None:
             self.total += value
             self.any = True
+
+    def update_many(self, values: list) -> None:
+        # Accumulate in a local with the same left-fold association as the
+        # per-event path — bit-identical float totals either way.
+        total = self.total
+        any_values = self.any
+        for value in values:
+            if value is not None:
+                total += value
+                any_values = True
+        self.total = total
+        self.any = any_values
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, SumState)
@@ -144,6 +169,16 @@ class AvgState(AggregateState):
             self.total += value
             self.count += 1
 
+    def update_many(self, values: list) -> None:
+        total = self.total
+        count = self.count
+        for value in values:
+            if value is not None:
+                total += value
+                count += 1
+        self.total = total
+        self.count = count
+
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, AvgState)
         self.total += other.total
@@ -176,6 +211,13 @@ class MinState(AggregateState):
         if value is not None and (self.value is None or value < self.value):
             self.value = value
 
+    def update_many(self, values: list) -> None:
+        present = [v for v in values if v is not None]
+        if present:
+            low = min(present)
+            if self.value is None or low < self.value:
+                self.value = low
+
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, MinState)
         self.update(other.value)
@@ -200,6 +242,13 @@ class MaxState(AggregateState):
     def update(self, value: Any) -> None:
         if value is not None and (self.value is None or value > self.value):
             self.value = value
+
+    def update_many(self, values: list) -> None:
+        present = [v for v in values if v is not None]
+        if present:
+            high = max(present)
+            if self.value is None or high > self.value:
+                self.value = high
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, MaxState)
@@ -232,6 +281,12 @@ class CountDistinctState(AggregateState):
         if value is not None:
             self.sketch.add(_hashable(value))
 
+    def update_many(self, values: list) -> None:
+        add = self.sketch.add
+        for value in values:
+            if value is not None:
+                add(_hashable(value))
+
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, CountDistinctState)
         self.sketch.merge(other.sketch)
@@ -257,6 +312,12 @@ class TopKState(AggregateState):
     def update(self, value: Any) -> None:
         if value is not None:
             self.summary.offer(_hashable(value))
+
+    def update_many(self, values: list) -> None:
+        offer = self.summary.offer
+        for value in values:
+            if value is not None:
+                offer(_hashable(value))
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, TopKState)

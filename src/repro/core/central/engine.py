@@ -28,7 +28,7 @@ from ..approx.sampling_theory import (
     estimate_count,
     estimate_sum,
 )
-from ..agent.transport import EventBatch
+from ..agent.transport import EventBatch, encode_full_batch
 from ..query.ast import AggregateCall
 from ..query.errors import QueryNotFoundError, ScrubExecutionError
 from ..query.planner import CentralQueryObject
@@ -204,7 +204,13 @@ class CentralEngine:
     # -- ingest ---------------------------------------------------------------
 
     def ingest(self, batch: EventBatch) -> None:
-        """Consume one host flush."""
+        """Consume one host flush.
+
+        Batch-oriented: events are segmented by window once, then each
+        window's slice goes through one residual/group/aggregate pass
+        (:meth:`WindowGroups.process_batch`).  Produces results identical
+        to :meth:`ingest_reference`, the retained per-event path.
+        """
         rq = self._queries.get(batch.query_id)
         if rq is None:
             # The query ended while the batch was in flight; drop silently —
@@ -215,21 +221,28 @@ class CentralEngine:
         stats.events_received += len(batch.events)
         stats.bytes_received += batch.wire_size()
 
-        # Per-window matched counts (M_i) from the agent.
-        for (_event_type, window), count in batch.seen_counts.items():
-            acc = rq.host_window_acc(window, batch.host)
-            acc.seen += count
-            rq.hosts_by_window.setdefault(window, set()).add(batch.host)
+        self._ingest_metadata(rq, batch)
+        if batch.events:
+            for window, events in self._segment_events(rq, batch.events).items():
+                self._process_window_events(rq, window, events)
 
-        if batch.dropped:
-            open_windows = rq.tracker.open_windows
-            window = open_windows[-1] if open_windows else 0
-            rq.dropped_by_window[window] = (
-                rq.dropped_by_window.get(window, 0) + batch.dropped
-            )
+    def ingest_reference(self, batch: EventBatch) -> None:
+        """Consume one host flush via per-event dispatch.
 
-        for partial in batch.partials:
-            self._ingest_partial(rq, batch.host, partial)
+        The pre-batching ingest path, kept verbatim as the reference
+        semantics: the differential tests and ``benchmarks/run_bench.py``
+        hold the batched and process-parallel paths to exactly this
+        behavior (and the benchmark uses it as the serial baseline).
+        """
+        rq = self._queries.get(batch.query_id)
+        if rq is None:
+            return
+        stats = self.stats
+        stats.batches_received += 1
+        stats.events_received += len(batch.events)
+        stats.bytes_received += len(encode_full_batch(batch))
+
+        self._ingest_metadata(rq, batch)
 
         is_join = rq.spec.is_join
         for event in batch.events:
@@ -253,6 +266,94 @@ class CentralEngine:
                         rq.windows[window] = state
                     if state.process(event) and rq.estimable_aggs:
                         self._accumulate_host_values(rq, window, event)
+
+    def _ingest_metadata(self, rq: _RunningQuery, batch: EventBatch) -> None:
+        """Batch-level bookkeeping: M_i counts, drop attribution, partials."""
+        # Per-window matched counts (M_i) from the agent.
+        for (_event_type, window), count in batch.seen_counts.items():
+            acc = rq.host_window_acc(window, batch.host)
+            acc.seen += count
+            rq.hosts_by_window.setdefault(window, set()).add(batch.host)
+
+        if batch.dropped:
+            open_windows = rq.tracker.open_windows
+            window = open_windows[-1] if open_windows else 0
+            rq.dropped_by_window[window] = (
+                rq.dropped_by_window.get(window, 0) + batch.dropped
+            )
+
+        for partial in batch.partials:
+            self._ingest_partial(rq, batch.host, partial)
+
+    def _segment_events(
+        self, rq: _RunningQuery, events: list
+    ) -> dict[int, list]:
+        """Split a batch's events into per-window slices, counting lates.
+
+        Tumbling windows take an inlined assignment fast path (one floor
+        division per event); sliding windows go through the tracker's
+        generic multi-assignment.  Late accounting matches the per-event
+        path exactly: one late count per event all of whose windows have
+        closed.
+        """
+        tracker = rq.tracker
+        segments: dict[int, list] = {}
+        assigner = tracker.assigner
+        if type(assigner) is TumblingWindowAssigner:
+            length = assigner.length
+            closed_upto = tracker._closed_upto
+            open_set = tracker._open
+            late = 0
+            for event in events:
+                index = int(event.timestamp // length)
+                if closed_upto is not None and index <= closed_upto:
+                    late += 1
+                    continue
+                slot = segments.get(index)
+                if slot is None:
+                    slot = segments[index] = []
+                    open_set.add(index)
+                slot.append(event)
+            if late:
+                tracker.late_events += late
+                self.stats.events_late += late
+                rq.late_since_close += late
+        else:
+            stats = self.stats
+            for event in events:
+                indices = tracker.observe(event.timestamp)
+                if not indices:
+                    stats.events_late += 1
+                    rq.late_since_close += 1
+                    continue
+                for window in indices:
+                    segments.setdefault(window, []).append(event)
+        return segments
+
+    def _process_window_events(
+        self, rq: _RunningQuery, window: int, events: list
+    ) -> None:
+        """Run one window's slice of a batch through join/group/aggregate."""
+        hosts = rq.hosts_by_window.get(window)
+        if hosts is None:
+            hosts = rq.hosts_by_window[window] = set()
+        for event in events:
+            hosts.add(event.host)
+        if rq.spec.is_join:
+            buffer = rq.join_buffers.get(window)
+            if buffer is None:
+                buffer = JoinBuffer(rq.spec.sources)
+                rq.join_buffers[window] = buffer
+            for event in events:
+                buffer.add(event)
+            return
+        state = rq.windows.get(window)
+        if state is None:
+            state = rq.processor.make_window_state()
+            rq.windows[window] = state
+        accepted = state.process_batch(events)
+        if rq.estimable_aggs and accepted:
+            self._accumulate_host_values_batch(rq, window, accepted)
 
     def _ingest_partial(self, rq: _RunningQuery, host: str, partial) -> None:
         """Merge one host's pre-aggregated (window, group) contribution."""
@@ -286,6 +387,37 @@ class CentralEngine:
             acc.counts[i] += 1
             acc.totals[i] += value
             acc.sum_sqs[i] += value * value
+
+    def _accumulate_host_values_batch(
+        self, rq: _RunningQuery, window: int, events: list
+    ) -> None:
+        """Batched :meth:`_accumulate_host_values`: one host-grouping pass,
+        then per-host left folds in event order (float-identical to the
+        per-event path, which also folds each host's values in order)."""
+        by_host: dict[str, list] = {}
+        for event in events:
+            by_host.setdefault(event.host, []).append(event)
+        arg_fns = rq.processor._agg_arg_fns
+        agg_calls = rq.processor.agg_calls
+        for host, host_events in by_host.items():
+            acc = rq.host_window_acc(window, host)
+            for i in rq.estimable_aggs:
+                if agg_calls[i].func == "COUNT":
+                    continue
+                fn = arg_fns[i]
+                count = acc.counts[i]
+                total = acc.totals[i]
+                sum_sq = acc.sum_sqs[i]
+                for event in host_events:
+                    value = fn(event)
+                    if value is None:
+                        continue
+                    count += 1
+                    total += value
+                    sum_sq += value * value
+                acc.counts[i] = count
+                acc.totals[i] = total
+                acc.sum_sqs[i] = sum_sq
 
     # -- window closing ------------------------------------------------------
 

@@ -14,6 +14,7 @@ identical aggregate calls share one state.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Callable, Optional
 
 from ..events import Event
@@ -23,6 +24,7 @@ from ..query.ast import (
     Expr,
     Literal,
     UnaryOp,
+    normalize_expr,
     unparse,
     walk_exprs,
 )
@@ -32,7 +34,13 @@ from ..query.planner import CentralQueryObject, unique_aggregates
 from .aggregates import AggregateState, make_state
 from .results import ResultRow
 
-__all__ = ["GroupByProcessor", "WindowGroups", "make_field_getter"]
+__all__ = [
+    "GroupByProcessor",
+    "WindowGroups",
+    "make_field_getter",
+    "compile_cached",
+    "compilation_cache_info",
+]
 
 #: Sentinel passed to COUNT(*) states: always non-NULL, so every row counts.
 _COUNT_STAR = object()
@@ -57,16 +65,49 @@ def make_field_getter(sources: tuple[str, ...]) -> FieldGetter:
     return joined
 
 
+@lru_cache(maxsize=512)
+def _compile_normalized(expr: Expr, sources: tuple[str, ...]) -> Callable[[Any], Any]:
+    return compile_expr(expr, make_field_getter(sources))
+
+
+def compile_cached(expr: Expr, sources: tuple[str, ...]) -> Callable[[Any], Any]:
+    """Compile *expr* for rows of *sources*, caching by normalized AST.
+
+    Re-installed queries (reconnect re-installs, shard workers compiling
+    the same spec, repeated shell sessions) hit the cache instead of
+    re-walking the AST; normalization makes structurally different but
+    semantically identical predicates share one closure.  Compiled
+    closures are stateless, so sharing across queries is safe.
+    """
+    try:
+        return _compile_normalized(normalize_expr(expr), sources)
+    except TypeError:
+        # An unhashable literal (not produced by the parser, but the AST
+        # is public API) — compile without caching.
+        return compile_expr(expr, make_field_getter(sources))
+
+
+def compilation_cache_info():
+    """Hit/miss statistics for the normalized-AST compilation cache."""
+    return _compile_normalized.cache_info()
+
+
 class GroupByProcessor:
     """Compiled per-query machinery shared by all of its windows."""
 
     def __init__(self, spec: CentralQueryObject) -> None:
         self.spec = spec
-        getter = make_field_getter(spec.sources)
-        self.residual = compile_predicate(spec.residual_predicate, getter)
+        sources = spec.sources
+        getter = make_field_getter(sources)
+        self.has_residual = spec.residual_predicate is not None
+        if self.has_residual:
+            inner = compile_cached(spec.residual_predicate, sources)
+            self.residual = lambda row: inner(row) is True
+        else:
+            self.residual = compile_predicate(None, getter)
 
         self.group_exprs: tuple[Expr, ...] = spec.group_by
-        self._group_fns = [compile_expr(g, getter) for g in spec.group_by]
+        self._group_fns = [compile_cached(g, sources) for g in spec.group_by]
 
         # Unique aggregate calls across the SELECT list (structural dedup);
         # the shared helper fixes the order host partials are indexed by.
@@ -76,14 +117,17 @@ class GroupByProcessor:
         self._agg_arg_fns: list[Callable[[Any], Any]] = [
             (lambda _row: _COUNT_STAR)
             if agg.arg is None
-            else compile_expr(agg.arg, getter)
+            else compile_cached(agg.arg, sources)
             for agg in self.agg_calls
         ]
+        #: COUNT(*) never inspects its rows — the batched path can bump
+        #: the counter by the group size instead of feeding sentinels.
+        self._count_star = [agg.arg is None and agg.func == "COUNT" for agg in self.agg_calls]
 
         self.is_aggregating = bool(self.agg_calls) or bool(spec.group_by)
         if not self.is_aggregating:
             self._select_fns = [
-                compile_expr(item.expr, getter) for item in spec.select_items
+                compile_cached(item.expr, sources) for item in spec.select_items
             ]
         else:
             self._select_fns = []
@@ -121,6 +165,86 @@ class WindowGroups:
         for state, arg_fn in zip(states, p._agg_arg_fns):
             state.update(arg_fn(row))
         return True
+
+    def process_batch(self, rows: list[Any]) -> list[Any]:
+        """Feed many central rows at once; returns the accepted rows.
+
+        Semantically identical to calling :meth:`process` per row (same
+        update order, so even order-sensitive states like Space-Saving
+        end up byte-identical), but pays the residual predicate, group
+        segmentation, and aggregate dispatch per *batch* instead of per
+        event.  The returned list (rows that passed the residual) feeds
+        the engine's per-host estimator accumulation.
+        """
+        p = self._p
+        if p.has_residual:
+            residual = p.residual
+            rows = [row for row in rows if residual(row)]
+        if not rows:
+            return rows
+        self.rows_processed += len(rows)
+        if not p.is_aggregating:
+            fns = p._select_fns
+            self.raw_rows.extend(
+                ResultRow(tuple(fn(row) for fn in fns)) for row in rows
+            )
+            return rows
+
+        group_fns = p._group_fns
+        if not group_fns:
+            segments = {(): rows}
+        elif len(group_fns) == 1:
+            fn = group_fns[0]
+            segments = {}
+            for row in rows:
+                segments.setdefault((_group_key_part(fn(row)),), []).append(row)
+        else:
+            segments = {}
+            for row in rows:
+                key = tuple(_group_key_part(fn(row)) for fn in group_fns)
+                segments.setdefault(key, []).append(row)
+
+        for key, members in segments.items():
+            states = self.groups.get(key)
+            if states is None:
+                states = [make_state(agg) for agg in p.agg_calls]
+                self.groups[key] = states
+            for state, arg_fn, star in zip(states, p._agg_arg_fns, p._count_star):
+                if star:
+                    state.count += len(members)  # COUNT(*): no per-row work
+                else:
+                    state.update_many([arg_fn(row) for row in members])
+        return rows
+
+    def merge(self, other: "WindowGroups") -> None:
+        """Fold another window's state for the *same* query into this one.
+
+        The shard-merge operator: commutative and associative for every
+        aggregate except SUM ordering (floats) and saturated Space-Saving
+        summaries — see docs/SCALING.md for the exactness contract.
+        *other* is consumed; its states may be adopted rather than copied.
+        """
+        if not self._p.is_aggregating:
+            self.rows_processed += other.rows_processed
+            self.raw_rows.extend(other.raw_rows)
+            return
+        self.merge_groups(other.groups, other.rows_processed)
+
+    def merge_groups(
+        self,
+        groups: dict[tuple[Any, ...], list[AggregateState]],
+        rows_processed: int,
+    ) -> None:
+        """Merge a bare groups map (a shard's partial) into this window."""
+        self.rows_processed += rows_processed
+        mine = self.groups
+        for key, other_states in groups.items():
+            states = mine.get(key)
+            if states is None:
+                mine[key] = other_states
+            else:
+                for state, other in zip(states, other_states):
+                    state.merge(other)
 
     def finalize(
         self,

@@ -1,0 +1,306 @@
+"""Process-parallel ScrubCentral: a pool of shard worker processes.
+
+The paper runs ScrubCentral as a dedicated multi-machine facility
+(Section 4); this module is the single-box analogue — N OS processes,
+each owning a shard of the event stream keyed by the request-id hash
+(the same key ``scrubd`` shards its asyncio queues by), so join
+co-location is preserved: every event of one request lands on one
+worker.
+
+Division of labour (docs/SCALING.md):
+
+* The **parent** keeps every piece of accounting that needs a global
+  view — window tracking and late-event counting, per-host M_i counts,
+  drop attribution, coverage, sampling estimation, result finalization —
+  and routes window-segmented event slices to the workers.
+* The **workers** do only the per-event heavy lifting: residual
+  predicates, group segmentation, aggregate updates (including the HLL
+  and Space-Saving sketch updates that dominate rich queries).
+* At window close the parent collects each worker's partial group map
+  and folds it in with the aggregate ``merge()`` operators; sketches
+  merge losslessly (HLL) or within the Space-Saving error envelope.
+
+Raw-selection queries (no aggregates, no GROUP BY) stay on the parent:
+their output rows must preserve arrival order, which a fan-out/merge
+would have to re-sequence for no gain — they are cheap per event.
+
+The boundary is the pickle-able event codec: events cross the pipe via
+``Event.__reduce__``, aggregate states come back via their flat pickle
+forms.  Everything observable — results, stats, coverage, drop/late
+accounting — matches the serial engine exactly; ``benchmarks/run_bench.py``
+and ``tests/core/test_shard_pool.py`` pin that equivalence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Callable, Mapping, Optional
+
+from ..agent.transport import EventBatch
+from ..query.errors import ScrubExecutionError
+from ..query.planner import CentralQueryObject
+from .engine import DEFAULT_GRACE_SECONDS, CentralEngine, _RunningQuery
+from .results import ResultSet, WindowResult
+
+__all__ = ["ShardPool"]
+
+
+def _worker_main(conn, grace_seconds: float) -> None:
+    """Shard worker loop: a thin message pump around a CentralEngine.
+
+    The worker reuses the engine's batched processing internals but never
+    closes windows itself — the parent owns window lifecycle and asks for
+    partial state instead.  Errors are remembered per query and reported
+    on the next close so a poisoned event cannot wedge the protocol.
+    """
+    engine = CentralEngine(grace_seconds=grace_seconds)
+    failed: dict[str, str] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "events":
+            _, query_id, window, events = message
+            if query_id in failed:
+                continue
+            rq = engine._queries.get(query_id)
+            if rq is None:
+                continue
+            try:
+                engine._process_window_events(rq, window, events)
+            except Exception as exc:  # noqa: BLE001 - reported at close
+                failed[query_id] = f"{type(exc).__name__}: {exc}"
+        elif kind == "close":
+            _, query_id, window = message
+            error = failed.get(query_id)
+            if error is not None:
+                conn.send(("error", error))
+                continue
+            try:
+                conn.send(("closed", *_collect_window(engine, query_id, window)))
+            except Exception as exc:  # noqa: BLE001
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        elif kind == "register":
+            _, spec = message
+            if spec.query_id not in engine._queries:
+                engine.register(spec)
+        elif kind == "unregister":
+            _, query_id = message
+            engine._queries.pop(query_id, None)
+            failed.pop(query_id, None)
+        elif kind == "stop":
+            break
+    conn.close()
+
+
+def _collect_window(engine: CentralEngine, query_id: str, window: int):
+    """Extract one window's partial state from a worker engine.
+
+    Returns ``(groups, rows_processed, host_values)`` where *groups* maps
+    group key -> aggregate states (the shard's partial aggregates) and
+    *host_values* carries the per-host value summaries the parent's
+    sampling estimator folds into its own accumulators.
+    """
+    rq = engine._queries.get(query_id)
+    if rq is None:
+        return ({}, 0, {})
+    rq.hosts_by_window.pop(window, None)
+    buffer = rq.join_buffers.pop(window, None)
+    state = rq.windows.pop(window, None)
+    if buffer is not None:
+        if state is None:
+            state = rq.processor.make_window_state()
+        accepted = state.process_batch(buffer.join())
+        if rq.estimable_aggs and accepted:
+            engine._accumulate_host_values_batch(rq, window, accepted)
+    host_values = {}
+    per_host = rq.host_acc.pop(window, None)
+    if per_host:
+        host_values = {
+            host: (acc.counts, acc.totals, acc.sum_sqs)
+            for host, acc in per_host.items()
+        }
+    if state is None:
+        return ({}, 0, host_values)
+    return (state.groups, state.rows_processed, host_values)
+
+
+class ShardPool(CentralEngine):
+    """A drop-in CentralEngine that fans aggregation out to N processes.
+
+    The public surface is exactly the serial engine's — ``register`` /
+    ``ingest`` / ``advance`` / ``finish`` — plus ``close()`` (also via
+    context manager) to reap the worker processes.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
+        on_window: Optional[Callable[[WindowResult], None]] = None,
+    ) -> None:
+        super().__init__(grace_seconds, on_window)
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        self._conns = []
+        self._procs = []
+        for i in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, grace_seconds),
+                name=f"scrub-shard-{i}",
+                daemon=True,
+            )
+            with warnings.catch_warnings():
+                # Python 3.12 warns when forking a process that has ever
+                # started a thread; the workers only read their pipe.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def register(
+        self,
+        spec: CentralQueryObject,
+        planned_hosts: int = 1,
+        targeted_hosts: int = 1,
+        targeted_names: tuple[str, ...] = (),
+        delivery_state: Optional[Callable[[], Mapping[str, str]]] = None,
+    ) -> None:
+        super().register(
+            spec,
+            planned_hosts=planned_hosts,
+            targeted_hosts=targeted_hosts,
+            targeted_names=targeted_names,
+            delivery_state=delivery_state,
+        )
+        rq = self._queries[spec.query_id]
+        # Raw selections preserve arrival order on the parent; everything
+        # aggregating fans out.
+        rq.parallel = rq.processor.is_aggregating
+        if rq.parallel:
+            self._broadcast(("register", spec))
+
+    def finish(self, query_id: str, drain: bool = True) -> ResultSet:
+        rq = self._queries.get(query_id)
+        parallel = rq is not None and getattr(rq, "parallel", False)
+        if parallel and not drain:
+            # Windows left open are never collected; drop the workers'
+            # copies instead of leaking them.
+            self._broadcast(("unregister", query_id))
+            parallel = False
+        results = super().finish(query_id, drain=drain)
+        if parallel:
+            self._broadcast(("unregister", query_id))
+        return results
+
+    def close(self) -> None:
+        """Stop and reap the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingest ----------------------------------------------------------------
+
+    def ingest(self, batch: EventBatch) -> None:
+        rq = self._queries.get(batch.query_id)
+        if rq is None:
+            return
+        if not getattr(rq, "parallel", False):
+            super().ingest(batch)
+            return
+        stats = self.stats
+        stats.batches_received += 1
+        stats.events_received += len(batch.events)
+        stats.bytes_received += batch.wire_size()
+
+        self._ingest_metadata(rq, batch)
+        if not batch.events:
+            return
+        query_id = batch.query_id
+        conns = self._conns
+        n = self.workers
+        for window, events in self._segment_events(rq, batch.events).items():
+            hosts = rq.hosts_by_window.get(window)
+            if hosts is None:
+                hosts = rq.hosts_by_window[window] = set()
+            for event in events:
+                hosts.add(event.host)
+            if n == 1:
+                conns[0].send(("events", query_id, window, events))
+                continue
+            shards: list[list] = [[] for _ in range(n)]
+            for event in events:
+                shards[event.request_id % n].append(event)
+            for index, shard_events in enumerate(shards):
+                if shard_events:
+                    conns[index].send(("events", query_id, window, shard_events))
+
+    # -- window close ----------------------------------------------------------
+
+    def _close_window(self, rq: _RunningQuery, window: int) -> WindowResult:
+        if getattr(rq, "parallel", False):
+            query_id = rq.spec.query_id
+            for conn in self._conns:
+                conn.send(("close", query_id, window))
+            state = rq.windows.get(window)
+            if state is None:
+                state = rq.windows[window] = rq.processor.make_window_state()
+            # Replies are merged in worker-index order: a fixed order keeps
+            # merged float sums and Space-Saving contents deterministic.
+            for index, conn in enumerate(self._conns):
+                reply = conn.recv()
+                if reply[0] == "error":
+                    raise ScrubExecutionError(
+                        f"shard worker {index} failed for query {query_id}: {reply[1]}"
+                    )
+                _, groups, rows_processed, host_values = reply
+                if groups or rows_processed:
+                    state.merge_groups(groups, rows_processed)
+                if host_values:
+                    self._merge_host_values(rq, window, host_values)
+        return super()._close_window(rq, window)
+
+    def _merge_host_values(
+        self, rq: _RunningQuery, window: int, host_values: Mapping[str, tuple]
+    ) -> None:
+        for host, (counts, totals, sum_sqs) in host_values.items():
+            acc = rq.host_window_acc(window, host)
+            for i, count in enumerate(counts):
+                acc.counts[i] += count
+                acc.totals[i] += totals[i]
+                acc.sum_sqs[i] += sum_sqs[i]
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _broadcast(self, message: tuple) -> None:
+        for conn in self._conns:
+            conn.send(message)

@@ -133,3 +133,16 @@ class WindowTracker:
         for index in indices:
             self.close(index)
         return indices
+
+    def merge(self, other: "WindowTracker") -> None:
+        """Fold another tracker for the same query into this one: union of
+        open windows, the further of the two high-water marks, summed late
+        counts.  The shard-merge contract (docs/SCALING.md): merging then
+        closing is equivalent to one tracker having observed both streams."""
+        self._open |= other._open
+        if other._closed_upto is not None and (
+            self._closed_upto is None or other._closed_upto > self._closed_upto
+        ):
+            self._closed_upto = other._closed_upto
+        self._open = {i for i in self._open if not self._is_closed(i)}
+        self.late_events += other.late_events

@@ -29,6 +29,9 @@ __all__ = [
     "decode_batch",
     "encode_value",
     "decode_value",
+    "encoded_size_value",
+    "encoded_size_event",
+    "encoded_size_batch",
 ]
 
 # -- JSON lines ---------------------------------------------------------------
@@ -203,6 +206,55 @@ def _decode_binary_at(buf: memoryview, pos: int) -> tuple[Event, int]:
         key, pos = _read_str(buf, pos)
         payload[key], pos = _read_value(buf, pos)
     return Event(event_type, payload, request_id, timestamp, host), pos
+
+
+# -- arithmetic sizes ---------------------------------------------------------
+#
+# Exact mirrors of the writers above: ``encoded_size_x(v)`` equals
+# ``len(encode_x(v))`` for every encodable value, without materializing
+# bytes.  The ingest hot path charges wire bytes per batch; doing a full
+# encode just to measure it dominated the per-batch overhead.
+
+
+def encoded_size_value(value: Any) -> int:
+    """Exactly ``len(encode_value(value))``, computed arithmetically."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 2
+    if isinstance(value, (int, float)):
+        return 9
+    if isinstance(value, str):
+        return 5 + _utf8_len(value)
+    if isinstance(value, (list, tuple)):
+        return 5 + sum(encoded_size_value(item) for item in value)
+    if isinstance(value, dict):
+        return 5 + sum(
+            4 + _utf8_len(str(key)) + encoded_size_value(item)
+            for key, item in value.items()
+        )
+    raise TypeError(f"unencodable value of type {type(value).__name__}: {value!r}")
+
+
+def _utf8_len(text: str) -> int:
+    return len(text) if text.isascii() else len(text.encode())
+
+
+def _str_size(text: str) -> int:
+    return 4 + _utf8_len(text)
+
+
+def encoded_size_event(event: Event) -> int:
+    """Exactly ``len(encode_binary(event))``, computed arithmetically."""
+    size = _str_size(event.event_type) + _str_size(event.host) + _HEADER.size
+    for key, value in event.payload.items():
+        size += _str_size(key) + encoded_size_value(value)
+    return size
+
+
+def encoded_size_batch(events: list[Event]) -> int:
+    """Exactly ``len(encode_batch(events))``, computed arithmetically."""
+    return 4 + sum(encoded_size_event(event) for event in events)
 
 
 def encode_batch(events: list[Event]) -> bytes:

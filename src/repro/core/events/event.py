@@ -132,6 +132,31 @@ class Event:
     def __hash__(self) -> int:  # pragma: no cover - events are not dict keys
         return hash((self.event_type, self.request_id, self.timestamp, self.host))
 
+    def __reduce__(self):
+        # Slotted classes with no __dict__ need explicit pickle support;
+        # rebuilding via _rebuild_event skips __init__'s defensive payload
+        # copy — the shard-pool boundary pickles every routed event.
+        return (
+            _rebuild_event,
+            (self.event_type, self.payload, self.request_id, self.timestamp, self.host),
+        )
+
+
+def _rebuild_event(
+    event_type: str,
+    payload: dict[str, Any],
+    request_id: int,
+    timestamp: float,
+    host: str,
+) -> Event:
+    event = Event.__new__(Event)
+    event.event_type = event_type
+    event.payload = payload
+    event.request_id = request_id
+    event.timestamp = timestamp
+    event.host = host
+    return event
+
 
 def _value_size(value: Any) -> int:
     if value is None:

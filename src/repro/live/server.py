@@ -38,6 +38,7 @@ from typing import Any, Callable, Optional, TextIO
 
 from ..core.agent.transport import EventBatch, decode_full_batch
 from ..core.central.engine import DEFAULT_GRACE_SECONDS, CentralEngine
+from ..core.central.pool import ShardPool
 from ..core.central.results import ResultSet
 from ..core.events import EventRegistry
 from ..core.query.errors import (
@@ -148,6 +149,7 @@ class ScrubDaemon:
         drain_margin: float = 1.0,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         journal_path: Optional[str] = None,
+        workers: int = 0,
         clock: Callable[[], float] = time.time,
         log: Optional[TextIO] = None,
     ) -> None:
@@ -164,7 +166,16 @@ class ScrubDaemon:
         self._log = log
 
         self.registry = EventRegistry()
-        self.engine = CentralEngine(grace_seconds=grace_seconds)
+        #: workers > 0 swaps the serial engine for the process-parallel
+        #: ShardPool (docs/SCALING.md).  The pool does its own request-id
+        #: routing, so the asyncio shard queues then carry whole batches
+        #: and act purely as the bounded backpressure stage.
+        self.workers = max(0, workers)
+        self.engine: CentralEngine
+        if self.workers > 0:
+            self.engine = ShardPool(workers=self.workers, grace_seconds=grace_seconds)
+        else:
+            self.engine = CentralEngine(grace_seconds=grace_seconds)
         self._agents: dict[str, _AgentConn] = {}
         self._sequence = 0
         self._running: dict[str, _LiveQuery] = {}
@@ -280,6 +291,9 @@ class ScrubDaemon:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
 
     def _say(self, message: str) -> None:
         if self._log is not None:
@@ -502,7 +516,9 @@ class ScrubDaemon:
         All shards feed one engine, so the merge is the engine's own."""
         shards = len(self._shard_queues)
         meta_shard = zlib.crc32(batch.host.encode()) % shards
-        if shards == 1 or not batch.events:
+        if self.workers > 0 or shards == 1 or not batch.events:
+            # Pooled engine: ShardPool partitions events across its worker
+            # processes itself; splitting here would only double the work.
             return [(meta_shard, batch)]
         by_shard: dict[int, list] = {}
         for event in batch.events:
@@ -754,6 +770,7 @@ class ScrubDaemon:
                 for query_id, live in self._running.items()
             },
             "shards": len(self._shard_queues),
+            "workers": self.workers,
             "lease_seconds": self._lease_seconds,
             "push_failures": self.push_failures,
             "journal": self._journal_path,
@@ -812,7 +829,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="TCP port (0 = ephemeral)")
-    parser.add_argument("--shards", type=int, default=4, help="ingest shard workers")
+    parser.add_argument("--shards", type=int, default=4, help="ingest shard queues")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="shard worker processes for the central engine "
+        "(0 = single-process serial engine)",
+    )
     parser.add_argument(
         "--grace", type=float, default=DEFAULT_GRACE_SECONDS,
         help="seconds past a window end before it closes",
@@ -838,6 +860,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         queue_depth=args.queue_depth,
         lease_seconds=args.lease,
         journal_path=args.journal,
+        workers=args.workers,
         log=sys.stdout,
     )
     try:

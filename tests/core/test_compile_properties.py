@@ -1,0 +1,282 @@
+"""Property tests for the expression compiler (SQL three-valued logic).
+
+The compiled closures in ``core/query/compile.py`` are the hot path on
+every host and in ScrubCentral, so they are heavily shaped for speed;
+this file pins their *semantics* against a naive tree-walking reference
+interpreter that states the SQL 3VL rules as directly as possible:
+
+* a missing field is NULL; anything arithmetic or comparative touching
+  NULL is NULL;
+* AND/OR are Kleene connectives (an unknown term only matters if no
+  decisive term exists);
+* division (and modulo) by zero is NULL, never an exception;
+* runtime type mismatches degrade to NULL, never abort a query.
+
+Hypothesis generates random expression trees and random rows (with
+fields missing, the common case for optional event payload members) and
+checks the compiled closure and the interpreter agree exactly —
+including on *which* inputs raise ``TypeError`` (unary minus on a
+string is a validator-level error; both paths surface it identically).
+
+``derandomize=True`` keeps the suite deterministic in CI: the examples
+are a fixed function of the test body, not the clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query.ast import (
+    Between,
+    BinaryOp,
+    BoolOp,
+    Comparison,
+    FieldRef,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+    normalize_expr,
+)
+from repro.core.query.compile import compile_expr, compile_predicate, like_to_regex
+
+FIELDS = ("a", "b", "c", "s")
+
+
+def _getter(event_type, fieldname):
+    return lambda row: row.get(fieldname)
+
+
+# -- the reference interpreter ------------------------------------------------
+
+
+def evaluate(expr, row):
+    """Tree-walking reference evaluation of *expr* over a dict row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, FieldRef):
+        return row.get(expr.field)
+    if isinstance(expr, BinaryOp):
+        a = evaluate(expr.left, row)
+        b = evaluate(expr.right, row)
+        if a is None or b is None:
+            return None
+        if expr.op in ("/", "%") and b == 0:
+            return None
+        return {
+            "+": lambda: a + b,
+            "-": lambda: a - b,
+            "*": lambda: a * b,
+            "/": lambda: a / b,
+            "%": lambda: a % b,
+        }[expr.op]()
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, row)
+        if value is None:
+            return None
+        return (not value) if expr.op == "NOT" else -value
+    if isinstance(expr, Comparison):
+        a = evaluate(expr.left, row)
+        b = evaluate(expr.right, row)
+        if a is None or b is None:
+            return None
+        if expr.op == "LIKE":
+            return like_to_regex(b).fullmatch(str(a)) is not None
+        try:
+            return {
+                "=": lambda: a == b,
+                "!=": lambda: a != b,
+                "<": lambda: a < b,
+                "<=": lambda: a <= b,
+                ">": lambda: a > b,
+                ">=": lambda: a >= b,
+            }[expr.op]()
+        except TypeError:
+            return None
+    if isinstance(expr, InList):
+        value = evaluate(expr.expr, row)
+        if value is None:
+            return None
+        try:
+            hit = any(value == lit.value for lit in expr.values)
+        except TypeError:
+            return None
+        if not hit and any(lit.value is None for lit in expr.values):
+            return None
+        return (not hit) if expr.negated else hit
+    if isinstance(expr, Between):
+        value = evaluate(expr.expr, row)
+        lo = evaluate(expr.low, row)
+        hi = evaluate(expr.high, row)
+        if value is None or lo is None or hi is None:
+            return None
+        try:
+            hit = lo <= value and value <= hi
+        except TypeError:
+            return None
+        return (not hit) if expr.negated else hit
+    if isinstance(expr, IsNull):
+        null = evaluate(expr.expr, row) is None
+        return (not null) if expr.negated else null
+    if isinstance(expr, BoolOp):
+        values = [evaluate(term, row) for term in expr.terms]
+        if expr.op == "AND":
+            if any(v is False for v in values):
+                return False
+            return None if any(v is None for v in values) else True
+        if any(v is True for v in values):
+            return True
+        return None if any(v is None for v in values) else False
+    raise AssertionError(f"unhandled node {type(expr).__name__}")
+
+
+def _outcome(fn):
+    """Value, or the fact that evaluation raised TypeError (a validator-
+    level typing error both paths must surface identically)."""
+    try:
+        return ("value", fn())
+    except TypeError:
+        return ("type-error",)
+
+
+# -- strategies ---------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-8.0, max_value=8.0, allow_nan=False),
+    st.text(alphabet="ab%_", max_size=4),
+)
+
+literals = st.builds(Literal, scalars)
+field_refs = st.builds(FieldRef, st.none(), st.sampled_from(FIELDS))
+leaves = st.one_of(literals, field_refs)
+
+
+def _extend(children):
+    return st.one_of(
+        st.builds(
+            BinaryOp, st.sampled_from(["+", "-", "*", "/", "%"]), children, children
+        ),
+        st.builds(UnaryOp, st.sampled_from(["-", "NOT"]), children),
+        st.builds(
+            Comparison,
+            st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+            children,
+            children,
+        ),
+        # LIKE patterns must be string literals (the validator enforces it).
+        st.builds(
+            Comparison,
+            st.just("LIKE"),
+            children,
+            st.builds(Literal, st.text(alphabet="ab%_", max_size=4)),
+        ),
+        st.builds(
+            InList,
+            children,
+            st.lists(literals, min_size=1, max_size=4).map(tuple),
+            st.booleans(),
+        ),
+        st.builds(Between, children, children, children, st.booleans()),
+        st.builds(IsNull, children, st.booleans()),
+        st.builds(
+            lambda op, terms: BoolOp(op, tuple(terms)),
+            st.sampled_from(["AND", "OR"]),
+            st.lists(children, min_size=2, max_size=4),
+        ),
+    )
+
+
+expressions = st.recursive(leaves, _extend, max_leaves=20)
+rows = st.dictionaries(st.sampled_from(FIELDS), scalars, max_size=len(FIELDS))
+
+
+# -- the differential properties ----------------------------------------------
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(expr=expressions, row=rows)
+def test_compiled_matches_reference(expr, row):
+    compiled = compile_expr(expr, _getter)
+    assert _outcome(lambda: compiled(row)) == _outcome(lambda: evaluate(expr, row))
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(expr=expressions, row=rows)
+def test_predicate_is_definitely_true_semantics(expr, row):
+    """WHERE passes a row iff the expression is *definitely* True."""
+    predicate = compile_predicate(expr, _getter)
+    outcome = _outcome(lambda: evaluate(expr, row))
+    if outcome[0] == "type-error":
+        return  # both raise; covered by the differential property
+    assert predicate(row) is (outcome[1] is True)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(expr=expressions, row=rows)
+def test_normalize_preserves_semantics(expr, row):
+    """AST normalization (nested AND/OR flattening for the compilation
+    cache) must never change what an expression evaluates to."""
+    normalized = normalize_expr(expr)
+    original = compile_expr(expr, _getter)
+    flattened = compile_expr(normalized, _getter)
+    assert _outcome(lambda: original(row)) == _outcome(lambda: flattened(row))
+    # Normalization is idempotent — a cache keyed on it needs that.
+    assert normalize_expr(normalized) == normalized
+
+
+# -- pinned 3VL corner cases --------------------------------------------------
+
+
+def test_kleene_truth_tables_exhaustive():
+    """AND/OR over every combination of {True, False, NULL} up to width 3."""
+    for op in ("AND", "OR"):
+        for width in (2, 3):
+            for combo in itertools.product([True, False, None], repeat=width):
+                expr = BoolOp(op, tuple(Literal(v) for v in combo))
+                fn = compile_expr(expr, _getter)
+                if op == "AND":
+                    expected = (
+                        False
+                        if False in combo
+                        else (None if None in combo else True)
+                    )
+                else:
+                    expected = (
+                        True
+                        if True in combo
+                        else (None if None in combo else False)
+                    )
+                assert fn({}) is expected, (op, combo)
+
+
+def test_division_and_modulo_by_zero_are_null():
+    for op in ("/", "%"):
+        for numerator in (0, 7, -3, 2.5):
+            fn = compile_expr(
+                BinaryOp(op, Literal(numerator), Literal(0)), _getter
+            )
+            assert fn({}) is None
+        # NULL numerator over zero denominator is still NULL, not an error.
+        fn = compile_expr(BinaryOp(op, FieldRef(None, "a"), Literal(0)), _getter)
+        assert fn({}) is None
+
+
+def test_missing_field_propagates_null_through_arithmetic():
+    expr = BinaryOp("+", FieldRef(None, "a"), Literal(1))
+    fn = compile_expr(expr, _getter)
+    assert fn({}) is None
+    assert fn({"a": 2}) == 3
+
+
+def test_in_list_with_null_member_is_unknown_on_miss():
+    expr = InList(FieldRef(None, "a"), (Literal(1), Literal(None)))
+    fn = compile_expr(expr, _getter)
+    assert fn({"a": 1}) is True  # hit beats the NULL member
+    assert fn({"a": 2}) is None  # miss with NULL in the list: UNKNOWN
+    assert fn({}) is None

@@ -1,0 +1,192 @@
+"""Statistical validation of the two-level sampling error bounds.
+
+``core/approx/sampling_theory.py`` implements the paper's Eqs. 1–3:
+two-stage cluster-sampling estimators whose confidence intervals are
+the *only* thing standing between a troubleshooter and a silently-wrong
+approximate answer.  These tests run many seeded Monte-Carlo trials of
+the full two-stage protocol (sample machines, then sample events within
+each machine) against known ground truth and check that
+
+* the declared CI covers the true total at no less than the nominal
+  rate, up to one-sided binomial sampling noise of the trial count
+  itself (with T trials of a p-coverage interval the observed rate
+  fluctuates with σ = sqrt(p(1−p)/T); we reject only if coverage falls
+  more than 3σ below nominal — a deterministic check under fixed seeds,
+  and the correct reading of "no less than nominal" for finite T);
+* the point estimate is unbiased across trials (Eq. 1);
+* the variance decomposition behaves (Eq. 3): the machine-stage term
+  vanishes under a machine census, the event-stage term under full
+  event retention, and a full census is exact with a zero-width CI.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.approx.sampling_theory import (
+    MachineSample,
+    estimate_count,
+    estimate_sum,
+)
+
+SEED = 20180423
+TRIALS = 400
+
+
+def _coverage_floor(nominal: float, trials: int) -> float:
+    return nominal - 3.0 * math.sqrt(nominal * (1.0 - nominal) / trials)
+
+
+def _population(rng: random.Random, machines: int, events_per_machine: int):
+    """A heterogeneous fleet: most machines are alike, every fifth one
+    runs hotter (the cross-machine variance Eq. 3's first term exists
+    for)."""
+    return [
+        [
+            rng.gauss(10.0, 3.0) + (rng.random() * 4 if i % 5 == 0 else 0.0)
+            for _ in range(events_per_machine)
+        ]
+        for i in range(machines)
+    ]
+
+
+def _two_stage_trial(
+    rng: random.Random,
+    population: list[list[float]],
+    sampled_machines: int,
+    sampled_events: int,
+    confidence: float,
+):
+    chosen = rng.sample(range(len(population)), sampled_machines)
+    samples = [
+        MachineSample.from_values(
+            len(population[i]), rng.sample(population[i], sampled_events)
+        )
+        for i in chosen
+    ]
+    return estimate_sum(samples, len(population), confidence=confidence)
+
+
+def test_sum_ci_coverage_two_stage():
+    rng = random.Random(SEED)
+    confidence = 0.95
+    covered = 0
+    for _ in range(TRIALS):
+        population = _population(rng, machines=40, events_per_machine=200)
+        true_total = sum(sum(machine) for machine in population)
+        est = _two_stage_trial(rng, population, 12, 50, confidence)
+        assert est.sampled_machines == 12 and est.total_machines == 40
+        if est.low <= true_total <= est.high:
+            covered += 1
+    coverage = covered / TRIALS
+    assert coverage >= _coverage_floor(confidence, TRIALS), coverage
+
+
+def test_count_ci_coverage_machine_stage():
+    """COUNT has no event-stage error (every matching event is counted);
+    only machine-stage sampling contributes variance."""
+    rng = random.Random(SEED + 1)
+    confidence = 0.95
+    covered = 0
+    for _ in range(TRIALS):
+        counts = [rng.randrange(50, 400) for _ in range(60)]
+        true_total = sum(counts)
+        chosen = rng.sample(range(60), 15)
+        est = estimate_count(
+            [counts[i] for i in chosen], 60, confidence=confidence
+        )
+        if est.low <= true_total <= est.high:
+            covered += 1
+    coverage = covered / TRIALS
+    assert coverage >= _coverage_floor(confidence, TRIALS), coverage
+
+
+def test_sum_estimator_is_unbiased():
+    """Eq. 1 in expectation: the mean of τ̂ over many redraws from one
+    fixed population lands on the true total."""
+    rng = random.Random(SEED + 2)
+    population = _population(rng, machines=40, events_per_machine=200)
+    true_total = sum(sum(machine) for machine in population)
+    estimates = [
+        _two_stage_trial(rng, population, 12, 50, 0.95).estimate
+        for _ in range(TRIALS)
+    ]
+    mean = sum(estimates) / len(estimates)
+    assert abs(mean - true_total) / true_total < 0.01, (mean, true_total)
+
+
+def test_eq1_point_estimate_by_hand():
+    """τ̂ = (N/n) Σ (M_i/m_i) Σ v_ij, checked against a worked example."""
+    samples = [
+        MachineSample.from_values(100, [1.0, 2.0, 3.0]),   # τ̂_i = 100/3 · 6
+        MachineSample.from_values(50, [4.0, 4.0]),          # τ̂_i = 50/2 · 8
+    ]
+    est = estimate_sum(samples, total_machines=8, confidence=0.95)
+    expected = (8 / 2) * ((100 / 3) * 6.0 + (50 / 2) * 8.0)
+    assert est.estimate == pytest.approx(expected)
+
+
+def test_eq3_machine_term_vanishes_under_census():
+    """n = N: only the event-stage term remains, and it shrinks as the
+    within-machine sample grows."""
+    rng = random.Random(SEED + 3)
+    population = _population(rng, machines=10, events_per_machine=400)
+    widths = []
+    for sampled_events in (20, 80, 320):
+        samples = [
+            MachineSample.from_values(400, rng.sample(machine, sampled_events))
+            for machine in population
+        ]
+        est = estimate_sum(samples, total_machines=10, confidence=0.95)
+        widths.append(est.error_bound)
+        assert math.isfinite(est.error_bound)
+    assert widths[0] > widths[1] > widths[2]
+
+
+def test_eq3_event_term_vanishes_with_full_retention():
+    """m_i = M_i: per-machine readings are exact; only cross-machine
+    sampling contributes, so a machine census on top of that is exact."""
+    rng = random.Random(SEED + 4)
+    population = _population(rng, machines=12, events_per_machine=50)
+    # Full census at both stages: exact, zero-width interval.
+    samples = [
+        MachineSample.from_values(50, machine) for machine in population
+    ]
+    est = estimate_sum(samples, total_machines=12, confidence=0.95)
+    true_total = sum(sum(machine) for machine in population)
+    assert est.estimate == pytest.approx(true_total)
+    assert est.error_bound == 0.0
+    assert est.variance == 0.0
+    # Partial machine stage with full event retention: variance is purely
+    # the machine-stage term (it must not be zero for a heterogeneous fleet).
+    partial = estimate_sum(samples[:6], total_machines=12, confidence=0.95)
+    assert partial.variance > 0.0
+
+
+def test_higher_confidence_widens_the_interval():
+    rng = random.Random(SEED + 5)
+    population = _population(rng, machines=30, events_per_machine=100)
+    chosen = rng.sample(range(30), 10)
+    drawn = [rng.sample(population[i], 25) for i in chosen]
+    widths = [
+        estimate_sum(
+            [MachineSample.from_values(100, values) for values in drawn],
+            total_machines=30,
+            confidence=confidence,
+        ).error_bound
+        for confidence in (0.80, 0.90, 0.95, 0.99)
+    ]
+    assert widths == sorted(widths) and widths[0] < widths[-1]
+
+
+def test_single_machine_sample_is_honest_about_ignorance():
+    """n = 1 of many: no between-machine variance is observable, so the
+    bound must be infinite rather than falsely tight."""
+    est = estimate_sum(
+        [MachineSample.from_values(100, [5.0, 6.0])], total_machines=10
+    )
+    assert math.isinf(est.error_bound)
+    assert math.isinf(estimate_count([120], 10).error_bound)

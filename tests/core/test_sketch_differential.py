@@ -1,0 +1,205 @@
+"""Differential tests for the approximation sketches.
+
+The TOP-K (Space-Saving) and COUNT_DISTINCT (HyperLogLog) aggregates
+trade exactness for bounded memory; these tests replay seeded Zipf and
+uniform streams against exact counters and check the published error
+envelopes — plus the merge algebra the shard pool relies on when it
+combines per-worker partial sketches at window close.
+
+Envelopes under test:
+
+* Space-Saving: for every monitored item,
+  ``count - error <= true count <= count``, and every item with true
+  frequency above ``total/capacity`` is monitored (Metwally et al.).
+* HyperLogLog: relative error within a few multiples of the standard
+  error ``1.04/sqrt(m)`` (we allow 4x — a fixed seed makes this a
+  deterministic check, not a flaky tail bound).
+* Merges: HLL register-max merging is lossless and associative;
+  Space-Saving merging is exact (and hence associative) while the
+  summary is unsaturated, which is how ScrubCentral sizes it
+  (``capacity = max(10k, 64)`` for ``TOP(k, ...)``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.approx.hyperloglog import HyperLogLog
+from repro.core.approx.spacesaving import SpaceSaving
+
+SEED = 20180423
+
+
+def zipf_stream(n: int, universe: int, s: float, seed: int) -> list[str]:
+    """A seeded Zipf(s) stream over ``item_0 .. item_{universe-1}``."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(universe)]
+    return rng.choices([f"item_{i}" for i in range(universe)], weights, k=n)
+
+
+def uniform_stream(n: int, universe: int, seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return [f"item_{rng.randrange(universe)}" for _ in range(n)]
+
+
+STREAMS = [
+    ("zipf_skewed", zipf_stream(30_000, 500, 1.3, SEED)),
+    ("zipf_mild", zipf_stream(30_000, 500, 0.8, SEED + 1)),
+    ("uniform", uniform_stream(30_000, 500, SEED + 2)),
+]
+
+
+# -- Space-Saving vs exact counts ---------------------------------------------
+
+
+@pytest.mark.parametrize("name,stream", STREAMS, ids=[s[0] for s in STREAMS])
+def test_spacesaving_error_envelope(name, stream):
+    capacity = 100
+    summary = SpaceSaving(capacity)
+    summary.update(stream)
+    exact = Counter(stream)
+
+    assert summary.total == len(stream)
+    # Guarantee 1: per-item bounds for everything monitored.
+    for top in summary.top(capacity):
+        true = exact[top.item]
+        assert top.count - top.error <= true <= top.count, (name, top)
+    # Guarantee 2: every item more frequent than total/capacity is monitored.
+    threshold = len(stream) / capacity
+    monitored = {top.item for top in summary.top(capacity)}
+    for item, count in exact.items():
+        if count > threshold:
+            assert item in monitored, (name, item, count)
+
+
+def test_spacesaving_exact_when_unsaturated():
+    """With capacity >= distinct cardinality the summary is exact — the
+    regime ScrubCentral's TOP(k) runs in (capacity = 10k)."""
+    stream = zipf_stream(20_000, 80, 1.1, SEED)
+    summary = SpaceSaving(128)
+    summary.update(stream)
+    exact = Counter(stream)
+    for top in summary.top(128):
+        assert top.error == 0
+        assert top.count == exact[top.item]
+    # Reported top-10 ranking matches the exact ranking (ties broken by
+    # the summary's deterministic key, so compare the count multisets).
+    reported = [t.count for t in summary.top(10)]
+    truth = sorted(exact.values(), reverse=True)[:10]
+    assert reported == truth
+
+
+@pytest.mark.parametrize("name,stream", STREAMS, ids=[s[0] for s in STREAMS])
+def test_spacesaving_merge_preserves_envelope(name, stream):
+    """Merging per-shard partials keeps the Space-Saving guarantees."""
+    shards = [SpaceSaving(100) for _ in range(4)]
+    for index, item in enumerate(stream):
+        shards[index % 4].offer(item)
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    exact = Counter(stream)
+    assert merged.total == len(stream)
+    for top in merged.top(100):
+        assert exact[top.item] <= top.count, (name, top)
+        assert top.count - top.error <= exact[top.item], (name, top)
+
+
+def test_spacesaving_merge_associative_when_unsaturated():
+    """merge(a, merge(b, c)) == merge(merge(a, b), c) below saturation."""
+    parts = [
+        zipf_stream(5_000, 60, 1.0, SEED + i) for i in range(3)
+    ]
+    def summarize(stream):
+        s = SpaceSaving(256)  # > 60 distinct: exact regime
+        s.update(stream)
+        return s
+
+    def clone(s):
+        return pickle.loads(pickle.dumps(s))  # the shard-pool boundary
+
+    a1, b1, c1 = (summarize(p) for p in parts)
+    b1.merge(c1)
+    a1.merge(b1)  # a . (b . c)
+
+    a2, b2, c2 = (summarize(p) for p in parts)
+    a2.merge(clone(b2))
+    a2.merge(clone(c2))  # (a . b) . c
+
+    assert a1.total == a2.total
+    assert a1.top(256) == a2.top(256)
+    exact = Counter(parts[0] + parts[1] + parts[2])
+    for top in a1.top(256):
+        assert top.count == exact[top.item]
+        assert top.error == 0
+
+
+def test_spacesaving_pickle_roundtrip_is_lossless():
+    stream = zipf_stream(10_000, 300, 1.2, SEED)
+    summary = SpaceSaving(64)
+    summary.update(stream)
+    restored = pickle.loads(pickle.dumps(summary))
+    assert restored.total == summary.total
+    assert restored.capacity == summary.capacity
+    assert restored.top(64) == summary.top(64)
+    # The restored summary keeps working: same eviction behaviour.
+    summary.offer("after", 5)
+    restored.offer("after", 5)
+    assert restored.top(64) == summary.top(64)
+
+
+# -- HyperLogLog vs exact cardinalities ---------------------------------------
+
+
+@pytest.mark.parametrize("true_cardinality", [50, 500, 5_000, 50_000])
+def test_hll_error_envelope(true_cardinality):
+    sketch = HyperLogLog(precision=12)
+    # Duplicates included: cardinality must not drift with multiplicity.
+    for i in range(true_cardinality):
+        sketch.add(f"user_{i}")
+        if i % 3 == 0:
+            sketch.add(f"user_{i}")
+    relative = abs(sketch.count() - true_cardinality) / true_cardinality
+    assert relative <= 4 * sketch.standard_error, (true_cardinality, relative)
+
+
+@pytest.mark.parametrize("name,stream", STREAMS, ids=[s[0] for s in STREAMS])
+def test_hll_matches_exact_on_streams(name, stream):
+    sketch = HyperLogLog(precision=12)
+    sketch.update(stream)
+    true = len(set(stream))
+    assert abs(sketch.count() - true) / true <= 4 * sketch.standard_error
+
+
+def test_hll_merge_is_lossless_and_associative():
+    parts = [
+        [f"user_{(i * 7 + p) % 4000}" for i in range(6_000)] for p in range(3)
+    ]
+
+    def summarize(items):
+        sketch = HyperLogLog(precision=12)
+        sketch.update(items)
+        return sketch
+
+    whole = summarize(parts[0] + parts[1] + parts[2])
+
+    a1, b1, c1 = (summarize(p) for p in parts)
+    b1.merge(c1)
+    a1.merge(b1)  # a . (b . c)
+
+    a2, b2, c2 = (summarize(p) for p in parts)
+    a2.merge(b2)
+    a2.merge(c2)  # (a . b) . c
+
+    # Register-max merging is exact: all three sketches are identical.
+    assert a1._registers == a2._registers == whole._registers
+    assert a1.count() == whole.count()
+
+
+def test_hll_merge_rejects_mismatched_precision():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=12).merge(HyperLogLog(precision=10))
