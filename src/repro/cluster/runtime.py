@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..core.agent.agent import ScrubAgent
+from ..core.agent.governor import ImpactBudget
 from ..core.agent.transport import EventBatch
 from ..core.central.engine import CentralEngine
 from ..core.central.pool import ShardPool
@@ -74,6 +75,7 @@ class SimCluster:
         intra_dc: Optional[LinkSpec] = None,
         inter_dc: Optional[LinkSpec] = None,
         central_workers: int = 0,
+        impact_budget: Optional[ImpactBudget] = None,
     ) -> None:
         self.registry = registry
         self.loop = EventLoop()
@@ -106,6 +108,7 @@ class SimCluster:
         self._flush_interval = flush_interval
         self._buffer_capacity = buffer_capacity
         self._flush_batch_size = flush_batch_size
+        self._impact_budget = impact_budget
         self._ticking = False
 
     # -- topology -----------------------------------------------------------------
@@ -135,6 +138,7 @@ class SimCluster:
             clock=self.loop.clock,
             buffer_capacity=self._buffer_capacity,
             flush_batch_size=self._flush_batch_size,
+            impact_budget=self._impact_budget,
         )
         host.attach_agent(agent)
 

@@ -1,7 +1,9 @@
-"""Host-side Scrub runtime: agent, sampling, buffering, transport."""
+"""Host-side Scrub runtime: agent, sampling, buffering, transport,
+impact governor."""
 
 from .agent import AgentStats, QueryStats, ScrubAgent
 from .buffer import BoundedBuffer
+from .governor import ImpactBudget, QueryGovernor
 from .sampling import EventSampler, uniform_from_hash
 from .transport import DirectTransport, EventBatch, RecordingTransport, Transport
 
@@ -11,6 +13,8 @@ __all__ = [
     "DirectTransport",
     "EventBatch",
     "EventSampler",
+    "ImpactBudget",
+    "QueryGovernor",
     "QueryStats",
     "RecordingTransport",
     "ScrubAgent",

@@ -13,12 +13,23 @@ here is built for minimal impact:
   drops are counted and reported;
 * queries **expire**: every installed query carries an absolute
   deadline derived from the query span, so forgotten queries cannot
-  keep loading the host (Section 3.2).
+  keep loading the host (Section 3.2);
+* an optional **impact governor** (``governor.py``) bounds per-query
+  CPU and network cost per interval, escalating runaway queries through
+  sampling downgrade → load shedding (drop-with-count) → quarantine
+  (auto-uninstall with a structured reason).
+
+The agent is thread-safe: an internal lock guards the query tables and
+every per-query counter, so an application thread in ``log()`` can race
+a flusher thread (or an ``uninstall``) without losing accounting — the
+seen/shipped/dropped/shed conservation invariant holds under
+concurrency.  Transport sends happen outside the lock.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
@@ -30,10 +41,13 @@ from ..events.decorators import schema_of
 from ..query.compile import compile_expr, compile_predicate
 from ..query.planner import HostQueryObject
 from .buffer import BoundedBuffer
+from .governor import ImpactBudget, QueryGovernor
 from .sampling import EventSampler
 from .transport import EventBatch, PartialAggregate, Transport
 
 __all__ = ["ScrubAgent", "AgentStats", "QueryStats"]
+
+_perf = time.perf_counter
 
 
 def _host_field_getter(_event_type: Optional[str], field: str) -> Callable[[Event], Any]:
@@ -49,6 +63,7 @@ class QueryStats:
     seen: int = 0      # events that matched selection (the estimator's M_i)
     shipped: int = 0   # events sampled in and buffered for transport
     dropped: int = 0   # events lost to a full buffer
+    shed: int = 0      # events the impact governor dropped-with-count
 
 
 @dataclass
@@ -62,6 +77,8 @@ class AgentStats:
     events_shipped: int = 0     # (query, event) pairs buffered
     events_dropped: int = 0     # (query, event) pairs dropped at the buffer
     events_preaggregated: int = 0  # host-side aggregate-state updates
+    events_shed: int = 0        # (query, event) pairs shed by the governor
+    queries_quarantined: int = 0  # governor auto-uninstalls on this host
     batches_flushed: int = 0
     bytes_shipped: int = 0
 
@@ -80,6 +97,7 @@ class _InstalledQuery:
         "seen_by_window",
         "stats",
         "pending_dropped",
+        "pending_shed",
         "group_fns",
         "agg_arg_fns",
         "partial_groups",
@@ -104,6 +122,7 @@ class _InstalledQuery:
         self.seen_by_window: dict[tuple[str, int], int] = {}
         self.stats = QueryStats()
         self.pending_dropped = 0
+        self.pending_shed = 0
         # AGGREGATE ON HOSTS mode: per-window per-group aggregate states
         # held on the host instead of shipping events (ablation mode —
         # note the memory grows with window x group cardinality, which is
@@ -173,6 +192,7 @@ class ScrubAgent:
         flush_batch_size: int = 500,
         validate_payloads: bool = False,
         max_queries: Optional[int] = None,
+        impact_budget: Optional[ImpactBudget] = None,
     ) -> None:
         self.host = host
         self.registry = registry
@@ -183,12 +203,22 @@ class ScrubAgent:
         #: queries ("query load can at times be considerable", paper §1) —
         #: the host's impact budget is bounded no matter the demand.
         self.max_queries = max_queries
+        #: Per-query impact budget; ``None`` disables the governor.
+        self.impact_budget = impact_budget
         self._buffer: BoundedBuffer[tuple[_InstalledQuery, Event]] = BoundedBuffer(
             buffer_capacity
         )
         self._flush_batch_size = flush_batch_size
         self._queries: dict[str, list[_InstalledQuery]] = {}  # query_id -> per-type
         self._by_type: dict[str, list[_InstalledQuery]] = {}  # event_type -> queries
+        self._governors: dict[str, QueryGovernor] = {}
+        #: Quarantine reasons awaiting their ride on the next flush.
+        self._pending_quarantine: dict[str, str] = {}
+        #: Permanent record: query_id -> structured quarantine reason.
+        self.quarantined: dict[str, str] = {}
+        # Guards the query tables and all per-query counters; reentrant
+        # because log() may trigger a flush while holding it.
+        self._lock = threading.RLock()
         self.stats = AgentStats()
 
     # -- query lifecycle -------------------------------------------------------
@@ -205,50 +235,61 @@ class ScrubAgent:
         lifecycle themselves (the query server always passes the span
         deadline).
         """
-        if (
-            self.max_queries is not None
-            and spec.query_id not in self._queries
-            and len(self._queries) >= self.max_queries
-        ):
-            raise RuntimeError(
-                f"host {self.host}: query limit reached "
-                f"({self.max_queries} concurrent); not installing {spec.query_id}"
+        with self._lock:
+            if (
+                self.max_queries is not None
+                and spec.query_id not in self._queries
+                and len(self._queries) >= self.max_queries
+            ):
+                raise RuntimeError(
+                    f"host {self.host}: query limit reached "
+                    f"({self.max_queries} concurrent); not installing {spec.query_id}"
+                )
+            if spec.event_type not in self.registry:
+                raise KeyError(
+                    f"host {self.host}: cannot install query {spec.query_id} — "
+                    f"event type {spec.event_type!r} not registered here"
+                )
+            schema = self.registry.get(spec.event_type)
+            keep_all = set(spec.projection) >= set(schema.field_names)
+            installed = _InstalledQuery(
+                spec,
+                keep_all_fields=keep_all,
+                activates_at=activates_at if activates_at is not None else -math.inf,
+                expires_at=expires_at if expires_at is not None else math.inf,
             )
-        if spec.event_type not in self.registry:
-            raise KeyError(
-                f"host {self.host}: cannot install query {spec.query_id} — "
-                f"event type {spec.event_type!r} not registered here"
-            )
-        schema = self.registry.get(spec.event_type)
-        keep_all = set(spec.projection) >= set(schema.field_names)
-        installed = _InstalledQuery(
-            spec,
-            keep_all_fields=keep_all,
-            activates_at=activates_at if activates_at is not None else -math.inf,
-            expires_at=expires_at if expires_at is not None else math.inf,
-        )
-        self._queries.setdefault(spec.query_id, []).append(installed)
-        self._by_type.setdefault(spec.event_type, []).append(installed)
+            self._queries.setdefault(spec.query_id, []).append(installed)
+            self._by_type.setdefault(spec.event_type, []).append(installed)
+            if (
+                self.impact_budget is not None
+                and spec.query_id not in self._governors
+            ):
+                self._governors[spec.query_id] = QueryGovernor(
+                    self.impact_budget, spec.query_id, self.clock()
+                )
 
     def uninstall(self, query_id: str) -> bool:
         """Remove every host query object for *query_id*; flushes first so
         buffered events — and the seen/drop counters the estimator needs —
         are not orphaned.  Returns False if unknown."""
-        if query_id not in self._queries:
-            return False
-        for iq in self._queries[query_id]:
-            iq.expires_at = min(iq.expires_at, self.clock())
+        with self._lock:
+            if query_id not in self._queries:
+                return False
+            for iq in self._queries[query_id]:
+                iq.expires_at = min(iq.expires_at, self.clock())
         self.flush()
-        installed = self._queries.pop(query_id, None)
-        if installed is None:
-            # The flush expired the query and already cleaned up.
-            return True
-        for iq in installed:
-            per_type = self._by_type.get(iq.spec.event_type, [])
-            if iq in per_type:
-                per_type.remove(iq)
-            if not per_type:
-                self._by_type.pop(iq.spec.event_type, None)
+        with self._lock:
+            installed = self._queries.pop(query_id, None)
+            self._governors.pop(query_id, None)
+            if installed is None:
+                # The flush expired the query and already cleaned up.
+                return True
+            for iq in installed:
+                per_type = self._by_type.get(iq.spec.event_type, [])
+                if iq in per_type:
+                    per_type.remove(iq)
+                if not per_type:
+                    self._by_type.pop(iq.spec.event_type, None)
         return True
 
     @property
@@ -257,15 +298,25 @@ class ScrubAgent:
 
     def query_stats(self, query_id: str) -> QueryStats:
         """Aggregated stats across this query's per-type objects."""
-        installed = self._queries.get(query_id)
-        if not installed:
-            raise KeyError(f"query {query_id} not installed on {self.host}")
-        total = QueryStats()
-        for iq in installed:
-            total.seen += iq.stats.seen
-            total.shipped += iq.stats.shipped
-            total.dropped += iq.stats.dropped
-        return total
+        with self._lock:
+            installed = self._queries.get(query_id)
+            if not installed:
+                raise KeyError(f"query {query_id} not installed on {self.host}")
+            total = QueryStats()
+            for iq in installed:
+                total.seen += iq.stats.seen
+                total.shipped += iq.stats.shipped
+                total.dropped += iq.stats.dropped
+                total.shed += iq.stats.shed
+            return total
+
+    def governor_state(self) -> dict[str, dict]:
+        """Per-query governor snapshots (stage, rate factor, breaches)."""
+        with self._lock:
+            return {
+                query_id: gov.snapshot()
+                for query_id, gov in self._governors.items()
+            }
 
     # -- the hot path ------------------------------------------------------------
 
@@ -308,31 +359,66 @@ class ScrubAgent:
 
         matched = 0
         stats.events_checked += len(watchers)
-        for iq in watchers:
-            if not (iq.activates_at <= now < iq.expires_at):
-                continue
-            if not iq.predicate(event):
-                continue
-            matched += 1
-            stats.events_matched += 1
-            iq.stats.seen += 1
-            window = int(now // iq.window_seconds)
-            key = (event_type, window)
-            iq.seen_by_window[key] = iq.seen_by_window.get(key, 0) + 1
-            if iq.group_fns is not None:
-                iq.preaggregate(event, window)
-                stats.events_preaggregated += 1
-                continue
-            if not iq.sampler.keep(request_id):
-                continue
-            out = event if iq.project_fields is None else event.project(iq.project_fields)
-            if self._buffer.offer((iq, out)):
-                iq.stats.shipped += 1
-                stats.events_shipped += 1
-            else:
-                iq.stats.dropped += 1
-                iq.pending_dropped += 1
-                stats.events_dropped += 1
+        governors = self._governors
+        with self._lock:
+            for iq in watchers:
+                gov = governors.get(iq.spec.query_id) if governors else None
+                if gov is not None:
+                    t0 = _perf()
+                    reason = gov.roll(now)
+                    if reason is not None:
+                        # This query just exhausted its impact budget:
+                        # quarantine (auto-uninstall); the reason rides
+                        # the final flush.  This event is not processed.
+                        self._note_quarantine(iq.spec.query_id, reason, now)
+                        continue
+                try:
+                    if not (iq.activates_at <= now < iq.expires_at):
+                        continue
+                    if not iq.predicate(event):
+                        continue
+                    matched += 1
+                    stats.events_matched += 1
+                    iq.stats.seen += 1
+                    window = int(now // iq.window_seconds)
+                    key = (event_type, window)
+                    iq.seen_by_window[key] = iq.seen_by_window.get(key, 0) + 1
+                    if gov is not None and gov.shedding:
+                        # Drop-with-count: the event still counted toward
+                        # M_i (COUNT stays exact); no preaggregate, no ship.
+                        iq.stats.shed += 1
+                        iq.pending_shed += 1
+                        stats.events_shed += 1
+                        gov.note_shed()
+                        continue
+                    if iq.group_fns is not None:
+                        iq.preaggregate(event, window)
+                        stats.events_preaggregated += 1
+                        continue
+                    if not iq.sampler.keep(request_id):
+                        continue
+                    if gov is not None and not gov.keep(request_id):
+                        # Downgrade-stage thinning: an honest random
+                        # subsample (keyed on request id), so the
+                        # estimator's event-stage variance absorbs it.
+                        continue
+                    out = (
+                        event
+                        if iq.project_fields is None
+                        else event.project(iq.project_fields)
+                    )
+                    if self._buffer.offer((iq, out)):
+                        iq.stats.shipped += 1
+                        stats.events_shipped += 1
+                    else:
+                        iq.stats.dropped += 1
+                        iq.pending_dropped += 1
+                        stats.events_dropped += 1
+                        if gov is not None:
+                            gov.note_drop()
+                finally:
+                    if gov is not None:
+                        gov.charge(_perf() - t0)
         if len(self._buffer) >= self._flush_batch_size:
             self.flush(now)
         return matched
@@ -349,63 +435,104 @@ class ScrubAgent:
     def flush(self, now: Optional[float] = None) -> int:
         """Drain the buffer into per-query batches and hand them to the
         transport.  Also emits empty 'heartbeat' batches for queries with
-        pending seen/drop counters so the central estimator learns M_i
-        even when sampling shipped nothing.  Returns batches sent."""
+        pending seen/drop/shed counters (or a quarantine notice) so the
+        central estimator learns M_i even when sampling shipped nothing.
+        Batches are built under the agent lock — counters move from the
+        tables into exactly one batch — and sent outside it.  Returns
+        batches sent."""
         if now is None:
             now = self.clock()
-        drained = self._buffer.drain()
-        by_query: dict[str, list[Event]] = {}
-        for iq, event in drained:
-            by_query.setdefault(iq.spec.query_id, []).append(event)
+        batches: list[EventBatch] = []
+        with self._lock:
+            drained = self._buffer.drain()
+            by_query: dict[str, list[Event]] = {}
+            for iq, event in drained:
+                by_query.setdefault(iq.spec.query_id, []).append(event)
 
-        sent = 0
-        for query_id, installed in list(self._queries.items()):
-            events = by_query.pop(query_id, [])
-            seen: dict[tuple[str, int], int] = {}
-            dropped = 0
-            partials: list[PartialAggregate] = []
-            for iq in installed:
-                if iq.seen_by_window:
-                    for key, count in iq.seen_by_window.items():
-                        seen[key] = seen.get(key, 0) + count
-                    iq.seen_by_window = {}
-                dropped += iq.pending_dropped
-                iq.pending_dropped = 0
-                if iq.partial_groups:
-                    # Ship completed windows; the current window keeps
-                    # accumulating unless the query span has ended.
-                    cutoff = (
-                        math.inf
-                        if now >= iq.expires_at
-                        else int(now // iq.window_seconds)
-                    )
-                    partials.extend(iq.drain_partials(cutoff))
-            if not events and not seen and not dropped and not partials:
-                continue
-            batch = EventBatch(
-                host=self.host,
-                query_id=query_id,
-                events=events,
-                seen_counts=seen,
-                dropped=dropped,
-                sent_at=now,
-                partials=partials,
-            )
-            self.stats.batches_flushed += 1
-            self.stats.bytes_shipped += batch.wire_size()
+            # Roll governors first: the previous interval is judged before
+            # this flush's bytes are charged to the new one.
+            for query_id, gov in list(self._governors.items()):
+                reason = gov.roll(now)
+                if reason is not None:
+                    self._note_quarantine(query_id, reason, now)
+
+            for query_id, installed in list(self._queries.items()):
+                events = by_query.pop(query_id, [])
+                seen: dict[tuple[str, int], int] = {}
+                dropped = 0
+                shed = 0
+                partials: list[PartialAggregate] = []
+                for iq in installed:
+                    if iq.seen_by_window:
+                        for key, count in iq.seen_by_window.items():
+                            seen[key] = seen.get(key, 0) + count
+                        iq.seen_by_window = {}
+                    dropped += iq.pending_dropped
+                    iq.pending_dropped = 0
+                    shed += iq.pending_shed
+                    iq.pending_shed = 0
+                    if iq.partial_groups:
+                        # Ship completed windows; the current window keeps
+                        # accumulating unless the query span has ended.
+                        cutoff = (
+                            math.inf
+                            if now >= iq.expires_at
+                            else int(now // iq.window_seconds)
+                        )
+                        partials.extend(iq.drain_partials(cutoff))
+                quarantined = self._pending_quarantine.pop(query_id, "")
+                if (
+                    not events
+                    and not seen
+                    and not dropped
+                    and not shed
+                    and not partials
+                    and not quarantined
+                ):
+                    continue
+                batch = EventBatch(
+                    host=self.host,
+                    query_id=query_id,
+                    events=events,
+                    seen_counts=seen,
+                    dropped=dropped,
+                    sent_at=now,
+                    partials=partials,
+                    shed=shed,
+                    quarantined=quarantined,
+                )
+                nbytes = batch.wire_size()
+                gov = self._governors.get(query_id)
+                if gov is not None:
+                    gov.charge(0.0, nbytes)
+                self.stats.batches_flushed += 1
+                self.stats.bytes_shipped += nbytes
+                batches.append(batch)
+            # Events for queries uninstalled between buffering and draining.
+            for query_id, events in by_query.items():
+                batch = EventBatch(
+                    host=self.host, query_id=query_id, events=events, sent_at=now
+                )
+                self.stats.batches_flushed += 1
+                self.stats.bytes_shipped += batch.wire_size()
+                batches.append(batch)
+            self._expire(now)
+        for batch in batches:
             self.transport.send(batch)
-            sent += 1
-        # Events for queries uninstalled between buffering and draining.
-        for query_id, events in by_query.items():
-            batch = EventBatch(
-                host=self.host, query_id=query_id, events=events, sent_at=now
-            )
-            self.stats.batches_flushed += 1
-            self.stats.bytes_shipped += batch.wire_size()
-            self.transport.send(batch)
-            sent += 1
-        self._expire(now)
-        return sent
+        return len(batches)
+
+    def _note_quarantine(self, query_id: str, reason: str, now: float) -> None:
+        """Governor verdict: record the reason (it rides the next flush for
+        this query, exactly once) and expire every host query object so no
+        further events are examined.  Caller holds the lock."""
+        installed = self._queries.get(query_id)
+        if installed is None:
+            return
+        self._pending_quarantine[query_id] = reason
+        self.quarantined[query_id] = reason
+        self.stats.queries_quarantined += 1
+        for iq in installed:
+            iq.expires_at = min(iq.expires_at, now)
 
     def _expire(self, now: float) -> None:
         expired = [
@@ -415,6 +542,7 @@ class ScrubAgent:
         ]
         for query_id in expired:
             installed = self._queries.pop(query_id)
+            self._governors.pop(query_id, None)
             for iq in installed:
                 per_type = self._by_type.get(iq.spec.event_type, [])
                 if iq in per_type:

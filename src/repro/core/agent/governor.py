@@ -1,0 +1,256 @@
+"""Host impact governor: per-query budgets with a staged response.
+
+Scrub's defining promise is minimal, *bounded* impact on the hosts —
+"accuracy is traded for minimal impact" (paper abstract).  The bounded
+buffer already guarantees memory; this module bounds the two remaining
+impact dimensions the paper worries about: **CPU** (wall time the
+application thread spends inside ``log()``/``preaggregate``) and
+**network** (bytes a query ships per interval).
+
+Each installed query gets a :class:`QueryGovernor` holding an
+:class:`ImpactBudget`.  Per budget interval the agent charges the
+governor with the wall seconds and emitted bytes the query consumed
+(plus any buffer drops — the existing drop plumbing doubles as the
+pressure signal).  When an interval closes over budget the governor
+escalates through three stages:
+
+1. **downgrade** — the effective event-sampling rate is multiplied by
+   ``downgrade_factor`` (deterministic request-id thinning, so join
+   coherence survives), halving again on each further breached interval;
+2. **shed** — once the rate factor falls below ``min_rate_factor``,
+   matched events are *dropped with count* (``shed`` counters, distinct
+   from buffer ``dropped``) instead of sampled: the query still pays one
+   predicate evaluation, never a ship;
+3. **quarantine** — while shedding, each interval that still sheds
+   events counts as breached (the host keeps paying per-event predicate
+   cost, so pressure that persists through shedding is pressure the
+   budget cannot absorb); after ``shed_intervals`` consecutive breached
+   shedding intervals the query is auto-uninstalled with a structured
+   reason, which rides the final flush to ScrubCentral and surfaces in
+   STATS and :class:`~repro.core.central.results.WindowCoverage`.
+
+Clean intervals walk the stages back down (shed → downgraded →
+healthy), so a transient overload is temporary by construction: either
+the pressure stops and the query recovers, or it persists and the
+query is quarantined — shedding is never a steady state.  All
+accounting is exact: every matched event lands in exactly one of
+``shipped``, ``dropped`` (buffer full), or ``shed`` (governor), and the
+central estimator widens its error bounds by the shed fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .sampling import _splitmix64
+
+__all__ = [
+    "ImpactBudget",
+    "QueryGovernor",
+    "STAGE_HEALTHY",
+    "STAGE_DOWNGRADED",
+    "STAGE_SHEDDING",
+    "STAGE_QUARANTINED",
+]
+
+STAGE_HEALTHY = "healthy"
+STAGE_DOWNGRADED = "downgraded"
+STAGE_SHEDDING = "shedding"
+STAGE_QUARANTINED = "quarantined"
+
+_MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ImpactBudget:
+    """Per-query, per-interval host impact limits.
+
+    A breach is any interval where the query spent more than
+    ``max_wall_seconds`` of application-thread time, emitted more than
+    ``max_bytes``, or caused at least one buffer drop (drops mean the
+    flusher cannot keep up — already past the impact the budget allows).
+    """
+
+    interval_seconds: float = 1.0
+    #: Wall seconds of log()/preaggregate work per interval.
+    max_wall_seconds: float = 0.050
+    #: Bytes buffered for shipping per interval.
+    max_bytes: int = 256 * 1024
+    #: Sampling-rate multiplier applied on each breached interval.
+    downgrade_factor: float = 0.5
+    #: Below this effective rate factor, downgrading gives way to shedding.
+    min_rate_factor: float = 0.125
+    #: Consecutive breached shedding intervals before quarantine.
+    shed_intervals: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self.max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive")
+        if self.max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if not 0.0 < self.downgrade_factor < 1.0:
+            raise ValueError("downgrade_factor must be in (0, 1)")
+        if not 0.0 < self.min_rate_factor <= 1.0:
+            raise ValueError("min_rate_factor must be in (0, 1]")
+        if self.shed_intervals < 1:
+            raise ValueError("shed_intervals must be at least 1")
+
+
+class QueryGovernor:
+    """The per-query stage machine; one instance per installed query id."""
+
+    __slots__ = (
+        "budget",
+        "query_id",
+        "stage",
+        "rate_factor",
+        "interval_start",
+        "wall_seconds",
+        "bytes_emitted",
+        "buffer_drops",
+        "shed_events",
+        "breached_shed_intervals",
+        "quarantine_reason",
+        "breaches",
+        "_seed",
+        "_threshold",
+    )
+
+    def __init__(self, budget: ImpactBudget, query_id: str, started_at: float) -> None:
+        self.budget = budget
+        self.query_id = query_id
+        self.stage = STAGE_HEALTHY
+        self.rate_factor = 1.0
+        self.interval_start = started_at
+        self.wall_seconds = 0.0
+        self.bytes_emitted = 0
+        self.buffer_drops = 0
+        self.shed_events = 0
+        self.breached_shed_intervals = 0
+        self.quarantine_reason: Optional[str] = None
+        #: Total breached intervals over the query's life (diagnostics).
+        self.breaches = 0
+        # The thinning decision must be independent of the query's own
+        # sampler (which keys on the same request id), or downgrading
+        # would only re-drop already-dropped events: salt the seed.
+        seed = 0x5C3B
+        for ch in query_id:
+            seed = (seed * 131 + ord(ch)) & _MASK64
+        self._seed = seed
+        self._threshold = 1 << 64  # rate_factor 1.0
+
+    # -- charging (hot path) ---------------------------------------------------
+
+    def charge(self, wall_seconds: float, nbytes: int = 0) -> None:
+        """Attribute one ``log()`` visit's cost to the current interval."""
+        self.wall_seconds += wall_seconds
+        self.bytes_emitted += nbytes
+
+    def note_drop(self) -> None:
+        self.buffer_drops += 1
+
+    def note_shed(self) -> None:
+        self.shed_events += 1
+
+    @property
+    def shedding(self) -> bool:
+        return self.stage == STAGE_SHEDDING
+
+    def keep(self, request_id: int) -> bool:
+        """Downgrade-stage thinning: deterministic in the request id (join
+        coherence survives), independent of the query's own sampler."""
+        if self._threshold >= 1 << 64:
+            return True
+        mixed = _splitmix64((self._seed ^ _splitmix64(request_id & _MASK64)) & _MASK64)
+        return mixed < self._threshold
+
+    # -- interval rollover -----------------------------------------------------
+
+    def roll(self, now: float) -> Optional[str]:
+        """Close out an elapsed budget interval, if any.
+
+        Returns the structured quarantine reason when this rollover pushed
+        the query into quarantine (the caller must then auto-uninstall);
+        ``None`` otherwise.
+        """
+        budget = self.budget
+        if now - self.interval_start < budget.interval_seconds:
+            return None
+        breached = (
+            self.wall_seconds > budget.max_wall_seconds
+            or self.bytes_emitted > budget.max_bytes
+            or self.buffer_drops > 0
+            # Shedding keeps bytes low by construction; what marks the
+            # interval breached is matched events still arriving — the
+            # host is still paying per-event cost for a shed query.
+            or self.shed_events > 0
+        )
+        reason: Optional[str] = None
+        if breached:
+            self.breaches += 1
+            reason = self._escalate()
+        else:
+            self._recover()
+        self.wall_seconds = 0.0
+        self.bytes_emitted = 0
+        self.buffer_drops = 0
+        self.shed_events = 0
+        self.interval_start = now
+        return reason
+
+    def _escalate(self) -> Optional[str]:
+        budget = self.budget
+        if self.stage == STAGE_HEALTHY:
+            self.stage = STAGE_DOWNGRADED
+            self._set_rate_factor(budget.downgrade_factor)
+            return None
+        if self.stage == STAGE_DOWNGRADED:
+            factor = self.rate_factor * budget.downgrade_factor
+            if factor < budget.min_rate_factor:
+                self.stage = STAGE_SHEDDING
+                self.breached_shed_intervals = 0
+            else:
+                self._set_rate_factor(factor)
+            return None
+        if self.stage == STAGE_SHEDDING:
+            self.breached_shed_intervals += 1
+            if self.breached_shed_intervals >= budget.shed_intervals:
+                self.stage = STAGE_QUARANTINED
+                self.quarantine_reason = (
+                    "impact-budget-exceeded:"
+                    f" stage=shedding intervals={self.breached_shed_intervals}"
+                    f" wall={self.wall_seconds:.6f}s/{budget.max_wall_seconds:g}s"
+                    f" bytes={self.bytes_emitted}/{budget.max_bytes}"
+                    f" buffer_drops={self.buffer_drops}"
+                    f" shed={self.shed_events}"
+                    f" per {budget.interval_seconds:g}s"
+                )
+                return self.quarantine_reason
+        return None
+
+    def _recover(self) -> None:
+        if self.stage == STAGE_SHEDDING:
+            self.stage = STAGE_DOWNGRADED
+            self._set_rate_factor(max(self.rate_factor, self.budget.min_rate_factor))
+            self.breached_shed_intervals = 0
+        elif self.stage == STAGE_DOWNGRADED:
+            factor = min(1.0, self.rate_factor / self.budget.downgrade_factor)
+            self._set_rate_factor(factor)
+            if factor >= 1.0:
+                self.stage = STAGE_HEALTHY
+
+    def _set_rate_factor(self, factor: float) -> None:
+        self.rate_factor = factor
+        self._threshold = (1 << 64) if factor >= 1.0 else int(factor * float(1 << 64))
+
+    def snapshot(self) -> dict:
+        """Diagnostic view (agent STATS)."""
+        return {
+            "stage": self.stage,
+            "rate_factor": self.rate_factor,
+            "breaches": self.breaches,
+            "quarantine_reason": self.quarantine_reason,
+        }

@@ -86,6 +86,15 @@ class EventBatch:
     sent_at: float = 0.0
     #: Pre-aggregated partials (AGGREGATE ON HOSTS mode only).
     partials: list["PartialAggregate"] = field(default_factory=list)
+    #: Matched events the impact governor shed (drop-with-count) since
+    #: the previous flush — distinct from ``dropped``: shed events never
+    #: reached the buffer, and the estimator widens bounds by their
+    #: fraction rather than treating them as random sampling.
+    shed: int = 0
+    #: Structured reason when the governor quarantined (auto-uninstalled)
+    #: this query on this host; empty while the query is healthy.  Rides
+    #: the flush that reports the quarantine, exactly once.
+    quarantined: str = ""
 
     def wire_size(self) -> int:
         """Encoded size in bytes — what the host actually ships.
@@ -101,15 +110,18 @@ class EventBatch:
 #
 # Layout (little-endian, layered on events/encoding.py primitives):
 #
-#   u8   version (currently 1)
+#   u8   version (currently 2)
 #   str  host                      str  query_id
 #   f64  sent_at                   i64  dropped
+#   i64  shed                      str  quarantined (reason; "" = none)
 #   batch  events (u32 count + compact-binary events)
 #   u32  seen-count entries; each: str event_type, i64 window, i64 count
 #   u32  partials;            each: str event_type, i64 window,
 #                                   value group_key (list), value values (list)
+#
+# v2 added the governor fields (shed, quarantined) after `dropped`.
 
-_FULL_BATCH_VERSION = 1
+_FULL_BATCH_VERSION = 2
 
 
 def encode_full_batch(batch: EventBatch) -> bytes:
@@ -120,6 +132,8 @@ def encode_full_batch(batch: EventBatch) -> bytes:
     _write_str(out, batch.query_id)
     out += _F64.pack(batch.sent_at)
     out += _I64.pack(batch.dropped)
+    out += _I64.pack(batch.shed)
+    _write_str(out, batch.quarantined)
     out += encode_batch(batch.events)
     out += _U32.pack(len(batch.seen_counts))
     for (event_type, window), count in batch.seen_counts.items():
@@ -142,6 +156,7 @@ def full_batch_wire_size(batch: EventBatch) -> int:
     byte equality, so a layout change that misses one side fails loudly.
     """
     size = 1 + _str_size(batch.host) + _str_size(batch.query_id) + 8 + 8
+    size += 8 + _str_size(batch.quarantined)
     size += encoded_size_batch(batch.events)
     size += 4
     for (event_type, _window) in batch.seen_counts:
@@ -167,6 +182,9 @@ def decode_full_batch(data: bytes | memoryview) -> EventBatch:
     pos += 8
     (dropped,) = _I64.unpack_from(buf, pos)
     pos += 8
+    (shed,) = _I64.unpack_from(buf, pos)
+    pos += 8
+    quarantined, pos = _read_str(buf, pos)
     (event_count,) = _U32.unpack_from(buf, pos)
     pos += 4
     events: list[Event] = []
@@ -210,6 +228,8 @@ def decode_full_batch(data: bytes | memoryview) -> EventBatch:
         dropped=dropped,
         sent_at=sent_at,
         partials=partials,
+        shed=shed,
+        quarantined=quarantined,
     )
 
 

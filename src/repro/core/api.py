@@ -26,6 +26,7 @@ import time
 from typing import Any, Callable, Iterable, Optional
 
 from .agent.agent import ScrubAgent
+from .agent.governor import ImpactBudget
 from .agent.transport import DirectTransport
 from .central.engine import CentralEngine
 from .central.pool import ShardPool
@@ -71,6 +72,7 @@ class Scrub:
         buffer_capacity: int = 10_000,
         flush_batch_size: int = 500,
         workers: int = 0,
+        impact_budget: Optional[ImpactBudget] = None,
     ) -> None:
         self.clock: Callable[[], float] = clock if clock is not None else time.time
         self.registry = EventRegistry()
@@ -88,6 +90,9 @@ class Scrub:
         )
         self._buffer_capacity = buffer_capacity
         self._flush_batch_size = flush_batch_size
+        # Per-query host impact budget handed to every agent this facade
+        # creates; None disables the governor (docs/LIVE_MODE.md).
+        self._impact_budget = impact_budget
 
     # -- setup -------------------------------------------------------------------
 
@@ -112,6 +117,7 @@ class Scrub:
             clock=self.clock,
             buffer_capacity=self._buffer_capacity,
             flush_batch_size=self._flush_batch_size,
+            impact_budget=self._impact_budget,
         )
         self.directory.add_host(name, agent, services=services, datacenter=datacenter)
         return agent

@@ -24,7 +24,7 @@ bookkeeping these estimators need.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from scipy import stats as _stats
@@ -121,6 +121,30 @@ class ApproxEstimate:
     def __str__(self) -> str:
         pct = self.confidence * 100
         return f"{self.estimate:.6g} ± {self.error_bound:.6g} ({pct:.0f}% CI)"
+
+    def widened(self, shed_fraction: float) -> "ApproxEstimate":
+        """Inflate the CI for governor shedding (load-shed events).
+
+        Eqs. 1–3 assume the event stage is a *random* sample of the M_i
+        matched events.  Shedding breaks that: during an over-budget
+        interval the agent drops every matched event, so the retained
+        values are time-biased, not random.  The honest response is a
+        wider bound: with a fraction ``f`` of matched events shed, the
+        half-width is scaled by ``1/(1-f)`` (and the variance by its
+        square) — bounds degrade smoothly toward "no information" as
+        shedding approaches 100%.  The point estimate is untouched: it
+        is still the best available value, just less certain.
+        """
+        if shed_fraction <= 0.0:
+            return self
+        if shed_fraction >= 1.0 or not math.isfinite(self.error_bound):
+            return replace(self, error_bound=math.inf, variance=math.inf)
+        scale = 1.0 / (1.0 - shed_fraction)
+        return replace(
+            self,
+            error_bound=self.error_bound * scale,
+            variance=self.variance * scale * scale,
+        )
 
 
 def estimate_sum(

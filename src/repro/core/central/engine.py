@@ -55,6 +55,10 @@ class CentralStats:
     bytes_received: int = 0
     windows_emitted: int = 0
     rows_emitted: int = 0
+    #: Matched events host governors shed (reported on batches).
+    events_shed: int = 0
+    #: (query, host) quarantine notices received from host governors.
+    quarantines_reported: int = 0
 
 
 @dataclass
@@ -101,6 +105,11 @@ class _RunningQuery:
         self.targeted_hosts = targeted_hosts
         self.results = ResultSet(spec.query_id, spec.column_names)
         self.dropped_by_window: dict[int, int] = {}
+        #: window -> host -> governor-shed counts attributed to it.
+        self.shed_by_window: dict[int, dict[str, int]] = {}
+        #: host -> structured governor quarantine reason (permanent: the
+        #: host stays quarantined for every later window of this query).
+        self.quarantined: dict[str, str] = {}
         self.hosts_by_window: dict[int, set[str]] = {}
         self.late_since_close = 0
         # Estimation applies to global aggregates over one source under
@@ -282,6 +291,19 @@ class CentralEngine:
                 rq.dropped_by_window.get(window, 0) + batch.dropped
             )
 
+        if batch.shed:
+            # Same attribution rule as drops: the latest open window.
+            open_windows = rq.tracker.open_windows
+            window = open_windows[-1] if open_windows else 0
+            per_host = rq.shed_by_window.setdefault(window, {})
+            per_host[batch.host] = per_host.get(batch.host, 0) + batch.shed
+            self.stats.events_shed += batch.shed
+
+        if batch.quarantined:
+            if batch.host not in rq.quarantined:
+                self.stats.quarantines_reported += 1
+            rq.quarantined[batch.host] = batch.quarantined
+
         for partial in batch.partials:
             self._ingest_partial(rq, batch.host, partial)
 
@@ -459,19 +481,26 @@ class CentralEngine:
         if state is None:
             state = rq.processor.make_window_state()
 
+        shed_hosts = rq.shed_by_window.pop(window, {})
         estimates: dict[str, ApproxEstimate] = {}
         overrides: dict[AggregateCall, Any] = {}
         if rq.estimable:
-            estimates, overrides = self._estimate_window(rq, window)
+            estimates, overrides = self._estimate_window(rq, window, shed_hosts)
         rows = state.finalize(rq.scale_factor, overrides or None)
 
         reporting = rq.hosts_by_window.pop(window, set())
+        shard_gaps = self._shard_gaps_for(rq, window)
         coverage: Optional[WindowCoverage] = None
-        if rq.targeted_names:
+        if rq.targeted_names or shard_gaps or shed_hosts or rq.quarantined:
             states = dict(rq.delivery_state()) if rq.delivery_state else {}
             missing: dict[str, str] = {}
             for host in rq.targeted_names:
                 if host in reporting:
+                    continue
+                if host in rq.quarantined:
+                    # The host's governor auto-uninstalled this query; it
+                    # will never report again, whatever its link state.
+                    missing[host] = "quarantined"
                     continue
                 state_name = states.get(host, "silent")
                 if state_name == "connected":
@@ -483,6 +512,9 @@ class CentralEngine:
                 expected=rq.targeted_names,
                 reporting=tuple(sorted(reporting)),
                 missing=missing,
+                shard_gaps=shard_gaps,
+                shed=dict(shed_hosts),
+                quarantined=dict(rq.quarantined),
             )
 
         result = WindowResult(
@@ -493,6 +525,7 @@ class CentralEngine:
             rows=rows,
             estimates=estimates,
             host_dropped=rq.dropped_by_window.pop(window, 0),
+            host_shed=sum(shed_hosts.values()),
             late_events=rq.late_since_close,
             contributing_hosts=len(reporting),
             coverage=coverage,
@@ -506,8 +539,24 @@ class CentralEngine:
             self._on_window(result)
         return result
 
+    def _shard_gaps_for(self, rq: _RunningQuery, window: int) -> dict[str, str]:
+        """Central-side coverage gaps for one window; the serial engine
+        has none — the ShardPool supervisor overrides this to report
+        worker-respawn data loss."""
+        del rq, window
+        return {}
+
+    def quarantines(self) -> dict[str, dict[str, str]]:
+        """Governor quarantines reported by hosts, per running query:
+        query_id -> host -> structured reason (for STATS surfaces)."""
+        return {
+            query_id: dict(rq.quarantined)
+            for query_id, rq in self._queries.items()
+            if rq.quarantined
+        }
+
     def _estimate_window(
-        self, rq: _RunningQuery, window: int
+        self, rq: _RunningQuery, window: int, shed_hosts: Mapping[str, int] = {}
     ) -> tuple[dict[str, ApproxEstimate], dict[AggregateCall, Any]]:
         """Multi-stage sampling estimates for a global aggregate window."""
         per_host = rq.host_acc.get(window, {})
@@ -555,6 +604,26 @@ class CentralEngine:
                     estimates[column] = avg_estimate
                     if math.isfinite(avg_estimate.estimate) and count_estimate.estimate:
                         overrides[agg] = avg_estimate.estimate
+
+        # Governor shedding breaks the random-event-sample assumption of
+        # Eqs. 1–3: during an over-budget interval every matched event is
+        # dropped, so the retained values are time-biased.  Widen the
+        # value-based bounds (SUM/AVG) by the shed fraction of the
+        # matched population.  COUNT stays exact: shed events still
+        # increment the host's M_i (they matched before they were shed).
+        shed_total = sum(shed_hosts.values())
+        if shed_total:
+            seen_total = sum(match_counts)
+            fraction = (
+                1.0 if seen_total <= 0 else min(shed_total / seen_total, 1.0)
+            )
+            value_columns = {
+                self._column_for_agg(rq, rq.processor.agg_calls[i])
+                for i in rq.estimable_aggs
+                if rq.processor.agg_calls[i].func in ("SUM", "AVG")
+            }
+            for column in value_columns & estimates.keys():
+                estimates[column] = estimates[column].widened(fraction)
         return estimates, overrides
 
     @staticmethod

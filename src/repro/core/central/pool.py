@@ -1,4 +1,4 @@
-"""Process-parallel ScrubCentral: a pool of shard worker processes.
+"""Process-parallel ScrubCentral: a supervised pool of shard workers.
 
 The paper runs ScrubCentral as a dedicated multi-machine facility
 (Section 4); this module is the single-box analogue — N OS processes,
@@ -24,11 +24,26 @@ Raw-selection queries (no aggregates, no GROUP BY) stay on the parent:
 their output rows must preserve arrival order, which a fan-out/merge
 would have to re-sequence for no gain — they are cheap per event.
 
+**Self-healing** (docs/SCALING.md §"Worker failure & load shedding"):
+the parent supervises its workers.  A pipe error during ingest or
+broadcast, a dead pipe at window close, or a worker that fails to
+answer a close within ``worker_timeout`` seconds (hung — e.g. SIGSTOP)
+triggers a **respawn**: the worker process is killed and replaced, the
+shard's active queries are re-registered on the fresh process, and —
+because the dead worker's in-flight window state is unrecoverable — the
+loss is reported as *degraded coverage*: every window open at respawn
+time carries a ``shard_gaps`` entry naming the shard and the reason in
+its :class:`WindowCoverage`.  The pool itself never poisons: all
+parent-side accounting (M_i counts, drops, shed, coverage) is
+untouched, per-query failure isolation is preserved, and ``close()``
+stays idempotent with dead workers in any state.
+
 The boundary is the pickle-able event codec: events cross the pipe via
 ``Event.__reduce__``, aggregate states come back via their flat pickle
 forms.  Everything observable — results, stats, coverage, drop/late
-accounting — matches the serial engine exactly; ``benchmarks/run_bench.py``
-and ``tests/core/test_shard_pool.py`` pin that equivalence.
+accounting — matches the serial engine exactly in fault-free runs;
+``benchmarks/run_bench.py`` and ``tests/core/test_shard_pool.py`` pin
+that equivalence with supervision enabled.
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import warnings
-from typing import Callable, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from ..agent.transport import EventBatch
 from ..query.errors import ScrubExecutionError
@@ -44,7 +59,11 @@ from ..query.planner import CentralQueryObject
 from .engine import DEFAULT_GRACE_SECONDS, CentralEngine, _RunningQuery
 from .results import ResultSet, WindowResult
 
-__all__ = ["ShardPool"]
+__all__ = ["ShardPool", "DEFAULT_WORKER_TIMEOUT"]
+
+#: Seconds the parent waits for a worker's window-close reply before it
+#: declares the worker hung and respawns it.
+DEFAULT_WORKER_TIMEOUT = 10.0
 
 
 def _worker_main(conn, grace_seconds: float) -> None:
@@ -129,12 +148,29 @@ def _collect_window(engine: CentralEngine, query_id: str, window: int):
     return (state.groups, state.rows_processed, host_values)
 
 
+class _Worker:
+    """One supervised shard worker: its process, pipe, and generation."""
+
+    __slots__ = ("index", "proc", "conn", "generation")
+
+    def __init__(self, index: int, proc, conn, generation: int) -> None:
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.generation = generation
+
+
+class _WorkerHung(Exception):
+    """Internal: a worker missed its close-reply heartbeat deadline."""
+
+
 class ShardPool(CentralEngine):
     """A drop-in CentralEngine that fans aggregation out to N processes.
 
     The public surface is exactly the serial engine's — ``register`` /
     ``ingest`` / ``advance`` / ``finish`` — plus ``close()`` (also via
-    context manager) to reap the worker processes.
+    context manager) to reap the worker processes, and ``pool_health()``
+    for the supervisor's respawn accounting.
     """
 
     def __init__(
@@ -142,30 +178,127 @@ class ShardPool(CentralEngine):
         workers: Optional[int] = None,
         grace_seconds: float = DEFAULT_GRACE_SECONDS,
         on_window: Optional[Callable[[WindowResult], None]] = None,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
     ) -> None:
         super().__init__(grace_seconds, on_window)
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        if worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
+        self._worker_timeout = worker_timeout
+        self._grace_seconds = grace_seconds
         methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-        self._conns = []
-        self._procs = []
-        for i in range(self.workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, grace_seconds),
-                name=f"scrub-shard-{i}",
-                daemon=True,
-            )
-            with warnings.catch_warnings():
-                # Python 3.12 warns when forking a process that has ever
-                # started a thread; the workers only read their pipe.
-                warnings.simplefilter("ignore", DeprecationWarning)
-                proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        #: Supervisor accounting: how many times a worker was respawned,
+        #: and why (index, generation, reason per event).
+        self.worker_respawns = 0
+        self._respawn_log: list[dict[str, Any]] = []
+        self._workers: list[_Worker] = [
+            self._spawn(i, generation=0) for i in range(self.workers)
+        ]
         self._closed = False
+
+    # Back-compat views (tests and tooling peek at these).
+    @property
+    def _procs(self) -> list:
+        return [w.proc for w in self._workers]
+
+    @property
+    def _conns(self) -> list:
+        return [w.conn for w in self._workers]
+
+    # -- supervision -----------------------------------------------------------
+
+    def _spawn(self, index: int, generation: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._grace_seconds),
+            name=f"scrub-shard-{index}.{generation}",
+            daemon=True,
+        )
+        with warnings.catch_warnings():
+            # Python 3.12 warns when forking a process that has ever
+            # started a thread; the workers only read their pipe.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            proc.start()
+        child_conn.close()
+        return _Worker(index, proc, parent_conn, generation)
+
+    def _supervise(self, index: int, reason: str) -> None:
+        """Replace a dead or hung worker and account for the data gap.
+
+        The fresh process gets every active parallel query re-registered;
+        whatever the dead worker held for currently-open windows is gone,
+        so each such window is marked with a ``shard_gaps`` coverage
+        entry instead of poisoning the pool or the query.
+        """
+        if self._closed:
+            return
+        old = self._workers[index]
+        if old.proc.is_alive():
+            # Hung (e.g. SIGSTOP): SIGKILL works even on a stopped process.
+            old.proc.kill()
+        old.proc.join(timeout=5)
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+        fresh = self._spawn(index, generation=old.generation + 1)
+        self._workers[index] = fresh
+        self.worker_respawns += 1
+        gap_reason = f"worker respawned: {reason}"
+        self._respawn_log.append(
+            {"shard": index, "generation": fresh.generation, "reason": reason}
+        )
+        for rq in self._queries.values():
+            if not getattr(rq, "parallel", False):
+                continue
+            try:
+                fresh.conn.send(("register", rq.spec))
+            except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+                break
+            self._mark_gap(rq, index, gap_reason)
+
+    def _mark_gap(self, rq: _RunningQuery, index: int, gap_reason: str) -> None:
+        """Record the shard's data loss on every window still open: the
+        dead worker's slices of those windows are unrecoverable."""
+        gaps = rq.shard_gaps  # created in register()
+        for window in rq.tracker.open_windows:
+            gaps.setdefault(window, {})[f"shard-{index}"] = gap_reason
+
+    def _shard_gaps_for(self, rq: _RunningQuery, window: int) -> dict[str, str]:
+        gaps = getattr(rq, "shard_gaps", None)
+        if not gaps:
+            return {}
+        return gaps.pop(window, {})
+
+    def pool_health(self) -> dict[str, Any]:
+        """Supervisor view: worker liveness and respawn history."""
+        return {
+            "workers": self.workers,
+            "alive": sum(1 for w in self._workers if w.proc.is_alive()),
+            "respawns": self.worker_respawns,
+            "respawn_log": list(self._respawn_log),
+        }
+
+    def _send_to_worker(self, index: int, message: tuple, reason: str) -> bool:
+        """Send with supervision: on a dead pipe, respawn and retry once
+        (the fresh worker has the queries re-registered, so the retried
+        slice lands instead of widening the gap).  Returns False only
+        when even the fresh worker could not be reached."""
+        try:
+            self._workers[index].conn.send(message)
+            return True
+        except (BrokenPipeError, EOFError, OSError):
+            self._supervise(index, reason)
+        try:
+            self._workers[index].conn.send(message)
+            return True
+        except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
+            return False
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -188,6 +321,9 @@ class ShardPool(CentralEngine):
         # Raw selections preserve arrival order on the parent; everything
         # aggregating fans out.
         rq.parallel = rq.processor.is_aggregating
+        #: window -> {"shard-<i>": reason} respawn gaps, reported as
+        #: degraded coverage when the window closes.
+        rq.shard_gaps = {}
         if rq.parallel:
             self._broadcast(("register", spec))
 
@@ -205,22 +341,34 @@ class ShardPool(CentralEngine):
         return results
 
     def close(self) -> None:
-        """Stop and reap the worker processes (idempotent)."""
+        """Stop and reap the worker processes.
+
+        Idempotent, and safe whatever state the workers are in: a dead
+        worker's pipe error is swallowed, a stopped worker that ignores
+        the graceful stop is terminated and, failing that, SIGKILLed.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for worker in self._workers:
             try:
-                conn.send(("stop",))
+                worker.conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self._procs:
+        for worker in self._workers:
+            proc = worker.proc
             proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
+            if proc.is_alive():
                 proc.terminate()
+                proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - stopped/unkillable
+                proc.kill()
                 proc.join(timeout=5)
-        for conn in self._conns:
-            conn.close()
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -246,7 +394,6 @@ class ShardPool(CentralEngine):
         if not batch.events:
             return
         query_id = batch.query_id
-        conns = self._conns
         n = self.workers
         for window, events in self._segment_events(rq, batch.events).items():
             hosts = rq.hosts_by_window.get(window)
@@ -255,38 +402,84 @@ class ShardPool(CentralEngine):
             for event in events:
                 hosts.add(event.host)
             if n == 1:
-                conns[0].send(("events", query_id, window, events))
+                self._send_to_worker(
+                    0, ("events", query_id, window, events),
+                    "pipe error during ingest",
+                )
                 continue
             shards: list[list] = [[] for _ in range(n)]
             for event in events:
                 shards[event.request_id % n].append(event)
             for index, shard_events in enumerate(shards):
                 if shard_events:
-                    conns[index].send(("events", query_id, window, shard_events))
+                    self._send_to_worker(
+                        index, ("events", query_id, window, shard_events),
+                        "pipe error during ingest",
+                    )
 
     # -- window close ----------------------------------------------------------
 
     def _close_window(self, rq: _RunningQuery, window: int) -> WindowResult:
         if getattr(rq, "parallel", False):
             query_id = rq.spec.query_id
-            for conn in self._conns:
-                conn.send(("close", query_id, window))
             state = rq.windows.get(window)
             if state is None:
                 state = rq.windows[window] = rq.processor.make_window_state()
+            # A worker supervised here loses this window's slice; the
+            # query may already be unregistered (finish() pops first), so
+            # mark the gap on this rq explicitly as well.
+            gap = lambda index, why: rq.shard_gaps.setdefault(  # noqa: E731
+                window, {}
+            ).setdefault(f"shard-{index}", f"worker respawned: {why}")
+            asked: list[_Worker] = []
+            for index in range(self.workers):
+                worker = self._workers[index]
+                try:
+                    worker.conn.send(("close", query_id, window))
+                except (BrokenPipeError, EOFError, OSError):
+                    why = "pipe error at window close"
+                    self._supervise(index, why)
+                    gap(index, why)
+                    continue
+                asked.append(worker)
+            errors: list[str] = []
             # Replies are merged in worker-index order: a fixed order keeps
             # merged float sums and Space-Saving contents deterministic.
-            for index, conn in enumerate(self._conns):
-                reply = conn.recv()
-                if reply[0] == "error":
-                    raise ScrubExecutionError(
-                        f"shard worker {index} failed for query {query_id}: {reply[1]}"
+            for worker in asked:
+                index = worker.index
+                try:
+                    if not worker.conn.poll(self._worker_timeout):
+                        raise _WorkerHung()
+                    reply = worker.conn.recv()
+                except _WorkerHung:
+                    why = (
+                        f"no close reply within {self._worker_timeout:g}s (hung)"
                     )
+                    self._supervise(index, why)
+                    gap(index, why)
+                    continue
+                except (EOFError, OSError):
+                    why = "worker died at window close"
+                    self._supervise(index, why)
+                    gap(index, why)
+                    continue
+                if reply[0] == "error":
+                    # Per-query failure isolation: remember, keep draining
+                    # the other workers (their replies are already queued;
+                    # abandoning them would desynchronize the pipes), then
+                    # fail this query only.
+                    errors.append(
+                        f"shard worker {index} failed for query {query_id}: "
+                        f"{reply[1]}"
+                    )
+                    continue
                 _, groups, rows_processed, host_values = reply
                 if groups or rows_processed:
                     state.merge_groups(groups, rows_processed)
                 if host_values:
                     self._merge_host_values(rq, window, host_values)
+            if errors:
+                raise ScrubExecutionError("; ".join(errors))
         return super()._close_window(rq, window)
 
     def _merge_host_values(
@@ -302,5 +495,5 @@ class ShardPool(CentralEngine):
     # -- plumbing --------------------------------------------------------------
 
     def _broadcast(self, message: tuple) -> None:
-        for conn in self._conns:
-            conn.send(message)
+        for index in range(self.workers):
+            self._send_to_worker(index, message, "pipe error during broadcast")

@@ -33,23 +33,48 @@ class WindowCoverage:
     ``missing`` maps each absent host to its delivery state at window
     close: ``"silent"`` (connected, nothing matched or arrived),
     ``"disconnected"``, ``"lease-expired"``, ``"unreachable"`` (an
-    install push failed), or ``"never-seen"`` (recovered from the
-    journal; the host has not re-attached).
+    install push failed), ``"never-seen"`` (recovered from the
+    journal; the host has not re-attached), or ``"quarantined"`` (the
+    host's impact governor auto-uninstalled the query).
+
+    Three further degradation sources are named explicitly so partial
+    numbers are never silently partial:
+
+    * ``shard_gaps`` — central-side loss: a ShardPool worker process
+      died or hung while this window was open, so its in-flight slice
+      of the window is gone; maps ``"shard-<i>"`` to the supervisor's
+      respawn reason.
+    * ``shed`` — host-side load shedding: per reporting host, how many
+      matched events the impact governor dropped-with-count for this
+      window (the estimator widens its bounds by the shed fraction).
+    * ``quarantined`` — per host, the structured reason its governor
+      auto-uninstalled this query (the host stops reporting for good).
     """
 
     expected: tuple[str, ...]
     reporting: tuple[str, ...]
     missing: dict[str, str]
+    #: Central-side worker-respawn gaps: "shard-<i>" -> reason.
+    shard_gaps: dict[str, str] = field(default_factory=dict)
+    #: Host -> matched events the governor shed into this window.
+    shed: dict[str, int] = field(default_factory=dict)
+    #: Host -> structured quarantine reason (governor auto-uninstall).
+    quarantined: dict[str, str] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
-        return bool(self.missing)
+        return bool(
+            self.missing or self.shard_gaps or self.shed or self.quarantined
+        )
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "expected": list(self.expected),
             "reporting": list(self.reporting),
             "missing": dict(self.missing),
+            "shard_gaps": dict(self.shard_gaps),
+            "shed": dict(self.shed),
+            "quarantined": dict(self.quarantined),
         }
 
 
@@ -83,6 +108,9 @@ class WindowResult:
     estimates: dict[str, ApproxEstimate] = field(default_factory=dict)
     #: Events dropped on hosts (full buffers) attributed to this window's span.
     host_dropped: int = 0
+    #: Matched events the hosts' impact governors shed (drop-with-count)
+    #: attributed to this window's span.
+    host_shed: int = 0
     #: Events that arrived after the window had closed and were discarded.
     late_events: int = 0
     #: Hosts that contributed at least one batch overlapping this window.
@@ -154,6 +182,10 @@ class ResultSet:
         return sum(w.host_dropped for w in self.windows)
 
     @property
+    def total_host_shed(self) -> int:
+        return sum(w.host_shed for w in self.windows)
+
+    @property
     def total_late_events(self) -> int:
         return sum(w.late_events for w in self.windows)
 
@@ -166,15 +198,26 @@ class ResultSet:
         """Whole-query delivery health: how many windows were degraded and
         which hosts went missing (host -> windows missed)."""
         missed: dict[str, int] = {}
+        gapped: dict[str, int] = {}
+        shed: dict[str, int] = {}
+        quarantined: dict[str, str] = {}
         for window in self.windows:
             if window.coverage is None:
                 continue
             for host in window.coverage.missing:
                 missed[host] = missed.get(host, 0) + 1
+            for shard in window.coverage.shard_gaps:
+                gapped[shard] = gapped.get(shard, 0) + 1
+            for host, count in window.coverage.shed.items():
+                shed[host] = shed.get(host, 0) + count
+            quarantined.update(window.coverage.quarantined)
         return {
             "windows": len(self.windows),
             "degraded_windows": len(self.degraded_windows),
             "hosts_missed": missed,
+            "shard_gaps": gapped,
+            "hosts_shed": shed,
+            "hosts_quarantined": quarantined,
         }
 
     def window_starting_at(self, start: float) -> Optional[WindowResult]:
@@ -209,6 +252,7 @@ class ResultSet:
                         for name, est in w.estimates.items()
                     },
                     "host_dropped": w.host_dropped,
+                    "host_shed": w.host_shed,
                     "late_events": w.late_events,
                     "coverage": (
                         None if w.coverage is None else w.coverage.as_dict()
@@ -239,10 +283,26 @@ class ResultSet:
             degraded = ""
             if window.degraded:
                 assert window.coverage is not None
-                degraded = "  (degraded: missing " + ", ".join(
-                    f"{host}[{state}]"
-                    for host, state in sorted(window.coverage.missing.items())
-                ) + ")"
+                parts = []
+                if window.coverage.missing:
+                    parts.append("missing " + ", ".join(
+                        f"{host}[{state}]"
+                        for host, state in sorted(window.coverage.missing.items())
+                    ))
+                if window.coverage.shard_gaps:
+                    parts.append("gaps " + ", ".join(
+                        sorted(window.coverage.shard_gaps)
+                    ))
+                if window.coverage.shed:
+                    parts.append("shed " + ", ".join(
+                        f"{host}:{count}"
+                        for host, count in sorted(window.coverage.shed.items())
+                    ))
+                if window.coverage.quarantined:
+                    parts.append("quarantined " + ", ".join(
+                        sorted(window.coverage.quarantined)
+                    ))
+                degraded = "  (degraded: " + "; ".join(parts) + ")"
             lines.append(
                 f"-- window [{window.window_start:g}, {window.window_end:g})"
                 + (f"  (+{window.late_events} late)" if window.late_events else "")

@@ -18,12 +18,21 @@ the host (counted), their leases expire at the daemon, and on
 Determinism: every link gets its own ``random.Random`` seeded from
 ``(seed, link ordinal)``, so a failing chaos test replays identically.
 
+Besides wire faults, this module injects **process faults** into a
+:class:`~repro.core.central.pool.ShardPool`: :func:`sigkill_worker`
+crash-kills one shard worker by index (the supervisor must respawn it
+and report the coverage gap), :func:`sigstop_worker` freezes one (a
+hung worker — the supervisor's close-reply heartbeat must detect it),
+and :func:`sigcont_worker` thaws a frozen one.
+
 Test-only by design — nothing in the production path imports this.
 """
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import socket
 import threading
 from dataclasses import dataclass, field
@@ -31,7 +40,55 @@ from typing import Iterable, Optional
 
 from .protocol import MsgType, ProtocolError, encode_frame, recv_frame
 
-__all__ = ["ChaosProxy", "FaultPlan"]
+__all__ = [
+    "ChaosProxy",
+    "FaultPlan",
+    "sigcont_worker",
+    "sigkill_worker",
+    "sigstop_worker",
+]
+
+
+# -- process faults (ShardPool workers) ----------------------------------------
+
+
+def _worker_pid(pool, index: int) -> int:
+    procs = pool._procs
+    if not 0 <= index < len(procs):
+        raise IndexError(f"pool has {len(procs)} workers; no index {index}")
+    pid = procs[index].pid
+    if pid is None:
+        raise RuntimeError(f"worker {index} has no pid (not started?)")
+    return pid
+
+
+def sigkill_worker(pool, index: int) -> int:
+    """Crash-kill shard worker *index* (SIGKILL — no cleanup, exactly the
+    fault a segfault or OOM kill produces).  Returns the dead pid."""
+    pid = _worker_pid(pool, index)
+    os.kill(pid, signal.SIGKILL)
+    pool._procs[index].join(timeout=5)
+    return pid
+
+
+def sigstop_worker(pool, index: int) -> int:
+    """Freeze shard worker *index* (SIGSTOP): the process stays alive but
+    stops answering — the hung-worker case.  Returns the pid."""
+    pid = _worker_pid(pool, index)
+    os.kill(pid, signal.SIGSTOP)
+    return pid
+
+
+def sigcont_worker(pool, index: int) -> int:
+    """Thaw a SIGSTOPped worker; harmless if the supervisor already
+    replaced it (the pid is then reaped, and kill raises ProcessLookupError
+    which is swallowed).  Returns the pid signalled (or -1)."""
+    try:
+        pid = _worker_pid(pool, index)
+        os.kill(pid, signal.SIGCONT)
+        return pid
+    except (IndexError, RuntimeError, ProcessLookupError):
+        return -1
 
 
 @dataclass(frozen=True)

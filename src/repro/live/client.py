@@ -24,6 +24,7 @@ import time
 from typing import Any, Callable, Iterable, Mapping, Optional
 
 from ..core.agent.agent import ScrubAgent
+from ..core.agent.governor import ImpactBudget
 from ..core.central.results import ResultSet
 from ..core.events import EventRegistry, EventSchema
 from ..core.query.errors import ScrubError
@@ -89,6 +90,7 @@ class LiveAgent:
         reconnect: bool = True,
         reconnect_backoff_base: float = 0.1,
         reconnect_backoff_cap: float = 2.0,
+        impact_budget: Optional[ImpactBudget] = None,
     ) -> None:
         self.address = address
         self.host = host
@@ -110,6 +112,7 @@ class LiveAgent:
             clock=clock,
             buffer_capacity=buffer_capacity,
             flush_batch_size=flush_batch_size,
+            impact_budget=impact_budget,
         )
         self._control: Optional[socket.socket] = None
         self._reader: Optional[threading.Thread] = None

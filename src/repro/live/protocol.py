@@ -213,6 +213,7 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
                     for name, est in w.estimates.items()
                 },
                 "host_dropped": w.host_dropped,
+                "host_shed": w.host_shed,
                 "late_events": w.late_events,
                 "contributing_hosts": w.contributing_hosts,
                 "coverage": None if w.coverage is None else w.coverage.as_dict(),
@@ -245,6 +246,7 @@ def resultset_from_payload(payload: dict[str, Any]) -> ResultSet:
                     for name, est in w["estimates"].items()
                 },
                 host_dropped=w["host_dropped"],
+                host_shed=w.get("host_shed", 0),
                 late_events=w["late_events"],
                 contributing_hosts=w["contributing_hosts"],
                 coverage=_coverage_from_payload(w.get("coverage")),
@@ -260,6 +262,10 @@ def _coverage_from_payload(payload: Optional[dict[str, Any]]) -> Optional[Window
         expected=tuple(payload["expected"]),
         reporting=tuple(payload["reporting"]),
         missing=dict(payload["missing"]),
+        # .get(): tolerate payloads journaled before these fields existed.
+        shard_gaps=dict(payload.get("shard_gaps", {})),
+        shed={host: int(n) for host, n in payload.get("shed", {}).items()},
+        quarantined=dict(payload.get("quarantined", {})),
     )
 
 

@@ -704,6 +704,17 @@ class ScrubDaemon:
             "install_failures": install_failures,
             "activates_at": activates_at,
             "expires_at": expires_at,
+            # Central execution mode, so the submitter can interpret any
+            # later shard_gaps coverage entries: a pooled daemon names its
+            # worker count and how often the supervisor has respawned one.
+            "central": {
+                "workers": self.workers,
+                "worker_respawns": (
+                    self.engine.worker_respawns
+                    if isinstance(self.engine, ShardPool)
+                    else 0
+                ),
+            },
         }
 
     def _next_query_id(self) -> str:
@@ -782,7 +793,17 @@ class ScrubDaemon:
                 "bytes_received": stats.bytes_received,
                 "windows_emitted": stats.windows_emitted,
                 "rows_emitted": stats.rows_emitted,
+                "events_shed": stats.events_shed,
+                "quarantines_reported": stats.quarantines_reported,
             },
+            # Host-governor quarantines per running query (query -> host ->
+            # structured reason) and, when pooled, supervisor health.
+            "quarantines": self.engine.quarantines(),
+            "pool": (
+                self.engine.pool_health()
+                if isinstance(self.engine, ShardPool)
+                else None
+            ),
         }
 
     # -- the real-clock tick -------------------------------------------------------------

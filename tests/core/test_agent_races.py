@@ -1,0 +1,96 @@
+"""Agent thread-safety: uninstall() racing a concurrent flusher.
+
+The agent promises that every matched event lands in exactly one of
+shipped / dropped / shed, even while a flusher thread drains the buffer
+concurrently with application ``log()`` calls and an ``uninstall()``.
+Conservation is checked entirely on the wire: batches carry both the
+events and the seen/drop counters, so summing over every batch the
+transport ever saw must reproduce the invariant exactly — an orphaned
+counter or a double-drained buffer shows up as an imbalance.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.agent import RecordingTransport, ScrubAgent
+from repro.core.api import ManualClock
+from repro.core.events import EventRegistry
+from repro.core.query import parse_query, plan_query, validate_query
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("pv", [("url", "string")])
+    return r
+
+
+def host_objects(text, registry, query_id="q1"):
+    plan = plan_query(validate_query(parse_query(text), registry), query_id)
+    return plan.host_objects
+
+
+def test_uninstall_racing_flush_conserves_counters(registry):
+    """3 rounds of install → flood → uninstall-mid-flood, with a flusher
+    thread spinning the whole time on a deliberately tiny buffer (64) so
+    drops are certain and every code path in flush() races uninstall()."""
+    clock = ManualClock(start=1.0)
+    transport = RecordingTransport()
+    agent = ScrubAgent(
+        "h1", registry, transport, clock=clock,
+        buffer_capacity=64, flush_batch_size=10_000,
+    )
+    stop = threading.Event()
+
+    def flusher():
+        while not stop.is_set():
+            agent.flush()
+
+    thread = threading.Thread(target=flusher, name="flusher", daemon=True)
+    thread.start()
+    try:
+        for round_no in range(3):
+            query_id = f"q{round_no}"
+            (obj,) = host_objects(
+                "select pv.url from pv window 60s;", registry, query_id
+            )
+            agent.install(obj)
+            for i in range(4000):
+                agent.log("pv", url=f"/{i % 7}", request_id=i)
+                if i == 2000:
+                    # Race the flusher: expire + final flush + removal,
+                    # while log() keeps arriving (post-uninstall events
+                    # take the fast path and must not be counted).
+                    assert agent.uninstall(query_id) is True
+            assert agent.uninstall(query_id) is False
+            assert query_id not in agent.active_query_ids
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+    assert not thread.is_alive()
+    agent.flush()
+
+    # Wire-side conservation, per query and in total: every seen event is
+    # in a batch or in a drop counter — no orphans, no double counting.
+    per_query: dict[str, dict[str, int]] = {}
+    for batch in transport.batches:
+        acc = per_query.setdefault(
+            batch.query_id, {"seen": 0, "shipped": 0, "dropped": 0, "shed": 0}
+        )
+        acc["seen"] += sum(batch.seen_counts.values())
+        acc["shipped"] += len(batch.events)
+        acc["dropped"] += batch.dropped
+        acc["shed"] += batch.shed
+    assert set(per_query) == {"q0", "q1", "q2"}
+    for query_id, acc in per_query.items():
+        assert acc["seen"] == 2001, query_id  # logs 0..2000 inclusive
+        assert acc["shed"] == 0, query_id  # no governor installed
+        assert acc["dropped"] > 0, query_id  # the tiny buffer did overflow
+        assert acc["seen"] == acc["shipped"] + acc["dropped"] + acc["shed"], query_id
+
+    # Nothing was left behind in the agent either.
+    assert agent.stats.events_matched == 3 * 2001
+    assert agent.flush() == 0

@@ -1,0 +1,131 @@
+"""Process-fault chaos for the ShardPool: SIGKILL and SIGSTOP a worker
+mid-scenario and hold the supervisor to its contract — the pool keeps
+serving, the lost slice is *named* as a shard gap in degraded coverage,
+and the parent-side accounting (seen / dropped / shed) stays exact
+through the respawn because it never lived in the worker.
+
+Marked ``chaos_pool``: CI runs these in their own step, guarded by the
+pytest-timeout ceiling, so a wedged supervisor fails loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent.transport import EventBatch
+from repro.core.central.pool import ShardPool
+from repro.core.events import Event, EventRegistry
+from repro.core.query import parse_query, plan_query, validate_query
+from repro.live.chaos import sigcont_worker, sigkill_worker, sigstop_worker
+
+pytestmark = pytest.mark.chaos_pool
+
+QUERY = (
+    "select bid.exchange_id, COUNT(*), SUM(bid.bid_price) "
+    "from bid window 60s group by bid.exchange_id;"
+)
+
+
+def _registry() -> EventRegistry:
+    registry = EventRegistry()
+    registry.define("bid", [("exchange_id", "long"), ("bid_price", "double")])
+    return registry
+
+
+def _plan(registry, query_id="q1"):
+    return plan_query(validate_query(parse_query(QUERY), registry), query_id)
+
+
+def _batch(window: int, host: str, n: int = 60, rid_base: int = 0,
+           dropped: int = 0, shed: int = 0) -> EventBatch:
+    events = [
+        Event(
+            "bid",
+            {"exchange_id": i % 4, "bid_price": (i % 8) * 0.25},
+            rid_base + i,
+            window * 60.0 + (i % 60),
+            host,
+        )
+        for i in range(n)
+    ]
+    return EventBatch(
+        host=host, query_id="q1", events=events,
+        seen_counts={("bid", window): n + dropped + shed},
+        dropped=dropped, shed=shed,
+    )
+
+
+def test_sigkill_one_of_four_workers_mid_scenario():
+    registry = _registry()
+    sent_dropped = sent_shed = 0
+    with ShardPool(workers=4, grace_seconds=1.0) as pool:
+        pool.register(
+            _plan(registry).central_object,
+            planned_hosts=2, targeted_hosts=2, targeted_names=("h1", "h2"),
+        )
+        for host, dropped, shed in (("h1", 3, 5), ("h2", 0, 0)):
+            pool.ingest(_batch(0, host, dropped=dropped, shed=shed))
+            sent_dropped += dropped
+            sent_shed += shed
+
+        dead_pid = sigkill_worker(pool, 2)
+        assert dead_pid > 0
+
+        # The pool keeps serving: the kill is detected on the next send
+        # that touches shard 2, routed to the supervisor, never the caller.
+        pool.ingest(_batch(0, "h1", rid_base=60, dropped=1))
+        sent_dropped += 1
+        (w0,) = pool.advance(61.5)
+
+        # Degraded coverage names exactly the lost shard.
+        assert w0.coverage is not None and w0.coverage.degraded
+        assert list(w0.coverage.shard_gaps) == ["shard-2"]
+        assert "worker respawned" in w0.coverage.shard_gaps["shard-2"]
+
+        # Exact conservation across the respawn: dropped/shed counters are
+        # parent-side state and survive the worker loss to the byte.
+        assert w0.host_dropped == sent_dropped
+        assert w0.coverage.shed == {"h1": 5}
+
+        health = pool.pool_health()
+        assert health["alive"] == 4
+        assert health["respawns"] == 1
+        assert health["respawn_log"][0]["shard"] == 2
+
+        # Post-respawn windows are whole: re-registration worked, every
+        # event of window 1 is aggregated, coverage shows no gap.
+        for host in ("h1", "h2"):
+            pool.ingest(_batch(1, host, rid_base=120))
+        (w1,) = pool.advance(121.5)
+        assert w1.coverage.shard_gaps == {}
+        assert sum(row[1] for row in w1.rows) == 120
+
+        results = pool.finish("q1")
+        assert results.total_host_dropped == sent_dropped
+        assert results.total_host_shed == sent_shed
+
+
+def test_sigstop_hung_worker_detected_and_sigcont_is_harmless():
+    registry = _registry()
+    with ShardPool(workers=4, grace_seconds=1.0, worker_timeout=0.5) as pool:
+        pool.register(_plan(registry).central_object)
+        pool.ingest(_batch(0, "h1"))
+        sigstop_worker(pool, 1)
+
+        # The frozen worker's pipe stays open, so only the close-reply
+        # heartbeat can catch it: the parent waits worker_timeout, gives
+        # up, respawns, and degrades coverage for the open window.
+        (w0,) = pool.advance(61.5)
+        assert "hung" in w0.coverage.shard_gaps["shard-1"]
+        health = pool.pool_health()
+        assert health["alive"] == 4 and health["respawns"] == 1
+
+        # Thawing the replaced worker must be a no-op (the supervisor
+        # already SIGKILLed the frozen pid; the helper swallows the race).
+        sigcont_worker(pool, 1)
+
+        pool.ingest(_batch(1, "h1", rid_base=60))
+        (w1,) = pool.advance(121.5)
+        assert w1.coverage is None
+        assert sum(row[1] for row in w1.rows) == 60
+        pool.finish("q1")
