@@ -271,7 +271,12 @@ class _NullTransport:
         pass
 
 
-def _agent(buffer_capacity: int = 1_000_000) -> ScrubAgent:
+def _agent(
+    buffer_capacity: int = 1_000_000,
+    transport=None,
+    use_codegen: bool = True,
+    clock=None,
+) -> ScrubAgent:
     registry = EventRegistry()
     registry.define(
         "bid",
@@ -283,12 +288,15 @@ def _agent(buffer_capacity: int = 1_000_000) -> ScrubAgent:
         ],
     )
     registry.define("click", [("user_id", "long")])
+    kwargs = {} if clock is None else {"clock": clock}
     return ScrubAgent(
         "h1",
         registry,
-        _NullTransport(),
+        transport if transport is not None else _NullTransport(),
         buffer_capacity=buffer_capacity,
         flush_batch_size=10**9,
+        use_codegen=use_codegen,
+        **kwargs,
     )
 
 
@@ -303,11 +311,109 @@ def _install(agent: ScrubAgent, text: str, query_id: str = "q1") -> None:
 PAYLOAD = {"exchange_id": 5, "city": "San Jose", "bid_price": 1.25, "user_id": 7}
 
 
+def _install_disabled(agent):
+    _install(agent, "select COUNT(*) from click;")
+
+
+def _install_rejecting(agent):
+    _install(agent, "select COUNT(*) from bid where bid.exchange_id = 99;")
+
+
+def _install_shipping(agent):
+    _install(agent, "select COUNT(*) from bid;")
+
+
+def _install_sampled(agent):
+    _install(agent, "select COUNT(*) from bid sample events 1%;")
+
+
+def _install_eight(agent):
+    for i in range(8):
+        _install(
+            agent,
+            f"select COUNT(*) from bid where bid.exchange_id = {i};",
+            query_id=f"q{i}",
+        )
+
+
+def _install_dropping(agent):
+    _install(agent, "select COUNT(*) from bid;")
+    for i in range(4):
+        agent.log("bid", PAYLOAD, request_id=i)
+
+
+#: (regime name, buffer capacity, installer) — shared by the timing run
+#: and the codegen differential so both cover the same armed shapes.
+_FASTPATH_SCENARIOS = [
+    ("disabled_probe", 1_000_000, _install_disabled),
+    ("selection_rejects", 1_000_000, _install_rejecting),
+    ("match_and_ship", 1_000_000, _install_shipping),
+    ("match_sampled_out", 1_000_000, _install_sampled),
+    ("eight_queries", 1_000_000, _install_eight),
+    ("overload_drop", 4, _install_dropping),
+]
+
+#: The payload stream the differential replays: exercises matches,
+#: rejects, sampling decisions, missing fields and the drop path.
+_DIFF_PAYLOADS = [
+    PAYLOAD,
+    {"exchange_id": 99, "city": "Porto", "bid_price": 0.5, "user_id": 2},
+    {"exchange_id": 3, "city": "San Mateo", "bid_price": 2.0},
+    {"city": "Lisbon"},
+    {},
+]
+
+
+def check_fastpath_equivalence(quick: bool) -> None:
+    """Pin the generated dispatchers byte-identical to the closure path.
+
+    Every bench scenario is replayed through two agents — codegen on
+    and forced closures — with identical deterministic streams; return
+    values, the full stat counters, and the encoded batches they put on
+    the wire must match exactly.  Aborts the run otherwise (the same
+    contract as the central engine's mode equivalence).
+    """
+    from repro.core.agent import RecordingTransport
+    from repro.core.agent.transport import encode_full_batch
+
+    n = 500 if quick else 5_000
+    for name, capacity, installer in _FASTPATH_SCENARIOS:
+        outcomes = []
+        for use_codegen in (True, False):
+            transport = RecordingTransport()
+            # Byte-identical wire output needs identical timestamps: a
+            # deterministic clock replayed for both agents.
+            ticks = iter(range(10**9))
+            agent = _agent(
+                buffer_capacity=capacity,
+                transport=transport,
+                use_codegen=use_codegen,
+                clock=lambda t=ticks: next(t) * 1e-3,
+            )
+            installer(agent)
+            returns = [
+                agent.log(
+                    "bid", _DIFF_PAYLOADS[rid % len(_DIFF_PAYLOADS)], request_id=rid
+                )
+                for rid in range(n)
+            ]
+            agent.flush()
+            wire = sorted(encode_full_batch(b) for b in transport.batches)
+            outcomes.append((returns, wire, agent.stats))
+        (ret_a, wire_a, stats_a), (ret_b, wire_b, stats_b) = outcomes
+        if ret_a != ret_b or wire_a != wire_b or stats_a != stats_b:
+            raise SystemExit(
+                f"FATAL: codegen and closure paths diverge on {name!r}"
+            )
+    print(f"  codegen == closures on all {len(_FASTPATH_SCENARIOS)} scenarios")
+
+
 def bench_fastpath(quick: bool) -> dict:
     n = 5_000 if quick else 50_000
 
-    def measure(make_agent) -> float:
-        agent = make_agent()
+    def measure(capacity, installer) -> float:
+        agent = _agent(buffer_capacity=capacity)
+        installer(agent)
         counter = iter(range(10**9))
         return (
             timeit.timeit(
@@ -317,50 +423,10 @@ def bench_fastpath(quick: bool) -> dict:
             / n
         )
 
-    def disabled():
-        agent = _agent()
-        _install(agent, "select COUNT(*) from click;")
-        return agent
-
-    def rejecting():
-        agent = _agent()
-        _install(agent, "select COUNT(*) from bid where bid.exchange_id = 99;")
-        return agent
-
-    def shipping():
-        agent = _agent()
-        _install(agent, "select COUNT(*) from bid;")
-        return agent
-
-    def sampled():
-        agent = _agent()
-        _install(agent, "select COUNT(*) from bid sample events 1%;")
-        return agent
-
-    def eight_queries():
-        agent = _agent()
-        for i in range(8):
-            _install(
-                agent,
-                f"select COUNT(*) from bid where bid.exchange_id = {i};",
-                query_id=f"q{i}",
-            )
-        return agent
-
-    def dropping():
-        agent = _agent(buffer_capacity=4)
-        _install(agent, "select COUNT(*) from bid;")
-        for i in range(4):
-            agent.log("bid", PAYLOAD, request_id=i)
-        return agent
-
+    check_fastpath_equivalence(quick)
     regimes = {
-        "disabled_probe": measure(disabled),
-        "selection_rejects": measure(rejecting),
-        "match_and_ship": measure(shipping),
-        "match_sampled_out": measure(sampled),
-        "eight_queries": measure(eight_queries),
-        "overload_drop": measure(dropping),
+        name: measure(capacity, installer)
+        for name, capacity, installer in _FASTPATH_SCENARIOS
     }
     base = regimes["disabled_probe"]
     for name, seconds in regimes.items():
@@ -369,6 +435,7 @@ def bench_fastpath(quick: bool) -> dict:
         "benchmark": "host_fastpath",
         "seed": SEED,
         "quick": quick,
+        "results_identical": True,  # check_fastpath_equivalence aborts otherwise
         "calls_per_regime": n,
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
@@ -450,6 +517,27 @@ def main(argv: list[str] | None = None) -> int:
         if base >= 3_000:
             print(f"FAIL: disabled probe costs {base:.0f} ns/call (>= 3 µs)")
             return 1
+        # Machine-aware armed-path ceilings: the absolute targets are
+        # pinned on the CI-class box whose disabled probe measures
+        # ~162 ns; slower machines get the ceilings scaled by their own
+        # probe cost, so the check tracks armed *overhead*, not CPU
+        # generation.  Quick runs are noise-dominated — equivalence is
+        # still enforced above, but timing ceilings are skipped.
+        _REFERENCE_PROBE_NS = 162.1
+        _CEILINGS_NS = {"match_and_ship": 1_200.0, "eight_queries": 2_200.0}
+        if args.quick:
+            print("note: --quick skips fastpath timing ceilings")
+        else:
+            scale = max(1.0, base / _REFERENCE_PROBE_NS)
+            for regime, ceiling in _CEILINGS_NS.items():
+                measured = fastpath["regimes"][regime]["ns_per_call"]
+                limit = ceiling * scale
+                if measured > limit:
+                    print(
+                        f"FAIL: {regime} costs {measured:.0f} ns/call "
+                        f"(> {limit:.0f} ns ceiling at scale {scale:.2f})"
+                    )
+                    return 1
         print(
             f"check OK: {label} {speedup:.2f}x over reference; "
             f"disabled probe {base:.0f} ns/call"

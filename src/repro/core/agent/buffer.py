@@ -68,6 +68,22 @@ class BoundedBuffer(Generic[T]):
             self._items.append(item)
             return True
 
+    def offer_unlocked(self, item: T) -> bool:
+        """``offer`` without taking the buffer lock.
+
+        For callers that already serialize every producer *and* the
+        drainer under their own lock (``ScrubAgent`` holds its RLock
+        around both ``log()`` and the drain in ``flush()``), the
+        internal lock is pure overhead on the per-event hot path.
+        Accounting is identical to ``offer``.
+        """
+        self._offered += 1
+        if len(self._items) >= self._capacity:
+            self._dropped += 1
+            return False
+        self._items.append(item)
+        return True
+
     def drain(self, max_items: int | None = None) -> list[T]:
         """Remove and return up to *max_items* items (all, when None)."""
         with self._lock:

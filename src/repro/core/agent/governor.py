@@ -52,7 +52,18 @@ __all__ = [
     "STAGE_DOWNGRADED",
     "STAGE_SHEDDING",
     "STAGE_QUARANTINED",
+    "TIMING_SAMPLE_EVERY",
 ]
+
+#: The agent measures the governor's wall-time charge by sampling
+#: ``perf_counter()`` on one ``log()`` call in N and scaling the
+#: measured cost by N, instead of paying two clock reads on *every*
+#: call — the governor must not inflate the very budget it polices.
+#: The charge stream stays an unbiased estimate of wall spend per
+#: interval, so breach/escalation semantics are unchanged; breaches
+#: driven by bytes, drops, or shed counts remain exact.  Tests pin the
+#: equivalence by constructing agents with ``timing_sample_every=1``.
+TIMING_SAMPLE_EVERY = 64
 
 STAGE_HEALTHY = "healthy"
 STAGE_DOWNGRADED = "downgraded"

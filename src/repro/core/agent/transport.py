@@ -38,7 +38,7 @@ from ..events.encoding import (
     _str_size,
     _write_str,
     _write_value,
-    encode_batch,
+    encode_batch_into,
     encoded_size_batch,
     encoded_size_value,
 )
@@ -52,6 +52,7 @@ __all__ = [
     "Transport",
     "decode_full_batch",
     "encode_full_batch",
+    "encode_full_batch_into",
     "full_batch_wire_size",
 ]
 
@@ -124,9 +125,12 @@ class EventBatch:
 _FULL_BATCH_VERSION = 2
 
 
-def encode_full_batch(batch: EventBatch) -> bytes:
-    """Encode an :class:`EventBatch` losslessly — metadata and all."""
-    out = bytearray()
+def encode_full_batch_into(out: bytearray, batch: EventBatch) -> None:
+    """Append an :class:`EventBatch`'s full wire encoding to *out*.
+
+    The zero-alloc flush path: a transport writes every batch into one
+    reusable buffer, events included, without intermediate ``bytes``.
+    """
     out.append(_FULL_BATCH_VERSION)
     _write_str(out, batch.host)
     _write_str(out, batch.query_id)
@@ -134,7 +138,7 @@ def encode_full_batch(batch: EventBatch) -> bytes:
     out += _I64.pack(batch.dropped)
     out += _I64.pack(batch.shed)
     _write_str(out, batch.quarantined)
-    out += encode_batch(batch.events)
+    encode_batch_into(out, batch.events)
     out += _U32.pack(len(batch.seen_counts))
     for (event_type, window), count in batch.seen_counts.items():
         _write_str(out, event_type)
@@ -146,6 +150,12 @@ def encode_full_batch(batch: EventBatch) -> bytes:
         out += _I64.pack(partial.window)
         _write_value(out, list(partial.group_key))
         _write_value(out, list(partial.values))
+
+
+def encode_full_batch(batch: EventBatch) -> bytes:
+    """Encode an :class:`EventBatch` losslessly — metadata and all."""
+    out = bytearray()
+    encode_full_batch_into(out, batch)
     return bytes(out)
 
 

@@ -24,8 +24,10 @@ __all__ = [
     "encode_json",
     "decode_json",
     "encode_binary",
+    "encode_binary_into",
     "decode_binary",
     "encode_batch",
+    "encode_batch_into",
     "decode_batch",
     "encode_value",
     "decode_value",
@@ -177,15 +179,24 @@ def decode_value(data: bytes | memoryview) -> Any:
     return value
 
 
-def encode_binary(event: Event) -> bytes:
-    """Encode one event in the compact binary framing."""
-    out = bytearray()
+def encode_binary_into(out: bytearray, event: Event) -> None:
+    """Append one event's compact binary framing to *out*.
+
+    The zero-alloc building block of the flush path: a whole batch is
+    written into one reusable buffer, with no per-event ``bytes``.
+    """
     _write_str(out, event.event_type)
     _write_str(out, event.host)
     out += _HEADER.pack(event.request_id, event.timestamp, len(event.payload))
     for key, value in event.payload.items():
         _write_str(out, key)
         _write_value(out, value)
+
+
+def encode_binary(event: Event) -> bytes:
+    """Encode one event in the compact binary framing."""
+    out = bytearray()
+    encode_binary_into(out, event)
     return bytes(out)
 
 
@@ -257,11 +268,17 @@ def encoded_size_batch(events: list[Event]) -> int:
     return 4 + sum(encoded_size_event(event) for event in events)
 
 
+def encode_batch_into(out: bytearray, events: list[Event]) -> None:
+    """Append a batch (u32 count prefix + concatenated events) to *out*."""
+    out += _U32.pack(len(events))
+    for event in events:
+        encode_binary_into(out, event)
+
+
 def encode_batch(events: list[Event]) -> bytes:
     """Encode a batch of events (u32 count prefix + concatenated events)."""
-    out = bytearray(_U32.pack(len(events)))
-    for event in events:
-        out += encode_binary(event)
+    out = bytearray()
+    encode_batch_into(out, events)
     return bytes(out)
 
 

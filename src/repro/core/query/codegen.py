@@ -1,0 +1,771 @@
+"""Generated, schema-specialized host query plans (the host fast path).
+
+The closure compiler in ``compile.py`` builds one small Python function
+per AST node and chains them; evaluating a predicate then costs one
+Python call *per node*, which is exactly the per-event overhead the
+paper's minimal-impact goal cannot afford on application hosts.  This
+module is the **codegen backend**: it emits straight-line Python source
+for the fused *selection → sampling-decision* pipeline of every armed
+host query, specialized at install time —
+
+* field access is resolved once (payload ``dict.get``, system-field
+  parameters, dotted-path fallback only for dotted names) and **shared**
+  across all queries armed on the same event type;
+* constants are inlined into the source; LIKE regexes and IN-sets are
+  hoisted into the closure environment;
+* the per-query sampling decision (the splitmix64 hash of
+  ``sampling.EventSampler``) is unrolled inline, sharing the
+  request-id pre-mix across queries;
+* SQL three-valued logic is preserved **exactly**: the closure compiler
+  remains the semantic oracle, and the Hypothesis differential suite
+  pins interpreter, closures and generated code to identical outcomes,
+  including which inputs raise ``TypeError``.
+
+The output of :func:`build_processor` is one ``exec``-compiled function
+per (event type, armed-query set): ``process(data, rid, now)``.  For
+**fused** entries (no governor, no host aggregation — the common case)
+the generated code carries a match all the way through: seen/window
+accounting, projection (or the shared full-payload event), and the
+bounded-buffer append with exact shipped/dropped counters — no
+interpreter loop, no intermediate objects on the reject path, one
+``Event`` per shipped projection.  Non-fused entries (governed or
+aggregating) get two mask bits each — bit ``2i`` selection matched, bit
+``2i+1`` sampler keep — returned in the high bits (``n | mask << 32``)
+for ``ScrubAgent``'s reference walk; all-fused groups return the bare
+matched count.
+
+Anything the emitter cannot translate raises :class:`CodegenUnsupported`
+and the agent falls back to the closure compiler — behaviour, not speed,
+is the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from time import perf_counter
+from typing import Any, Callable, Mapping, Optional
+
+from ..events.schema import HOST, REQUEST_ID, TIMESTAMP
+from .ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BoolOp,
+    Comparison,
+    Expr,
+    FieldRef,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+    walk_exprs,
+)
+from .compile import like_to_regex
+
+__all__ = [
+    "ArmedQuery",
+    "CodegenUnsupported",
+    "COUNT_MASK",
+    "FLUSH_DUE",
+    "build_entry",
+    "build_processor",
+    "compile_row_expr",
+    "compile_row_predicate",
+]
+
+_MASK64 = (1 << 64) - 1
+#: Indentation ceiling for generated code.  Deep BoolOp chains nest one
+#: ``else:`` level per term; past this the emitter bails out to the
+#: closure compiler rather than fight the CPython parser.
+_MAX_INDENT = 64
+
+_CMP_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class CodegenUnsupported(Exception):
+    """The emitter cannot translate this expression; use closures."""
+
+
+def _get_path(data: Mapping[str, Any], parts: tuple[str, ...]) -> Any:
+    """Dotted-path fallback, mirroring ``Event._get_path`` exactly."""
+    node: Any = data
+    for part in parts:
+        if not isinstance(node, Mapping):
+            return None
+        node = node.get(part)
+        if node is None:
+            return None
+    return node
+
+
+def _splitmix64(x: int) -> int:
+    # Local copy of sampling._splitmix64 (avoids a cross-module import
+    # on the hot path; the constants are pinned by the sampler tests).
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+@lru_cache(maxsize=256)
+def _code_for(source: str):
+    """Compile generated source once; identical (query set, schema)
+    pairs — e.g. a reinstall of the same span — reuse the code object."""
+    return compile(source, "<scrub-codegen>", "exec")
+
+
+# -- the statement emitter ----------------------------------------------------
+
+
+class _Emitter:
+    """Accumulates generated statements plus their closure environment."""
+
+    def __init__(self, env: dict[str, Any]) -> None:
+        self.lines: list[str] = []
+        self.indent = 1
+        self.env = env
+        self._counter = 0
+        self._fields: dict[str, str] = {}  # field name -> local var
+
+    def emit(self, line: str) -> None:
+        if self.indent > _MAX_INDENT:
+            raise CodegenUnsupported("expression nests too deeply")
+        self.lines.append("    " * self.indent + line)
+
+    def name(self, prefix: str = "t") -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def const(self, value: Any, prefix: str) -> str:
+        """Hoist *value* into the closure environment; returns its name."""
+        name = self.name(prefix)
+        self.env[name] = value
+        return name
+
+
+def _literal_atom(em: _Emitter, value: Any) -> str:
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        if value == value and value not in (float("inf"), float("-inf")):
+            return repr(value)  # repr round-trips finite floats
+        return em.const(value, "c")
+    return em.const(value, "c")
+
+
+def _is_const_atom(atom: str) -> bool:
+    """True when *atom* is an inline literal repr (not a variable).
+
+    Variables are ``_``-prefixed temporaries/env names or the
+    dispatcher parameters ``rid``/``now``; everything else came out of
+    :func:`_literal_atom`.
+    """
+    return not (atom.startswith("_") or atom == "rid" or atom == "now")
+
+
+def _ident_is(atom: str, singleton: str) -> str:
+    """Source fragment for ``atom is <singleton>`` (None/True/False),
+    constant-folded for literal atoms — both as an optimization and
+    because CPython warns on ``is`` with a literal (and this repo
+    promotes warnings to errors)."""
+    if _is_const_atom(atom):
+        return "True" if atom == singleton else "False"
+    return f"({atom}) is {singleton}"
+
+
+def _load_row_field(em: _Emitter, field: str) -> str:
+    """Field access for plain dict rows: ``row.get(field)`` (the
+    differential-oracle mode; no system fields, no dotted fallback)."""
+    var = em._fields.get(field)
+    if var is None:
+        var = em.name("f")
+        em.emit(f"{var} = _get(row, {field!r})")
+        em._fields[field] = var
+    return var
+
+
+def _load_event_field(em: _Emitter, field: str) -> str:
+    """Field access replicating ``Event.get`` over the raw payload dict
+    plus the system-field parameters of the dispatcher."""
+    if field == REQUEST_ID:
+        return "rid"
+    if field == TIMESTAMP:
+        return "now"
+    if field == HOST:
+        return "_HOST"
+    var = em._fields.get(field)
+    if var is not None:
+        return var
+    var = em.name("f")
+    em.emit(f"{var} = _get(data, {field!r})")
+    if "." in field:
+        parts = tuple(field.split("."))
+        em.emit(f"if {var} is None and {field!r} not in data:")
+        em.emit(f"    {var} = _GP(data, {parts!r})")
+    em._fields[field] = var
+    return var
+
+
+def _emit_expr(em: _Emitter, expr: Expr, load_field) -> str:
+    """Emit statements computing *expr*; returns the atom (a variable
+    name or an inline literal) holding its value."""
+    if isinstance(expr, Literal):
+        return _literal_atom(em, expr.value)
+
+    if isinstance(expr, FieldRef):
+        # Host predicates run on single events of a known type; the
+        # qualifier is resolved away (same as _host_field_getter).
+        return load_field(em, expr.field)
+
+    if isinstance(expr, BinaryOp):
+        a = _emit_expr(em, expr.left, load_field)
+        b = _emit_expr(em, expr.right, load_field)
+        t = em.name()
+        op = expr.op
+        if op in ("+", "-", "*"):
+            em.emit(
+                f"{t} = None if {_ident_is(a, 'None')} or {_ident_is(b, 'None')} "
+                f"else ({a}) {op} ({b})"
+            )
+        elif op in ("/", "%"):
+            em.emit(
+                f"{t} = None if {_ident_is(a, 'None')} or {_ident_is(b, 'None')} "
+                f"or ({b}) == 0 else ({a}) {op} ({b})"
+            )
+        else:
+            raise CodegenUnsupported(f"arithmetic operator {op!r}")
+        return t
+
+    if isinstance(expr, UnaryOp):
+        a = _emit_expr(em, expr.operand, load_field)
+        t = em.name()
+        if expr.op == "-":
+            em.emit(f"{t} = None if {_ident_is(a, 'None')} else -({a})")
+        elif expr.op == "NOT":
+            em.emit(f"{t} = None if {_ident_is(a, 'None')} else (not ({a}))")
+        else:
+            raise CodegenUnsupported(f"unary operator {expr.op!r}")
+        return t
+
+    if isinstance(expr, Comparison):
+        return _emit_comparison(em, expr, load_field)
+
+    if isinstance(expr, InList):
+        return _emit_in(em, expr, load_field)
+
+    if isinstance(expr, Between):
+        return _emit_between(em, expr, load_field)
+
+    if isinstance(expr, IsNull):
+        a = _emit_expr(em, expr.expr, load_field)
+        t = em.name()
+        test = _ident_is(a, "None")
+        em.emit(f"{t} = not ({test})" if expr.negated else f"{t} = {test}")
+        return t
+
+    if isinstance(expr, BoolOp):
+        return _emit_boolop(em, expr, load_field)
+
+    if isinstance(expr, AggregateCall):
+        raise CodegenUnsupported("aggregate call in a per-row expression")
+
+    raise CodegenUnsupported(f"cannot emit node {type(expr).__name__}")
+
+
+def _emit_comparison(em: _Emitter, expr: Comparison, load_field) -> str:
+    a = _emit_expr(em, expr.left, load_field)
+    b = _emit_expr(em, expr.right, load_field)
+    t = em.name()
+    if expr.op == "LIKE":
+        if isinstance(expr.right, Literal) and isinstance(expr.right.value, str):
+            # The common shape (the validator requires literal patterns):
+            # hoist the compiled regex's bound fullmatch.
+            rx = em.const(like_to_regex(expr.right.value).fullmatch, "rx")
+            em.emit(
+                f"{t} = None if {_ident_is(a, 'None')} "
+                f"else ({rx}(str(({a}))) is not None)"
+            )
+        else:
+            em.emit(
+                f"{t} = None if {_ident_is(a, 'None')} or {_ident_is(b, 'None')} "
+                f"else (_LRE(({b})).fullmatch(str(({a}))) is not None)"
+            )
+            em.env.setdefault("_LRE", like_to_regex)
+        return t
+    py_op = _CMP_OPS.get(expr.op)
+    if py_op is None:
+        raise CodegenUnsupported(f"comparison operator {expr.op!r}")
+    em.emit(f"if {_ident_is(a, 'None')} or {_ident_is(b, 'None')}: {t} = None")
+    em.emit("else:")
+    em.emit("    try:")
+    em.emit(f"        {t} = ({a}) {py_op} ({b})")
+    em.emit("    except TypeError:")
+    em.emit(f"        {t} = None")
+    return t
+
+
+def _emit_in(em: _Emitter, expr: InList, load_field) -> str:
+    a = _emit_expr(em, expr.expr, load_field)
+    values = frozenset(v.value for v in expr.values)
+    contains_null = any(v.value is None for v in expr.values)
+    sname = em.const(values, "in")
+    t = em.name()
+    em.emit(f"if {_ident_is(a, 'None')}: {t} = None")
+    em.emit("else:")
+    em.emit("    try:")
+    em.emit(f"        {t} = ({a}) in {sname}")
+    em.emit("    except TypeError:")
+    em.emit(f"        {t} = None")
+    em.emit("    else:")
+    if contains_null:
+        # SQL: x IN (..., NULL) is UNKNOWN on a miss.
+        decided = "False" if expr.negated else "True"
+        em.emit(f"        {t} = {decided} if {t} else None")
+    elif expr.negated:
+        em.emit(f"        {t} = not {t}")
+    else:
+        em.emit("        pass")
+    return t
+
+
+def _emit_between(em: _Emitter, expr: Between, load_field) -> str:
+    # Evaluation order mirrors the closure: operand, low, high — eager.
+    v = _emit_expr(em, expr.expr, load_field)
+    lo = _emit_expr(em, expr.low, load_field)
+    hi = _emit_expr(em, expr.high, load_field)
+    t = em.name()
+    em.emit(
+        f"if {_ident_is(v, 'None')} or {_ident_is(lo, 'None')} "
+        f"or {_ident_is(hi, 'None')}: {t} = None"
+    )
+    em.emit("else:")
+    em.emit("    try:")
+    em.emit(f"        {t} = ({lo}) <= ({v}) <= ({hi})")
+    em.emit("    except TypeError:")
+    em.emit(f"        {t} = None")
+    if expr.negated:
+        em.emit("    else:")
+        em.emit(f"        {t} = not {t}")
+    return t
+
+
+def _emit_boolop(em: _Emitter, expr: BoolOp, load_field) -> str:
+    if expr.op not in ("AND", "OR"):
+        raise CodegenUnsupported(f"boolean operator {expr.op!r}")
+    if not expr.terms:
+        raise CodegenUnsupported("empty BoolOp")
+    # Matches the closure semantics exactly: terms are evaluated in
+    # order, short-circuiting only on an `is False` (AND) / `is True`
+    # (OR) identity hit; NULL terms keep evaluating later terms.
+    decisive = "False" if expr.op == "AND" else "True"
+    t = em.name()
+    base_indent = em.indent
+    atoms: list[str] = []
+    for term in expr.terms[:-1]:
+        a = _emit_expr(em, term, load_field)
+        atoms.append(a)
+        em.emit(f"if {_ident_is(a, decisive)}: {t} = {decisive}")
+        em.emit("else:")
+        em.indent += 1
+    last = _emit_expr(em, expr.terms[-1], load_field)
+    atoms.append(last)
+    nones = " or ".join(_ident_is(a, "None") for a in atoms)
+    default = "True" if expr.op == "AND" else "False"
+    em.emit(
+        f"{t} = {decisive} if {_ident_is(last, decisive)} "
+        f"else (None if {nones} else {default})"
+    )
+    em.indent = base_indent
+    return t
+
+
+def _preload_fields(em: _Emitter, exprs, load_field) -> None:
+    """Emit every field load up front, once per distinct field.
+
+    Loads are side-effect free, so hoisting them above the per-query
+    blocks is safe — and required: a load first emitted inside one
+    query's span guard would be an unbound name for the next query.
+    """
+    for expr in exprs:
+        if expr is None:
+            continue
+        for node in walk_exprs(expr):
+            if isinstance(node, FieldRef):
+                load_field(em, node.field)
+
+
+# -- row-mode entry points (the differential oracle) ---------------------------
+
+
+def compile_row_expr(expr: Expr) -> Callable[[dict], Any]:
+    """Codegen twin of ``compile_expr(expr, row.get-getter)`` for plain
+    dict rows; the Hypothesis suite pins it against the interpreter and
+    the closure compiler.  Raises :class:`CodegenUnsupported` when the
+    emitter bails out (the caller falls back to closures)."""
+    env: dict[str, Any] = {}
+    em = _Emitter(env)
+    _preload_fields(em, (expr,), _load_row_field)
+    atom = _emit_expr(em, expr, _load_row_field)
+    em.emit(f"return ({atom})")
+    source = "def _row_fn(row, _get=dict.get):\n" + "\n".join(em.lines) + "\n"
+    exec(_code_for(source), env)
+    return env["_row_fn"]
+
+
+def compile_row_predicate(expr: Optional[Expr]) -> Callable[[dict], bool]:
+    """Codegen twin of ``compile_predicate``: NULL is 'not true'."""
+    if expr is None:
+        return lambda row: True
+    env: dict[str, Any] = {}
+    em = _Emitter(env)
+    _preload_fields(em, (expr,), _load_row_field)
+    atom = _emit_expr(em, expr, _load_row_field)
+    em.emit(f"return {_ident_is(atom, 'True')}")
+    source = "def _row_fn(row, _get=dict.get):\n" + "\n".join(em.lines) + "\n"
+    exec(_code_for(source), env)
+    return env["_row_fn"]
+
+
+# -- the combined per-event-type processor -------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class ArmedQuery:
+    """What the processor needs to know about one armed host query."""
+
+    predicate: Optional[Expr]
+    #: ``EventSampler`` internals: splitmix seed and integer threshold.
+    sampler_seed: int
+    sampler_threshold: int
+    #: True when the sampler always keeps (rate >= 1.0, or the query
+    #: pre-aggregates on the host and never consults the sampler).
+    sample_always: bool
+    activates_at: float
+    expires_at: float
+    #: Fused entries (no governor, no host aggregation) are carried all
+    #: the way to the buffer inside the generated code; the remaining
+    #: fields below are only read for them.
+    fused: bool = False
+    #: The agent's installed-query object (``seen_by_window``,
+    #: ``pending_dropped``) and its per-query stats — hoisted into the
+    #: generated code's environment, never in the source text.
+    iq: Any = None
+    qstats: Any = None
+    window_seconds: float = 1.0
+    #: Projection field names; ``None`` ships the full payload.
+    project: Optional[tuple[str, ...]] = None
+
+
+def _emit_sample_gate(em: _Emitter, entry: ArmedQuery) -> None:
+    """Unrolled splitmix64 finalizer over the shared pre-mix ``_h``;
+    leaves the emitter indented inside ``if kept:``."""
+    z = em.name("z")
+    em.emit(
+        f"{z} = (({entry.sampler_seed} ^ _h) + "
+        f"{0x9E3779B97F4A7C15}) & {_MASK64}"
+    )
+    em.emit(f"{z} = (({z} ^ ({z} >> 30)) * {0xBF58476D1CE4E5B9}) & {_MASK64}")
+    em.emit(f"{z} = (({z} ^ ({z} >> 27)) * {0x94D049BB133111EB}) & {_MASK64}")
+    em.emit(f"{z} = {z} ^ ({z} >> 31)")
+    em.emit(f"if {z} < {entry.sampler_threshold}:")
+    em.indent += 1
+
+
+#: Bit 31 of the processor's return value: a buffer append just reached
+#: the agent's flush batch size, so the caller should flush (replacing a
+#: per-call ``len()`` check with a branch the reject path never pays).
+FLUSH_DUE = 1 << 31
+#: Low 31 bits of the return value: the fused matched count.
+COUNT_MASK = FLUSH_DUE - 1
+
+
+def build_processor(
+    entries: tuple[ArmedQuery, ...],
+    *,
+    event_type: str,
+    host: str,
+    stats: Any,
+    buffer: Any,
+    flush_batch_size: int,
+) -> Callable[[dict, int, float], int]:
+    """Generate ``process(data, rid, now)`` for one event type.
+
+    Fused entries are fully processed inline: on a selection match the
+    generated code does the seen/window accounting (window keys shared
+    across queries with equal windows), applies the sampling decision,
+    and appends ``(iq, payload, rid, now)`` to the bounded buffer with
+    exact shipped/dropped accounting — no ``Event`` object exists until
+    flush materializes the batch, off the application's hot path.
+    Field loads are emitted once and shared across every armed query;
+    per-query constants are inlined; mutable collaborators (the stats
+    object, the buffer and its deque, each query's objects) live in the
+    closure environment so identical query sets share one code object.
+
+    Returns the fused matched count (plus :data:`FLUSH_DUE` when an
+    append reached *flush_batch_size*); when non-fused entries exist
+    their match/keep mask (two bits per entry *i* at ``32 + 2i``) rides
+    above for the agent's walk.
+    """
+    env: dict[str, Any] = {"_GP": _get_path, "_HOST": host, "_ST": stats}
+    em = _Emitter(env)
+    mixed, _ = _emit_process_body(
+        em,
+        entries,
+        event_type=event_type,
+        buffer=buffer,
+        flush_batch_size=flush_batch_size,
+    )
+    em.emit("return n | (m << 32)" if mixed else "return n")
+    source = "def _process(data, rid, now, _get=dict.get):\n" + "\n".join(em.lines) + "\n"
+    exec(_code_for(source), env)
+    return env["_process"]
+
+
+def _emit_process_body(
+    em: _Emitter,
+    entries: tuple[ArmedQuery, ...],
+    *,
+    event_type: str,
+    buffer: Any,
+    flush_batch_size: int,
+) -> tuple[bool, bool]:
+    """Emit the fused selection → sampling → projection body shared by
+    :func:`build_processor` and :func:`build_entry`: leaves the fused
+    matched count in ``n`` (the non-fused mask in ``m`` when mixed) and
+    updates every counter inline.  Returns ``(mixed, flush_check)`` —
+    *flush_check* is True when ``n`` can carry :data:`FLUSH_DUE`."""
+    env = em.env
+    mixed = any(not e.fused for e in entries)
+    if any(e.fused for e in entries):
+        env["_BUF"] = buffer
+        env["_ITEMS"] = buffer._items
+    # events_checked moves into generated code: the entry count is a
+    # compile-time constant here, a len() call in the interpreter.
+    em.emit(f"_ST.events_checked += {len(entries)}")
+    em.emit("n = 0")
+    if mixed:
+        em.emit("m = 0")
+    _preload_fields(em, (e.predicate for e in entries), _load_event_field)
+    if any(not e.sample_always for e in entries):
+        # One request-id pre-mix shared by every sampling query.
+        env["_SM"] = _splitmix64
+        em.emit(f"_h = _SM(rid & {_MASK64})")
+    # Full-payload ships share one dict copy across fused queries; the
+    # lazy-init dance is skipped when only one query needs it.
+    keep_all_count = sum(1 for e in entries if e.fused and e.project is None)
+    if keep_all_count > 1:
+        em.emit("_pv = None")
+    # Window bookkeeping is shared across fused queries with the same
+    # window length; single users compute it straight-line in-block.
+    ws_users: dict[float, int] = {}
+    for e in entries:
+        if e.fused:
+            ws_users[e.window_seconds] = ws_users.get(e.window_seconds, 0) + 1
+    wvars: dict[float, tuple[str, str]] = {}
+    for ws, users in ws_users.items():
+        j = len(wvars)
+        wvars[ws] = (f"_w{j}", f"_k{j}")
+        if users > 1:
+            em.emit(f"_w{j} = None")
+    # The flush-due check is only emitted when an append can actually
+    # reach the threshold (capacity caps the buffer's length).
+    flush_check = flush_batch_size <= buffer._capacity
+    for i, entry in enumerate(entries):
+        base_indent = em.indent
+        gated = entry.activates_at > float("-inf") or entry.expires_at < float("inf")
+        if gated:
+            lo = em.const(entry.activates_at, "a")
+            hi = em.const(entry.expires_at, "e")
+            em.emit(f"if {lo} <= now < {hi}:")
+            em.indent += 1
+        if entry.predicate is not None:
+            atom = _emit_expr(em, entry.predicate, _load_event_field)
+            em.emit(f"if {_ident_is(atom, 'True')}:")
+            em.indent += 1
+        if entry.fused:
+            iq_name = f"_IQ{i}"
+            qs_name = f"_QS{i}"
+            env[iq_name] = entry.iq
+            env[qs_name] = entry.qstats
+            wv, kv = wvars[entry.window_seconds]
+            em.emit("n += 1")
+            em.emit(f"{qs_name}.seen += 1")
+            if ws_users[entry.window_seconds] > 1:
+                em.emit(f"if {wv} is None:")
+                em.emit(f"    {wv} = int(now // {entry.window_seconds!r})")
+                em.emit(f"    {kv} = ({event_type!r}, {wv})")
+            else:
+                em.emit(f"{kv} = ({event_type!r}, int(now // {entry.window_seconds!r}))")
+            em.emit(f"_sb = {iq_name}.seen_by_window")
+            em.emit("try:")
+            em.emit(f"    _sb[{kv}] += 1")
+            em.emit("except KeyError:")
+            em.emit(f"    _sb[{kv}] = 1")
+            if not entry.sample_always:
+                _emit_sample_gate(em, entry)
+            if entry.project is None:
+                if keep_all_count > 1:
+                    em.emit("if _pv is None:")
+                    em.emit("    _pv = dict(data)")
+                else:
+                    em.emit("_pv = dict(data)")
+                out = "_pv"
+            elif not entry.project:
+                out = "{}"
+            else:
+                out = f"_p{i}"
+                em.emit(f"{out} = {{}}")
+                for field in entry.project:
+                    em.emit(f"if {field!r} in data: {out}[{field!r}] = data[{field!r}]")
+            # Inlined BoundedBuffer.offer_unlocked: the agent lock
+            # serializes every producer and the drainer.
+            em.emit("_BUF._offered += 1")
+            em.emit(f"if len(_ITEMS) < {buffer._capacity}:")
+            em.emit(f"    _ITEMS.append(({iq_name}, {out}, rid, now))")
+            if flush_check:
+                em.emit(f"    if len(_ITEMS) >= {flush_batch_size}:")
+                em.emit(f"        n |= {FLUSH_DUE}")
+            em.emit(f"    {qs_name}.shipped += 1")
+            em.emit("    _ST.events_shipped += 1")
+            em.emit("else:")
+            em.emit("    _BUF._dropped += 1")
+            em.emit(f"    {qs_name}.dropped += 1")
+            em.emit(f"    {iq_name}.pending_dropped += 1")
+            em.emit("    _ST.events_dropped += 1")
+        else:
+            match_bit = 1 << (2 * i)
+            both_bits = match_bit | (1 << (2 * i + 1))
+            if entry.sample_always:
+                em.emit(f"m |= {both_bits}")
+            else:
+                _emit_sample_gate(em, entry)
+                em.emit(f"m |= {both_bits}")
+                em.indent -= 1
+                em.emit("else:")
+                em.emit(f"    m |= {match_bit}")
+        em.indent = base_indent
+    em.emit("if n:")
+    # n carries the flush-due flag in bit 31; keep it out of the counter.
+    em.emit(
+        f"    _ST.events_matched += n & {COUNT_MASK}"
+        if flush_check
+        else "    _ST.events_matched += n"
+    )
+    return mixed, flush_check
+
+
+def build_entry(
+    entries: tuple[ArmedQuery, ...],
+    *,
+    event_type: str,
+    host: str,
+    stats: Any,
+    buffer: Any,
+    flush_batch_size: int,
+    group: Any,
+    clock: Callable[[], float],
+    lock_acquire: Callable[[], Any],
+    lock_release: Callable[[], Any],
+    flush: Callable[..., Any],
+    timing_every: int,
+    ewma_alpha: float,
+    registry_get: Optional[Callable[[str], Any]] = None,
+) -> Callable[..., int]:
+    """Generate the whole armed ``log()`` entry for an all-fused,
+    ungoverned group: the clock read, payload normalization, lock,
+    1-in-N timing sample and the fused body are a single generated
+    function — no dispatcher frame, no ``self`` attribute traffic, no
+    inner ``process`` call on the per-event path.
+
+    The agent only asks for this when the group has no governors and no
+    non-fused entries (mixed or governed groups keep the reference
+    ``_log_routed`` walk, which handles quarantine re-routing); the
+    timed 1-in-*timing_every* branch duplicates the body rather than
+    calling it, so the common branch stays call-free.
+    """
+    if any(not e.fused for e in entries):
+        raise CodegenUnsupported("entry codegen requires an all-fused group")
+    env: dict[str, Any] = {
+        "_GP": _get_path,
+        "_HOST": host,
+        "_ST": stats,
+        "_G": group,
+        "_CLOCK": clock,
+        "_ACQ": lock_acquire,
+        "_REL": lock_release,
+        "_FLUSH": flush,
+        "_PERF": perf_counter,
+    }
+    iqs = tuple(e.iq for e in entries)
+
+    def _charge(dt: float, _iqs=iqs, _n=len(iqs), _alpha=ewma_alpha) -> None:
+        # Mirrors _log_routed's timed tail for a governor-free group:
+        # the sampled dispatch wall time splits evenly across the armed
+        # queries and feeds each one's cost EWMA.
+        cost_ns = dt / _n * 1e9
+        for iq in _iqs:
+            prev = iq.ewma_ns
+            iq.ewma_ns = (
+                cost_ns if prev is None else prev + _alpha * (cost_ns - prev)
+            )
+
+    env["_CHARGE"] = _charge
+    body_em = _Emitter(env)
+    body_em.indent = 3
+    _, flush_check = _emit_process_body(
+        body_em,
+        entries,
+        event_type=event_type,
+        buffer=buffer,
+        flush_batch_size=flush_batch_size,
+    )
+    head = [
+        "    _ST.events_examined += 1",
+        "    now = timestamp if timestamp is not None else _CLOCK()",
+        "    if payload is None:",
+        "        data = fields",
+        "    elif fields:",
+        "        data = {**payload, **fields}",
+        "    elif type(payload) is dict:",
+        "        data = payload",
+        "    else:",
+        "        data = dict(payload)",
+    ]
+    if registry_get is not None:
+        env["_REGGET"] = registry_get
+        head.append(f"    data = _REGGET({event_type!r}).coerce_payload(data)")
+    # 1-in-N sampling: bitmask for power-of-two N (the default 64).
+    untimed = (
+        f"c & {timing_every - 1}"
+        if timing_every & (timing_every - 1) == 0
+        else f"c % {timing_every}"
+    )
+    head += [
+        "    _ACQ()",
+        "    try:",
+        "        c = _G.calls + 1",
+        "        _G.calls = c",
+        f"        if {untimed}:",
+    ]
+    timed = [
+        "        else:",
+        "            _t0 = _PERF()",
+        *body_em.lines,
+        "            _CHARGE(_PERF() - _t0)",
+    ]
+    tail = ["    finally:", "        _REL()"]
+    if flush_check:
+        tail += [
+            f"    if n > {COUNT_MASK}:",
+            "        _FLUSH(now)",
+            f"        return n & {COUNT_MASK}",
+        ]
+    tail.append("    return n")
+    source = (
+        "def _entry(payload, rid, timestamp, fields, _get=dict.get):\n"
+        + "\n".join(head + body_em.lines + timed + tail)
+        + "\n"
+    )
+    exec(_code_for(source), env)
+    return env["_entry"]

@@ -397,6 +397,10 @@ class LiveAgent:
                             "host": self.host,
                             "epoch": self.epoch,
                             "sent_at": time.time(),
+                            # Per-query armed-cost counters so scrubd's
+                            # STATS can show what each live query costs
+                            # on this host (ewma_ns/routed/skipped).
+                            "query_costs": self.agent.query_costs(),
                         },
                     )
                 )

@@ -34,7 +34,7 @@ import socket
 import struct
 from typing import Any, Optional
 
-from ..core.agent.transport import EventBatch, encode_full_batch
+from ..core.agent.transport import EventBatch, encode_full_batch_into
 from ..core.approx.sampling_theory import ApproxEstimate
 from ..core.central.results import ResultRow, ResultSet, WindowCoverage, WindowResult
 from ..core.events.encoding import decode_value, encode_value
@@ -46,6 +46,7 @@ __all__ = [
     "ProtocolError",
     "decode_message",
     "encode_batch_frame",
+    "encode_batch_frame_into",
     "encode_frame",
     "encode_message_frame",
     "read_frame",
@@ -112,8 +113,26 @@ def encode_message_frame(msg_type: MsgType, message: dict[str, Any]) -> bytes:
     return encode_frame(msg_type, encode_value(message))
 
 
+def encode_batch_frame_into(out: bytearray, batch: EventBatch) -> None:
+    """Append a complete ``BATCH`` frame to *out* without intermediate
+    copies: the length prefix is written as a placeholder and patched
+    once the payload size is known, so the batch encodes straight into
+    the transport's reusable wire buffer."""
+    start = len(out)
+    out += _LEN.pack(0)  # placeholder, patched below
+    out.append(MsgType.BATCH)
+    encode_full_batch_into(out, batch)
+    length = len(out) - start - _LEN.size
+    if length > MAX_FRAME_BYTES:
+        del out[start:]
+        raise ProtocolError(f"frame too large: {length - 1} bytes")
+    _LEN.pack_into(out, start, length)
+
+
 def encode_batch_frame(batch: EventBatch) -> bytes:
-    return encode_frame(MsgType.BATCH, encode_full_batch(batch))
+    out = bytearray()
+    encode_batch_frame_into(out, batch)
+    return bytes(out)
 
 
 def decode_message(payload: bytes | memoryview) -> dict[str, Any]:

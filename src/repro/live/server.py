@@ -75,7 +75,14 @@ class _AgentConn:
     """One registered host: its description, the control writer used to
     push installs/uninstalls to it, and its liveness lease."""
 
-    __slots__ = ("description", "writer", "lock", "epoch", "last_seen")
+    __slots__ = (
+        "description",
+        "writer",
+        "lock",
+        "epoch",
+        "last_seen",
+        "query_costs",
+    )
 
     def __init__(
         self,
@@ -92,6 +99,9 @@ class _AgentConn:
         self.epoch = epoch
         #: Wall time of the last frame received on the control channel.
         self.last_seen = last_seen
+        #: Latest per-query armed-cost counters from the agent heartbeat
+        #: ({query_id: {"ewma_ns", "routed", "skipped"}}).
+        self.query_costs: dict[str, Any] = {}
 
     async def push(self, msg_type: MsgType, message: dict[str, Any]) -> None:
         async with self.lock:
@@ -417,7 +427,12 @@ class ScrubDaemon:
                 if msg_type == MsgType.PING:
                     await conn.push(MsgType.PONG, decode_message(payload))
                 elif msg_type == MsgType.HEARTBEAT:
-                    pass  # the lease renewal is the last_seen update above
+                    # The lease renewal is the last_seen update above;
+                    # the payload also carries the host's per-query
+                    # armed-cost counters for STATS.
+                    costs = decode_message(payload).get("query_costs")
+                    if isinstance(costs, dict):
+                        conn.query_costs = costs
         finally:
             # Only tear down our own registration: a takeover has already
             # replaced it, and the new session must not be unregistered by
@@ -766,6 +781,7 @@ class ScrubDaemon:
                     "datacenter": conn.description.datacenter,
                     "epoch": conn.epoch,
                     "lease_age": now - conn.last_seen,
+                    "query_costs": conn.query_costs,
                 }
                 for conn in self._agents.values()
             ],

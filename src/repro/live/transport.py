@@ -29,7 +29,7 @@ from .protocol import (
     MsgType,
     ProtocolError,
     decode_message,
-    encode_batch_frame,
+    encode_batch_frame_into,
     encode_message_frame,
     recv_frame,
 )
@@ -94,6 +94,8 @@ class SocketTransport:
         self._carry_seen: dict[tuple[str, int], int] = {}
 
         self._sock: Optional[socket.socket] = None
+        # Owned by the flusher thread; reused across every shipped frame.
+        self._wire_buf = bytearray()
         self._stop = threading.Event()
         self._drain_seq = 0
         self._thread = threading.Thread(
@@ -174,7 +176,12 @@ class SocketTransport:
             self._close_socket()
 
     def _ship(self, batch: EventBatch) -> None:
-        frame = encode_batch_frame(batch)
+        # One reusable wire buffer for the flusher's lifetime: the batch
+        # encodes straight into it (no per-event or per-frame bytes), and
+        # `del buf[:]` keeps the allocation for the next batch.
+        frame = self._wire_buf
+        del frame[:]
+        encode_batch_frame_into(frame, batch)
         if not self._ensure_connected():
             self.dropped_batches += 1
             self.dropped_events += len(batch.events)

@@ -1,0 +1,366 @@
+"""The host fast-path codegen: generated dispatchers vs. the closure
+fallback, the per-schema routing index, and the armed-cost counters.
+
+The contract under test is *behavioural equality*: an agent running the
+exec-compiled processors (``use_codegen=True``, the default) must be
+indistinguishable — return values, every stat counter, and the bytes it
+puts on the wire — from one forced onto the closure-compiler reference
+path.  Speed is the benchmark's concern; this file pins correctness.
+"""
+
+import math
+
+import pytest
+
+from repro.core.agent import RecordingTransport, ScrubAgent
+from repro.core.agent.buffer import BoundedBuffer
+from repro.core.agent.governor import ImpactBudget
+from repro.core.agent.transport import encode_full_batch
+from repro.core.events import EventRegistry
+from repro.core.query import parse_query, plan_query, validate_query
+from repro.core.query.ast import Comparison, FieldRef, Literal
+from repro.core.query.codegen import (
+    COUNT_MASK,
+    FLUSH_DUE,
+    ArmedQuery,
+    build_processor,
+)
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [
+        ("exchange_id", "long"), ("city", "string"), ("bid_price", "double"),
+        ("user_id", "long"),
+    ])
+    r.define("click", [("user_id", "long")])
+    return r
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def _host_objects(text, registry, query_id="q1"):
+    plan = plan_query(validate_query(parse_query(text), registry), query_id)
+    return plan.host_objects
+
+
+def _pair(registry, **kwargs):
+    """Two identically configured agents: codegen on / closures forced."""
+    agents = []
+    for use_codegen in (True, False):
+        transport = RecordingTransport()
+        agent = ScrubAgent(
+            "h1", registry, transport, clock=FakeClock(),
+            use_codegen=use_codegen, **kwargs,
+        )
+        agents.append((agent, transport))
+    return agents
+
+
+QUERIES = [
+    "select COUNT(*) from bid;",
+    "select COUNT(*) from bid where bid.exchange_id = 5;",
+    "select COUNT(*) from bid where bid.exchange_id = 99;",
+    "select bid.city, COUNT(*) from bid where bid.bid_price > 1.0 "
+    "group by bid.city;",
+    "select COUNT(*) from bid sample events 25%;",
+    "select COUNT(*) from bid where bid.city LIKE 'San%';",
+    "select COUNT(*) from bid where bid.exchange_id IN (1, 5, 9);",
+    "select COUNT(*) from bid where bid.user_id BETWEEN 5 AND 9 "
+    "and bid.city != 'Lisbon';",
+]
+
+EVENTS = [
+    {"exchange_id": 5, "city": "San Jose", "bid_price": 1.25, "user_id": 7},
+    {"exchange_id": 99, "city": "Porto", "bid_price": 0.5, "user_id": 4},
+    {"exchange_id": 1, "city": "San Mateo", "bid_price": 2.0},
+    {"city": "Lisbon", "user_id": 9},
+    {},
+]
+
+
+def _run_workload(agent, transport, clock_step=0.3):
+    returns = []
+    for rid in range(60):
+        payload = EVENTS[rid % len(EVENTS)]
+        returns.append(agent.log("bid", payload, request_id=rid))
+        returns.append(agent.log("click", {"user_id": rid}, request_id=rid))
+        agent.clock.now += clock_step
+    agent.flush()
+    return returns, [encode_full_batch(b) for b in transport.batches]
+
+
+class TestCodegenClosureEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_single_query_byte_identical(self, registry, query):
+        results = []
+        for agent, transport in _pair(registry):
+            for obj in _host_objects(query, registry):
+                agent.install(obj)
+            results.append(_run_workload(agent, transport))
+        (ret_a, wire_a), (ret_b, wire_b) = results
+        assert ret_a == ret_b
+        assert wire_a == wire_b
+
+    def test_all_queries_armed_together(self, registry):
+        """Eight queries on one type: a mixed bag of fused entries in one
+        generated dispatcher must equal eight closure walks."""
+        results, stats = [], []
+        for agent, transport in _pair(registry):
+            for i, query in enumerate(QUERIES):
+                for obj in _host_objects(query, registry, query_id=f"q{i}"):
+                    agent.install(obj)
+            results.append(_run_workload(agent, transport))
+            stats.append(agent.stats)
+        (ret_a, wire_a), (ret_b, wire_b) = results
+        assert ret_a == ret_b
+        assert sorted(wire_a) == sorted(wire_b)
+        assert stats[0] == stats[1]
+
+    def test_span_gated_query(self, registry):
+        for agent, transport in _pair(registry):
+            (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+            agent.install(obj, activates_at=5.0, expires_at=10.0)
+            ret, _ = _run_workload(agent, transport)
+        # Both paths: matched only while 5.0 <= now < 10.0.
+        assert any(r == 1 for r in ret) and any(r == 0 for r in ret)
+
+    def test_governed_overload_escalates_identically(self, registry):
+        """Byte-budget breaches (deterministic, unlike wall time) must
+        walk the same downgrade → shed → quarantine ladder on both
+        paths, with identical shed/drop conservation on the wire."""
+        budget = ImpactBudget(
+            interval_seconds=1.0, max_bytes=1, min_rate_factor=0.6,
+            shed_intervals=2,
+        )
+        results, quarantined = [], []
+        for agent, transport in _pair(
+            registry, impact_budget=budget, flush_batch_size=5,
+        ):
+            (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+            agent.install(obj)
+            ret, wire = _run_workload(agent, transport, clock_step=0.11)
+            results.append((ret, wire))
+            quarantined.append(dict(agent.quarantined))
+        (ret_a, wire_a), (ret_b, wire_b) = results
+        assert ret_a == ret_b
+        assert wire_a == wire_b
+        assert quarantined[0] == quarantined[1]
+        assert "q1" in quarantined[0]
+
+    def test_timed_every_call_equals_untimed(self, registry):
+        """timing_sample_every=1 measures every call; the measurements
+        must be observation-only — identical wire output either way."""
+        wires = []
+        for every in (1, 1_000_000):
+            transport = RecordingTransport()
+            agent = ScrubAgent(
+                "h1", registry, transport, clock=FakeClock(),
+                timing_sample_every=every,
+            )
+            (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+            agent.install(obj)
+            _, wire = _run_workload(agent, transport)
+            wires.append(wire)
+        assert wires[0] == wires[1]
+
+
+class TestRoutingIndex:
+    def test_log_on_unarmed_type_never_examined(self, registry):
+        for agent, _ in _pair(registry):
+            (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+            agent.install(obj)
+            agent.log("click", {"user_id": 1}, request_id=1)
+            assert agent.stats.events_examined == 0
+            assert agent.stats.events_checked == 0
+
+    def test_uninstall_removes_route(self, registry):
+        agent = ScrubAgent("h1", registry, RecordingTransport(), clock=FakeClock())
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        assert "bid" in agent._routes
+        agent.uninstall("q1")
+        assert "bid" not in agent._routes
+        assert agent.log("bid", EVENTS[0], request_id=1) == 0
+
+    def test_expiry_removes_route_on_flush(self, registry):
+        agent = ScrubAgent("h1", registry, RecordingTransport(), clock=FakeClock())
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj, expires_at=1.0)
+        agent.clock.now = 2.0
+        agent.flush()
+        assert "bid" not in agent._routes
+
+    def test_quarantine_rebuilds_routes(self, registry):
+        budget = ImpactBudget(
+            interval_seconds=1.0, max_bytes=1, min_rate_factor=0.6,
+            shed_intervals=1,
+        )
+        agent = ScrubAgent(
+            "h1", registry, RecordingTransport(), clock=FakeClock(),
+            impact_budget=budget, flush_batch_size=1,
+        )
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        for rid in range(40):
+            agent.log("bid", EVENTS[0], request_id=rid)
+            agent.clock.now += 0.3
+        agent.flush()
+        assert "q1" in agent.quarantined
+        assert "bid" not in agent._routes
+
+    def test_two_types_route_independently(self, registry):
+        agent = ScrubAgent("h1", registry, RecordingTransport(), clock=FakeClock())
+        (obj_bid,) = _host_objects("select COUNT(*) from bid;", registry, "qb")
+        (obj_click,) = _host_objects("select COUNT(*) from click;", registry, "qc")
+        agent.install(obj_bid)
+        agent.install(obj_click)
+        assert agent.log("bid", EVENTS[0], request_id=1) == 1
+        assert agent.log("click", {"user_id": 2}, request_id=2) == 1
+        assert agent.stats.events_checked == 2  # one entry per routed call
+        agent.uninstall("qb")
+        assert set(agent._routes) == {"click"}
+
+
+class TestArmedCostCounters:
+    def test_routed_and_skipped(self, registry):
+        agent = ScrubAgent(
+            "h1", registry, RecordingTransport(), clock=FakeClock(),
+            timing_sample_every=1,
+        )
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        for rid in range(3):
+            agent.log("bid", EVENTS[0], request_id=rid)
+        for rid in range(2):
+            agent.log("click", {"user_id": rid}, request_id=rid)
+        costs = agent.query_costs()
+        assert costs["q1"]["routed"] == 3
+        assert costs["q1"]["skipped"] == 2
+        assert costs["q1"]["ewma_ns"] > 0.0
+
+    def test_install_baseline_excludes_prior_traffic(self, registry):
+        agent = ScrubAgent("h1", registry, RecordingTransport(), clock=FakeClock())
+        for rid in range(5):
+            agent.log("bid", EVENTS[0], request_id=rid)
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        agent.log("bid", EVENTS[0], request_id=9)
+        costs = agent.query_costs()
+        assert costs["q1"]["routed"] == 1
+        assert costs["q1"]["skipped"] == 0
+
+    def test_counters_survive_rebuild(self, registry):
+        agent = ScrubAgent("h1", registry, RecordingTransport(), clock=FakeClock())
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry, "qa")
+        agent.install(obj)
+        agent.log("bid", EVENTS[0], request_id=1)
+        # Installing a second query rebuilds the bid route group.
+        (obj2,) = _host_objects(
+            "select COUNT(*) from bid where bid.exchange_id = 5;", registry, "qb"
+        )
+        agent.install(obj2)
+        agent.log("bid", EVENTS[0], request_id=2)
+        costs = agent.query_costs()
+        assert costs["qa"]["routed"] == 2
+        assert costs["qb"]["routed"] == 1
+
+
+class TestAutoFlush:
+    @pytest.mark.parametrize("use_codegen", [True, False])
+    def test_flush_due_at_batch_size(self, registry, use_codegen):
+        transport = RecordingTransport()
+        agent = ScrubAgent(
+            "h1", registry, transport, clock=FakeClock(),
+            flush_batch_size=3, use_codegen=use_codegen,
+        )
+        (obj,) = _host_objects("select COUNT(*) from bid;", registry)
+        agent.install(obj)
+        for rid in range(3):
+            agent.log("bid", EVENTS[0], request_id=rid)
+        # The third buffered event crossed the threshold: flushed without
+        # an explicit flush() call.
+        assert transport.batches_sent == 1
+        assert len(transport.events) == 3
+        assert agent.buffered == 0
+
+
+class TestGeneratedProcessorDirect:
+    """build_processor() driven standalone, for shapes the SQL layer
+    cannot currently produce (dotted payload paths)."""
+
+    class _IQ:
+        def __init__(self):
+            self.seen_by_window = {}
+            self.pending_dropped = 0
+
+    class _QS:
+        def __init__(self):
+            self.seen = 0
+            self.shipped = 0
+            self.dropped = 0
+
+    class _ST:
+        def __init__(self):
+            self.events_checked = 0
+            self.events_matched = 0
+            self.events_shipped = 0
+            self.events_dropped = 0
+
+    def _fused(self, predicate, buffer, *, project=None, flush_batch_size=10**9):
+        iq, qs, st = self._IQ(), self._QS(), self._ST()
+        entry = ArmedQuery(
+            predicate=predicate, sampler_seed=0, sampler_threshold=0,
+            sample_always=True, activates_at=-math.inf, expires_at=math.inf,
+            fused=True, iq=iq, qstats=qs, window_seconds=1.0, project=project,
+        )
+        process = build_processor(
+            (entry,), event_type="evt", host="h1", stats=st, buffer=buffer,
+            flush_batch_size=flush_batch_size,
+        )
+        return process, iq, qs, st
+
+    def test_dotted_field_path(self):
+        predicate = Comparison("=", FieldRef(None, "meta.os"), Literal("linux"))
+        process, iq, qs, _ = self._fused(predicate, BoundedBuffer(8))
+        assert process({"meta": {"os": "linux"}}, 1, 0.0) == 1
+        assert process({"meta": {"os": "mac"}}, 2, 0.0) == 0
+        assert process({}, 3, 0.0) == 0
+        # A flat key spelled with a dot wins over the nested path.
+        assert process({"meta.os": "linux", "meta": {}}, 4, 0.0) == 1
+        assert qs.seen == 2 and qs.shipped == 2
+
+    def test_flush_due_bit_and_count_mask(self):
+        buffer = BoundedBuffer(8)
+        process, _, _, st = self._fused(None, buffer, flush_batch_size=2)
+        assert process({}, 1, 0.0) == 1
+        r = process({}, 2, 0.0)
+        assert r & FLUSH_DUE
+        assert r & COUNT_MASK == 1
+        # The counter never absorbs the flag bit.
+        assert st.events_matched == 2
+
+    def test_drop_accounting_when_full(self):
+        buffer = BoundedBuffer(1)
+        process, iq, qs, st = self._fused(None, buffer)
+        process({}, 1, 0.0)
+        process({}, 2, 0.0)
+        assert qs.shipped == 1 and qs.dropped == 1
+        assert iq.pending_dropped == 1
+        assert buffer.dropped == 1 and buffer.offered == 2
+        assert st.events_shipped == 1 and st.events_dropped == 1
+
+    def test_projection_subset(self):
+        buffer = BoundedBuffer(8)
+        process, _, _, _ = self._fused(None, buffer, project=("a", "b"))
+        process({"a": 1, "c": 3}, 1, 0.5)
+        ((iq, payload, rid, ts),) = buffer.drain()
+        assert payload == {"a": 1}
+        assert (rid, ts) == (1, 0.5)

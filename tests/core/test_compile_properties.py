@@ -1,22 +1,27 @@
-"""Property tests for the expression compiler (SQL three-valued logic).
+"""Property tests for the expression compilers (SQL three-valued logic).
 
-The compiled closures in ``core/query/compile.py`` are the hot path on
-every host and in ScrubCentral, so they are heavily shaped for speed;
-this file pins their *semantics* against a naive tree-walking reference
-interpreter that states the SQL 3VL rules as directly as possible:
+The compiled closures in ``core/query/compile.py`` and the generated
+code in ``core/query/codegen.py`` are the hot path on every host and in
+ScrubCentral, so they are heavily shaped for speed; this file pins their
+*semantics* against a naive tree-walking reference interpreter that
+states the SQL 3VL rules as directly as possible:
 
 * a missing field is NULL; anything arithmetic or comparative touching
   NULL is NULL;
-* AND/OR are Kleene connectives (an unknown term only matters if no
-  decisive term exists);
+* AND/OR are Kleene connectives evaluated left-to-right, stopping at
+  the first decisive term (False for AND, True for OR); an unknown
+  term only matters if no decisive term exists;
 * division (and modulo) by zero is NULL, never an exception;
-* runtime type mismatches degrade to NULL, never abort a query.
+* runtime type mismatches in comparisons degrade to NULL, never abort
+  a query.
 
 Hypothesis generates random expression trees and random rows (with
 fields missing, the common case for optional event payload members) and
-checks the compiled closure and the interpreter agree exactly —
-including on *which* inputs raise ``TypeError`` (unary minus on a
-string is a validator-level error; both paths surface it identically).
+checks that the closure compiler, the codegen backend and the
+interpreter agree exactly — including on *which* inputs raise (unary
+minus on a string is a TypeError; ``'%' % x`` is Python's string
+formatting and can raise ValueError; these are validator-level errors
+all three paths must surface identically).
 
 ``derandomize=True`` keeps the suite deterministic in CI: the examples
 are a fixed function of the test body, not the clock.
@@ -41,6 +46,7 @@ from repro.core.query.ast import (
     UnaryOp,
     normalize_expr,
 )
+from repro.core.query.codegen import compile_row_expr, compile_row_predicate
 from repro.core.query.compile import compile_expr, compile_predicate, like_to_regex
 
 FIELDS = ("a", "b", "c", "s")
@@ -122,24 +128,29 @@ def evaluate(expr, row):
         null = evaluate(expr.expr, row) is None
         return (not null) if expr.negated else null
     if isinstance(expr, BoolOp):
-        values = [evaluate(term, row) for term in expr.terms]
-        if expr.op == "AND":
-            if any(v is False for v in values):
-                return False
-            return None if any(v is None for v in values) else True
-        if any(v is True for v in values):
-            return True
-        return None if any(v is None for v in values) else False
+        # Left-to-right with a stop at the first decisive term, matching
+        # both compilers: terms after the decision are never evaluated,
+        # so an error lurking there never surfaces.
+        decisive = False if expr.op == "AND" else True
+        unknown = False
+        for term in expr.terms:
+            v = evaluate(term, row)
+            if v is decisive:
+                return decisive
+            if v is None:
+                unknown = True
+        return None if unknown else (not decisive)
     raise AssertionError(f"unhandled node {type(expr).__name__}")
 
 
 def _outcome(fn):
-    """Value, or the fact that evaluation raised TypeError (a validator-
-    level typing error both paths must surface identically)."""
+    """Value, or the kind of error evaluation raised (validator-level
+    typing errors — TypeError from e.g. ``-'a'``, ValueError from
+    string-formatting ``%`` — which every path must surface alike)."""
     try:
         return ("value", fn())
-    except TypeError:
-        return ("type-error",)
+    except (TypeError, ValueError) as exc:
+        return ("error", type(exc).__name__)
 
 
 # -- strategies ---------------------------------------------------------------
@@ -202,8 +213,13 @@ rows = st.dictionaries(st.sampled_from(FIELDS), scalars, max_size=len(FIELDS))
 @settings(max_examples=300, deadline=None, derandomize=True)
 @given(expr=expressions, row=rows)
 def test_compiled_matches_reference(expr, row):
+    """Three-way: interpreter, closure compiler and codegen backend
+    produce identical values *and* identical error kinds."""
     compiled = compile_expr(expr, _getter)
-    assert _outcome(lambda: compiled(row)) == _outcome(lambda: evaluate(expr, row))
+    generated = compile_row_expr(expr)
+    reference = _outcome(lambda: evaluate(expr, row))
+    assert _outcome(lambda: compiled(row)) == reference
+    assert _outcome(lambda: generated(row)) == reference
 
 
 @settings(max_examples=200, deadline=None, derandomize=True)
@@ -211,10 +227,12 @@ def test_compiled_matches_reference(expr, row):
 def test_predicate_is_definitely_true_semantics(expr, row):
     """WHERE passes a row iff the expression is *definitely* True."""
     predicate = compile_predicate(expr, _getter)
+    generated = compile_row_predicate(expr)
     outcome = _outcome(lambda: evaluate(expr, row))
-    if outcome[0] == "type-error":
-        return  # both raise; covered by the differential property
+    if outcome[0] == "error":
+        return  # all paths raise; covered by the differential property
     assert predicate(row) is (outcome[1] is True)
+    assert generated(row) is (outcome[1] is True)
 
 
 @settings(max_examples=200, deadline=None, derandomize=True)
@@ -225,7 +243,10 @@ def test_normalize_preserves_semantics(expr, row):
     normalized = normalize_expr(expr)
     original = compile_expr(expr, _getter)
     flattened = compile_expr(normalized, _getter)
-    assert _outcome(lambda: original(row)) == _outcome(lambda: flattened(row))
+    generated = compile_row_expr(normalized)
+    outcome = _outcome(lambda: original(row))
+    assert _outcome(lambda: flattened(row)) == outcome
+    assert _outcome(lambda: generated(row)) == outcome
     # Normalization is idempotent — a cache keyed on it needs that.
     assert normalize_expr(normalized) == normalized
 
@@ -240,6 +261,7 @@ def test_kleene_truth_tables_exhaustive():
             for combo in itertools.product([True, False, None], repeat=width):
                 expr = BoolOp(op, tuple(Literal(v) for v in combo))
                 fn = compile_expr(expr, _getter)
+                gen = compile_row_expr(expr)
                 if op == "AND":
                     expected = (
                         False
@@ -253,30 +275,31 @@ def test_kleene_truth_tables_exhaustive():
                         else (None if None in combo else False)
                     )
                 assert fn({}) is expected, (op, combo)
+                assert gen({}) is expected, (op, combo)
 
 
 def test_division_and_modulo_by_zero_are_null():
     for op in ("/", "%"):
         for numerator in (0, 7, -3, 2.5):
-            fn = compile_expr(
-                BinaryOp(op, Literal(numerator), Literal(0)), _getter
-            )
-            assert fn({}) is None
+            expr = BinaryOp(op, Literal(numerator), Literal(0))
+            assert compile_expr(expr, _getter)({}) is None
+            assert compile_row_expr(expr)({}) is None
         # NULL numerator over zero denominator is still NULL, not an error.
-        fn = compile_expr(BinaryOp(op, FieldRef(None, "a"), Literal(0)), _getter)
-        assert fn({}) is None
+        expr = BinaryOp(op, FieldRef(None, "a"), Literal(0))
+        assert compile_expr(expr, _getter)({}) is None
+        assert compile_row_expr(expr)({}) is None
 
 
 def test_missing_field_propagates_null_through_arithmetic():
     expr = BinaryOp("+", FieldRef(None, "a"), Literal(1))
-    fn = compile_expr(expr, _getter)
-    assert fn({}) is None
-    assert fn({"a": 2}) == 3
+    for fn in (compile_expr(expr, _getter), compile_row_expr(expr)):
+        assert fn({}) is None
+        assert fn({"a": 2}) == 3
 
 
 def test_in_list_with_null_member_is_unknown_on_miss():
     expr = InList(FieldRef(None, "a"), (Literal(1), Literal(None)))
-    fn = compile_expr(expr, _getter)
-    assert fn({"a": 1}) is True  # hit beats the NULL member
-    assert fn({"a": 2}) is None  # miss with NULL in the list: UNKNOWN
-    assert fn({}) is None
+    for fn in (compile_expr(expr, _getter), compile_row_expr(expr)):
+        assert fn({"a": 1}) is True  # hit beats the NULL member
+        assert fn({"a": 2}) is None  # miss with NULL in the list: UNKNOWN
+        assert fn({}) is None

@@ -13,6 +13,7 @@ from repro.core.agent.transport import (
     RecordingTransport,
     decode_full_batch,
     encode_full_batch,
+    encode_full_batch_into,
 )
 from repro.core.events import Event
 
@@ -88,9 +89,11 @@ def _batch(**overrides) -> EventBatch:
     sent_at=st.floats(min_value=0, max_value=1e12, allow_nan=False),
     host=st.text(max_size=20),
     query_id=st.text(max_size=20),
+    shed=st.integers(min_value=0, max_value=2**40),
+    quarantined=st.text(max_size=40),
 )
 def test_full_batch_round_trip_property(
-    events, seen_counts, partials, dropped, sent_at, host, query_id
+    events, seen_counts, partials, dropped, sent_at, host, query_id, shed, quarantined
 ):
     batch = EventBatch(
         host=host,
@@ -100,10 +103,19 @@ def test_full_batch_round_trip_property(
         dropped=dropped,
         sent_at=sent_at,
         partials=partials,
+        shed=shed,
+        quarantined=quarantined,
     )
     encoded = encode_full_batch(batch)
     assert decode_full_batch(encoded) == batch
     assert batch.wire_size() == len(encoded)
+    # The zero-alloc writer produces identical bytes into a dirty,
+    # reused buffer — the v2 shed/quarantine fields included.
+    out = bytearray(b"\x00\x01\x02")
+    encode_full_batch_into(out, batch)
+    assert bytes(out[3:]) == encoded
+    reborn = decode_full_batch(memoryview(out)[3:])
+    assert reborn.shed == shed and reborn.quarantined == quarantined
 
 
 # -- directed edge cases ----------------------------------------------------------

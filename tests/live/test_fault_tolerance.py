@@ -93,6 +93,30 @@ class TestLeases:
         finally:
             agent.close()
 
+    def test_heartbeat_surfaces_query_costs(self, fast_harness, ctl):
+        """Heartbeats carry the agent's per-query armed-cost counters;
+        scrubd keeps the latest snapshot per host and reports it in
+        STATS so operators can see what each live query costs where."""
+        agent = _agent(fast_harness, "web-0")
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+            for i in range(40):
+                agent.log("pv", {"url": "/a", "latency_ms": 1.0}, request_id=i)
+
+            def costs():
+                hosts = ctl.stats()["hosts"]
+                if not hosts:
+                    return None
+                return hosts[0]["query_costs"].get(qid)
+
+            assert wait_for(lambda: (costs() or {}).get("routed", 0) >= 40, timeout=5.0)
+            cost = costs()
+            assert cost["skipped"] >= 0
+            assert cost["ewma_ns"] >= 0.0
+        finally:
+            agent.close()
+
     def test_silent_agent_lease_expires(self, fast_harness, ctl):
         sock = _raw_register(fast_harness.address, "raw-0")
         try:

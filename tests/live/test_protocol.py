@@ -18,6 +18,7 @@ from repro.live.protocol import (
     ProtocolError,
     decode_message,
     encode_batch_frame,
+    encode_batch_frame_into,
     encode_frame,
     encode_message_frame,
     read_frame,
@@ -71,6 +72,29 @@ class TestFraming:
         msg_type, payload = recv_frame(b)
         assert msg_type == MsgType.BATCH
         assert decode_full_batch(payload) == batch
+
+    def test_batch_frame_into_matches_and_patches_length(self):
+        """The in-place framer writes identical bytes into a reused
+        buffer: the length placeholder is patched after the payload
+        lands, shed/quarantine fields included."""
+        batch = EventBatch(
+            host="h1",
+            query_id="q00001",
+            events=[Event("pv", {"url": "/x"}, 7, 1.5, "h1")],
+            seen_counts={("pv", 0): 3},
+            dropped=1,
+            sent_at=2.0,
+            shed=4,
+            quarantined="impact-budget-exceeded: test",
+        )
+        out = bytearray(b"junk")
+        encode_batch_frame_into(out, batch)
+        assert bytes(out[4:]) == encode_batch_frame(batch)
+        # Two frames back to back in one buffer stay self-delimiting.
+        encode_batch_frame_into(out, batch)
+        (length,) = struct.unpack_from("<I", out, 4)
+        second = out[4 + 4 + length :]
+        assert bytes(second) == encode_batch_frame(batch)
 
     def test_eof_is_none(self, pair):
         a, b = pair
