@@ -90,6 +90,7 @@ class BidServer:
                     user_id=request.user.user_id,
                     line_item_id=winner.line_item.line_item_id,
                     publisher_id=request.publisher.publisher_id,
+                    latency_ms=request.exchange_latency_ms,
                 )
         latency = measure.latency + ad_measure.latency
         return BidOutcome(request, result, bid_price, latency)

@@ -39,15 +39,29 @@ class Exchange:
 
     ``active_from`` supports the new-exchange-integration case study
     (paper Section 8.2): before that instant the exchange sends nothing.
+
+    ``base_latency_ms`` is the exchange connection's typical round-trip
+    contribution to bid handling; ``degraded_factor`` multiplies it from
+    ``degraded_from`` onward, modelling one exchange link going bad (the
+    RCA bad-exchange fault).
     """
 
     exchange_id: int
     name: str
     traffic_share: float = 1.0
     active_from: float = 0.0
+    base_latency_ms: float = 8.0
+    degraded_factor: float = 1.0
+    degraded_from: Optional[float] = None
 
     def is_active(self, now: float) -> bool:
         return now >= self.active_from
+
+    def latency_scale(self, now: float) -> float:
+        """Multiplier on ``base_latency_ms`` in effect at time *now*."""
+        if self.degraded_from is not None and now >= self.degraded_from:
+            return self.degraded_factor
+        return 1.0
 
 
 @dataclass
@@ -125,10 +139,17 @@ class Campaign:
 
 @dataclass(frozen=True)
 class BidRequest:
-    """One request for a bid on one ad slot, as sent by an exchange."""
+    """One request for a bid on one ad slot, as sent by an exchange.
+
+    ``exchange_latency_ms`` is the exchange-link round-trip time the
+    traffic generator attributed to this request; BidServers report it
+    on the ``bid`` event so latency regressions are queryable per
+    dimension.
+    """
 
     request_id: int
     user: User
     exchange: Exchange
     publisher: Publisher
     timestamp: float
+    exchange_latency_ms: float = 0.0

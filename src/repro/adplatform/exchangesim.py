@@ -89,15 +89,22 @@ def make_publishers(ids: IdSpace, count: int = 5) -> list[Publisher]:
 
 @dataclass(frozen=True)
 class BotSpec:
-    """A spam bot: *batch_size* bid requests every *period* seconds."""
+    """A spam bot: *batch_size* bid requests every *period* seconds.
+
+    ``active_from`` delays the bot's first burst, so a bot surge can
+    start mid-trace (the RCA bot-surge fault keys its onset off this).
+    """
 
     user: User
     batch_size: int
     period: float
+    active_from: float = 0.0
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0 or self.period <= 0:
             raise ValueError("bot batch_size and period must be positive")
+        if self.active_from < 0:
+            raise ValueError("bot active_from must be non-negative")
 
 
 class ExchangeTraffic:
@@ -137,6 +144,10 @@ class ExchangeTraffic:
         self.request_ids = request_ids if request_ids is not None else RequestIdGenerator()
         self._rng = random.Random(seed)
         self._np_rng = np.random.default_rng(seed)
+        # Latency draws come from their own stream: adding them to
+        # self._rng would shift every downstream choice and silently
+        # change the pinned experiment traces.
+        self._latency_rng = random.Random((seed << 8) ^ 0x5CB)
         self._tick = tick_seconds
         self._max_slots = max_slots
         self.bots = list(bots)
@@ -157,7 +168,11 @@ class ExchangeTraffic:
             )
         for bot in self.bots:
             self.loop.call_every(
-                bot.period, self._bot_tick, bot, start_after=bot.period, until=until
+                bot.period,
+                self._bot_tick,
+                bot,
+                start_after=bot.active_from + bot.period,
+                until=until,
             )
 
     # -- generation ---------------------------------------------------------------
@@ -205,6 +220,13 @@ class ExchangeTraffic:
         self, user: User, exchange: Exchange, publisher: Publisher, now: float
     ) -> None:
         self.requests_sent += 1
+        # Exchange-link latency: log-normal jitter (median 1x) around the
+        # exchange's base latency, times any degradation in effect.
+        latency_ms = (
+            exchange.base_latency_ms
+            * exchange.latency_scale(now)
+            * self._latency_rng.lognormvariate(0.0, 0.35)
+        )
         self.sink(
             BidRequest(
                 request_id=self.request_ids.next(),
@@ -212,5 +234,6 @@ class ExchangeTraffic:
                 exchange=exchange,
                 publisher=publisher,
                 timestamp=now,
+                exchange_latency_ms=latency_ms,
             )
         )

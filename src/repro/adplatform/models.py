@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from ..core.agent.sampling import uniform_from_hash
 from .entities import LineItem, User
 
-__all__ = ["TargetingModel", "BaselineModel", "ImprovedModel"]
+__all__ = ["TargetingModel", "BaselineModel", "ImprovedModel", "HotItemModel"]
 
 
 def _mix(seed: int, user_id: int, line_item_id: int) -> float:
@@ -76,6 +76,22 @@ class BaselineModel(TargetingModel):
         # lot — a weakly-targeted impression realises roughly base CTR.
         affinity = self.affinity(user, line_item)
         return min(self.base_ctr * (0.05 + 2.2 * affinity * affinity), 1.0)
+
+
+@dataclass(frozen=True)
+class HotItemModel(TargetingModel):
+    """Flat click physics except for a designated "hot" set of line
+    items with far higher true CTR.  The RCA misconfigured-campaign
+    scenario uses it: when the hot campaign stops serving, the
+    platform's realized click rate visibly collapses."""
+
+    hot_line_item_ids: frozenset[int] = frozenset()
+    hot_ctr: float = 0.35
+
+    def click_probability(self, user: User, line_item: LineItem) -> float:
+        if line_item.line_item_id in self.hot_line_item_ids:
+            return self.hot_ctr
+        return self.base_ctr
 
 
 @dataclass(frozen=True)

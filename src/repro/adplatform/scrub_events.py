@@ -39,6 +39,9 @@ BID = EventSchema(
         ("user_id", "long"),
         ("line_item_id", "long"),
         ("publisher_id", "long"),
+        # Exchange-link round-trip attributed to this request; NULL on
+        # bids logged by call sites that predate latency tracking.
+        ("latency_ms", "double"),
     ],
     doc="A bid response returned to an ad exchange.",
 )

@@ -23,7 +23,7 @@ from .exchangesim import (
     make_users,
 )
 from .ids import IdSpace
-from .models import BaselineModel, ImprovedModel, TargetingModel
+from .models import BaselineModel, HotItemModel, ImprovedModel, TargetingModel
 from .platform import AdPlatform, PodSpec
 
 __all__ = [
@@ -36,6 +36,10 @@ __all__ = [
     "cannibalization_scenario",
     "frequency_cap_scenario",
     "perf_scenario",
+    "rca_misconfigured_campaign_scenario",
+    "rca_bot_surge_scenario",
+    "rca_bad_exchange_scenario",
+    "RCA_SCENARIOS",
 ]
 
 
@@ -467,3 +471,184 @@ def perf_scenario(
         "plain deployment for CPU-overhead and latency measurements (paper §9)",
         extras={},
     )
+
+
+# -- RCA fault library ------------------------------------------------------------------
+#
+# Three seeded, mid-trace faults for the automated root-cause driver
+# (repro.rca).  Each scenario's ``extras`` carry the contract the driver
+# and its tests rely on:
+#
+# * ``fault_time``   — virtual-time instant the fault switches on;
+# * ``truth``        — acceptable root-cause answers, as a list of
+#                      (dimension, value) pairs: a report naming ANY of
+#                      them has found the cause;
+# * ``symptom``      — a plain-data hint for building the SymptomSpec:
+#                      (event_type, metric, direction).
+#
+# Everything is keyed off the scenario seed and virtual time — no wall
+# clock, no global RNG — so every run reproduces bit-identically.
+
+
+def rca_misconfigured_campaign_scenario(
+    users: int = 300,
+    pageview_rate: float = 10.0,
+    line_items: int = 30,
+    fault_time: float = 120.0,
+    seed: int = 808,
+) -> Scenario:
+    """A high-CTR focal campaign's targeting is edited to a nonexistent
+    country mid-trace; its line items stop passing filtering, and the
+    platform's click rate collapses.  Truth: the focal campaign."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(
+        ids, line_items, seed=seed, advisory_range=(0.5, 2.5)
+    )
+
+    focal_campaign = Campaign(ids.next("campaign"), advertiser="focal")
+    focal_items = []
+    for advisory in (5.5, 5.8):
+        item = LineItem(
+            line_item_id=ids.next("line_item"),
+            campaign_id=focal_campaign.campaign_id,
+            advisory_price=advisory,  # outbids the background band
+            targeting=Targeting(),    # broad: competes in every auction
+        )
+        focal_campaign.add(item)
+        focal_items.append(item)
+    campaigns = campaigns + [focal_campaign]
+    items = items + focal_items
+
+    model = HotItemModel(
+        "prod",
+        hot_line_item_ids=frozenset(i.line_item_id for i in focal_items),
+    )
+    pods = [PodSpec("main", model, bidservers=2, adservers=2, presentationservers=3)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+
+    def misconfigure() -> None:
+        # The operator "fat-fingers" the country list: no user matches.
+        for item in focal_items:
+            item.targeting = Targeting(countries=frozenset({"ZZ"}))
+
+    platform.cluster.loop.call_at(fault_time, misconfigure)
+    return Scenario(
+        platform,
+        traffic,
+        "a campaign's targeting is misconfigured mid-trace; clicks collapse",
+        extras={
+            "fault_time": fault_time,
+            "truth": [("campaign_id", focal_campaign.campaign_id)]
+            + [("line_item_id", i.line_item_id) for i in focal_items],
+            "symptom": ("click", "count", "down"),
+            "focal_campaign": focal_campaign,
+            "focal_items": focal_items,
+        },
+    )
+
+
+def rca_bot_surge_scenario(
+    users: int = 400,
+    pageview_rate: float = 10.0,
+    line_items: int = 30,
+    fault_time: float = 120.0,
+    bot_count: int = 3,
+    bot_batch: int = 40,
+    bot_period: float = 2.0,
+    seed: int = 909,
+) -> Scenario:
+    """Bots from one user segment (city "Unknown") start bursting bid
+    requests at *fault_time*; bid volume surges.  Truth: the bot city
+    (or any individual bot user id)."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    items, campaigns = make_line_items(ids, line_items, seed=seed, exchanges=exchanges)
+
+    rng = random.Random(seed + 1)
+    bot_users = []
+    bots = []
+    for i in range(bot_count):
+        bot = User(
+            user_id=ids.next("user"),
+            city="Unknown",
+            country="US",
+            segments=frozenset(rng.sample(range(1, 41), 3)),
+            is_bot=True,
+        )
+        bot_users.append(bot)
+        bots.append(
+            BotSpec(
+                user=bot,
+                batch_size=bot_batch,
+                period=bot_period * (1 + 0.25 * i),
+                active_from=fault_time,
+            )
+        )
+
+    pods = [PodSpec("main", TargetingModel("prod"), bidservers=2, adservers=2)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids,
+        bots=tuple(bots), seed=seed,
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "a bot surge from one user segment begins mid-trace; bid volume spikes",
+        extras={
+            "fault_time": fault_time,
+            "truth": [("city", "Unknown")]
+            + [("user_id", b.user_id) for b in bot_users],
+            "symptom": ("bid", "count", "up"),
+            "bots": bot_users,
+        },
+    )
+
+
+def rca_bad_exchange_scenario(
+    users: int = 300,
+    pageview_rate: float = 10.0,
+    line_items: int = 30,
+    fault_time: float = 120.0,
+    degraded_factor: float = 6.0,
+    seed: int = 1010,
+) -> Scenario:
+    """One exchange's link degrades at *fault_time*: its per-request
+    latency multiplies by *degraded_factor*, dragging the platform-wide
+    bid latency tail up.  Truth: the degraded exchange."""
+    ids = IdSpace()
+    population = make_users(users, ids, seed=seed)
+    exchanges = make_exchanges(ids)
+    bad = exchanges[2]
+    bad.degraded_from = fault_time
+    bad.degraded_factor = degraded_factor
+    items, campaigns = make_line_items(ids, line_items, seed=seed)
+
+    pods = [PodSpec("main", TargetingModel("prod"), bidservers=2, adservers=2)]
+    platform, traffic = _base_platform(
+        pods, items, campaigns, population, exchanges, pageview_rate, ids, seed=seed
+    )
+    return Scenario(
+        platform,
+        traffic,
+        "one exchange link degrades mid-trace; bid latency p95 climbs",
+        extras={
+            "fault_time": fault_time,
+            "truth": [("exchange_id", bad.exchange_id)],
+            "symptom": ("bid", ("quantile", "latency_ms", 0.95), "up"),
+            "bad_exchange": bad,
+            "exchanges": exchanges,
+        },
+    )
+
+
+#: Name -> builder, for the example script and the CI smoke step.
+RCA_SCENARIOS = {
+    "misconfigured_campaign": rca_misconfigured_campaign_scenario,
+    "bot_surge": rca_bot_surge_scenario,
+    "bad_exchange": rca_bad_exchange_scenario,
+}

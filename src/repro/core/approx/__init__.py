@@ -1,6 +1,8 @@
-"""Probabilistic machinery: Space-Saving TOP-K, HyperLogLog, sampling theory."""
+"""Probabilistic machinery: Space-Saving TOP-K, HyperLogLog, quantile
+sketch, sampling theory."""
 
 from .hyperloglog import HyperLogLog
+from .quantile import QuantileSketch
 from .sampling_theory import (
     ApproxEstimate,
     MachineSample,
@@ -14,6 +16,7 @@ __all__ = [
     "ApproxEstimate",
     "HyperLogLog",
     "MachineSample",
+    "QuantileSketch",
     "SpaceSaving",
     "TopItem",
     "estimate_avg",

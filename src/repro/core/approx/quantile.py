@@ -1,0 +1,178 @@
+"""Mergeable quantile sketch for the QUANTILE aggregate.
+
+A relative-error quantile sketch in the DDSketch family (Masson,
+Rim & Lee, VLDB 2019): values are mapped to logarithmically spaced
+buckets ``index = ceil(log(value) / log(gamma))`` with
+``gamma = (1 + alpha) / (1 - alpha)``, so every reported quantile is
+within relative error ``alpha`` of an exact rank-based quantile.
+
+Why this shape instead of a t-digest: ScrubCentral's shard pool merges
+per-worker partial states at window close, and the merge order depends
+on how events were sharded.  t-digest centroid merging is neither
+commutative nor associative, so parallel results would drift from the
+serial ones.  Bucketed counts merge by integer addition — commutative,
+associative, and partition-independent — which makes QUANTILE results
+bit-identical between the serial engine and ``ShardPool(workers=N)``
+(a property the differential tests pin).
+
+Negative values get a mirrored bucket store; zeros (and values whose
+magnitude is below ``min_value``) a dedicated counter, so the sketch
+covers the full real line like the reference DDSketch does.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["QuantileSketch", "DEFAULT_ALPHA"]
+
+#: Default relative-error guarantee (1%).
+DEFAULT_ALPHA = 0.01
+
+
+class QuantileSketch:
+    """Relative-error quantile sketch over a stream of real numbers.
+
+    ``quantile(q)`` (q in [0, 1]) is within relative error ``alpha`` of
+    the exact quantile for positive and negative values; the zero
+    counter is exact.  ``merge`` is exact and associative: merging
+    arbitrary partitions of a stream yields the same buckets — and
+    therefore the same reported quantiles — as sketching the whole
+    stream serially.
+    """
+
+    __slots__ = ("alpha", "min_value", "_gamma", "_log_gamma", "_positive",
+                 "_negative", "_zero", "count")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA, min_value: float = 1e-9) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        self.alpha = alpha
+        self.min_value = min_value
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._positive: dict[int, int] = {}
+        self._negative: dict[int, int] = {}
+        self._zero = 0
+        self.count = 0
+
+    # -- ingest ----------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Record one value.  NaN is ignored (SQL NULL semantics upstream
+        already drop NULLs; NaN has no rank)."""
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        if value > self.min_value:
+            key = self._key(value)
+            self._positive[key] = self._positive.get(key, 0) + 1
+        elif value < -self.min_value:
+            key = self._key(-value)
+            self._negative[key] = self._negative.get(key, 0) + 1
+        else:
+            self._zero += 1
+
+    def update(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _key(self, magnitude: float) -> int:
+        return int(math.ceil(math.log(magnitude) / self._log_gamma))
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold *other* into this sketch.  Exact: bucket counts add, so
+        merge order and stream partitioning never change the result."""
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        if other.alpha != self.alpha or other.min_value != self.min_value:
+            raise ValueError(
+                "cannot merge sketches with different parameters: "
+                f"alpha {self.alpha} vs {other.alpha}, "
+                f"min_value {self.min_value} vs {other.min_value}"
+            )
+        for key, n in other._positive.items():
+            self._positive[key] = self._positive.get(key, 0) + n
+        for key, n in other._negative.items():
+            self._negative[key] = self._negative.get(key, 0) + n
+        self._zero += other._zero
+        self.count += other.count
+
+    # -- query -----------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (q in [0, 1]); raises on an empty sketch."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("quantile of empty sketch")
+        # Rank of the answer, 0-based, nearest-rank with rounding — the
+        # deterministic integer walk keeps results platform-stable.
+        rank = q * (self.count - 1)
+        target = int(math.floor(rank + 0.5))
+        seen = 0
+        # Negative buckets first (most negative value = largest key).
+        for key in sorted(self._negative, reverse=True):
+            seen += self._negative[key]
+            if seen > target:
+                return -self._bucket_value(key)
+        seen += self._zero
+        if seen > target:
+            return 0.0
+        for key in sorted(self._positive):
+            seen += self._positive[key]
+            if seen > target:
+                return self._bucket_value(key)
+        raise AssertionError("rank walk exhausted buckets")  # pragma: no cover
+
+    def _bucket_value(self, key: int) -> float:
+        # Midpoint of the bucket (gamma^(key-1), gamma^key] in log space:
+        # 2*gamma^key/(gamma+1), the estimate with relative error <= alpha.
+        return 2.0 * self._gamma ** key / (self._gamma + 1.0)
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of occupied buckets (memory footprint proxy)."""
+        return len(self._positive) + len(self._negative) + (1 if self._zero else 0)
+
+    def __reduce__(self):
+        return (
+            _rebuild,
+            (self.alpha, self.min_value, dict(self._positive),
+             dict(self._negative), self._zero, self.count),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            self.alpha == other.alpha
+            and self.min_value == other.min_value
+            and self._positive == other._positive
+            and self._negative == other._negative
+            and self._zero == other._zero
+            and self.count == other.count
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(alpha={self.alpha}, count={self.count}, "
+            f"buckets={self.bucket_count})"
+        )
+
+
+def _rebuild(alpha, min_value, positive, negative, zero, count):
+    sketch = QuantileSketch(alpha, min_value)
+    sketch._positive = positive
+    sketch._negative = negative
+    sketch._zero = zero
+    sketch.count = count
+    return sketch

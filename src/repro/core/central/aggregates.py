@@ -22,6 +22,7 @@ import math
 from typing import Any, Optional
 
 from ..approx.hyperloglog import HyperLogLog
+from ..approx.quantile import QuantileSketch
 from ..approx.spacesaving import SpaceSaving
 from ..query.ast import AggregateCall
 
@@ -334,6 +335,44 @@ class TopKState(AggregateState):
         ]
 
 
+class QuantileState(AggregateState):
+    """QUANTILE(expr, q) via the mergeable relative-error sketch.
+
+    The bucket-count merge is exact (integer addition), so serial and
+    shard-pool executions report bit-identical quantiles regardless of
+    how events were partitioned across workers.  Like MIN/MAX, the
+    reported quantile is a property of the sampled values themselves and
+    does not scale with the sampling rate — no scaled variant.
+    """
+
+    __slots__ = ("q", "sketch")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"QUANTILE requires q in [0, 1], got {q}")
+        self.q = q
+        self.sketch = QuantileSketch()
+
+    def update(self, value: Any) -> None:
+        if value is not None:
+            self.sketch.add(value)
+
+    def update_many(self, values: list) -> None:
+        add = self.sketch.add
+        for value in values:
+            if value is not None:
+                add(value)
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, QuantileState)
+        self.sketch.merge(other.sketch)
+
+    def result(self) -> Optional[float]:
+        if self.sketch.count == 0:
+            return None
+        return self.sketch.quantile(self.q)
+
+
 def _hashable(value: Any) -> Any:
     """Values reaching sketches must be hashable; lists/dicts are folded
     into tuples so a list-typed field can still feed COUNT_DISTINCT."""
@@ -364,4 +403,7 @@ def make_state(agg: AggregateCall) -> AggregateState:
     if func == "TOP":
         assert agg.k is not None
         return TopKState(agg.k)
+    if func == "QUANTILE":
+        assert agg.q is not None
+        return QuantileState(agg.q)
     raise ValueError(f"unsupported aggregate: {func}")

@@ -20,15 +20,20 @@ from typing import Any, Callable, Optional
 from ..events import Event
 from ..query.ast import (
     AggregateCall,
+    Between,
     BinaryOp,
+    BoolOp,
+    Comparison,
     Expr,
+    InList,
+    IsNull,
     Literal,
     UnaryOp,
     normalize_expr,
     unparse,
     walk_exprs,
 )
-from ..query.compile import FieldGetter, compile_expr, compile_predicate
+from ..query.compile import FieldGetter, compile_expr, compile_predicate, like_to_regex
 from ..query.errors import ScrubExecutionError
 from ..query.planner import CentralQueryObject, unique_aggregates
 from .aggregates import AggregateState, make_state
@@ -109,11 +114,14 @@ class GroupByProcessor:
         self.group_exprs: tuple[Expr, ...] = spec.group_by
         self._group_fns = [compile_cached(g, sources) for g in spec.group_by]
 
-        # Unique aggregate calls across the SELECT list (structural dedup);
-        # the shared helper fixes the order host partials are indexed by.
+        # Unique aggregate calls across SELECT and HAVING (structural
+        # dedup); the shared helper fixes the order host partials are
+        # indexed by.  HAVING-only aggregates get a state like any other.
         self.agg_calls: tuple[AggregateCall, ...] = unique_aggregates(
-            spec.select_items
+            spec.select_items, spec.having
         )
+        #: Post-aggregation group filter; evaluated per group at finalize.
+        self.having: Optional[Expr] = spec.having
         self._agg_arg_fns: list[Callable[[Any], Any]] = [
             (lambda _row: _COUNT_STAR)
             if agg.arg is None
@@ -270,6 +278,12 @@ class WindowGroups:
             }
             if agg_overrides:
                 agg_values.update(agg_overrides)
+            if p.having is not None:
+                # SQL HAVING: keep the group only when the predicate is
+                # definitely true (3VL, same rule as WHERE).  Evaluated
+                # over the scaled/overridden values the row would show.
+                if _eval_output(p.having, group_values, agg_values) is not True:
+                    continue
             values = tuple(
                 _eval_output(item.expr, group_values, agg_values)
                 for item in p.spec.select_items
@@ -303,11 +317,13 @@ def _eval_output(
     group_values: dict[Expr, Any],
     agg_values: dict[AggregateCall, Any],
 ) -> Any:
-    """Evaluate a SELECT expression after aggregation.
+    """Evaluate a SELECT or HAVING expression after aggregation.
 
-    Group-by expressions and aggregate calls are leaves here; anything
-    else must be literals and arithmetic over them (guaranteed by the
-    validator's single-value rule).
+    Group-by expressions and aggregate calls are leaves here; everything
+    else is literals, arithmetic, and (for HAVING) predicates over them
+    — with the same three-valued-logic semantics the row-level compiler
+    gives WHERE (``compile.py``), so ``HAVING COUNT(*) > n`` filters
+    exactly like the equivalent post-hoc filter over the output rows.
     """
     if expr in group_values:
         return group_values[expr]
@@ -336,7 +352,71 @@ def _eval_output(
         if value is None:
             return None
         return -value if expr.op == "-" else (not value)
+    if isinstance(expr, Comparison):
+        left = _eval_output(expr.left, group_values, agg_values)
+        right = _eval_output(expr.right, group_values, agg_values)
+        if left is None or right is None:
+            return None
+        try:
+            if expr.op == "LIKE":
+                return like_to_regex(right).fullmatch(str(left)) is not None
+            return _COMPARATORS[expr.op](left, right)
+        except TypeError:
+            return None
+    if isinstance(expr, InList):
+        value = _eval_output(expr.expr, group_values, agg_values)
+        if value is None:
+            return None
+        members = [v.value for v in expr.values]
+        try:
+            hit = value in [m for m in members if m is not None]
+        except TypeError:
+            return None
+        if not hit and None in members:
+            return None  # SQL: x IN (..., NULL) is UNKNOWN when no match
+        return (not hit) if expr.negated else hit
+    if isinstance(expr, Between):
+        value = _eval_output(expr.expr, group_values, agg_values)
+        low = _eval_output(expr.low, group_values, agg_values)
+        high = _eval_output(expr.high, group_values, agg_values)
+        if value is None or low is None or high is None:
+            return None
+        try:
+            hit = low <= value <= high
+        except TypeError:
+            return None
+        return (not hit) if expr.negated else hit
+    if isinstance(expr, IsNull):
+        value = _eval_output(expr.expr, group_values, agg_values)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, BoolOp):
+        unknown = False
+        if expr.op == "AND":
+            for term in expr.terms:
+                result = _eval_output(term, group_values, agg_values)
+                if result is False:
+                    return False
+                if result is None:
+                    unknown = True
+            return None if unknown else True
+        for term in expr.terms:
+            result = _eval_output(term, group_values, agg_values)
+            if result is True:
+                return True
+            if result is None:
+                unknown = True
+        return None if unknown else False
     raise ScrubExecutionError(
         f"cannot evaluate {unparse(expr)} after aggregation; "
         "it is neither a group key nor an aggregate"
     )
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}

@@ -39,7 +39,9 @@ __all__ = [
     "walk_exprs",
 ]
 
-AGGREGATE_FUNCS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "COUNT_DISTINCT", "TOP"})
+AGGREGATE_FUNCS = frozenset(
+    {"COUNT", "SUM", "AVG", "MIN", "MAX", "COUNT_DISTINCT", "TOP", "QUANTILE"}
+)
 
 
 # -- expressions ---------------------------------------------------------------
@@ -119,18 +121,24 @@ class AggregateCall:
     """An aggregate function application.
 
     ``arg`` is None only for ``COUNT(*)``.  ``k`` is set only for
-    ``TOP(k, expr)``.
+    ``TOP(k, expr)``; ``q`` only for ``QUANTILE(expr, q)``.
     """
 
     func: str
     arg: Optional["Expr"] = None
     k: Optional[int] = None
+    q: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.func not in AGGREGATE_FUNCS:
             raise ValueError(f"unknown aggregate: {self.func}")
         if self.func == "TOP" and (self.k is None or self.k <= 0):
             raise ValueError("TOP requires a positive k")
+        if self.func == "QUANTILE":
+            if self.arg is None:
+                raise ValueError("QUANTILE requires an argument expression")
+            if self.q is None or not 0.0 <= self.q <= 1.0:
+                raise ValueError("QUANTILE requires q in [0, 1]")
 
 
 Expr = Union[
@@ -234,16 +242,22 @@ class Query:
     #: execution default, provided for the DESIGN.md ablation).
     host_aggregate: bool = False
     group_by: tuple[Expr, ...] = ()
+    #: Post-aggregation group filter (SQL HAVING); evaluated at window
+    #: close over group keys and aggregate results.
+    having: Optional[Expr] = None
 
     @property
     def is_join(self) -> bool:
         return len(self.sources) > 1
 
     def aggregates(self) -> list[AggregateCall]:
-        """All aggregate calls appearing in the SELECT list, in order."""
+        """All aggregate calls in the SELECT list and HAVING, in order."""
         found: list[AggregateCall] = []
-        for item in self.select_items:
-            for node in walk_exprs(item.expr):
+        exprs = [item.expr for item in self.select_items]
+        if self.having is not None:
+            exprs.append(self.having)
+        for expr in exprs:
+            for node in walk_exprs(expr):
                 if isinstance(node, AggregateCall):
                     found.append(node)
         return found
@@ -320,7 +334,7 @@ def normalize_expr(node: Expr) -> Expr:
     if isinstance(node, IsNull):
         return IsNull(normalize_expr(node.expr), node.negated)
     if isinstance(node, AggregateCall) and node.arg is not None:
-        return AggregateCall(node.func, normalize_expr(node.arg), node.k)
+        return AggregateCall(node.func, normalize_expr(node.arg), node.k, node.q)
     return node
 
 
@@ -381,6 +395,8 @@ def unparse(node: Any) -> str:
             return "COUNT(*)"
         if node.func == "TOP":
             return f"TOP({node.k}, {unparse(node.arg)})"
+        if node.func == "QUANTILE":
+            return f"QUANTILE({unparse(node.arg)}, {node.q:g})"
         return f"{node.func}({unparse(node.arg)})"
     if isinstance(node, SelectItem):
         text = unparse(node.expr)
@@ -426,4 +442,6 @@ def _unparse_query(q: Query) -> str:
         parts.append("AGGREGATE ON HOSTS")
     if q.group_by:
         parts.append("GROUP BY " + ", ".join(unparse(g) for g in q.group_by))
+    if q.having is not None:
+        parts.append("HAVING " + unparse(q.having))
     return "\n".join(parts) + ";"

@@ -41,6 +41,7 @@ KEYWORDS = frozenset(
         "select", "from", "where", "group", "by", "and", "or", "not",
         "in", "like", "between", "is", "null", "as", "true", "false",
         "count", "sum", "avg", "min", "max", "count_distinct", "top",
+        "quantile", "having",
         "service", "services", "server", "servers", "datacenter", "all",
         "sample", "hosts", "events", "start", "now", "duration", "window",
         "slide", "aggregate", "on",

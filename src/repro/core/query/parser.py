@@ -4,7 +4,8 @@ Grammar (clauses after FROM may appear in any order)::
 
     query      := SELECT select_list FROM sources clause* [';']
     clause     := WHERE predicate | target | sampling | span_part
-                | WINDOW dur | GROUP BY expr_list
+                | WINDOW dur [SLIDE dur] | GROUP BY expr_list
+                | HAVING predicate | AGGREGATE ON HOSTS
     select_list:= select_item (',' select_item)*
     select_item:= expr [AS ident]
     sources    := ident (',' ident)*
@@ -138,6 +139,7 @@ class _Parser:
         slide: Optional[float] = None
         host_aggregate = False
         group_by: tuple[Expr, ...] = ()
+        having: Optional[Expr] = None
         seen: set[str] = set()
 
         def once(name: str) -> None:
@@ -191,6 +193,10 @@ class _Parser:
                 self._advance()
                 self._expect_keyword("by")
                 group_by = tuple(self._expr_list())
+            elif self._at_keyword("having"):
+                once("having")
+                self._advance()
+                having = self._expression()
             else:
                 break
 
@@ -211,6 +217,7 @@ class _Parser:
             slide=slide,
             host_aggregate=host_aggregate,
             group_by=group_by,
+            having=having,
         )
 
     def _select_list(self) -> list[SelectItem]:
@@ -493,7 +500,10 @@ class _Parser:
             if word == "null":
                 self._advance()
                 return Literal(None)
-            if word in ("count", "sum", "avg", "min", "max", "count_distinct", "top"):
+            if word in (
+                "count", "sum", "avg", "min", "max", "count_distinct",
+                "top", "quantile",
+            ):
                 return self._aggregate(word)
         if tok.type == TokenType.IDENT:
             return self._field_ref()
@@ -514,6 +524,20 @@ class _Parser:
             if k <= 0:
                 raise ScrubSyntaxError("TOP requires a positive k", ktok.line, ktok.column)
             return AggregateCall("TOP", arg, k=k)
+        if word == "quantile":
+            arg = self._expression()
+            self._expect(TokenType.COMMA, "','")
+            qtok = self._cur
+            if qtok.type not in (TokenType.INT, TokenType.FLOAT):
+                raise self._error("expected QUANTILE's q (a number in [0, 1])")
+            self._advance()
+            q = float(qtok.value)
+            if not 0.0 <= q <= 1.0:
+                raise ScrubSyntaxError(
+                    f"QUANTILE requires q in [0, 1], got {q:g}", qtok.line, qtok.column
+                )
+            self._expect(TokenType.RPAREN, "')'")
+            return AggregateCall("QUANTILE", arg, q=q)
         arg = self._expression()
         self._expect(TokenType.RPAREN, "')'")
         return AggregateCall(word.upper(), arg)

@@ -53,13 +53,22 @@ __all__ = [
 ]
 
 
-def unique_aggregates(select_items: tuple[SelectItem, ...]) -> tuple[AggregateCall, ...]:
-    """Unique aggregate calls across a SELECT list, in first-appearance
-    order.  Both the host agent (pre-aggregation) and ScrubCentral index
-    partial-aggregate vectors by this order, so it is defined once."""
+def unique_aggregates(
+    select_items: tuple[SelectItem, ...],
+    having: Optional[Expr] = None,
+) -> tuple[AggregateCall, ...]:
+    """Unique aggregate calls across a SELECT list (and HAVING clause), in
+    first-appearance order.  Both the host agent (pre-aggregation) and
+    ScrubCentral index partial-aggregate vectors by this order, so it is
+    defined once.  HAVING-only aggregates come after the SELECT ones and
+    still get a state — the filter needs their results even though no
+    output column shows them."""
     uniq: list[AggregateCall] = []
-    for item in select_items:
-        for node in walk_exprs(item.expr):
+    exprs = [item.expr for item in select_items]
+    if having is not None:
+        exprs.append(having)
+    for expr in exprs:
+        for node in walk_exprs(expr):
             if isinstance(node, AggregateCall) and node not in uniq:
                 uniq.append(node)
     return tuple(uniq)
@@ -121,6 +130,8 @@ class CentralQueryObject:
     slide_seconds: Optional[float] = None
     #: Hosts ship partial aggregates instead of events.
     host_aggregated: bool = False
+    #: Post-aggregation group filter, applied at window close.
+    having: Optional[Expr] = None
 
     @property
     def is_join(self) -> bool:
@@ -167,7 +178,7 @@ def plan_query(validated: ValidatedQuery, query_id: str) -> QueryPlan:
     if query.host_aggregate:
         aggregation = HostAggregationSpec(
             group_by=query.group_by,
-            aggregates=unique_aggregates(query.select_items),
+            aggregates=unique_aggregates(query.select_items, query.having),
         )
 
     host_objects = tuple(
@@ -194,6 +205,7 @@ def plan_query(validated: ValidatedQuery, query_id: str) -> QueryPlan:
         sampling=query.sampling,
         slide_seconds=query.slide,
         host_aggregated=query.host_aggregate,
+        having=query.having,
     )
 
     duration = (
@@ -257,6 +269,8 @@ def _projections(
         note(group)
     for conjunct in central_conjuncts:
         note(conjunct)
+    if query.having is not None:
+        note(query.having)
 
     # System fields (request_id/timestamp/host) are kept implicitly by
     # Event.project; exclude them from the payload projection list.

@@ -83,8 +83,15 @@ def validate_query(query: Query, registry: EventRegistry) -> ValidatedQuery:
     )
     where = resolver.resolve(query.where) if query.where is not None else None
     group_by = tuple(resolver.resolve(g) for g in query.group_by)
+    having = resolver.resolve(query.having) if query.having is not None else None
 
-    resolved = replace(query, select_items=select_items, where=where, group_by=group_by)
+    resolved = replace(
+        query,
+        select_items=select_items,
+        where=where,
+        group_by=group_by,
+        having=having,
+    )
 
     _check_aggregate_rules(resolved)
     _check_types(resolved, schemas)
@@ -137,7 +144,7 @@ class _Resolver:
             return BoolOp(expr.op, tuple(self.resolve(t) for t in expr.terms))
         if isinstance(expr, AggregateCall):
             arg = self.resolve(expr.arg) if expr.arg is not None else None
-            return AggregateCall(expr.func, arg, expr.k)
+            return AggregateCall(expr.func, arg, expr.k, expr.q)
         raise ScrubValidationError(f"unsupported expression node: {type(expr).__name__}")
 
     def _resolve_ref(self, ref: FieldRef) -> FieldRef:
@@ -187,6 +194,11 @@ def _check_aggregate_rules(query: Query) -> None:
                         f"nested aggregate in {unparse(agg)}"
                     )
     if not query.is_aggregating:
+        if query.having is not None:
+            raise ScrubValidationError(
+                "HAVING requires aggregation (aggregates in SELECT/HAVING "
+                "or a GROUP BY clause)"
+            )
         return
     # When aggregating, each SELECT item must be an aggregate expression or a
     # grouping expression (standard SQL single-value rule).
@@ -197,6 +209,14 @@ def _check_aggregate_rules(query: Query) -> None:
         raise ScrubValidationError(
             f"SELECT item {unparse(item.expr)!r} is neither aggregated "
             "nor listed in GROUP BY"
+        )
+    # HAVING runs after aggregation, so the same single-value rule applies:
+    # every field reference must sit under an aggregate or be (part of) a
+    # grouping expression.
+    if query.having is not None and not _item_is_aggregate_only(query.having, groups):
+        raise ScrubValidationError(
+            f"HAVING expression {unparse(query.having)!r} references fields "
+            "that are neither aggregated nor listed in GROUP BY"
         )
 
 
@@ -217,7 +237,25 @@ def _item_is_aggregate_only(expr: Expr, groups: set[Expr]) -> bool:
         )
     if isinstance(expr, UnaryOp):
         return _item_is_aggregate_only(expr.operand, groups)
-    # Comparisons etc. in SELECT are unusual but handled uniformly.
+    # Predicate nodes (the HAVING grammar; unusual but legal in SELECT):
+    # recurse into direct children so field refs *under* an aggregate —
+    # e.g. COUNT(x) > 5 — are correctly attributed to the aggregate.
+    if isinstance(expr, Comparison):
+        return _item_is_aggregate_only(expr.left, groups) and _item_is_aggregate_only(
+            expr.right, groups
+        )
+    if isinstance(expr, InList):
+        return _item_is_aggregate_only(expr.expr, groups)
+    if isinstance(expr, Between):
+        return (
+            _item_is_aggregate_only(expr.expr, groups)
+            and _item_is_aggregate_only(expr.low, groups)
+            and _item_is_aggregate_only(expr.high, groups)
+        )
+    if isinstance(expr, IsNull):
+        return _item_is_aggregate_only(expr.expr, groups)
+    if isinstance(expr, BoolOp):
+        return all(_item_is_aggregate_only(term, groups) for term in expr.terms)
     return all(
         _item_is_aggregate_only(sub, groups)
         for sub in walk_exprs(expr)
@@ -275,6 +313,12 @@ def _check_types(query: Query, schemas: dict[str, EventSchema]) -> None:
         checker.infer(query.where)
     for group in query.group_by:
         checker.infer(group)
+    if query.having is not None:
+        having_type = checker.infer(query.having)
+        if having_type is not None and having_type is not FieldType.BOOLEAN:
+            raise ScrubValidationError(
+                f"HAVING must be a boolean predicate, got {having_type.value}"
+            )
 
 
 class _TypeChecker:
@@ -348,7 +392,11 @@ class _TypeChecker:
         if isinstance(expr, AggregateCall):
             if expr.arg is not None:
                 arg_type = self.infer(expr.arg)
-                if expr.func in ("SUM", "AVG") and arg_type is not None and arg_type not in _NUMERIC:
+                if (
+                    expr.func in ("SUM", "AVG", "QUANTILE")
+                    and arg_type is not None
+                    and arg_type not in _NUMERIC
+                ):
                     raise ScrubValidationError(
                         f"{expr.func} requires a numeric argument, got {arg_type.value}"
                     )

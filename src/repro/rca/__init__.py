@@ -1,0 +1,35 @@
+"""repro.rca: automated root-cause analysis over the Scrub query language.
+
+Turns a symptom ("clicks dropped", "bid latency p99 up") into a ranked
+:class:`~repro.rca.report.RootCauseReport` by issuing successive Scrub
+queries — sliding-window confirmation, per-dimension group-by contrast
+of the good vs bad phases, and an itemset drill-down — against either a
+live deployment or a replayable simulated scenario.
+"""
+
+from .driver import RootCauseDriver
+from .report import Candidate, Itemset, RootCauseReport
+from .runner import QueryRunner, ScenarioRunner
+from .symptom import (
+    DEFAULT_DIMENSIONS,
+    CountMetric,
+    Metric,
+    QuantileMetric,
+    SymptomSpec,
+    symptom_from_extras,
+)
+
+__all__ = [
+    "Candidate",
+    "CountMetric",
+    "DEFAULT_DIMENSIONS",
+    "Itemset",
+    "Metric",
+    "QuantileMetric",
+    "QueryRunner",
+    "RootCauseDriver",
+    "RootCauseReport",
+    "ScenarioRunner",
+    "SymptomSpec",
+    "symptom_from_extras",
+]

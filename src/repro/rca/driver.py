@@ -1,0 +1,416 @@
+"""The automated root-cause driver: symptom in, ranked causes out.
+
+Given a symptom spec and a way to run Scrub queries
+(:data:`~repro.rca.runner.QueryRunner`), the driver performs the loop a
+troubleshooter would:
+
+1. **Confirm & localize** — one sliding-window query over the whole
+   trace computes the symptom metric's time series; a mean-shift scan
+   finds the change point and checks the anomaly is real.
+2. **Dimension scan** — one tumbling-window GROUP BY query per
+   candidate dimension (quantile scans add ``HAVING COUNT(*) >= k`` to
+   prune meaningless groups).  Good-phase vs bad-phase populations are
+   contrasted per dimension value, Fast-Dimensional-Analysis style:
+   each value gets support, confidence, lift and a combined score.
+3. **Drill down** — the top candidate is fixed in a WHERE clause and
+   the remaining dimensions are re-scanned inside that slice; a
+   two-dimension itemset survives only if it scores strictly better
+   than its parent (apriori-flavoured pruning).
+
+Scoring is intentionally simple and fully explainable:
+
+* rate metrics ("clicks dropped", "bids surged") score by *explained
+  fraction* of the total rate shift times the value's own *confidence*
+  (how completely its traffic appeared/vanished);
+* quantile metrics ("p95 latency up") score by *sibling-isolated*
+  shift: a value's quantile shift minus the median shift of its sibling
+  values, normalized by the baseline level and damped by support.  The
+  isolation term is what separates a genuinely degraded exchange from
+  every city appearing slower because degraded traffic mixes into all
+  of them.
+
+Cross-phase exact summaries (medians across window series) use the one
+exact-percentile implementation, :func:`repro.cluster.metrics.percentile`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+from ..cluster.metrics import percentile
+from ..core.central.results import ResultSet, WindowResult
+from .report import Candidate, Itemset, RootCauseReport
+from .runner import QueryRunner
+from .symptom import QuantileMetric, SymptomSpec
+
+__all__ = ["RootCauseDriver"]
+
+_EPS = 1e-9
+
+
+class RootCauseDriver:
+    """Drives successive Scrub queries to explain one symptom.
+
+    ``fault_time`` may pin the change point when it is known (e.g. a
+    deploy timestamp); by default the driver localizes it itself from
+    the sliding confirmation series.
+    """
+
+    def __init__(
+        self,
+        run: QueryRunner,
+        symptom: SymptomSpec,
+        trace_seconds: float,
+        fault_time: Optional[float] = None,
+        drill_down: bool = True,
+        max_candidates: int = 10,
+        min_score: float = 0.02,
+        min_shift_fraction: float = 0.25,
+        refine_margin: float = 1.10,
+    ) -> None:
+        if trace_seconds <= 0:
+            raise ValueError("trace_seconds must be positive")
+        self._run = run
+        self.symptom = symptom
+        self.trace_seconds = trace_seconds
+        self.fault_time = fault_time
+        self.drill_down = drill_down
+        self.max_candidates = max_candidates
+        self.min_score = min_score
+        self.min_shift_fraction = min_shift_fraction
+        self.refine_margin = refine_margin
+
+    # -- query construction -----------------------------------------------------
+
+    def confirmation_query(self) -> str:
+        sym = self.symptom
+        return (
+            f"SELECT {sym.metric.select_list()} FROM {sym.event_type} "
+            f"START 0 DURATION {self.trace_seconds:g} "
+            f"WINDOW {sym.window_seconds:g}s SLIDE {sym.slide_seconds:g}s;"
+        )
+
+    def scan_query(self, dimension: str, where: Optional[str] = None) -> str:
+        sym = self.symptom
+        parts = [f"SELECT {dimension}, {sym.metric.select_list()} FROM {sym.event_type}"]
+        if where:
+            parts.append(f"WHERE {where}")
+        parts.append(f"START 0 DURATION {self.trace_seconds:g}")
+        parts.append(f"WINDOW {sym.window_seconds:g}s")
+        parts.append(f"GROUP BY {dimension}")
+        if isinstance(sym.metric, QuantileMetric):
+            # Tiny groups produce garbage quantiles; HAVING filters them
+            # after aggregation, before the group reaches the driver.
+            parts.append(f"HAVING COUNT(*) >= {sym.min_group_count}")
+        return " ".join(parts) + ";"
+
+    # -- main entry -------------------------------------------------------------
+
+    def diagnose(self) -> RootCauseReport:
+        sym = self.symptom
+        queries = [self.confirmation_query()] + [
+            self.scan_query(dim) for dim in sym.dimensions
+        ]
+        results = self._run(queries)
+        transcript = list(queries)
+
+        series = self._series(results[0])
+        change_point, confirmed, good_metric, bad_metric = self._localize(series)
+        good_span = (0.0, change_point)
+        bad_span = (change_point, self.trace_seconds)
+        report = RootCauseReport(
+            symptom=sym,
+            confirmed=confirmed,
+            change_point=change_point,
+            good_span=good_span,
+            bad_span=bad_span,
+            good_metric=good_metric,
+            bad_metric=bad_metric,
+            queries=transcript,
+        )
+        if not confirmed:
+            return report
+
+        candidates: list[Candidate] = []
+        for dim, result in zip(sym.dimensions, results[1:]):
+            candidates.extend(
+                self._score_dimension(dim, result, change_point, good_metric)
+            )
+        candidates.sort(
+            key=lambda c: (-c.score, -c.lift, -c.support, c.dimension, str(c.value))
+        )
+        report.candidates = [
+            c for c in candidates if c.score >= self.min_score
+        ][: self.max_candidates]
+
+        if self.drill_down and report.candidates:
+            self._drill_down(report, change_point, good_metric)
+        return report
+
+    # -- phase localization -----------------------------------------------------
+
+    def _series(self, result: ResultSet) -> list[tuple[float, float]]:
+        """(window_start, metric value) per sliding window, in order."""
+        out: list[tuple[float, float]] = []
+        for window in result.windows:
+            # Partial head/tail windows (sliding windows overlapping the
+            # trace edges) under-count and would skew the mean-shift scan.
+            if window.window_start < 0 or window.window_end > self.trace_seconds:
+                continue
+            value = self._window_metric(window.rows[0].values if window.rows else ())
+            if value is not None:
+                out.append((window.window_start, value))
+        return out
+
+    def _window_metric(self, values: Sequence[Any]) -> Optional[float]:
+        """Metric value from one (count[, quantile]) row tail."""
+        if not values:
+            return None
+        if isinstance(self.symptom.metric, QuantileMetric):
+            return values[1] if values[1] is not None else None
+        return values[0] / self.symptom.window_seconds  # events per second
+
+    def _localize(
+        self, series: list[tuple[float, float]]
+    ) -> tuple[float, bool, float, float]:
+        """Change point + confirmation from the sliding metric series.
+
+        Scans every split of the series and keeps the one maximizing the
+        mean shift in the symptom's direction, snapped to the tumbling
+        scan grid.  The shift must exceed ``min_shift_fraction`` of the
+        baseline level to count as confirmed.
+
+        For tail metrics (quantiles) the detected onset is conservative:
+        a sliding window only partially overlapping the fault already
+        reads degraded, so the change point can land up to one window
+        early.  Early is the safe direction — the baseline phase stays
+        uncontaminated, which is what the contrast scoring needs.
+        """
+        sym = self.symptom
+        min_side = 2
+        if self.fault_time is not None:
+            cp = self.fault_time
+        elif len(series) < 2 * min_side:
+            cp = self.trace_seconds / 2.0
+        else:
+            best_shift = -math.inf
+            cp = self.trace_seconds / 2.0
+            for i in range(min_side, len(series) - min_side + 1):
+                before = [v for _, v in series[:i]]
+                after = [v for _, v in series[i:]]
+                shift = _mean(after) - _mean(before)
+                if sym.direction == "down":
+                    shift = -shift
+                if shift > best_shift:
+                    best_shift = shift
+                    cp = series[i][0]
+        # Snap to the tumbling grid so scan windows never straddle it.
+        w = sym.window_seconds
+        cp = max(w, min(self.trace_seconds - w, round(cp / w) * w))
+
+        good_values = [v for t, v in series if t + w <= cp]
+        bad_values = [v for t, v in series if t >= cp]
+        good_metric = percentile(good_values, 50.0) if good_values else 0.0
+        bad_metric = percentile(bad_values, 50.0) if bad_values else 0.0
+        shift = bad_metric - good_metric
+        if sym.direction == "down":
+            shift = -shift
+        confirmed = bool(
+            good_values
+            and bad_values
+            and shift > self.min_shift_fraction * max(abs(good_metric), _EPS)
+        )
+        return cp, confirmed, good_metric, bad_metric
+
+    # -- dimension scoring ------------------------------------------------------
+
+    def _collect(
+        self, result: ResultSet, change_point: float
+    ) -> dict[Any, dict[str, Any]]:
+        """Per-value phase stats from one GROUP BY scan."""
+        stats: dict[Any, dict[str, Any]] = {}
+        quantile = isinstance(self.symptom.metric, QuantileMetric)
+        for window in result.windows:
+            phase = self._phase(window, change_point)
+            if phase is None:
+                continue
+            for row in window.rows:
+                value = row[0]
+                n = row[1]
+                entry = stats.setdefault(
+                    value,
+                    {"good_n": 0, "bad_n": 0, "good_qs": [], "bad_qs": []},
+                )
+                entry[f"{phase}_n"] += n
+                if quantile and row[2] is not None:
+                    entry[f"{phase}_qs"].append(row[2])
+        return stats
+
+    def _phase(self, window: WindowResult, change_point: float) -> Optional[str]:
+        if window.window_end <= change_point:
+            return "good"
+        if window.window_start >= change_point:
+            return "bad"
+        return None  # straddles the change point; ignore
+
+    def _score_dimension(
+        self,
+        dimension: str,
+        result: ResultSet,
+        change_point: float,
+        baseline: float,
+    ) -> list[Candidate]:
+        stats = self._collect(result, change_point)
+        if not stats:
+            return []
+        if isinstance(self.symptom.metric, QuantileMetric):
+            return self._score_quantile(dimension, stats, baseline)
+        return self._score_rate(dimension, stats, change_point)
+
+    def _score_rate(
+        self,
+        dimension: str,
+        stats: dict[Any, dict[str, Any]],
+        change_point: float,
+    ) -> list[Candidate]:
+        up = self.symptom.direction == "up"
+        good_len = max(change_point, _EPS)
+        bad_len = max(self.trace_seconds - change_point, _EPS)
+        total_good_n = sum(e["good_n"] for e in stats.values())
+        total_bad_n = sum(e["bad_n"] for e in stats.values())
+        total_delta = total_bad_n / bad_len - total_good_n / good_len
+        if not up:
+            total_delta = -total_delta
+        total_delta = max(total_delta, _EPS)
+
+        out = []
+        for value, entry in stats.items():
+            good_rate = entry["good_n"] / good_len
+            bad_rate = entry["bad_n"] / bad_len
+            delta = bad_rate - good_rate if up else good_rate - bad_rate
+            if delta <= 0:
+                continue
+            explained = min(delta / total_delta, 1.0)
+            own_rate = bad_rate if up else good_rate
+            confidence = min(delta / max(own_rate, _EPS), 1.0)
+            good_share = entry["good_n"] / max(total_good_n, _EPS)
+            bad_share = entry["bad_n"] / max(total_bad_n, _EPS)
+            support = bad_share if up else good_share
+            lift = (
+                (bad_share + _EPS) / (good_share + _EPS)
+                if up
+                else (good_share + _EPS) / (bad_share + _EPS)
+            )
+            # A value absent from its baseline phase has unbounded lift;
+            # cap it so reports stay readable and sorts deterministic.
+            lift = min(lift, 1000.0)
+            out.append(
+                Candidate(
+                    dimension=dimension,
+                    value=value,
+                    score=explained * confidence,
+                    support=support,
+                    confidence=confidence,
+                    lift=lift,
+                    good_value=good_rate,
+                    bad_value=bad_rate,
+                )
+            )
+        return out
+
+    def _score_quantile(
+        self,
+        dimension: str,
+        stats: dict[Any, dict[str, Any]],
+        baseline: float,
+    ) -> list[Candidate]:
+        up = self.symptom.direction == "up"
+        total_bad_n = sum(e["bad_n"] for e in stats.values())
+
+        # Per-phase level per value: exact median across its window
+        # quantiles (repro.cluster.metrics.percentile — satellite of the
+        # QUANTILE sketch, cross-checked in the differential tests).
+        levels: dict[Any, tuple[float, float]] = {}
+        for value, entry in stats.items():
+            if not entry["good_qs"] or not entry["bad_qs"]:
+                continue
+            good_q = percentile(entry["good_qs"], 50.0)
+            bad_q = percentile(entry["bad_qs"], 50.0)
+            levels[value] = (good_q, bad_q)
+        if not levels:
+            return []
+        shifts = {
+            value: (bad_q - good_q if up else good_q - bad_q)
+            for value, (good_q, bad_q) in levels.items()
+        }
+        sibling_median = percentile(list(shifts.values()), 50.0)
+
+        out = []
+        for value, (good_q, bad_q) in levels.items():
+            isolation = shifts[value] - sibling_median
+            if isolation <= 0:
+                continue
+            support = stats[value]["bad_n"] / max(total_bad_n, _EPS)
+            score = isolation / max(baseline, _EPS) * math.sqrt(support)
+            out.append(
+                Candidate(
+                    dimension=dimension,
+                    value=value,
+                    score=score,
+                    support=support,
+                    confidence=max(shifts[value], 0.0) / max(good_q, _EPS),
+                    lift=bad_q / max(good_q, _EPS),
+                    good_value=good_q,
+                    bad_value=bad_q,
+                )
+            )
+        return out
+
+    # -- drill-down -------------------------------------------------------------
+
+    def _drill_down(
+        self, report: RootCauseReport, change_point: float, baseline: float
+    ) -> None:
+        parent = report.candidates[0]
+        other_dims = [d for d in self.symptom.dimensions if d != parent.dimension]
+        if not other_dims:
+            return
+        where = f"{parent.dimension} = {_literal(parent.value)}"
+        queries = [self.scan_query(dim, where=where) for dim in other_dims]
+        results = self._run(queries)
+        report.queries.extend(queries)
+
+        itemsets = []
+        for dim, result in zip(other_dims, results):
+            for sub in self._score_dimension(dim, result, change_point, baseline):
+                # Keep a pair only when restricting to it beats the
+                # single-dimension parent by a real margin.
+                if sub.score > parent.score * self.refine_margin:
+                    itemsets.append(
+                        Itemset(
+                            items=(
+                                (parent.dimension, parent.value),
+                                (sub.dimension, sub.value),
+                            ),
+                            score=sub.score,
+                            support=sub.support * parent.support,
+                            confidence=sub.confidence,
+                        )
+                    )
+        itemsets.sort(key=lambda i: (-i.score, i.items[1][0], str(i.items[1][1])))
+        report.itemsets = itemsets
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _literal(value: Any) -> str:
+    """Render a Python value as a query-language literal."""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

@@ -1,0 +1,127 @@
+"""Root-cause reports: ranked candidates with the evidence behind them.
+
+A report is the driver's only output.  Every number a candidate carries
+is explainable back to the Scrub query results that produced it, and
+``queries`` keeps the full transcript of what the driver asked — the
+troubleshooter can re-run any of it by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from .symptom import SymptomSpec
+
+__all__ = ["Candidate", "Itemset", "RootCauseReport"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One (dimension, value) explanation for the symptom.
+
+    * ``support`` — the anomalous population's share carrying this
+      value (for "down" symptoms: the baseline population's share,
+      since the anomaly is an absence);
+    * ``confidence`` — how completely this value's own metric moved
+      (1.0 = its traffic is entirely new / entirely gone / its quantile
+      fully degraded);
+    * ``lift`` — this value's prevalence or level in the bad phase
+      relative to its baseline;
+    * ``score`` — the ranking key combining the above (see driver).
+    """
+
+    dimension: str
+    value: Any
+    score: float
+    support: float
+    confidence: float
+    lift: float
+    good_value: float
+    bad_value: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.dimension}={self.value!r}: score={self.score:.3f} "
+            f"support={self.support:.2f} confidence={self.confidence:.2f} "
+            f"lift={self.lift:.2f} "
+            f"(good={self.good_value:.3f} bad={self.bad_value:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class Itemset:
+    """A conjunction of (dimension, value) pairs from the drill-down
+    round, kept only when it explains the symptom strictly better than
+    its single-dimension parent (FDA-style pruning)."""
+
+    items: tuple[tuple[str, Any], ...]
+    score: float
+    support: float
+    confidence: float
+
+    def describe(self) -> str:
+        conj = " AND ".join(f"{d}={v!r}" for d, v in self.items)
+        return (
+            f"{conj}: score={self.score:.3f} "
+            f"support={self.support:.2f} confidence={self.confidence:.2f}"
+        )
+
+
+@dataclass
+class RootCauseReport:
+    """Ranked explanation of one symptom."""
+
+    symptom: SymptomSpec
+    confirmed: bool
+    change_point: Optional[float]
+    good_span: tuple[float, float]
+    bad_span: tuple[float, float]
+    good_metric: float
+    bad_metric: float
+    candidates: list[Candidate] = field(default_factory=list)
+    itemsets: list[Itemset] = field(default_factory=list)
+    queries: list[str] = field(default_factory=list)
+
+    def top(self, k: int = 3) -> list[Candidate]:
+        return self.candidates[:k]
+
+    def rank_of(self, dimension: str, value: Any) -> Optional[int]:
+        """1-based rank of a (dimension, value) candidate, or None."""
+        for i, cand in enumerate(self.candidates, start=1):
+            if cand.dimension == dimension and cand.value == value:
+                return i
+        return None
+
+    def best_rank(self, truth: Iterable[tuple[str, Any]]) -> Optional[int]:
+        """Best rank across a set of acceptable answers (the scenario's
+        ``extras["truth"]`` contract), or None if none was ranked."""
+        ranks = [
+            r for d, v in truth if (r := self.rank_of(d, v)) is not None
+        ]
+        return min(ranks) if ranks else None
+
+    def render(self, max_candidates: int = 5) -> str:
+        """Human-readable transcript-style summary."""
+        lines = [f"symptom: {self.symptom.describe()}"]
+        if not self.confirmed:
+            lines.append("NOT CONFIRMED: no significant shift between phases")
+        else:
+            lines.append(
+                f"confirmed: metric {self.good_metric:.3f} -> {self.bad_metric:.3f} "
+                f"around t={self.change_point:g}s "
+                f"(good {self.good_span[0]:g}..{self.good_span[1]:g}s, "
+                f"bad {self.bad_span[0]:g}..{self.bad_span[1]:g}s)"
+            )
+        if self.candidates:
+            lines.append("ranked causes:")
+            for i, cand in enumerate(self.candidates[:max_candidates], start=1):
+                lines.append(f"  {i}. {cand.describe()}")
+        elif self.confirmed:
+            lines.append("no dimension value explains the shift")
+        if self.itemsets:
+            lines.append("refined itemsets:")
+            for itemset in self.itemsets:
+                lines.append(f"  - {itemset.describe()}")
+        lines.append(f"queries issued: {len(self.queries)}")
+        return "\n".join(lines)

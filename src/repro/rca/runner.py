@@ -1,0 +1,54 @@
+"""Query runners: how the RCA driver reaches a Scrub deployment.
+
+The driver only needs one capability — "run this batch of query texts
+against the symptomatic workload and give me the result sets".  Against
+a live deployment that is just submit + finish.  Against the simulated
+cluster a *trace replay* stands in for wall-clock time: every rca_*
+scenario is rebuilt from its seed, so each batch of queries observes
+the identical event stream (the simulation's analogue of re-querying a
+retention window).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..core.central.results import ResultSet
+
+__all__ = ["QueryRunner", "ScenarioRunner"]
+
+#: The driver's view of a deployment: query texts in, result sets out
+#: (index-aligned with the input).
+QueryRunner = Callable[[Sequence[str]], List[ResultSet]]
+
+
+class ScenarioRunner:
+    """Replays a seeded scenario factory once per batch of queries.
+
+    *scenario_factory* must return a fresh ``Scenario`` each call (all
+    the ``rca_*`` builders do); determinism of the builders guarantees
+    each replay carries the same events, so successive query rounds are
+    mutually consistent.
+    """
+
+    def __init__(
+        self,
+        scenario_factory: Callable[[], "object"],
+        trace_seconds: float,
+        settle_seconds: float = 10.0,
+    ) -> None:
+        if trace_seconds <= 0:
+            raise ValueError("trace_seconds must be positive")
+        self.scenario_factory = scenario_factory
+        self.trace_seconds = trace_seconds
+        self.settle_seconds = settle_seconds
+        self.replays = 0
+
+    def __call__(self, queries: Sequence[str]) -> List[ResultSet]:
+        scenario = self.scenario_factory()
+        cluster = scenario.cluster
+        handles = [cluster.submit(text) for text in queries]
+        scenario.start(until=self.trace_seconds)
+        cluster.run_until(self.trace_seconds + self.settle_seconds)
+        self.replays += 1
+        return [cluster.finish(handle.query_id) for handle in handles]

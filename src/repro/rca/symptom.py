@@ -1,0 +1,146 @@
+"""Symptom specifications: what "looks wrong", stated queryably.
+
+A :class:`SymptomSpec` names an event stream, a metric over it (event
+rate or a latency quantile), the direction of the anomaly, and the
+candidate dimensions to investigate.  The RCA driver turns the spec
+into Scrub queries; nothing here touches the cluster.
+
+The Facebook/LinkedIn fast-dimensional-analysis line of work frames
+root-causing as *population contrast*: a baseline (good) period against
+an anomalous (bad) period, scored per dimension value.  The spec is the
+contract between the fault library (``repro.adplatform.workload``
+``rca_*`` scenarios) and the driver: scenario ``extras["symptom"]``
+round-trips through :func:`symptom_from_extras`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Union
+
+__all__ = [
+    "CountMetric",
+    "QuantileMetric",
+    "Metric",
+    "SymptomSpec",
+    "symptom_from_extras",
+    "DEFAULT_DIMENSIONS",
+]
+
+#: Candidate dimensions per event type — the fields worth grouping by
+#: when no explicit list is given.  All are BID/CLICK payload fields.
+DEFAULT_DIMENSIONS: dict[str, tuple[str, ...]] = {
+    "bid": (
+        "exchange_id",
+        "city",
+        "country",
+        "campaign_id",
+        "line_item_id",
+        "publisher_id",
+    ),
+    "click": ("campaign_id", "line_item_id", "exchange_id", "user_id"),
+    "impression": ("campaign_id", "line_item_id", "exchange_id", "publisher_id"),
+}
+
+
+@dataclass(frozen=True)
+class CountMetric:
+    """The metric is the event rate (COUNT(*) per second)."""
+
+    def select_list(self) -> str:
+        return "COUNT(*) AS n"
+
+    def describe(self) -> str:
+        return "event rate"
+
+
+@dataclass(frozen=True)
+class QuantileMetric:
+    """The metric is a quantile of a numeric event field.
+
+    Each scan query carries both COUNT(*) (for support) and
+    QUANTILE(field, q) (the metric itself, computed by the mergeable
+    sketch so shard-pool runs agree bit-for-bit with serial ones).
+    """
+
+    field: str
+    q: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {self.q}")
+
+    def select_list(self) -> str:
+        return f"COUNT(*) AS n, QUANTILE({self.field}, {self.q:g}) AS m"
+
+    def describe(self) -> str:
+        return f"p{self.q * 100:g}({self.field})"
+
+
+Metric = Union[CountMetric, QuantileMetric]
+
+
+@dataclass(frozen=True)
+class SymptomSpec:
+    """One observed anomaly, ready to be investigated.
+
+    ``direction`` is the direction of the *anomaly*: ``"up"`` (the
+    metric surged) or ``"down"`` (it collapsed).  ``window_seconds`` is
+    the tumbling scan granularity; ``slide_seconds`` the sliding step of
+    the confirmation/localization query.  ``min_group_count`` feeds the
+    HAVING clause that prunes statistically meaningless groups from
+    quantile scans.
+    """
+
+    name: str
+    event_type: str
+    metric: Metric = field(default_factory=CountMetric)
+    direction: str = "up"
+    dimensions: tuple[str, ...] = ()
+    window_seconds: float = 30.0
+    slide_seconds: float = 10.0
+    min_group_count: int = 5
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down"):
+            raise ValueError(f"direction must be 'up' or 'down', got {self.direction!r}")
+        if self.window_seconds <= 0 or self.slide_seconds <= 0:
+            raise ValueError("window and slide must be positive")
+        if self.slide_seconds > self.window_seconds:
+            raise ValueError("slide must not exceed the window")
+        if not self.dimensions:
+            dims = DEFAULT_DIMENSIONS.get(self.event_type)
+            if dims is None:
+                raise ValueError(
+                    f"no default dimensions for event type {self.event_type!r}; "
+                    "pass dimensions= explicitly"
+                )
+            object.__setattr__(self, "dimensions", dims)
+
+    def describe(self) -> str:
+        arrow = "surged" if self.direction == "up" else "dropped"
+        return f"{self.metric.describe()} of '{self.event_type}' {arrow}"
+
+
+def symptom_from_extras(
+    extras: Mapping[str, Any], name: str = "symptom", **overrides: Any
+) -> SymptomSpec:
+    """Build a spec from an rca_* scenario's ``extras["symptom"]`` hint,
+    a plain ``(event_type, metric, direction)`` tuple where *metric* is
+    ``"count"`` or ``("quantile", field, q)``."""
+    event_type, metric_hint, direction = extras["symptom"]
+    metric: Metric
+    if metric_hint == "count":
+        metric = CountMetric()
+    else:
+        kind, fieldname, q = metric_hint
+        if kind != "quantile":
+            raise ValueError(f"unknown metric hint {metric_hint!r}")
+        metric = QuantileMetric(fieldname, q)
+    return SymptomSpec(
+        name=name,
+        event_type=event_type,
+        metric=metric,
+        direction=direction,
+        **overrides,
+    )

@@ -1,0 +1,257 @@
+"""HAVING and QUANTILE end-to-end: parser → validator → engine → pool.
+
+HAVING is a post-aggregation group filter evaluated at window close,
+over the *same* scaled/overridden aggregate values the output rows
+show; QUANTILE is the sketch-backed aggregate.  The tier-1 contract
+pinned here:
+
+* round-trip and validation rules for both constructs;
+* per-window filtering with SQL three-valued logic (a group whose
+  HAVING predicate is UNKNOWN is dropped, same as WHERE);
+* HAVING may use aggregates absent from the SELECT list without
+  leaking them into the output columns;
+* serial engine, 1-worker pool and 4-worker pool agree bit-for-bit on
+  queries combining GROUP BY, HAVING and QUANTILE — the acceptance
+  criterion for the mergeable-sketch design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import percentile
+from repro.core.agent.transport import EventBatch
+from repro.core.central.engine import CentralEngine
+from repro.core.central.pool import ShardPool
+from repro.core.events import Event, EventRegistry
+from repro.core.query import parse_query, plan_query, unparse, validate_query
+from repro.core.query.errors import ScrubSyntaxError, ScrubValidationError
+
+
+def _registry() -> EventRegistry:
+    registry = EventRegistry()
+    registry.define(
+        "bid",
+        [("exchange_id", "long"), ("bid_price", "double"), ("user_id", "long")],
+    )
+    return registry
+
+
+def _plan(text: str, query_id: str = "q1"):
+    return plan_query(validate_query(parse_query(text), _registry()), query_id)
+
+
+def _batch(events, host="h1"):
+    return EventBatch(host=host, query_id="q1", events=events)
+
+
+def _bid(i, ts, exchange, price, host="h1"):
+    return Event(
+        "bid",
+        {"exchange_id": exchange, "bid_price": price, "user_id": i},
+        i,
+        ts,
+        host,
+    )
+
+
+# -- grammar + validation ------------------------------------------------------
+
+
+ROUNDTRIP = [
+    "select bid.exchange_id, COUNT(*) from bid group by bid.exchange_id "
+    "having COUNT(*) >= 30;",
+    "select bid.exchange_id, QUANTILE(bid.bid_price, 0.99) from bid "
+    "group by bid.exchange_id;",
+    "select bid.exchange_id, COUNT(*) from bid window 10s slide 5s "
+    "group by bid.exchange_id having COUNT(*) > 2 and "
+    "QUANTILE(bid.bid_price, 0.5) < 4.0;",
+    "select COUNT(*) from bid having COUNT(*) > 10;",
+]
+
+
+@pytest.mark.parametrize("text", ROUNDTRIP)
+def test_having_quantile_round_trip(text):
+    q1 = parse_query(text)
+    q2 = parse_query(unparse(q1))
+    assert q1 == q2
+    assert unparse(q2) == unparse(q1)
+
+
+def test_having_requires_aggregation():
+    with pytest.raises(ScrubValidationError, match="HAVING"):
+        validate_query(
+            parse_query("select bid.user_id from bid having bid.user_id > 1;"),
+            _registry(),
+        )
+
+
+def test_having_rejects_ungrouped_fields():
+    with pytest.raises(ScrubValidationError, match="neither aggregated nor listed"):
+        validate_query(
+            parse_query(
+                "select bid.exchange_id, COUNT(*) from bid "
+                "group by bid.exchange_id having bid.user_id > 1;"
+            ),
+            _registry(),
+        )
+
+
+def test_having_must_be_boolean():
+    with pytest.raises(ScrubValidationError, match="boolean predicate"):
+        validate_query(
+            parse_query(
+                "select bid.exchange_id, COUNT(*) from bid "
+                "group by bid.exchange_id having COUNT(*) + 1;"
+            ),
+            _registry(),
+        )
+
+
+def test_quantile_argument_rules():
+    with pytest.raises(ScrubSyntaxError):
+        parse_query("select QUANTILE(bid.bid_price, 1.5) from bid;")
+    with pytest.raises(ScrubSyntaxError):
+        parse_query("select QUANTILE(bid.bid_price) from bid;")
+    registry = EventRegistry()
+    registry.define("bid", [("city", "string")])
+    with pytest.raises(ScrubValidationError, match="numeric"):
+        validate_query(
+            parse_query("select QUANTILE(bid.city, 0.5) from bid;"), registry
+        )
+
+
+# -- engine semantics ----------------------------------------------------------
+
+
+def _finish(engine, plan, batches):
+    engine.register(plan.central_object)
+    for batch in batches:
+        engine.ingest(batch)
+    return engine.finish(plan.query_id)
+
+
+def test_having_filters_groups_per_window():
+    plan = _plan(
+        "select bid.exchange_id, COUNT(*) from bid window 60s "
+        "group by bid.exchange_id having COUNT(*) >= 3;"
+    )
+    events = (
+        # Window 0: exchange 1 has 3 events (kept), exchange 2 has 2 (dropped).
+        [_bid(i, 10.0 + i, 1, 1.0) for i in range(3)]
+        + [_bid(10 + i, 20.0 + i, 2, 1.0) for i in range(2)]
+        # Window 1: exchange 2 has 4 events (kept this time).
+        + [_bid(20 + i, 70.0 + i, 2, 1.0) for i in range(4)]
+    )
+    results = _finish(CentralEngine(grace_seconds=1.0), plan, [_batch(events)])
+    rows = {
+        (w.window_start, row[0]): row[1]
+        for w in results.windows
+        for row in w.rows
+    }
+    assert rows == {(0.0, 1): 3, (60.0, 2): 4}
+
+
+def test_having_only_aggregate_stays_hidden():
+    """HAVING can filter on SUM while SELECT shows only COUNT; the SUM
+    state exists but never becomes an output column."""
+    plan = _plan(
+        "select bid.exchange_id, COUNT(*) from bid window 60s "
+        "group by bid.exchange_id having SUM(bid.bid_price) > 5.0;"
+    )
+    events = [_bid(i, 1.0 + i, 1, 2.0) for i in range(4)]  # sum 8.0: kept
+    events += [_bid(10 + i, 1.0 + i, 2, 1.0) for i in range(4)]  # sum 4.0: dropped
+    results = _finish(CentralEngine(grace_seconds=1.0), plan, [_batch(events)])
+    assert results.columns == ("bid.exchange_id", "COUNT(*)")
+    assert [row.values for row in results.rows] == [(1, 4)]
+
+
+def test_having_unknown_is_excluded():
+    """3VL: a group whose HAVING predicate evaluates to NULL is dropped,
+    exactly like a WHERE row whose predicate is UNKNOWN."""
+    plan = _plan(
+        "select bid.exchange_id, COUNT(*) from bid window 60s "
+        "group by bid.exchange_id having AVG(bid.bid_price) > 0.0;"
+    )
+    with_prices = [_bid(i, 1.0 + i, 1, 2.0) for i in range(3)]
+    null_prices = [
+        Event("bid", {"exchange_id": 2, "user_id": 50 + i}, 50 + i, 1.0 + i, "h1")
+        for i in range(3)
+    ]
+    results = _finish(
+        CentralEngine(grace_seconds=1.0), plan, [_batch(with_prices + null_prices)]
+    )
+    assert [row.values for row in results.rows] == [(1, 3)]
+
+
+def test_having_with_sliding_windows():
+    """Each slide position filters independently: a group passes in the
+    overlapping windows where its count clears the bar."""
+    plan = _plan(
+        "select bid.exchange_id, COUNT(*) from bid window 20s slide 10s "
+        "group by bid.exchange_id having COUNT(*) >= 3;"
+    )
+    # Exchange 1: 4 events in [10, 20) — present in windows starting 0 and 10.
+    events = [_bid(i, 12.0 + i, 1, 1.0) for i in range(4)]
+    # Exchange 2: 2 events — never clears the bar.
+    events += [_bid(10 + i, 12.0 + i, 2, 1.0) for i in range(2)]
+    results = _finish(CentralEngine(grace_seconds=1.0), plan, [_batch(events)])
+    kept = {(w.window_start, row[0]) for w in results.windows for row in w.rows}
+    assert kept == {(0.0, 1), (10.0, 1)}
+
+
+def test_quantile_tracks_exact_percentile():
+    plan = _plan("select QUANTILE(bid.bid_price, 0.9) from bid window 60s;")
+    prices = [0.25 * (i % 37 + 1) for i in range(500)]
+    events = [_bid(i, 1.0 + (i % 50), 1, p) for i, p in enumerate(prices)]
+    results = _finish(CentralEngine(grace_seconds=1.0), plan, [_batch(events)])
+    (value,) = results.rows[0].values
+    exact = percentile(prices, 90.0)
+    assert value == pytest.approx(exact, rel=0.03)
+
+
+# -- serial vs pool ------------------------------------------------------------
+
+POOL_QUERY = (
+    "select bid.exchange_id, QUANTILE(bid.bid_price, 0.95), COUNT(*) "
+    "from bid window 60s group by bid.exchange_id "
+    "having COUNT(*) >= 10 and QUANTILE(bid.bid_price, 0.5) > 0.5;"
+)
+
+
+def _pool_batches():
+    batches = []
+    for window in range(3):
+        for host in ("h1", "h2", "h3"):
+            events = [
+                _bid(
+                    window * 1000 + i,
+                    window * 60.0 + (i % 60),
+                    (i + window) % 4,
+                    ((i * 7) % 41) * 0.25 + 0.25,
+                    host,
+                )
+                for i in range(150)
+            ]
+            batches.append(_batch(events, host=host))
+    return batches
+
+
+def _pool_signature(engine):
+    plan = _plan(POOL_QUERY)
+    engine.register(plan.central_object)
+    for batch in _pool_batches():
+        engine.ingest(batch)
+    results = engine.finish(plan.query_id)
+    return [
+        (w.window_start, [row.values for row in w.rows]) for w in results.windows
+    ]
+
+
+def test_quantile_having_serial_vs_pool_bit_identical():
+    serial = _pool_signature(CentralEngine(grace_seconds=1.0))
+    assert any(rows for _, rows in serial)  # the query actually fires
+    with ShardPool(workers=1, grace_seconds=1.0) as pool1:
+        assert _pool_signature(pool1) == serial
+    with ShardPool(workers=4, grace_seconds=1.0) as pool4:
+        assert _pool_signature(pool4) == serial

@@ -1,0 +1,172 @@
+"""Differential tests for the QUANTILE sketch.
+
+The sketch (``core/approx/quantile.py``) backs the QUANTILE aggregate;
+its two contracts are pinned here against the repo's single exact
+percentile implementation (``repro.cluster.metrics.percentile``):
+
+* **accuracy** — every reported quantile is within relative error
+  ``alpha`` of the exact rank-based quantile (we allow 3x alpha to
+  absorb the nearest-rank vs linear-interpolation definitional gap on
+  finite streams);
+* **merge algebra** — bucket counts add, so merging any partition of a
+  stream (including through pickle, the shard-pool boundary) is
+  *bit-identical* to sketching the stream serially.  This is the
+  property that lets ``ShardPool(workers=N)`` report exactly what the
+  serial engine reports, and it is why the DDSketch shape was chosen
+  over a t-digest (whose centroid merge is order-dependent).
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.cluster.metrics import percentile
+from repro.core.approx.quantile import QuantileSketch
+
+SEED = 20180423
+QS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999)
+
+
+def lognormal_stream(n: int, seed: int, mu: float = 2.5, sigma: float = 0.8):
+    rng = random.Random(seed)
+    return [rng.lognormvariate(mu, sigma) for _ in range(n)]
+
+
+def uniform_stream(n: int, seed: int, lo: float = 0.5, hi: float = 900.0):
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+def mixed_sign_stream(n: int, seed: int):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.45:
+            out.append(rng.lognormvariate(1.0, 0.6))
+        elif roll < 0.9:
+            out.append(-rng.lognormvariate(1.5, 0.5))
+        else:
+            out.append(0.0)
+    return out
+
+
+STREAMS = [
+    ("lognormal", lognormal_stream(25_000, SEED)),
+    ("uniform", uniform_stream(25_000, SEED + 1)),
+    ("mixed_sign", mixed_sign_stream(25_000, SEED + 2)),
+]
+
+
+# -- accuracy vs the exact percentile ------------------------------------------
+
+
+@pytest.mark.parametrize("name,stream", STREAMS, ids=[s[0] for s in STREAMS])
+def test_relative_error_envelope(name, stream):
+    sketch = QuantileSketch()
+    sketch.update(stream)
+    for q in QS:
+        exact = percentile(stream, q * 100.0)
+        approx = sketch.quantile(q)
+        if abs(exact) < 1e-6:
+            # Around the sign boundary the sketch answers exactly 0.0.
+            assert abs(approx) < 1e-6
+        else:
+            rel = abs(approx - exact) / abs(exact)
+            assert rel <= 3 * sketch.alpha, (q, exact, approx, rel)
+
+
+def test_extremes_and_singleton():
+    sketch = QuantileSketch()
+    sketch.add(42.0)
+    assert sketch.quantile(0.0) == pytest.approx(42.0, rel=0.01)
+    assert sketch.quantile(1.0) == pytest.approx(42.0, rel=0.01)
+    sketch.update([1.0, 1000.0])
+    assert sketch.quantile(0.0) == pytest.approx(1.0, rel=0.01)
+    assert sketch.quantile(1.0) == pytest.approx(1000.0, rel=0.01)
+
+
+def test_nan_ignored_and_empty_raises():
+    sketch = QuantileSketch()
+    sketch.add(float("nan"))
+    assert sketch.count == 0
+    with pytest.raises(ValueError):
+        sketch.quantile(0.5)
+    with pytest.raises(ValueError):
+        QuantileSketch(alpha=0.0)
+    sketch.add(1.0)
+    with pytest.raises(ValueError):
+        sketch.quantile(1.5)
+
+
+# -- merge algebra -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,stream", STREAMS, ids=[s[0] for s in STREAMS])
+def test_partitioned_merge_is_bit_identical(name, stream):
+    """Any partitioning (here: 4 pickled shards, like the pool's worker
+    boundary) merges back to exactly the serial sketch."""
+    serial = QuantileSketch()
+    serial.update(stream)
+
+    merged = QuantileSketch()
+    for shard_index in range(4):
+        shard = QuantileSketch()
+        shard.update(stream[shard_index::4])
+        merged.merge(pickle.loads(pickle.dumps(shard)))
+
+    assert merged == serial
+    for q in QS:
+        # Float equality on purpose: the merge must be exact.
+        assert merged.quantile(q) == serial.quantile(q)
+
+
+def test_merge_is_associative_and_commutative():
+    parts = [lognormal_stream(5_000, SEED + i) for i in range(3)]
+    sketches = []
+    for part in parts:
+        sketch = QuantileSketch()
+        sketch.update(part)
+        sketches.append(sketch)
+
+    def fold(order):
+        total = QuantileSketch()
+        for index in order:
+            total.merge(sketches[index])
+        return total
+
+    left = fold([0, 1, 2])
+    right = fold([2, 0, 1])
+    assert left == right
+    assert left.quantile(0.99) == right.quantile(0.99)
+
+
+def test_merge_rejects_mismatched_parameters():
+    a = QuantileSketch(alpha=0.01)
+    b = QuantileSketch(alpha=0.02)
+    with pytest.raises(ValueError):
+        a.merge(b)
+    with pytest.raises(TypeError):
+        a.merge(object())  # type: ignore[arg-type]
+
+
+def test_bucket_count_is_logarithmic():
+    """25k lognormal values spanning ~4 decades fit in a few hundred
+    buckets — the memory bound that makes QUANTILE shippable."""
+    sketch = QuantileSketch()
+    sketch.update(lognormal_stream(25_000, SEED))
+    assert sketch.bucket_count < 600
+    assert "count=25000" in repr(sketch)
+
+
+def test_zero_and_min_value_band():
+    sketch = QuantileSketch(min_value=0.5)
+    sketch.update([0.0, 0.1, -0.2, 10.0])
+    # Everything inside (-min_value, min_value) lands on the exact zero
+    # counter; the walk reports 0.0 for those ranks.
+    assert sketch.quantile(0.25) == 0.0
+    assert math.isclose(sketch.quantile(1.0), 10.0, rel_tol=0.05)

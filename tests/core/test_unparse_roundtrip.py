@@ -34,6 +34,13 @@ CORPUS = [
     "select COUNT(*) from bid start 1000 duration 30m window 500ms;",
     "select COUNT(*) from bid where -bid.x < 5;",
     "select COUNT(*) from bid where bid.meta.device = 'mobile';",
+    "select COUNT(*) from bid window 30s slide 10s;",
+    "select QUANTILE(bid.bid_price, 0.99) from bid;",
+    "select bid.user_id, COUNT(*) from bid group by bid.user_id "
+    "having COUNT(*) >= 30;",
+    "select bid.user_id, QUANTILE(bid.bid_price, 0.5) from bid "
+    "window 20s slide 5s group by bid.user_id "
+    "having COUNT(*) > 2 and QUANTILE(bid.bid_price, 0.9) < 10.0;",
 ]
 
 
@@ -81,14 +88,19 @@ def _queries(draw):
     agg = draw(st.sampled_from(
         ["COUNT(*)", "SUM(bid.bid_price)", "AVG(bid.bid_price)",
          "MIN(bid.bid_price)", "MAX(bid.bid_price)",
-         "COUNT_DISTINCT(bid.user_id)"]
+         "COUNT_DISTINCT(bid.user_id)", "QUANTILE(bid.bid_price, 0.95)"]
     ))
     group = draw(st.sampled_from(["", " group by bid.user_id"]))
     select = f"bid.user_id, {agg}" if group else agg
     where = draw(st.one_of(st.just(""), _predicates().map(lambda p: f" where {p}")))
-    window = draw(st.sampled_from(["", " window 10s", " window 2m"]))
+    window = draw(st.sampled_from(
+        ["", " window 10s", " window 2m", " window 10s slide 5s"]
+    ))
+    having = draw(st.sampled_from(
+        ["", " having COUNT(*) > 5", " having QUANTILE(bid.bid_price, 0.5) < 3.0"]
+    ))
     sampling = draw(st.sampled_from(["", " sample events 50%", " sample hosts 25%"]))
-    return f"select {select} from bid{where}{sampling}{window}{group};"
+    return f"select {select} from bid{where}{sampling}{window}{group}{having};"
 
 
 @settings(max_examples=200, deadline=None)

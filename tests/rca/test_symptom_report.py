@@ -1,0 +1,238 @@
+"""Unit tests for the RCA building blocks: specs, reports, and the
+driver's pure logic (query construction, localization, scoring) driven
+through hand-built result sets — no simulated cluster involved."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.central.results import ResultRow, ResultSet, WindowResult
+from repro.rca import (
+    CountMetric,
+    QuantileMetric,
+    RootCauseDriver,
+    SymptomSpec,
+    symptom_from_extras,
+)
+from repro.rca.driver import _literal
+from repro.rca.report import Candidate, RootCauseReport
+
+
+# -- symptom specs -------------------------------------------------------------
+
+
+def test_spec_defaults_and_validation():
+    spec = SymptomSpec(name="s", event_type="bid")
+    assert "exchange_id" in spec.dimensions
+    with pytest.raises(ValueError, match="direction"):
+        SymptomSpec(name="s", event_type="bid", direction="sideways")
+    with pytest.raises(ValueError, match="slide"):
+        SymptomSpec(name="s", event_type="bid", window_seconds=5, slide_seconds=10)
+    with pytest.raises(ValueError, match="default dimensions"):
+        SymptomSpec(name="s", event_type="mystery")
+    with pytest.raises(ValueError, match="q must be"):
+        QuantileMetric("latency_ms", 1.5)
+
+
+def test_symptom_from_extras_round_trip():
+    count_spec = symptom_from_extras({"symptom": ("click", "count", "down")})
+    assert isinstance(count_spec.metric, CountMetric)
+    assert count_spec.direction == "down"
+    assert count_spec.event_type == "click"
+
+    quantile_spec = symptom_from_extras(
+        {"symptom": ("bid", ("quantile", "latency_ms", 0.95), "up")},
+        dimensions=("exchange_id",),
+    )
+    assert quantile_spec.metric == QuantileMetric("latency_ms", 0.95)
+    assert quantile_spec.dimensions == ("exchange_id",)
+    assert "p95(latency_ms)" in quantile_spec.describe()
+
+    with pytest.raises(ValueError, match="metric hint"):
+        symptom_from_extras({"symptom": ("bid", ("histogram", "x", 1), "up")})
+
+
+# -- query construction --------------------------------------------------------
+
+
+def _driver(metric, direction="up", run=None, **kwargs):
+    spec = SymptomSpec(
+        name="t",
+        event_type="bid",
+        metric=metric,
+        direction=direction,
+        dimensions=("exchange_id", "city"),
+        window_seconds=10.0,
+        slide_seconds=5.0,
+    )
+    return RootCauseDriver(
+        run or (lambda queries: []), spec, trace_seconds=100.0, **kwargs
+    )
+
+
+def test_query_texts():
+    driver = _driver(CountMetric())
+    assert driver.confirmation_query() == (
+        "SELECT COUNT(*) AS n FROM bid START 0 DURATION 100 "
+        "WINDOW 10s SLIDE 5s;"
+    )
+    # Count scans carry no HAVING; quantile scans prune tiny groups.
+    assert "HAVING" not in driver.scan_query("city")
+    quantile_driver = _driver(QuantileMetric("latency_ms", 0.99))
+    text = quantile_driver.scan_query("city", where="exchange_id = 7")
+    assert text == (
+        "SELECT city, COUNT(*) AS n, QUANTILE(latency_ms, 0.99) AS m "
+        "FROM bid WHERE exchange_id = 7 START 0 DURATION 100 "
+        "WINDOW 10s GROUP BY city HAVING COUNT(*) >= 5;"
+    )
+
+
+def test_literal_rendering():
+    assert _literal(42) == "42"
+    assert _literal(1.5) == "1.5"
+    assert _literal("Unknown") == "'Unknown'"
+    assert _literal("O'Hare") == "'O''Hare'"
+    assert _literal(True) == "TRUE"
+
+
+# -- localization --------------------------------------------------------------
+
+
+def test_localize_finds_step_and_snaps_to_grid():
+    driver = _driver(CountMetric())
+    series = [(float(t), 20.0 if t < 60 else 70.0) for t in range(0, 95, 5)]
+    cp, confirmed, good, bad = driver._localize(series)
+    assert cp == 60.0
+    assert confirmed
+    assert good == 20.0
+    assert bad == 70.0
+
+
+def test_localize_flat_series_not_confirmed():
+    driver = _driver(CountMetric())
+    series = [(float(t), 20.0) for t in range(0, 95, 5)]
+    _, confirmed, good, bad = driver._localize(series)
+    assert not confirmed
+    assert good == bad == 20.0
+
+
+def test_localize_honors_pinned_fault_time():
+    driver = _driver(CountMetric(), fault_time=40.0)
+    series = [(float(t), 20.0 if t < 60 else 70.0) for t in range(0, 95, 5)]
+    cp, confirmed, _, _ = driver._localize(series)
+    assert cp == 40.0
+    assert confirmed  # contrast survives a slightly-early split
+
+
+# -- scoring through a hand-built diagnose ------------------------------------
+
+
+def _window(start, end, columns, rows):
+    return WindowResult(
+        query_id="q",
+        window_start=start,
+        window_end=end,
+        columns=columns,
+        rows=[ResultRow(tuple(r)) for r in rows],
+    )
+
+
+def _count_fixture():
+    """A synthetic surge: value 'bot' appears only after t=50, tripling
+    the global rate; 'human' stays flat."""
+    confirm = ResultSet("q0", ("n",))
+    for start in range(0, 95, 5):
+        rate = 100 if start < 50 else 300
+        confirm.add(_window(start, start + 10.0, ("n",), [(rate,)]))
+
+    scan = ResultSet("q1", ("exchange_id", "n"))
+    for start in range(0, 100, 10):
+        rows = [("human", 100)]
+        if start >= 50:
+            rows.append(("bot", 200))
+        scan.add(_window(start, start + 10.0, ("exchange_id", "n"), rows))
+
+    city = ResultSet("q2", ("city", "n"))
+    for start in range(0, 100, 10):
+        n = 100 if start < 50 else 300
+        city.add(_window(start, start + 10.0, ("city", "n"), [("X", n)]))
+    return [confirm, scan, city]
+
+
+def test_diagnose_ranks_injected_surge_first():
+    fixtures = _count_fixture()
+    calls = []
+
+    def run(queries):
+        calls.append(list(queries))
+        return fixtures
+
+    driver = _driver(CountMetric(), run=run, drill_down=False)
+    report = driver.diagnose()
+    assert report.confirmed
+    assert report.change_point == 50.0
+    top = report.candidates[0]
+    assert (top.dimension, top.value) == ("exchange_id", "bot")
+    assert top.confidence == pytest.approx(1.0)
+    # Support is the bot rows' share of the bad-phase scan population.
+    assert top.support == pytest.approx(1000 / 1500)
+    # 'X' (the single city) absorbs the whole surge too but with low
+    # confidence; it must rank below the isolated new value.
+    assert report.rank_of("city", "X") > 1
+    assert len(calls) == 1 and len(calls[0]) == 3
+
+
+def test_unconfirmed_symptom_short_circuits():
+    confirm = ResultSet("q0", ("n",))
+    for start in range(0, 95, 5):
+        confirm.add(_window(start, start + 10.0, ("n",), [(100,)]))
+    empty_scan = ResultSet("q1", ("exchange_id", "n"))
+    empty_city = ResultSet("q2", ("city", "n"))
+
+    driver = _driver(
+        CountMetric(), run=lambda q: [confirm, empty_scan, empty_city]
+    )
+    report = driver.diagnose()
+    assert not report.confirmed
+    assert report.candidates == []
+    assert "NOT CONFIRMED" in report.render()
+
+
+# -- report helpers ------------------------------------------------------------
+
+
+def _candidate(dim, value, score):
+    return Candidate(
+        dimension=dim,
+        value=value,
+        score=score,
+        support=0.5,
+        confidence=0.9,
+        lift=2.0,
+        good_value=1.0,
+        bad_value=3.0,
+    )
+
+
+def test_report_ranking_helpers():
+    report = RootCauseReport(
+        symptom=SymptomSpec(name="s", event_type="bid"),
+        confirmed=True,
+        change_point=60.0,
+        good_span=(0.0, 60.0),
+        bad_span=(60.0, 120.0),
+        good_metric=10.0,
+        bad_metric=30.0,
+        candidates=[
+            _candidate("city", "Unknown", 1.0),
+            _candidate("exchange_id", 7, 0.4),
+        ],
+    )
+    assert report.rank_of("city", "Unknown") == 1
+    assert report.rank_of("exchange_id", 7) == 2
+    assert report.rank_of("exchange_id", 8) is None
+    assert report.best_rank([("exchange_id", 7), ("city", "Unknown")]) == 1
+    assert report.best_rank([("country", "US")]) is None
+    rendered = report.render()
+    assert "city='Unknown'" in rendered
+    assert "confirmed: metric 10.000 -> 30.000" in rendered
