@@ -204,6 +204,36 @@ class CentralEngine:
             delivery_state=delivery_state,
         )
 
+    def extend_targets(
+        self,
+        query_id: str,
+        names: tuple[str, ...],
+        planned_delta: int = 0,
+    ) -> None:
+        """Widen a running query's targeted host set — the central half of
+        an incremental (canary) rollout, and of late-joining agents being
+        pulled into an already-running query.
+
+        Newly added names join ``targeted_names`` so subsequent windows
+        expect them in coverage; *planned_delta* grows the planned
+        population when the new hosts were not part of the original
+        resolve (a late joiner), keeping the sampling scale factor
+        honest.  Coverage state lives on the parent process even under
+        :class:`~repro.core.central.pool.ShardPool`, so this is safe for
+        the pooled engine too.
+        """
+        rq = self._queries.get(query_id)
+        if rq is None:
+            raise ScrubExecutionError(f"query {query_id} is not registered")
+        fresh = tuple(n for n in names if n not in rq.targeted_names)
+        rq.planned_hosts += planned_delta
+        if not fresh:
+            return
+        rq.targeted_names = rq.targeted_names + fresh
+        rq.targeted_hosts += len(fresh)
+        if rq.targeted_hosts > rq.planned_hosts:
+            rq.planned_hosts = rq.targeted_hosts
+
     def is_registered(self, query_id: str) -> bool:
         return query_id in self._queries
 

@@ -34,8 +34,10 @@ class WindowCoverage:
     close: ``"silent"`` (connected, nothing matched or arrived),
     ``"disconnected"``, ``"lease-expired"``, ``"unreachable"`` (an
     install push failed), ``"never-seen"`` (recovered from the
-    journal; the host has not re-attached), or ``"quarantined"`` (the
-    host's impact governor auto-uninstalled the query).
+    journal; the host has not re-attached), ``"stale"`` (silent past
+    the fleet age-out threshold; membership no longer counts it live),
+    or ``"quarantined"`` (the host's impact governor auto-uninstalled
+    the query).
 
     Three further degradation sources are named explicitly so partial
     numbers are never silently partial:
@@ -150,6 +152,11 @@ class ResultSet:
     query_id: str
     columns: tuple[str, ...]
     windows: list[WindowResult] = field(default_factory=list)
+    #: Fleet-rollout status attached by scrubd when the query was
+    #: submitted with a rollout policy: state, stage, installed hosts,
+    #: and — after an auto-abort — the structured abort reason.  ``None``
+    #: for queries installed everywhere at once.
+    rollout: Optional[dict[str, Any]] = None
 
     def add(self, window: WindowResult) -> None:
         self.windows.append(window)
@@ -238,6 +245,7 @@ class ResultSet:
         payload = {
             "query_id": self.query_id,
             "columns": list(self.columns),
+            "rollout": self.rollout,
             "windows": [
                 {
                     "start": w.window_start,
@@ -279,6 +287,20 @@ class ResultSet:
     def pretty(self, max_rows: int = 20) -> str:
         """A small fixed-width rendering for examples and debugging."""
         lines = [f"query {self.query_id}: {len(self.windows)} window(s)"]
+        if self.rollout is not None:
+            stage = self.rollout.get("stage")
+            state = self.rollout.get("state")
+            installed = self.rollout.get("installed", [])
+            lines.append(
+                f"   rollout: {state} (stage {stage}, "
+                f"{len(installed)} host(s) installed)"
+            )
+            abort = self.rollout.get("abort")
+            if abort:
+                lines.append(
+                    f"   aborted: {abort.get('reason')} on {abort.get('host')}"
+                    f" — {abort.get('detail')}"
+                )
         for window in self.windows:
             degraded = ""
             if window.degraded:

@@ -10,9 +10,10 @@ sampling.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 from .ast import (
     DatacenterEq,
@@ -25,7 +26,13 @@ from .ast import (
 )
 from .errors import ScrubValidationError
 
-__all__ = ["target_matches", "sample_hosts", "HostDescription"]
+__all__ = [
+    "target_matches",
+    "sample_hosts",
+    "rendezvous_order",
+    "rendezvous_sample",
+    "HostDescription",
+]
 
 
 class HostDescription:
@@ -85,3 +92,47 @@ def sample_hosts(hosts: Sequence[T], rate: float, seed: int) -> list[T]:
     n = max(1, math.ceil(rate * len(hosts)))
     rng = random.Random(seed)
     return rng.sample(list(hosts), n)
+
+
+def _rendezvous_score(seed: int, name: str) -> int:
+    # blake2b, not hash(): the score must be identical across processes
+    # and runs regardless of PYTHONHASHSEED.
+    digest = hashlib.blake2b(
+        f"{seed}:{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_order(
+    items: Sequence[T], seed: int, key: Callable[[T], str] = str
+) -> list[T]:
+    """Rank *items* by highest-random-weight (rendezvous) hash of their
+    name under *seed*.
+
+    Each item's rank depends only on ``(seed, key(item))``, never on the
+    rest of the population — so when the fleet churns, a host joining or
+    leaving shifts at most its own slot: every other host keeps its
+    relative position.  That is the property a dynamic registry needs to
+    keep ``@[...]`` host sampling stable under membership change, where
+    :func:`sample_hosts` (a seeded shuffle of the whole population)
+    would reshuffle everyone on any change.
+    """
+    return sorted(
+        items,
+        key=lambda item: (_rendezvous_score(seed, key(item)), key(item)),
+        reverse=True,
+    )
+
+
+def rendezvous_sample(
+    items: Sequence[T], rate: float, seed: int, key: Callable[[T], str] = str
+) -> list[T]:
+    """Select ``ceil(rate * len(items))`` items by rendezvous rank —
+    the churn-stable counterpart of :func:`sample_hosts`, with the same
+    at-least-one guarantee and rate validation."""
+    if not 0.0 < rate <= 1.0:
+        raise ScrubValidationError(f"host sampling rate must be in (0, 1], got {rate}")
+    ordered = rendezvous_order(items, seed, key=key)
+    if not items or rate >= 1.0:
+        return ordered
+    return ordered[: max(1, math.ceil(rate * len(items)))]

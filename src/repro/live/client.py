@@ -40,7 +40,7 @@ from .protocol import (
     resultset_from_payload,
     schema_to_payload,
 )
-from .transport import SocketTransport
+from .transport import JitteredBackoff, SocketTransport
 
 __all__ = ["ControlClient", "LiveAgent", "main"]
 
@@ -102,6 +102,9 @@ class LiveAgent:
         self._reconnect = reconnect
         self._backoff_base = reconnect_backoff_base
         self._backoff_cap = reconnect_backoff_cap
+        self._backoff = JitteredBackoff(
+            host, reconnect_backoff_base, reconnect_backoff_cap, salt="control"
+        )
         self.transport = SocketTransport(
             address, host, outbox_capacity=outbox_capacity
         )
@@ -131,6 +134,11 @@ class LiveAgent:
         #: Control-channel re-registrations after the initial start().
         self.control_reconnects = 0
         self.heartbeats_sent = 0
+        #: Effective installs: INSTALL pushes that actually armed a new
+        #: query here (reconnect replays of an already-running query are
+        #: deduplicated and not counted) — what rollout conservation
+        #: tests assert on.
+        self.installs_applied = 0
 
     # -- setup -------------------------------------------------------------------
 
@@ -325,10 +333,13 @@ class LiveAgent:
             return
 
     def _redial(self) -> Optional[socket.socket]:
-        """Reconnect + re-register with capped exponential backoff; a new
-        epoch per attempt means our fresh session supersedes the stale
-        registration scrubd may still hold for us."""
-        backoff = self._backoff_base
+        """Reconnect + re-register with full-jitter capped exponential
+        backoff (seeded from the host name: a scrubd restart must not
+        make the whole fleet redial in lockstep, yet each host's delay
+        sequence stays reproducible).  A new epoch per attempt means our
+        fresh session supersedes the stale registration scrubd may still
+        hold for us."""
+        self._backoff.reset()
         while not self._closed.is_set():
             try:
                 sock = self._connect_control()
@@ -341,11 +352,9 @@ class LiveAgent:
                     # again; stop redialing and surface the error.
                     self.fatal_error = exc
                     return None
-                self._closed.wait(backoff)
-                backoff = min(backoff * 2, self._backoff_cap)
+                self._closed.wait(self._backoff.next_delay())
             except OSError:
-                self._closed.wait(backoff)
-                backoff = min(backoff * 2, self._backoff_cap)
+                self._closed.wait(self._backoff.next_delay())
             else:
                 self.control_reconnects += 1
                 return sock
@@ -363,6 +372,7 @@ class LiveAgent:
                 self.agent.install(
                     host_object, message["activates_at"], message["expires_at"]
                 )
+            self.installs_applied += 1
         except Exception as exc:
             # A query this host cannot plan (e.g. stale schema) must not
             # kill the control loop; the host simply contributes nothing.
@@ -441,10 +451,22 @@ class ControlClient:
 
     # -- commands ------------------------------------------------------------------
 
-    def submit(self, query_text: str) -> dict[str, Any]:
+    def submit(
+        self, query_text: str, rollout: Optional[dict[str, Any]] = None
+    ) -> dict[str, Any]:
         """Returns the handle payload: query_id, columns, host placement,
-        activates_at/expires_at."""
-        _type, reply = self._request(MsgType.SUBMIT, {"query": query_text})
+        activates_at/expires_at.
+
+        *rollout* opts the query into an incremental canary rollout:
+        ``{"canary_hosts": N, "widen_factor": F, "bake_intervals": K,
+        "max_ewma_ns": C}`` (only ``canary_hosts`` is required) — the
+        daemon installs on N hosts first and widens geometrically while
+        the canaries stay healthy (see ``repro.live.fleet``).
+        """
+        message: dict[str, Any] = {"query": query_text}
+        if rollout is not None:
+            message["rollout"] = rollout
+        _type, reply = self._request(MsgType.SUBMIT, message)
         return reply
 
     def poll(self, query_id: str) -> ResultSet:
@@ -511,7 +533,35 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--margin", type=float, default=3.0,
         help="extra seconds past the span end before collecting",
     )
+    parser.add_argument(
+        "--canary", type=int, metavar="N", default=None,
+        help="roll the query out incrementally: install on N canary "
+        "hosts, bake, then widen while they stay healthy",
+    )
+    parser.add_argument(
+        "--widen-factor", type=float, default=2.0,
+        help="geometric growth per rollout stage (with --canary)",
+    )
+    parser.add_argument(
+        "--bake-intervals", type=int, default=2,
+        help="healthy daemon ticks per stage before widening (with --canary)",
+    )
+    parser.add_argument(
+        "--max-ewma-ns", type=float, default=None,
+        help="abort the rollout if any installed host's per-event cost "
+        "EWMA exceeds this ceiling (with --canary)",
+    )
     args = parser.parse_args(argv)
+
+    rollout: Optional[dict[str, Any]] = None
+    if args.canary is not None:
+        rollout = {
+            "canary_hosts": args.canary,
+            "widen_factor": args.widen_factor,
+            "bake_intervals": args.bake_intervals,
+        }
+        if args.max_ewma_ns is not None:
+            rollout["max_ewma_ns"] = args.max_ewma_ns
 
     client = ControlClient(parse_address(args.address))
     try:
@@ -521,11 +571,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         text = args.query
         if text is None or text == "-":
             text = sys.stdin.read()
-        handle = client.submit(text)
+        handle = client.submit(text, rollout=rollout)
         span = handle["expires_at"] - handle["activates_at"]
+        placement = f"installed on {len(handle['targeted_hosts'])} host(s)"
+        if handle.get("rollout"):
+            ro = handle["rollout"]
+            placement = (
+                f"canary on {len(ro['installed'])}/{len(ro['order'])} host(s)"
+            )
         print(
-            f"{handle['query_id']}: installed on "
-            f"{len(handle['targeted_hosts'])} host(s), span {span:g}s",
+            f"{handle['query_id']}: {placement}, span {span:g}s",
             file=sys.stderr,
         )
         if args.no_wait:

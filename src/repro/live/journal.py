@@ -7,15 +7,21 @@ dies with the daemon.  The journal is the smallest thing that restores
 it: an append-only file of JSON records, fsync'd per append, replayed
 on ``scrubd --journal`` startup.
 
-Three record kinds:
+Four record kinds:
 
 * ``schema`` — an event schema an agent announced.  Replayed first so
   journalled query text re-validates before any agent reconnects.
-* ``submit`` — one accepted query: id, text, span, and host placement.
-  The planner is deterministic in ``(text, query_id)``, so replay
-  re-derives the identical central query object and sampling decisions.
+* ``submit`` — one accepted query: id, text, span, and host placement
+  (plus the rollout policy when the submit carried one).  The planner
+  is deterministic in ``(text, query_id)``, so replay re-derives the
+  identical central query object and sampling decisions.
+* ``rollout`` — one rollout state-machine transition (canary install,
+  widen, complete, abort) with the stage, rank order and installed set
+  at that point.  Last record wins on replay, so a scrubd crash
+  mid-rollout recovers into the same stage with the same hosts
+  installed — no host is installed twice, none skipped.
 * ``finish`` — the query's span ended and its results were collected;
-  replay treats the submit as closed.
+  replay treats the submit (and any rollout) as closed.
 
 Events and result windows are *not* journalled — windows open at crash
 time are lost, exactly like events lost to a full buffer, and the loss
@@ -52,6 +58,9 @@ class JournalState:
     schemas: list[EventSchema] = field(default_factory=list)
     #: query_id -> its submit record, for submits without a finish.
     open_queries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: query_id -> its latest rollout transition record (open queries
+    #: only; a finish clears it).
+    rollouts: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: query_ids whose spans completed before the crash.
     finished: set[str] = field(default_factory=set)
     #: Records that failed to decode (torn tail) — at most one unless
@@ -131,8 +140,11 @@ class QueryJournal:
                     )
                 elif op == "submit":
                     state.open_queries[record["query_id"]] = record
+                elif op == "rollout":
+                    state.rollouts[record["query_id"]] = record
                 elif op == "finish":
                     state.open_queries.pop(record["query_id"], None)
+                    state.rollouts.pop(record["query_id"], None)
                     state.finished.add(record["query_id"])
                 intact_bytes += len(raw)
         return state, intact_bytes
@@ -157,18 +169,41 @@ class QueryJournal:
         expires_at: float,
         planned: tuple[str, ...],
         targeted: tuple[str, ...],
+        rollout: Optional[dict[str, Any]] = None,
     ) -> None:
-        self._append(
-            {
-                "op": "submit",
-                "query_id": query_id,
-                "query": text,
-                "activates_at": activates_at,
-                "expires_at": expires_at,
-                "planned": list(planned),
-                "targeted": list(targeted),
-            }
-        )
+        record: dict[str, Any] = {
+            "op": "submit",
+            "query_id": query_id,
+            "query": text,
+            "activates_at": activates_at,
+            "expires_at": expires_at,
+            "planned": list(planned),
+            "targeted": list(targeted),
+        }
+        if rollout is not None:
+            record["rollout"] = rollout
+        self._append(record)
+
+    def record_rollout(
+        self,
+        query_id: str,
+        state: str,
+        stage: int,
+        order: tuple[str, ...],
+        installed: tuple[str, ...],
+        abort: Optional[dict[str, Any]] = None,
+    ) -> None:
+        record: dict[str, Any] = {
+            "op": "rollout",
+            "query_id": query_id,
+            "state": state,
+            "stage": stage,
+            "order": list(order),
+            "installed": list(installed),
+        }
+        if abort is not None:
+            record["abort"] = abort
+        self._append(record)
 
     def record_finish(self, query_id: str) -> None:
         self._append({"op": "finish", "query_id": query_id})

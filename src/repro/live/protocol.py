@@ -215,6 +215,7 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
     return {
         "query_id": results.query_id,
         "columns": list(results.columns),
+        "rollout": results.rollout,
         "windows": [
             {
                 "start": w.window_start,
@@ -245,6 +246,8 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
 def resultset_from_payload(payload: dict[str, Any]) -> ResultSet:
     columns = tuple(payload["columns"])
     results = ResultSet(payload["query_id"], columns)
+    # .get(): tolerate peers from before rollout metadata existed.
+    results.rollout = payload.get("rollout")
     for w in payload["windows"]:
         results.add(
             WindowResult(

@@ -15,9 +15,12 @@ A single asyncio process that plays the roles the in-process façade
   socket instead of ballooning memory;
 * accepts **query control** connections: ``SUBMIT`` parses/validates/
   plans against the schemas agents announced, resolves the target over
-  the registered hosts, samples hosts deterministically, registers the
-  central query object and pushes installs; ``POLL``/``FINISH`` collect
-  results; ``STATS`` exposes the engine counters;
+  the *live* fleet membership (``repro.live.fleet``), samples hosts by
+  rendezvous hash (churn-stable), registers the central query object
+  and pushes installs — all at once, or as a health-gated canary
+  rollout when the submit carries a rollout policy; ``POLL``/``FINISH``
+  collect results; ``STATS`` exposes the engine, fleet and rollout
+  counters;
 * runs the periodic **advance/reap tick** on the real clock: windows
   close as wall time passes their end plus grace, and queries whose span
   has elapsed are uninstalled everywhere and their results retained for
@@ -48,9 +51,22 @@ from ..core.query.errors import (
 )
 from ..core.query.parser import parse_query
 from ..core.query.planner import QueryPlan, plan_query
-from ..core.query.targets import HostDescription, sample_hosts, target_matches
+from ..core.query.targets import (
+    HostDescription,
+    rendezvous_sample,
+    target_matches,
+)
 from ..core.query.validator import validate_query
 from ..core.server import _seed_from
+from .fleet import (
+    MEMBER_STALE,
+    ROLLOUT_ABORTED,
+    ROLLOUT_CANARY,
+    FleetManager,
+    QueryRollout,
+    RolloutAbort,
+    RolloutPolicy,
+)
 from .journal import QueryJournal
 from .protocol import (
     MsgType,
@@ -120,11 +136,16 @@ class _LiveQuery:
     planned: tuple[str, ...]
     targeted: tuple[str, ...]
     #: Per targeted host: delivery health — "connected", "disconnected",
-    #: "lease-expired", "unreachable" (install push failed), or
-    #: "never-seen" (journal recovery; host not re-attached yet).  The
-    #: engine reads this dict live when it closes a window, so coverage
-    #: names the state the host was in at close time.
+    #: "lease-expired", "unreachable" (install push failed), "stale"
+    #: (silent past the fleet age-out threshold), or "never-seen"
+    #: (journal recovery; host not re-attached yet).  The engine reads
+    #: this dict live when it closes a window, so coverage names the
+    #: state the host was in at close time.
     delivery: dict[str, str] = field(default_factory=dict)
+    #: Incremental-rollout state machine when the SUBMIT carried a
+    #: rollout policy; ``None`` installs everywhere at once.  For
+    #: rollout queries ``targeted`` tracks the installed-so-far set.
+    rollout: Optional[QueryRollout] = None
 
 
 class _ShardBarrier:
@@ -158,6 +179,7 @@ class ScrubDaemon:
         queue_depth: int = 64,
         drain_margin: float = 1.0,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        stale_after: Optional[float] = None,
         journal_path: Optional[str] = None,
         workers: int = 0,
         clock: Callable[[], float] = time.time,
@@ -186,7 +208,9 @@ class ScrubDaemon:
             self.engine = ShardPool(workers=self.workers, grace_seconds=grace_seconds)
         else:
             self.engine = CentralEngine(grace_seconds=grace_seconds)
-        self._agents: dict[str, _AgentConn] = {}
+        #: Dynamic membership + stale age-out.  One clock end to end:
+        #: the age-out threshold derives from the lease unless set.
+        self.fleet = FleetManager(lease_seconds, stale_after=stale_after)
         self._sequence = 0
         self._running: dict[str, _LiveQuery] = {}
         self._results: dict[str, ResultSet] = {}
@@ -234,7 +258,7 @@ class ScrubDaemon:
         resumed = []
         for query_id, record in state.open_queries.items():
             try:
-                self._resume(query_id, record)
+                self._resume(query_id, record, state.rollouts.get(query_id))
             except ScrubError as exc:
                 self._say(f"journal: cannot resume {query_id}: {exc}")
                 continue
@@ -247,19 +271,45 @@ class ScrubDaemon:
         if state.torn_records:
             self._say("journal: dropped a torn trailing record (crash mid-append)")
 
-    def _resume(self, query_id: str, record: dict[str, Any]) -> None:
+    def _resume(
+        self,
+        query_id: str,
+        record: dict[str, Any],
+        rollout_record: Optional[dict[str, Any]] = None,
+    ) -> None:
         """Re-register one journalled query.  Planning is deterministic in
         (text, query id), so the central object is identical to the one
-        the crashed daemon ran; windows open at crash time are lost."""
+        the crashed daemon ran; windows open at crash time are lost.  A
+        journalled rollout resumes in its last recorded stage with the
+        same installed set — the bake timer restarts, the placement does
+        not."""
         query = parse_query(record["query"])
         validated = validate_query(query, self.registry)
         plan = plan_query(validated, query_id)
         targeted = tuple(record["targeted"])
+        rollout: Optional[QueryRollout] = None
+        policy = RolloutPolicy.from_payload(record.get("rollout"))
+        if policy is not None:
+            ro_rec = rollout_record or {}
+            order = tuple(ro_rec.get("order", targeted))
+            installed = tuple(
+                ro_rec.get("installed", order[: policy.quota(0)])
+            )
+            rollout = QueryRollout(
+                query_id,
+                policy,
+                order=order,
+                installed=installed,
+                stage=int(ro_rec.get("stage", 0)),
+                state=ro_rec.get("state", ROLLOUT_CANARY),
+                abort=RolloutAbort.from_dict(ro_rec.get("abort")),
+            )
+            targeted = installed
         # Nobody has re-attached yet; reconnects flip hosts to "connected".
         delivery = {name: "never-seen" for name in targeted}
         self.engine.register(
             plan.central_object,
-            planned_hosts=len(record["planned"]),
+            planned_hosts=max(len(record["planned"]), len(targeted)),
             targeted_hosts=len(targeted),
             targeted_names=targeted,
             delivery_state=lambda d=delivery: d,
@@ -272,6 +322,7 @@ class ScrubDaemon:
             planned=tuple(record["planned"]),
             targeted=targeted,
             delivery=delivery,
+            rollout=rollout,
         )
 
     async def run(self) -> None:
@@ -355,7 +406,7 @@ class ScrubDaemon:
     ) -> None:
         name = hello["host"]
         epoch = int(hello.get("epoch", 0))
-        existing = self._agents.get(name)
+        existing = self.fleet.conn(name)
         if existing is not None:
             if epoch > existing.epoch:
                 # A newer session of the same host (crash + restart, or a
@@ -402,13 +453,17 @@ class ScrubDaemon:
             tuple(hello.get("services", [])),
             hello.get("datacenter", "dc1"),
         )
-        conn = _AgentConn(description, writer, epoch=epoch, last_seen=self._clock())
-        self._agents[name] = conn
+        now = self._clock()
+        conn = _AgentConn(description, writer, epoch=epoch, last_seen=now)
+        # A rejoin (even from "stale") flips the member back to live with
+        # its new session epoch; a first registration creates the member.
+        self.fleet.attach(description, conn, epoch, now)
         async with conn.lock:
             writer.write(encode_message_frame(MsgType.HELLO_OK, {"epoch": epoch}))
             await writer.drain()
         self._say(
-            f"agent {name} registered (epoch {epoch}, {len(self._agents)} hosts)"
+            f"agent {name} registered "
+            f"(epoch {epoch}, {len(self.fleet.live())} live hosts)"
         )
         try:
             await self._sync_queries(name, conn)
@@ -437,8 +492,8 @@ class ScrubDaemon:
             # Only tear down our own registration: a takeover has already
             # replaced it, and the new session must not be unregistered by
             # the old connection's exit.
-            if self._agents.get(name) is conn:
-                self._agents.pop(name)
+            if self.fleet.conn(name) is conn:
+                self.fleet.detach(name, self._clock())
                 self._mark_delivery(name, "disconnected")
                 self._say(f"agent {name} disconnected")
 
@@ -446,12 +501,25 @@ class ScrubDaemon:
         """After HELLO_OK: push every open query span targeting this host,
         then a SYNC of the full live set so the agent reconciles — installs
         it lacks, uninstalls anything stale it still runs.  This is what
-        makes a span survive an agent restart."""
+        makes a span survive an agent restart.
+
+        A host the query does *not* yet target is a potential late
+        joiner: matching queries pull it in at the current rollout stage
+        (:meth:`_admit_late_joiner`), so registration order stops
+        mattering — including after a journal recovery where the
+        original hosts never came back."""
         now = self._clock()
         active: list[str] = []
         for query_id, live in list(self._running.items()):
-            if name not in live.targeted or now >= live.expires_at:
+            if now >= live.expires_at:
                 continue
+            if name not in live.targeted:
+                if not self._admit_late_joiner(query_id, live, name, conn):
+                    continue
+                # Admitted to an active rollout: installed when widening
+                # reaches it, nothing to push yet.
+                if name not in live.targeted:
+                    continue
             install = {
                 "query_id": query_id,
                 "query": live.text,
@@ -468,13 +536,73 @@ class ScrubDaemon:
             active.append(query_id)
         await conn.push(MsgType.SYNC, {"query_ids": active})
 
+    def _admit_late_joiner(
+        self, query_id: str, live: _LiveQuery, name: str, conn: _AgentConn
+    ) -> bool:
+        """Should a newly registered host join this running query?
+
+        * Rollout queries admit every matching host into the rank order:
+          an active rollout installs it when widening reaches its slot, a
+          completed one immediately; an aborted one never.
+        * Plain queries re-run the rendezvous pick over the *live*
+          matching membership — rendezvous ranks are per-host-stable, so
+          a newcomer joins exactly when it would have been chosen at
+          submit time, and nobody else's placement moves.
+
+        Returns True when the host is now part of the query (caller
+        pushes the INSTALL if ``live.targeted`` gained it)."""
+        if not target_matches(live.plan.target, conn.description):
+            return False
+        rollout = live.rollout
+        if rollout is not None:
+            if rollout.state == ROLLOUT_ABORTED:
+                return False
+            if not rollout.admit(name):
+                return False
+            if self._journal is not None:
+                self._journal.record_rollout(
+                    query_id, rollout.state, rollout.stage,
+                    tuple(rollout.order), tuple(rollout.installed),
+                )
+            if name not in rollout.installed:
+                return rollout.active  # queued for a future widen stage
+        else:
+            rate = live.plan.host_sampling_rate
+            if rate < 1.0:
+                matching = [
+                    m.name
+                    for m in self.fleet.live()
+                    if target_matches(live.plan.target, m.description)
+                ]
+                picked = rendezvous_sample(
+                    matching, rate, _seed_from(query_id)
+                )
+                if name not in picked:
+                    return False
+        self._join_query(query_id, live, name)
+        return True
+
+    def _join_query(self, query_id: str, live: _LiveQuery, name: str) -> None:
+        """Commit one host into a running query's targeted set (central
+        coverage included); the caller delivers the INSTALL."""
+        live.targeted = live.targeted + (name,)
+        live.delivery.setdefault(name, "connected")
+        planned_delta = 0
+        if name not in live.planned:
+            live.planned = live.planned + (name,)
+            planned_delta = 1
+        try:
+            self.engine.extend_targets(query_id, (name,), planned_delta)
+        except Exception as exc:
+            self._say(f"late join: extend_targets({query_id}) failed: {exc!r}")
+
     async def _evict(
         self, name: str, conn: _AgentConn, error: str, message: str
     ) -> None:
         """Drop a registration: tell the old session why (a structured
         ERROR frame, never a silent close), then close its channel."""
-        if self._agents.get(name) is conn:
-            self._agents.pop(name)
+        if self.fleet.conn(name) is conn:
+            self.fleet.detach(name, self._clock())
         try:
             await asyncio.wait_for(
                 conn.push(MsgType.ERROR, {"error": error, "message": message}),
@@ -618,7 +746,7 @@ class ScrubDaemon:
     ) -> tuple[MsgType, dict[str, Any]]:
         message = decode_message(payload) if payload else {}
         if msg_type == MsgType.SUBMIT:
-            return MsgType.SUBMIT_OK, await self._submit(message["query"])
+            return MsgType.SUBMIT_OK, await self._submit(message)
         if msg_type == MsgType.POLL:
             return MsgType.RESULTS, resultset_to_payload(
                 self._poll(message["query_id"])
@@ -634,24 +762,36 @@ class ScrubDaemon:
             return MsgType.SHUTDOWN_OK, {}
         raise ProtocolError(f"unexpected {msg_type.name} on control channel")
 
-    async def _submit(self, text: str) -> dict[str, Any]:
+    async def _submit(self, message: dict[str, Any]) -> dict[str, Any]:
+        text = message["query"]
+        try:
+            policy = RolloutPolicy.from_payload(message.get("rollout"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScrubValidationError(f"bad rollout policy: {exc}") from exc
         query = parse_query(text)
         validated = validate_query(query, self.registry)
         query_id = self._next_query_id()
         plan = plan_query(validated, query_id)
 
         resolved = [
-            (name, conn)
-            for name, conn in self._agents.items()
-            if target_matches(plan.target, conn.description)
+            (member.name, member.conn)
+            for member in self.fleet.live()
+            if target_matches(plan.target, member.description)
         ]
         if not resolved:
             raise ScrubValidationError(
                 "query target matches no registered host; check the @[...] "
                 "expression and that agents are connected"
             )
-        chosen = sample_hosts(
-            resolved, plan.host_sampling_rate, seed=_seed_from(query_id)
+        # Rendezvous (highest-random-weight) sampling: each host's rank
+        # depends only on (query seed, host name), so fleet churn moves
+        # at most the churned host — and the same ranking doubles as the
+        # rollout's widening order.
+        chosen = rendezvous_sample(
+            resolved,
+            plan.host_sampling_rate,
+            seed=_seed_from(query_id),
+            key=lambda pair: pair[0],
         )
 
         now = self._clock()
@@ -659,20 +799,35 @@ class ScrubDaemon:
         expires_at = activates_at + plan.duration
 
         planned_names = tuple(name for name, _conn in resolved)
-        targeted_names = tuple(name for name, _conn in chosen)
+        order_names = tuple(name for name, _conn in chosen)
+        rollout: Optional[QueryRollout] = None
+        if policy is not None:
+            rollout = QueryRollout(query_id, policy, order=order_names)
+            initial = list(order_names[: rollout.quota()])
+            rollout.note_installed(initial)
+            install_now = [(n, c) for n, c in chosen if n in set(initial)]
+        else:
+            install_now = chosen
+        targeted_names = tuple(name for name, _conn in install_now)
         delivery = {name: "connected" for name in targeted_names}
         self.engine.register(
             plan.central_object,
             planned_hosts=len(resolved),
-            targeted_hosts=len(chosen),
+            targeted_hosts=len(install_now),
             targeted_names=targeted_names,
             delivery_state=lambda d=delivery: d,
         )
         if self._journal is not None:
             self._journal.record_submit(
                 query_id, text, activates_at, expires_at,
-                planned_names, targeted_names,
+                planned_names, order_names,
+                rollout=policy.as_dict() if policy is not None else None,
             )
+            if rollout is not None:
+                self._journal.record_rollout(
+                    query_id, rollout.state, rollout.stage,
+                    tuple(rollout.order), tuple(rollout.installed),
+                )
         install = {
             "query_id": query_id,
             "query": text,
@@ -680,7 +835,7 @@ class ScrubDaemon:
             "expires_at": expires_at,
         }
         install_failures: list[str] = []
-        for name, conn in chosen:
+        for name, conn in install_now:
             try:
                 await conn.push(MsgType.INSTALL, install)
             except (ConnectionError, OSError, RuntimeError):
@@ -705,12 +860,24 @@ class ScrubDaemon:
             planned=planned_names,
             targeted=targeted_names,
             delivery=delivery,
+            rollout=rollout,
         )
-        self._say(
-            f"query {query_id} installed on "
-            f"{len(chosen) - len(install_failures)}/{len(resolved)} host(s)"
-            + (f" ({len(install_failures)} push failure(s))" if install_failures else "")
-        )
+        if rollout is not None:
+            self._say(
+                f"query {query_id} canary on "
+                f"{len(install_now) - len(install_failures)}/{len(order_names)} "
+                f"host(s) (policy {policy.as_dict()})"
+            )
+        else:
+            self._say(
+                f"query {query_id} installed on "
+                f"{len(install_now) - len(install_failures)}/{len(resolved)} host(s)"
+                + (
+                    f" ({len(install_failures)} push failure(s))"
+                    if install_failures
+                    else ""
+                )
+            )
         return {
             "query_id": query_id,
             "columns": list(plan.central_object.column_names),
@@ -719,6 +886,7 @@ class ScrubDaemon:
             "install_failures": install_failures,
             "activates_at": activates_at,
             "expires_at": expires_at,
+            "rollout": rollout.as_dict() if rollout is not None else None,
             # Central execution mode, so the submitter can interpret any
             # later shard_gaps coverage entries: a pooled daemon names its
             # worker count and how often the supervisor has respawned one.
@@ -740,9 +908,13 @@ class ScrubDaemon:
         done = self._results.get(query_id)
         if done is not None:
             return done
-        if query_id not in self._running:
+        live = self._running.get(query_id)
+        if live is None:
             raise QueryNotFoundError(query_id)
-        return self.engine.results_so_far(query_id)
+        results = self.engine.results_so_far(query_id)
+        if live.rollout is not None:
+            results.rollout = live.rollout.as_dict()
+        return results
 
     async def _finish(self, query_id: str) -> ResultSet:
         done = self._results.get(query_id)
@@ -752,7 +924,7 @@ class ScrubDaemon:
         if live is None:
             raise QueryNotFoundError(query_id)
         for name in live.targeted:
-            conn = self._agents.get(name)
+            conn = self.fleet.conn(name)
             if conn is None:
                 continue
             try:
@@ -760,6 +932,8 @@ class ScrubDaemon:
             except (ConnectionError, OSError):
                 pass  # agent gone; its query objects expire on their own
         results = self.engine.finish(query_id)
+        if live.rollout is not None:
+            results.rollout = live.rollout.as_dict()
         self._results[query_id] = results
         if self._journal is not None:
             self._journal.record_finish(query_id)
@@ -774,17 +948,21 @@ class ScrubDaemon:
         stats = self.engine.stats
         now = self._clock()
         return {
+            # "hosts" stays live-connections-only (what can receive a
+            # push right now); "fleet" below is the full membership view
+            # including disconnected and stale hosts.
             "hosts": [
                 {
-                    "host": conn.description.name,
-                    "services": sorted(conn.description.services),
-                    "datacenter": conn.description.datacenter,
-                    "epoch": conn.epoch,
-                    "lease_age": now - conn.last_seen,
-                    "query_costs": conn.query_costs,
+                    "host": member.description.name,
+                    "services": sorted(member.description.services),
+                    "datacenter": member.description.datacenter,
+                    "epoch": member.epoch,
+                    "lease_age": now - member.last_seen,
+                    "query_costs": member.query_costs(),
                 }
-                for conn in self._agents.values()
+                for member in self.fleet.live()
             ],
+            "fleet": self.fleet.stats(now),
             "running": sorted(self._running),
             "finished": sorted(self._results),
             "queries": {
@@ -796,9 +974,17 @@ class ScrubDaemon:
                 }
                 for query_id, live in self._running.items()
             },
+            # Rollout state machines for running queries; a finished
+            # query's final rollout state rides its stored ResultSet.
+            "rollouts": {
+                query_id: live.rollout.as_dict()
+                for query_id, live in self._running.items()
+                if live.rollout is not None
+            },
             "shards": len(self._shard_queues),
             "workers": self.workers,
             "lease_seconds": self._lease_seconds,
+            "stale_after": self.fleet.stale_after,
             "push_failures": self.push_failures,
             "journal": self._journal_path,
             "uptime": now - self._started_at,
@@ -829,6 +1015,7 @@ class ScrubDaemon:
             await asyncio.sleep(self._tick_interval)
             now = self._clock()
             await self._expire_leases(now)
+            await self._rollout_tick(now)
             try:
                 self.engine.advance(now)
             except Exception as exc:
@@ -843,21 +1030,160 @@ class ScrubDaemon:
     async def _expire_leases(self, now: float) -> None:
         """Unregister agents whose lease lapsed (no heartbeat within the
         window).  The dead session is told why — a structured ERROR, not
-        a silent close — so a *slow* (not dead) agent knows to redial."""
-        for name, conn in list(self._agents.items()):
-            if now - conn.last_seen <= self._lease_seconds:
-                continue
+        a silent close — so a *slow* (not dead) agent knows to redial.
+        Past the (lease-derived) age-out threshold the silent host then
+        leaves membership entirely: coverage names it ``stale`` and
+        pending rollouts stop waiting for it."""
+        for member in self.fleet.lease_lapsed(now):
+            name, conn = member.name, member.conn
             self._mark_delivery(name, "lease-expired")
             self._say(
                 f"agent {name}: lease expired "
-                f"({now - conn.last_seen:.1f}s > {self._lease_seconds:g}s silent)"
+                f"({now - member.last_seen:.1f}s > {self._lease_seconds:g}s silent)"
             )
             await self._evict(
                 name,
                 conn,
                 "lease-expired",
-                f"no heartbeat for {now - conn.last_seen:.1f}s; re-register to resume",
+                f"no heartbeat for {now - member.last_seen:.1f}s; re-register to resume",
             )
+        for member in self.fleet.age_out(now):
+            self._mark_delivery(member.name, "stale")
+            for query_id, live in self._running.items():
+                rollout = live.rollout
+                if (
+                    rollout is not None
+                    and rollout.active
+                    and rollout.retire(member.name)
+                    and self._journal is not None
+                ):
+                    self._journal.record_rollout(
+                        query_id, rollout.state, rollout.stage,
+                        tuple(rollout.order), tuple(rollout.installed),
+                    )
+            self._say(
+                f"agent {member.name}: aged out of the fleet "
+                f"({self.fleet.stale_after:g}s silent)"
+            )
+
+    # -- rollout lifecycle ----------------------------------------------------------
+
+    async def _rollout_tick(self, now: float) -> None:
+        """Drive every active rollout one health-gated step: abort on a
+        canary quarantine or cost regression, otherwise bake — and widen
+        once the stage has been healthy for ``bake_intervals`` ticks."""
+        active = [
+            (query_id, live)
+            for query_id, live in list(self._running.items())
+            if live.rollout is not None
+            and live.rollout.active
+            and now < live.expires_at
+        ]
+        if not active:
+            return
+        try:
+            quarantines = self.engine.quarantines()
+        except Exception:
+            quarantines = {}
+        for query_id, live in active:
+            rollout = live.rollout
+            assert rollout is not None
+            abort = rollout.check_health(
+                quarantines.get(query_id, {}),
+                self.fleet.ewma_by_host(query_id),
+            )
+            if abort is not None:
+                await self._abort_rollout(query_id, live, abort)
+                continue
+            # A detached (but not aged-out) canary is not evidence of
+            # health: freeze the bake until it reconnects or goes stale.
+            waiting = [
+                name
+                for name in rollout.installed
+                if (member := self.fleet.member(name)) is not None
+                and member.state != MEMBER_STALE
+            ]
+            if not waiting or any(
+                self.fleet.conn(name) is None for name in waiting
+            ):
+                continue
+            if rollout.tick_healthy():
+                await self._widen_rollout(query_id, live)
+
+    async def _abort_rollout(
+        self, query_id: str, live: _LiveQuery, abort: RolloutAbort
+    ) -> None:
+        """Kill a rollout: journal the abort, uninstall everywhere, and
+        keep the structured reason for POLL/STATS.  The query object
+        stays registered so the troubleshooter can still collect what
+        the canaries saw."""
+        rollout = live.rollout
+        assert rollout is not None
+        rollout.record_abort(abort)
+        if self._journal is not None:
+            self._journal.record_rollout(
+                query_id, rollout.state, rollout.stage,
+                tuple(rollout.order), tuple(rollout.installed),
+                abort=abort.as_dict(),
+            )
+        self._say(
+            f"query {query_id} rollout aborted at stage {abort.stage}: "
+            f"{abort.reason} on {abort.host} ({abort.detail})"
+        )
+        for name in rollout.installed:
+            conn = self.fleet.conn(name)
+            if conn is None:
+                continue
+            try:
+                await conn.push(MsgType.UNINSTALL, {"query_id": query_id})
+            except (ConnectionError, OSError, RuntimeError):
+                pass  # agent gone; its query objects expire on their own
+
+    async def _widen_rollout(self, query_id: str, live: _LiveQuery) -> None:
+        """The stage baked healthy: advance and install the next tranche
+        of the rendezvous order."""
+        rollout = live.rollout
+        assert rollout is not None
+        tranche = rollout.widen_tranche()
+        if tranche:
+            rollout.note_installed(tranche)
+            for name in tranche:
+                self._join_query(query_id, live, name)
+                live.delivery[name] = (
+                    "connected" if self.fleet.conn(name) is not None
+                    else "disconnected"
+                )
+            install = {
+                "query_id": query_id,
+                "query": live.text,
+                "activates_at": live.activates_at,
+                "expires_at": live.expires_at,
+            }
+            for name in tranche:
+                conn = self.fleet.conn(name)
+                if conn is None:
+                    # Currently detached: the INSTALL replays from
+                    # _sync_queries when it re-registers (it is in
+                    # live.targeted now), so nothing is skipped.
+                    continue
+                try:
+                    await conn.push(MsgType.INSTALL, install)
+                except (ConnectionError, OSError, RuntimeError):
+                    self.push_failures += 1
+                    live.delivery[name] = "unreachable"
+                    await self._evict(
+                        name, conn, "install-push-failed",
+                        f"install of {query_id} could not be delivered",
+                    )
+        if self._journal is not None:
+            self._journal.record_rollout(
+                query_id, rollout.state, rollout.stage,
+                tuple(rollout.order), tuple(rollout.installed),
+            )
+        self._say(
+            f"query {query_id} rollout {rollout.state}: stage {rollout.stage}, "
+            f"{len(rollout.installed)}/{len(rollout.order)} host(s) installed"
+        )
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -883,6 +1209,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="seconds without an agent heartbeat before its lease expires",
     )
     parser.add_argument(
+        "--stale-after", type=float, default=None, metavar="SECONDS",
+        help="silence before a host ages out of fleet membership as "
+        "'stale' (default: 2x the lease window, so both run on one clock)",
+    )
+    parser.add_argument(
         "--journal", metavar="PATH", default=None,
         help="append-only query journal; open spans resume on restart",
     )
@@ -896,6 +1227,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         tick_interval=args.tick,
         queue_depth=args.queue_depth,
         lease_seconds=args.lease,
+        stale_after=args.stale_after,
         journal_path=args.journal,
         workers=args.workers,
         log=sys.stdout,

@@ -8,8 +8,9 @@ paper's minimal-impact contract preserved end to end:
   enough to fill it — the batch is dropped *at the host* and its loss is
   counted, exactly like a full agent buffer.
 * A background **flusher thread** owns the socket: it frames batches,
-  reconnects with capped exponential backoff, and re-sends the
-  ``DATA_HELLO`` after every reconnect.
+  reconnects with full-jitter capped exponential backoff (seeded per
+  host name, so a daemon restart does not make the whole fleet redial
+  in lockstep), and re-sends the ``DATA_HELLO`` after every reconnect.
 * Dropped batches are not silently forgotten: their event count and
   matched-event counters are *carried* onto the next batch that does get
   through (``dropped`` and ``seen_counts``), so the central estimator
@@ -20,6 +21,7 @@ paper's minimal-impact contract preserved end to end:
 from __future__ import annotations
 
 import queue
+import random
 import socket
 import threading
 from typing import Optional
@@ -34,10 +36,42 @@ from .protocol import (
     recv_frame,
 )
 
-__all__ = ["SocketTransport"]
+__all__ = ["JitteredBackoff", "SocketTransport"]
 
 #: Entries kept in the carried seen-count map while the link is down.
 CARRY_SEEN_CAP = 1024
+
+
+class JitteredBackoff:
+    """Full-jitter capped exponential backoff.
+
+    Deterministic doubling makes every agent redial in lockstep after a
+    scrubd restart — a thundering herd at fleet scale.  Full jitter
+    (``uniform(0, ceiling)`` with the ceiling doubling up to the cap)
+    spreads the herd across the whole window while keeping the same
+    worst-case wait.  The RNG is seeded from the agent name (plus a
+    per-channel salt), never from wall time, so a given host's delay
+    sequence is reproducible in tests yet distinct across the fleet.
+    """
+
+    __slots__ = ("base", "cap", "_rng", "_ceiling")
+
+    def __init__(self, name: str, base: float, cap: float, salt: str = "") -> None:
+        self.base = base
+        self.cap = cap
+        # random.Random(str) seeds from the string's bytes, not hash():
+        # stable across processes regardless of PYTHONHASHSEED.
+        self._rng = random.Random(f"scrub-backoff:{salt}:{name}")
+        self._ceiling = base
+
+    def reset(self) -> None:
+        """Start a fresh attempt run; the RNG stream keeps advancing."""
+        self._ceiling = self.base
+
+    def next_delay(self) -> float:
+        delay = self._rng.uniform(0.0, self._ceiling)
+        self._ceiling = min(self._ceiling * 2, self.cap)
+        return delay
 
 
 class _Drain:
@@ -73,6 +107,7 @@ class SocketTransport:
         self._connect_timeout = connect_timeout
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
+        self._backoff = JitteredBackoff(host, backoff_base, backoff_cap, salt="data")
         self._io_timeout = io_timeout
 
         self.batches_sent = 0
@@ -249,7 +284,7 @@ class SocketTransport:
         central can never wedge the flusher behind one frame."""
         if self._sock is not None:
             return True
-        backoff = self._backoff_base
+        self._backoff.reset()
         for _attempt in range(4):
             if self._stop.is_set():
                 return False
@@ -265,8 +300,7 @@ class SocketTransport:
                 self.reconnects += 1
                 return True
             except OSError:
-                self._stop.wait(backoff)
-                backoff = min(backoff * 2, self._backoff_cap)
+                self._stop.wait(self._backoff.next_delay())
         return False
 
     def _close_socket(self) -> None:

@@ -17,6 +17,8 @@ Shell commands (anything else is parsed as a Scrub query):
 
     \\events            list event types and their fields
     \\hosts             list hosts, services, datacenters
+    \\fleet             (live mode) membership with last-seen age, epoch,
+                       armed-query costs and quarantine counts
     \\queries           list running queries
     \\run <seconds>     advance virtual time without a query
     \\csv               print the last result set as CSV
@@ -214,12 +216,26 @@ class LiveShell:
                 self._print(
                     f"  {host['host']:28s} {host['datacenter']:8s} {services}"
                 )
+        elif cmd == "\\fleet":
+            self._fleet()
         elif cmd == "\\queries":
             stats = self._stats()
             self._print(
                 f"  running: {stats.get('running', [])}  "
                 f"finished: {stats.get('finished', [])}"
             )
+            rollouts = stats.get("rollouts", {})
+            for query_id, ro in sorted(rollouts.items()):
+                line = (
+                    f"    {query_id}: rollout {ro['state']} stage {ro['stage']}, "
+                    f"{len(ro['installed'])}/{len(ro['order'])} host(s)"
+                )
+                if ro.get("abort"):
+                    abort = ro["abort"]
+                    line += (
+                        f" — aborted: {abort['reason']} on {abort['host']}"
+                    )
+                self._print(line)
         elif cmd == "\\csv":
             self._print(
                 self.last_results.to_csv().rstrip()
@@ -238,6 +254,39 @@ class LiveShell:
 
     def _stats(self) -> dict:
         return self.client.stats()
+
+    def _fleet(self) -> None:
+        """The ``\\fleet`` command: full membership (live, disconnected,
+        stale) with last-seen age, epoch, armed-query load and how often
+        each host's governor has quarantined a query."""
+        stats = self._stats()
+        quarantines = stats.get("quarantines", {})
+        quarantine_counts: dict[str, int] = {}
+        for hosts in quarantines.values():
+            for host in hosts:
+                quarantine_counts[host] = quarantine_counts.get(host, 0) + 1
+        members = stats.get("fleet", [])
+        if not members:
+            self._print("  fleet is empty (no host has ever registered)")
+            return
+        self._print(
+            f"  {'host':20s} {'state':12s} {'seen':>7s} {'epoch':>20s} "
+            f"{'armed':>5s} {'ewma_ns':>9s} {'quar':>4s}"
+        )
+        for member in members:
+            costs = member.get("query_costs", {})
+            ewmas = [
+                c["ewma_ns"]
+                for c in costs.values()
+                if isinstance(c, dict) and "ewma_ns" in c
+            ]
+            peak = f"{max(ewmas):.0f}" if ewmas else "-"
+            self._print(
+                f"  {member['host']:20s} {member['state']:12s} "
+                f"{member['last_seen_age']:6.1f}s {member['epoch']:>20d} "
+                f"{len(costs):>5d} {peak:>9s} "
+                f"{quarantine_counts.get(member['host'], 0):>4d}"
+            )
 
     def _query(self, text: str) -> None:
         try:

@@ -198,6 +198,10 @@ def test_agent_kill_and_restart_mid_span_under_chaos():
         assert _wait(lambda: len(ctl.stats()["hosts"]) == 2)
 
         qid = ctl.submit(QUERY)["query_id"]
+        # Don't log before the INSTALL frame arms agent-0 — SUBMIT_OK
+        # can win that race, and a pre-arming event is unmatched (never
+        # shipped, not a "drop"), which would break exact conservation.
+        assert _wait(lambda: qid in steady.installed_query_ids)
         logger.start()
         count1 = _await_logged(victim)  # phase 1 fully drained
 
@@ -238,11 +242,12 @@ def test_agent_kill_and_restart_mid_span_under_chaos():
         for w in gap_windows:
             # Coverage states are read when the window *closes*: a gap
             # window usually closes while the host is still down
-            # ("disconnected"/"lease-expired"), but the last one can
+            # ("disconnected"/"lease-expired", then "stale" once the
+            # fleet ages it out at 2x the lease), but the last one can
             # close just after the reconnect — the host is back yet
             # contributed nothing to that window, which reads "silent".
             assert w.coverage.missing["agent-1"] in (
-                "disconnected", "lease-expired", "silent"
+                "disconnected", "lease-expired", "stale", "silent"
             )
             assert w.coverage.reporting == ("agent-0",)
 

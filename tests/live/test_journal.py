@@ -68,6 +68,78 @@ class TestRoundTrip:
         final.close()
 
 
+class TestRolloutRecords:
+    def test_last_rollout_record_wins_on_replay(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit(
+            "q00001", "a;", 0.0, 600.0,
+            planned=("h0", "h1", "h2", "h3"), targeted=("h0", "h1", "h2", "h3"),
+            rollout={"canary_hosts": 1, "widen_factor": 2.0, "bake_intervals": 2},
+        )
+        journal.record_rollout(
+            "q00001", "canary", 0, ("h0", "h1", "h2", "h3"), ("h0",)
+        )
+        journal.record_rollout(
+            "q00001", "widening", 1, ("h0", "h1", "h2", "h3"), ("h0", "h1")
+        )
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        record = reloaded.state.rollouts["q00001"]
+        assert record["state"] == "widening"
+        assert record["stage"] == 1
+        assert record["installed"] == ["h0", "h1"]
+        assert record["order"] == ["h0", "h1", "h2", "h3"]
+        # The submit record still carries the policy for re-planning.
+        submit = reloaded.state.open_queries["q00001"]
+        assert submit["rollout"]["canary_hosts"] == 1
+        reloaded.close()
+
+    def test_abort_record_survives_replay(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit(
+            "q00001", "a;", 0.0, 600.0, ("h0", "h1"), ("h0", "h1"),
+            rollout={"canary_hosts": 1},
+        )
+        journal.record_rollout(
+            "q00001", "aborted", 0, ("h0", "h1"), ("h0",),
+            abort={"reason": "canary-quarantined", "host": "h0",
+                   "detail": "impact-budget-exceeded: test", "stage": 0},
+        )
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        record = reloaded.state.rollouts["q00001"]
+        assert record["state"] == "aborted"
+        assert record["abort"]["reason"] == "canary-quarantined"
+        assert record["abort"]["host"] == "h0"
+        reloaded.close()
+
+    def test_finish_clears_the_rollout_with_its_submit(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit(
+            "q00001", "a;", 0.0, 1.0, ("h",), ("h",), rollout={"canary_hosts": 1},
+        )
+        journal.record_rollout("q00001", "complete", 1, ("h",), ("h",))
+        journal.record_finish("q00001")
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        assert reloaded.state.rollouts == {}
+        assert reloaded.state.open_queries == {}
+        assert reloaded.state.finished == {"q00001"}
+        reloaded.close()
+
+    def test_plain_submit_carries_no_rollout_key(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 1.0, ("h",), ("h",))
+        journal.close()
+        reloaded = QueryJournal(journal.path)
+        assert "rollout" not in reloaded.state.open_queries["q00001"]
+        assert reloaded.state.rollouts == {}
+        reloaded.close()
+
+
 class TestCrashTolerance:
     def test_torn_trailing_record_is_dropped(self, tmp_path):
         journal = _journal(tmp_path)

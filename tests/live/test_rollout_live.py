@@ -1,0 +1,334 @@
+"""Fleet lifecycle against a real daemon: canary rollout widening to
+completion, the auto-abort acceptance story (a quarantined canary stops
+the rollout with zero installs on the untouched fleet), journal-recovered
+queries installing on late-joining hosts, and silent hosts aging out of
+coverage as ``stale`` then rejoining with an epoch bump."""
+
+import socket
+import time
+
+from repro.core.agent.transport import EventBatch
+from repro.live.client import ControlClient, LiveAgent
+from repro.live.protocol import (
+    MsgType,
+    decode_message,
+    encode_batch_frame_into,
+    encode_message_frame,
+    recv_frame,
+)
+
+from .conftest import DaemonHarness, wait_for
+
+QUERY = (
+    "select pv.url, COUNT(*) from pv @[Service in Frontends] "
+    "window 10s group by pv.url duration 600s;"
+)
+
+QUERY_1S = (
+    "select pv.url, COUNT(*) from pv @[Service in Frontends] "
+    "window 1s group by pv.url duration 600s;"
+)
+
+PV_FIELDS = [("url", "string"), ("latency_ms", "double")]
+
+PV_SCHEMA_PAYLOAD = {
+    "name": "pv",
+    "fields": [["url", "string"], ["latency_ms", "double"]],
+    "doc": "",
+}
+
+
+def _agent(harness, name, **kwargs) -> LiveAgent:
+    kwargs.setdefault("services", ["Frontends"])
+    kwargs.setdefault("heartbeat_interval", 0.1)
+    kwargs.setdefault("reconnect_backoff_base", 0.05)
+    agent = LiveAgent(harness.address, name, **kwargs)
+    agent.define_event("pv", PV_FIELDS)
+    agent.start()
+    return agent
+
+
+def _raw_register(address, name, epoch=1):
+    """Register a host the hard way: a bare socket that never heartbeats.
+    Returns ``(sock, installs)`` — the query ids whose INSTALL pushes
+    arrived before the post-hello SYNC (a rejoin mid-span replays them)."""
+    sock = socket.create_connection(address, timeout=5.0)
+    sock.settimeout(5.0)
+    sock.sendall(
+        encode_message_frame(
+            MsgType.AGENT_HELLO,
+            {
+                "host": name,
+                "epoch": epoch,
+                "services": ["Frontends"],
+                "datacenter": "dc1",
+                "schemas": [PV_SCHEMA_PAYLOAD],
+            },
+        )
+    )
+    frame = recv_frame(sock)
+    assert frame is not None and frame[0] == MsgType.HELLO_OK
+    installs = []
+    while True:
+        frame = recv_frame(sock)
+        assert frame is not None, f"{name}: daemon closed before SYNC"
+        if frame[0] == MsgType.SYNC:
+            break
+        assert frame[0] == MsgType.INSTALL
+        installs.append(decode_message(frame[1])["query_id"])
+    return sock, installs
+
+
+def _drain_frames(sock, window=0.2):
+    """Read whatever frames arrive on *sock* within *window* seconds."""
+    frames = []
+    sock.settimeout(window)
+    try:
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                break
+            frames.append(frame[0])
+    except (TimeoutError, socket.timeout):
+        pass
+    return frames
+
+
+def _inject_quarantine(address, host, query_id):
+    """What a governor quarantine looks like on the wire: the host's
+    final flush carries the structured reason.  Injecting it straight on
+    a data channel makes the abort trigger deterministic — the governor
+    ladder itself is pinned by tests/core/test_governor.py."""
+    batch = EventBatch(
+        host=host, query_id=query_id, events=[],
+        quarantined="impact-budget-exceeded: injected by test",
+    )
+    buf = bytearray()
+    encode_batch_frame_into(buf, batch)
+    with socket.create_connection(address, timeout=5.0) as sock:
+        sock.settimeout(5.0)
+        sock.sendall(encode_message_frame(MsgType.DATA_HELLO, {"host": host}))
+        sock.sendall(bytes(buf))
+        # The PONG barrier proves the shard workers ingested the batch.
+        sock.sendall(encode_message_frame(MsgType.PING, {"token": 1}))
+        frame = recv_frame(sock)
+        assert frame is not None and frame[0] == MsgType.PONG
+
+
+class TestCanaryWidening:
+    def test_rollout_widens_to_completion_over_healthy_canaries(self):
+        harness = DaemonHarness().start()
+        agents, ctl = [], ControlClient(harness.address)
+        try:
+            agents = [_agent(harness, f"web-{i}") for i in range(5)]
+            handle = ctl.submit(
+                QUERY,
+                rollout={"canary_hosts": 1, "widen_factor": 2.0,
+                         "bake_intervals": 2},
+            )
+            qid = handle["query_id"]
+            ro = handle["rollout"]
+            assert ro["state"] == "canary" and ro["stage"] == 0
+            assert len(ro["installed"]) == 1
+            assert sorted(ro["order"]) == [f"web-{i}" for i in range(5)]
+            assert handle["targeted_hosts"] == ro["installed"]
+
+            assert wait_for(
+                lambda: ctl.stats()["rollouts"].get(qid, {}).get("state")
+                == "complete",
+                timeout=10.0,
+            )
+            final = ctl.stats()["rollouts"][qid]
+            # Geometric widening over 5 hosts: 1 -> 2 -> 4 -> 5.
+            assert final["stage"] == 3
+            assert final["abort"] is None
+            # Install order is exactly the rendezvous rank order.
+            assert final["installed"] == final["order"] == ro["order"]
+            for agent in agents:
+                assert wait_for(lambda a=agent: qid in a.installed_query_ids)
+            # Conservation: one effective install per host, no replays.
+            assert [a.installs_applied for a in agents] == [1] * 5
+        finally:
+            for agent in agents:
+                agent.close()
+            ctl.close()
+            harness.stop()
+
+
+class TestCanaryAbort:
+    def test_quarantined_canary_aborts_with_zero_installs_elsewhere(self):
+        """The E2E acceptance story: a hot query canaries onto 2 of 20
+        registered agents; one canary's governor quarantines it; the
+        rollout auto-aborts with the canaries uninstalled and not one
+        INSTALL ever reaching the other 18 hosts."""
+        harness = DaemonHarness().start()
+        socks, ctl = {}, ControlClient(harness.address)
+        try:
+            for i in range(20):
+                sock, installs = _raw_register(harness.address, f"raw-{i:02d}")
+                assert installs == []
+                socks[f"raw-{i:02d}"] = sock
+
+            handle = ctl.submit(
+                QUERY,
+                rollout={"canary_hosts": 2, "widen_factor": 2.0,
+                         "bake_intervals": 10_000},  # bake forever: no widen
+            )
+            qid = handle["query_id"]
+            canaries = handle["rollout"]["installed"]
+            assert len(canaries) == 2
+            assert len(handle["rollout"]["order"]) == 20
+            bystanders = [n for n in socks if n not in canaries]
+
+            # The canaries (and only they) got the INSTALL push.
+            for name in canaries:
+                assert MsgType.INSTALL in _drain_frames(socks[name], 1.0)
+
+            _inject_quarantine(harness.address, canaries[0], qid)
+            assert wait_for(
+                lambda: ctl.stats()["rollouts"].get(qid, {}).get("state")
+                == "aborted",
+                timeout=5.0,
+            )
+
+            # STATS carries the structured abort and the frozen placement.
+            stats = ctl.stats()
+            ro = stats["rollouts"][qid]
+            assert ro["abort"]["reason"] == "canary-quarantined"
+            assert ro["abort"]["host"] == canaries[0]
+            assert ro["abort"]["stage"] == 0
+            assert ro["installed"] == canaries
+            assert sorted(stats["queries"][qid]["targeted"]) == sorted(canaries)
+
+            # ... and POLL surfaces the same abort to the troubleshooter.
+            results = ctl.poll(qid)
+            assert results.rollout["state"] == "aborted"
+            assert results.rollout["abort"]["reason"] == "canary-quarantined"
+
+            # The canaries were uninstalled; the other 18 heard *nothing*.
+            for name in canaries:
+                assert MsgType.UNINSTALL in _drain_frames(socks[name], 1.0)
+            for name in bystanders:
+                assert MsgType.INSTALL not in _drain_frames(socks[name], 0.1)
+        finally:
+            for sock in socks.values():
+                sock.close()
+            ctl.close()
+            harness.stop()
+
+
+class TestRecoveryLateJoin:
+    def test_recovered_query_stays_pending_then_installs_on_late_join(
+        self, tmp_path
+    ):
+        """A journalled query whose hosts never came back resolves to
+        zero live hosts on recovery; it must stay pending (running, all
+        delivery ``never-seen``) and install the moment a matching agent
+        registers — even one the crashed daemon never met."""
+        journal = str(tmp_path / "scrubd.journal")
+        first = DaemonHarness(journal_path=journal).start()
+        ctl = ControlClient(first.address)
+        agent = _agent(first, "web-0", reconnect=False)
+        try:
+            qid = ctl.submit(QUERY)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+        finally:
+            agent.close()
+            ctl.close()
+            first.stop()
+
+        second = DaemonHarness(journal_path=journal).start()
+        ctl2 = ControlClient(second.address)
+        late = None
+        try:
+            stats = ctl2.stats()
+            assert qid in stats["running"]
+            assert stats["hosts"] == []
+            assert stats["queries"][qid]["delivery"] == {"web-0": "never-seen"}
+
+            late = _agent(second, "web-9", reconnect=False)
+            assert wait_for(lambda: qid in late.installed_query_ids, timeout=5.0)
+            assert late.installs_applied == 1
+            stats = ctl2.stats()
+            assert "web-9" in stats["queries"][qid]["targeted"]
+            assert stats["queries"][qid]["delivery"]["web-9"] == "connected"
+        finally:
+            if late is not None:
+                late.close()
+            ctl2.close()
+            second.stop()
+
+
+class TestStaleAgeOut:
+    def test_partitioned_host_ages_out_as_stale_then_rejoins_with_epoch_bump(
+        self,
+    ):
+        """The stale age-out acceptance story: a host silent past the
+        (lease-derived) age-out threshold leaves WindowCoverage as
+        ``missing: stale`` — a named state, not silently widened bounds —
+        and a later re-registration with a bumped epoch rejoins cleanly
+        while the other hosts' membership is untouched."""
+        harness = DaemonHarness(
+            lease_seconds=0.5, grace_seconds=0.5, tick_interval=0.05
+        ).start()
+        ctl = ControlClient(harness.address)
+        agent = _agent(harness, "web-0")
+        raw_sock = raw_rejoin = None
+        try:
+            stale_after = ctl.stats()["stale_after"]
+            assert stale_after == 1.0  # one clock: 2x the 0.5s lease
+
+            raw_sock, _ = _raw_register(harness.address, "raw-1", epoch=1)
+            qid = ctl.submit(QUERY_1S)["query_id"]
+            assert wait_for(lambda: qid in agent.installed_query_ids)
+            web0_epoch = agent.epoch
+
+            # raw-1 never heartbeats: lease expiry, then the age-out.
+            def fleet_state(name):
+                rows = {r["host"]: r for r in ctl.stats()["fleet"]}
+                return rows.get(name, {}).get("state")
+
+            assert wait_for(lambda: fleet_state("raw-1") == "stale", timeout=5.0)
+            stats = ctl.stats()
+            assert stats["queries"][qid]["delivery"]["raw-1"] == "stale"
+            assert fleet_state("web-0") == "live"
+
+            # Events logged *after* the age-out land in a window that can
+            # only close after it — so its coverage must name the state.
+            t0 = time.time()
+            for rid in range(4):
+                agent.log("pv", url="/a", latency_ms=1.0, request_id=rid,
+                          timestamp=t0)
+            assert agent.drain(10.0)
+
+            # The window closing after the age-out names the state.
+            def stale_window():
+                for w in ctl.poll(qid).windows:
+                    if w.coverage and w.coverage.missing.get("raw-1") == "stale":
+                        return w
+                return None
+
+            assert wait_for(lambda: stale_window() is not None, timeout=10.0)
+            window = stale_window()
+            assert window.coverage.reporting == ("web-0",)
+            assert window.degraded
+
+            # Rejoin with a bumped epoch: HELLO_OK, INSTALL replay, live.
+            raw_rejoin, installs = _raw_register(
+                harness.address, "raw-1", epoch=2
+            )
+            assert installs == [qid]
+            assert wait_for(lambda: fleet_state("raw-1") == "live", timeout=5.0)
+            rows = {r["host"]: r for r in ctl.stats()["fleet"]}
+            assert rows["raw-1"]["epoch"] == 2
+            assert ctl.stats()["queries"][qid]["delivery"]["raw-1"] == "connected"
+            # The bystander's session was untouched by the churn.
+            assert rows["web-0"]["state"] == "live"
+            assert rows["web-0"]["epoch"] == web0_epoch
+        finally:
+            for sock in (raw_sock, raw_rejoin):
+                if sock is not None:
+                    sock.close()
+            agent.close()
+            ctl.close()
+            harness.stop()
