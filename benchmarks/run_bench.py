@@ -9,8 +9,13 @@ machine-readable artifacts at the repo root:
   per-event reference path (``CentralEngine.ingest_reference``, the
   pre-batching dispatch loop kept as executable documentation), the
   batched serial path (``CentralEngine.ingest``), and the process
-  pool (``ShardPool`` with 1 and 4 workers).  Every mode must produce
-  **identical** window results — the run aborts otherwise.
+  pool (``ShardPool`` with 1 and 4 workers).  Every mode consumes the
+  same pre-encoded **wire frames** — exactly what a scrubd data channel
+  receives — so decode cost is on the clock for every path: the serial
+  modes decode then ingest, the pool takes its zero-copy
+  ``ingest_frame`` scan (docs/SCALING.md §"Zero-copy shard ingest").
+  Every mode must produce **identical** window results — the run
+  aborts otherwise.
 * ``BENCH_fastpath.json`` — per-call cost of ``ScrubAgent.log`` in the
   regimes the minimal-impact claim depends on (disabled probe,
   selection rejects, match+ship, sampled out, overload drop).
@@ -27,9 +32,12 @@ committed artifacts unless ``--output-dir`` says so.
 
 The machine matters: the pool cannot beat the batched serial path on a
 single core (workers time-slice one CPU and pay IPC on top), so the
-recorded artifact carries ``cpu_count`` and per-mode numbers; the
-speedup floor asserted by ``--check`` compares the 4-worker pool
-against the per-event reference path, which holds on any core count.
+recorded artifact carries ``cpu_count`` and per-mode numbers.
+``--check`` enforces **pool_4 ≥ serial_batched** events/s on the heavy
+scenario only when ``cpu_count >= 4`` — on smaller boxes it prints an
+explicit skip note instead of asserting a number the hardware cannot
+produce — and always holds the batched serial path to its floor over
+the per-event reference.
 """
 
 from __future__ import annotations
@@ -48,7 +56,11 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.agent import ScrubAgent  # noqa: E402
-from repro.core.agent.transport import EventBatch  # noqa: E402
+from repro.core.agent.transport import (  # noqa: E402
+    EventBatch,
+    decode_full_batch,
+    encode_full_batch,
+)
 from repro.core.central.engine import CentralEngine  # noqa: E402
 from repro.core.central.pool import ShardPool  # noqa: E402
 from repro.core.events import Event, EventRegistry  # noqa: E402
@@ -169,18 +181,29 @@ def _signature(results) -> str:
     return results.to_json() + "|" + repr(extra)
 
 
-def _run_mode(mode: str, workers: int, plan, batches: list[EventBatch]):
-    """Ingest every batch, finish the query; return (elapsed_s, signature)."""
+def _run_mode(mode: str, workers: int, plan, frames: list[bytes]):
+    """Ingest every wire frame, finish the query; return (elapsed_s, signature).
+
+    Frames are pre-encoded outside the timer: agents pay the encode, the
+    central pays whatever its mode needs — full decode for the serial
+    paths, the zero-copy header scan for the pool.  Feeding everyone the
+    same bytes keeps the comparison deployment-honest.
+    """
     if mode == "pool":
         engine: CentralEngine = ShardPool(workers=workers, grace_seconds=0.0)
     else:
         engine = CentralEngine(grace_seconds=0.0)
-    ingest = engine.ingest_reference if mode == "reference" else engine.ingest
     try:
         engine.register(plan.central_object)
         start = time.perf_counter()
-        for batch in batches:
-            ingest(batch)
+        if mode == "reference":
+            for frame in frames:
+                engine.ingest_reference(decode_full_batch(frame))
+        else:
+            # CentralEngine.ingest_frame decodes then batch-ingests; the
+            # ShardPool override scans and ships raw slices to workers.
+            for frame in frames:
+                engine.ingest_frame(frame)
         results = engine.finish("q1")
         elapsed = time.perf_counter() - start
     finally:
@@ -211,10 +234,11 @@ def bench_central(quick: bool) -> dict:
     for name, query, events in specs:
         plan = _plan(query, registry)
         batches = _batches(events)
+        frames = [encode_full_batch(batch) for batch in batches]
         modes = {}
         signatures = {}
         for label, mode, workers in MODES:
-            elapsed, signature = _run_mode(mode, workers, plan, batches)
+            elapsed, signature = _run_mode(mode, workers, plan, frames)
             modes[label] = {
                 "elapsed_s": round(elapsed, 6),
                 "events_per_s": round(len(events) / elapsed, 1),
@@ -488,31 +512,54 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         heavy = central["scenarios"][0]
         cores = os.cpu_count() or 1
-        if cores >= 4:
-            # Real cores to spread across: the pool itself must clear the
-            # floor against the seed per-event path.
-            floor = 1.5 if args.quick else 2.0
-            label, speedup = "pool_4", heavy["speedup_vs_reference"]["pool_4"]
-        else:
-            # Single-core box: worker processes time-slice one CPU and pay
-            # IPC on top, so the pool cannot win here by construction; the
-            # floor that must still hold is the batched hot path's.  It is
-            # lower than the parallel floor because the heavy scenario's
-            # sketch updates are per-item in both paths.
-            floor = 1.5
-            label = "serial_batched"
-            speedup = heavy["speedup_vs_reference"]["serial_batched"]
-            pool = heavy["speedup_vs_reference"]["pool_4"]
-            print(
-                f"note: cpu_count={cores}, pool_4 measured at {pool:.2f}x "
-                f"reference (parallel floor applies on >=4 cores)"
-            )
+        # The batched hot path must clear its floor on any machine.  The
+        # floor is far below the pre-frames era's 1.5x: every mode now
+        # pays the wire decode (reference included), a shared additive
+        # cost that compresses the ratio, and the heavy scenario's
+        # sketch updates are per-item in both paths — measured ~1.1x on
+        # the 1-core pin box (the shape sweep runs 1.2-1.3x), so 1.05
+        # holds with noise margin while still catching a batched path
+        # that regresses to per-event speed.
+        floor = 1.05
+        label = "serial_batched"
+        speedup = heavy["speedup_vs_reference"]["serial_batched"]
         if speedup < floor:
             print(
                 f"FAIL: {label} speedup over per-event reference is "
                 f"{speedup:.2f}x (< {floor}x) on {heavy['scenario']}"
             )
             return 1
+        # The headline parallel claim — pool_4 beats the batched serial
+        # path — only means anything with real cores to spread across;
+        # on a smaller box the workers time-slice one CPU and pay IPC on
+        # top, so asserting it would pin a number the hardware cannot
+        # produce.  Skip loudly, never silently.
+        pool_eps = heavy["modes"]["pool_4"]["events_per_s"]
+        serial_eps = heavy["modes"]["serial_batched"]["events_per_s"]
+        if cores < 4:
+            print(
+                f"SKIP: pool-beats-serial assertion needs cpu_count >= 4, "
+                f"have {cores} (pool_4 measured {pool_eps:,.0f}/s vs "
+                f"serial_batched {serial_eps:,.0f}/s, not enforced)"
+            )
+        elif args.quick:
+            print(
+                "SKIP: pool-beats-serial assertion skipped under --quick "
+                f"(tiny runs are IPC-startup-dominated; pool_4 measured "
+                f"{pool_eps:,.0f}/s vs serial_batched {serial_eps:,.0f}/s)"
+            )
+        elif pool_eps < serial_eps:
+            print(
+                f"FAIL: pool_4 ingests {pool_eps:,.0f} events/s < "
+                f"serial_batched {serial_eps:,.0f} events/s on "
+                f"{heavy['scenario']} with {cores} cores"
+            )
+            return 1
+        else:
+            print(
+                f"check OK: pool_4 {pool_eps:,.0f}/s >= serial_batched "
+                f"{serial_eps:,.0f}/s on {heavy['scenario']}"
+            )
         base = fastpath["regimes"]["disabled_probe"]["ns_per_call"]
         if base >= 3_000:
             print(f"FAIL: disabled probe costs {base:.0f} ns/call (>= 3 µs)")

@@ -36,16 +36,19 @@ from ..events.encoding import (
     _read_str,
     _read_value,
     _str_size,
+    _truncated,
     _write_str,
     _write_value,
     encode_batch_into,
     encoded_size_batch,
     encoded_size_value,
+    scan_batch,
 )
 from ..events.encoding import _decode_binary_at
 
 __all__ = [
     "DirectTransport",
+    "EncodedBatch",
     "EventBatch",
     "PartialAggregate",
     "RecordingTransport",
@@ -54,6 +57,8 @@ __all__ = [
     "encode_full_batch",
     "encode_full_batch_into",
     "full_batch_wire_size",
+    "peek_full_batch_host",
+    "scan_full_batch",
 ]
 
 
@@ -179,15 +184,20 @@ def full_batch_wire_size(batch: EventBatch) -> int:
     return size
 
 
-def decode_full_batch(data: bytes | memoryview) -> EventBatch:
-    """Inverse of :func:`encode_full_batch`; rejects trailing garbage."""
-    buf = memoryview(data)
+def _read_full_batch_header(buf: memoryview) -> tuple:
+    """Version check + the fixed metadata fields before the event batch.
+
+    Shared by :func:`decode_full_batch` and :func:`scan_full_batch` so a
+    corrupt prefix raises the same structured error from either path.
+    """
     if len(buf) < 1 or buf[0] != _FULL_BATCH_VERSION:
         version = buf[0] if len(buf) else None
         raise ValueError(f"unsupported batch encoding version: {version!r}")
     pos = 1
     host, pos = _read_str(buf, pos)
     query_id, pos = _read_str(buf, pos)
+    if pos + 24 > len(buf):
+        raise _truncated(pos, 24, len(buf) - pos)
     (sent_at,) = _F64.unpack_from(buf, pos)
     pos += 8
     (dropped,) = _I64.unpack_from(buf, pos)
@@ -195,27 +205,37 @@ def decode_full_batch(data: bytes | memoryview) -> EventBatch:
     (shed,) = _I64.unpack_from(buf, pos)
     pos += 8
     quarantined, pos = _read_str(buf, pos)
-    (event_count,) = _U32.unpack_from(buf, pos)
-    pos += 4
-    events: list[Event] = []
-    for _ in range(event_count):
-        event, pos = _decode_binary_at(buf, pos)
-        events.append(event)
+    return host, query_id, sent_at, dropped, shed, quarantined, pos
+
+
+def _read_full_batch_trailer(
+    buf: memoryview, pos: int
+) -> tuple[dict[tuple[str, int], int], list["PartialAggregate"]]:
+    """Seen counts + partial aggregates after the event batch; rejects
+    trailing garbage.  Shared by the decoder and the scanner."""
+    if pos + 4 > len(buf):
+        raise _truncated(pos, 4, len(buf) - pos)
     (seen_entries,) = _U32.unpack_from(buf, pos)
     pos += 4
     seen_counts: dict[tuple[str, int], int] = {}
     for _ in range(seen_entries):
         event_type, pos = _read_str(buf, pos)
+        if pos + 16 > len(buf):
+            raise _truncated(pos, 16, len(buf) - pos)
         (window,) = _I64.unpack_from(buf, pos)
         pos += 8
         (count,) = _I64.unpack_from(buf, pos)
         pos += 8
         seen_counts[(event_type, window)] = count
+    if pos + 4 > len(buf):
+        raise _truncated(pos, 4, len(buf) - pos)
     (partial_count,) = _U32.unpack_from(buf, pos)
     pos += 4
     partials: list[PartialAggregate] = []
     for _ in range(partial_count):
         event_type, pos = _read_str(buf, pos)
+        if pos + 8 > len(buf):
+            raise _truncated(pos, 8, len(buf) - pos)
         (window,) = _I64.unpack_from(buf, pos)
         pos += 8
         group_key, pos = _read_value(buf, pos)
@@ -230,6 +250,24 @@ def decode_full_batch(data: bytes | memoryview) -> EventBatch:
         )
     if pos != len(buf):
         raise ValueError(f"trailing garbage after batch at offset {pos}")
+    return seen_counts, partials
+
+
+def decode_full_batch(data: bytes | memoryview) -> EventBatch:
+    """Inverse of :func:`encode_full_batch`; rejects trailing garbage."""
+    buf = memoryview(data)
+    host, query_id, sent_at, dropped, shed, quarantined, pos = (
+        _read_full_batch_header(buf)
+    )
+    if pos + 4 > len(buf):
+        raise _truncated(pos, 4, len(buf) - pos)
+    (event_count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    events: list[Event] = []
+    for _ in range(event_count):
+        event, pos = _decode_binary_at(buf, pos)
+        events.append(event)
+    seen_counts, partials = _read_full_batch_trailer(buf, pos)
     return EventBatch(
         host=host,
         query_id=query_id,
@@ -241,6 +279,98 @@ def decode_full_batch(data: bytes | memoryview) -> EventBatch:
         shed=shed,
         quarantined=quarantined,
     )
+
+
+class EncodedBatch:
+    """One host flush still in its wire-frame form.
+
+    Produced by :func:`scan_full_batch`: ``data`` is the whole frame,
+    ``meta`` is an events-free :class:`EventBatch` carrying the decoded
+    batch-level metadata (seen counts, drops, shed, quarantine reason,
+    partials), and ``frames`` is the header index from one skip-scan —
+    ``(request_id, timestamp, host, start, stop)`` per event, with
+    ``data[start:stop]`` the event's encoded bytes.  No :class:`Event`
+    is constructed; the ShardPool slices ``data`` straight to its shard
+    workers from this index (docs/SCALING.md §"Zero-copy shard ingest").
+    """
+
+    __slots__ = ("data", "meta", "frames")
+
+    def __init__(
+        self,
+        data: memoryview,
+        meta: EventBatch,
+        frames: list[tuple[int, float, str, int, int]],
+    ) -> None:
+        self.data = data
+        self.meta = meta
+        self.frames = frames
+
+    def wire_size(self) -> int:
+        """The frame's size *is* the wire size — no arithmetic mirror
+        needed when the encoded bytes are already in hand."""
+        return len(self.data)
+
+    def to_event_batch(self) -> EventBatch:
+        """Decode the events after all — the object-path fallback for
+        queries the pool keeps on the parent (raw selections)."""
+        buf = self.data
+        events = [
+            _decode_binary_at(buf, start)[0]
+            for _rid, _ts, _host, start, _stop in self.frames
+        ]
+        meta = self.meta
+        return EventBatch(
+            host=meta.host,
+            query_id=meta.query_id,
+            events=events,
+            seen_counts=meta.seen_counts,
+            dropped=meta.dropped,
+            sent_at=meta.sent_at,
+            partials=meta.partials,
+            shed=meta.shed,
+            quarantined=meta.quarantined,
+        )
+
+
+def scan_full_batch(data: bytes | memoryview) -> EncodedBatch:
+    """Index a full-batch wire frame without decoding its events.
+
+    Decodes only the batch-level metadata; the embedded event batch is
+    walked by :func:`~repro.core.events.encoding.scan_batch`, which
+    verifies every byte extent.  A torn or corrupted frame raises the
+    same structured error :func:`decode_full_batch` would.
+    """
+    buf = data if isinstance(data, memoryview) else memoryview(data)
+    host, query_id, sent_at, dropped, shed, quarantined, pos = (
+        _read_full_batch_header(buf)
+    )
+    frames, pos = scan_batch(buf, pos)
+    seen_counts, partials = _read_full_batch_trailer(buf, pos)
+    meta = EventBatch(
+        host=host,
+        query_id=query_id,
+        events=[],
+        seen_counts=seen_counts,
+        dropped=dropped,
+        sent_at=sent_at,
+        partials=partials,
+        shed=shed,
+        quarantined=quarantined,
+    )
+    return EncodedBatch(buf, meta, frames)
+
+
+def peek_full_batch_host(data: bytes | memoryview) -> str:
+    """Read just the host name off a full-batch frame (first field after
+    the version byte) — what ``scrubd`` keys its per-host shard queue on
+    without touching the rest of the frame."""
+    buf = memoryview(data)
+    if len(buf) < 1 or buf[0] != _FULL_BATCH_VERSION:
+        version = buf[0] if len(buf) else None
+        raise ValueError(f"unsupported batch encoding version: {version!r}")
+    host, _pos = _read_str(buf, 1)
+    return host
 
 
 def _retupled(value: Any) -> Any:

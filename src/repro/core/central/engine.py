@@ -28,7 +28,7 @@ from ..approx.sampling_theory import (
     estimate_count,
     estimate_sum,
 )
-from ..agent.transport import EventBatch
+from ..agent.transport import EventBatch, decode_full_batch
 from ..query.ast import AggregateCall
 from ..query.errors import QueryNotFoundError, ScrubExecutionError
 from ..query.planner import CentralQueryObject
@@ -264,6 +264,17 @@ class CentralEngine:
         if batch.events:
             for window, events in self._segment_events(rq, batch.events).items():
                 self._process_window_events(rq, window, events)
+
+    def ingest_frame(self, data: bytes | memoryview) -> None:
+        """Consume one host flush still in its wire-frame form.
+
+        The serial engine has no partition step to skip, so this is
+        simply decode-then-:meth:`ingest`.  :class:`ShardPool` overrides
+        it with the zero-copy scan-and-slice path; ``scrubd`` calls
+        ``ingest_frame`` for every socket batch and gets whichever the
+        engine provides (docs/SCALING.md §"Zero-copy shard ingest").
+        """
+        self.ingest(decode_full_batch(data))
 
     def ingest_reference(self, batch: EventBatch) -> None:
         """Consume one host flush via per-event dispatch.

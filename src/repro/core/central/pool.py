@@ -53,11 +53,13 @@ import os
 import warnings
 from typing import Any, Callable, Mapping, Optional
 
-from ..agent.transport import EventBatch
+from ..agent.transport import EventBatch, scan_full_batch
+from ..events.encoding import decode_event_frames
 from ..query.errors import ScrubExecutionError
 from ..query.planner import CentralQueryObject
 from .engine import DEFAULT_GRACE_SECONDS, CentralEngine, _RunningQuery
 from .results import ResultSet, WindowResult
+from .window import TumblingWindowAssigner
 
 __all__ = ["ShardPool", "DEFAULT_WORKER_TIMEOUT"]
 
@@ -90,6 +92,21 @@ def _worker_main(conn, grace_seconds: float) -> None:
             if rq is None:
                 continue
             try:
+                engine._process_window_events(rq, window, events)
+            except Exception as exc:  # noqa: BLE001 - reported at close
+                failed[query_id] = f"{type(exc).__name__}: {exc}"
+        elif kind == "frames":
+            # Zero-copy ingest: the parent shipped this shard's slice of a
+            # wire frame undecoded; the Event objects are built here, on
+            # the worker's core, off the parent's critical path.
+            _, query_id, window, count, payload = message
+            if query_id in failed:
+                continue
+            rq = engine._queries.get(query_id)
+            if rq is None:
+                continue
+            try:
+                events = decode_event_frames(payload, count)
                 engine._process_window_events(rq, window, events)
             except Exception as exc:  # noqa: BLE001 - reported at close
                 failed[query_id] = f"{type(exc).__name__}: {exc}"
@@ -416,6 +433,114 @@ class ShardPool(CentralEngine):
                         index, ("events", query_id, window, shard_events),
                         "pipe error during ingest",
                     )
+
+    def ingest_frame(self, data: bytes | memoryview) -> None:
+        """Zero-copy ingest of a wire frame: scan, slice, ship.
+
+        One skip-scan over the frame (:func:`scan_full_batch`) yields the
+        batch metadata plus every event's ``request_id``, timestamp, host,
+        and byte extents — no :class:`Event` is built on this process.
+        Window segmentation and shard partitioning run over that header
+        index; each worker gets its shard's raw bytes per window as
+        ``("frames", query_id, window, count, payload)`` and decodes on
+        its side of the pipe.  Falls back to the decoded object path for
+        non-parallel (raw-selection) queries, which run on the parent.
+        """
+        enc = scan_full_batch(data)
+        meta = enc.meta
+        rq = self._queries.get(meta.query_id)
+        if rq is None:
+            # Query ended while the frame was in flight — expected race.
+            return
+        if not getattr(rq, "parallel", False):
+            CentralEngine.ingest(self, enc.to_event_batch())
+            return
+        stats = self.stats
+        stats.batches_received += 1
+        stats.events_received += len(enc.frames)
+        stats.bytes_received += enc.wire_size()
+
+        self._ingest_metadata(rq, meta)
+        if not enc.frames:
+            return
+        query_id = meta.query_id
+        n = self.workers
+        buf = enc.data
+        for window, frames in self._segment_frames(rq, enc.frames).items():
+            hosts = rq.hosts_by_window.get(window)
+            if hosts is None:
+                hosts = rq.hosts_by_window[window] = set()
+            if n == 1:
+                payload = bytearray()
+                for _rid, _ts, host, start, stop in frames:
+                    hosts.add(host)
+                    payload += buf[start:stop]
+                self._send_to_worker(
+                    0, ("frames", query_id, window, len(frames), bytes(payload)),
+                    "pipe error during ingest",
+                )
+                continue
+            shards: list[Optional[bytearray]] = [None] * n
+            counts = [0] * n
+            for rid, _ts, host, start, stop in frames:
+                hosts.add(host)
+                index = rid % n
+                shard = shards[index]
+                if shard is None:
+                    shard = shards[index] = bytearray()
+                shard += buf[start:stop]
+                counts[index] += 1
+            for index, shard in enumerate(shards):
+                if shard is not None:
+                    self._send_to_worker(
+                        index,
+                        ("frames", query_id, window, counts[index], bytes(shard)),
+                        "pipe error during ingest",
+                    )
+
+    def _segment_frames(
+        self, rq: _RunningQuery, frames: list
+    ) -> dict[int, list]:
+        """:meth:`CentralEngine._segment_events` over scanned frame tuples.
+
+        Identical window assignment and late accounting, keyed on the
+        header timestamp (``frame[1]``) instead of ``event.timestamp`` —
+        the differential suite holds the two segmentations to the same
+        windows, order, and late counts.
+        """
+        tracker = rq.tracker
+        segments: dict[int, list] = {}
+        assigner = tracker.assigner
+        if type(assigner) is TumblingWindowAssigner:
+            length = assigner.length
+            closed_upto = tracker._closed_upto
+            open_set = tracker._open
+            late = 0
+            for frame in frames:
+                index = int(frame[1] // length)
+                if closed_upto is not None and index <= closed_upto:
+                    late += 1
+                    continue
+                slot = segments.get(index)
+                if slot is None:
+                    slot = segments[index] = []
+                    open_set.add(index)
+                slot.append(frame)
+            if late:
+                tracker.late_events += late
+                self.stats.events_late += late
+                rq.late_since_close += late
+        else:
+            stats = self.stats
+            for frame in frames:
+                indices = tracker.observe(frame[1])
+                if not indices:
+                    stats.events_late += 1
+                    rq.late_since_close += 1
+                    continue
+                for window in indices:
+                    segments.setdefault(window, []).append(frame)
+        return segments
 
     # -- window close ----------------------------------------------------------
 

@@ -29,6 +29,9 @@ __all__ = [
     "encode_batch",
     "encode_batch_into",
     "decode_batch",
+    "decode_event_frames",
+    "scan_batch",
+    "scan_batch_shards",
     "encode_value",
     "decode_value",
     "encoded_size_value",
@@ -83,6 +86,20 @@ _F64 = struct.Struct("<d")
 _HEADER = struct.Struct("<qdI")  # request_id, timestamp, payload field count
 
 
+def _truncated(offset: int, need: int, have: int) -> ValueError:
+    """The structured decode error for a torn buffer.
+
+    Raised identically by the decoders and the frame scanner — the two
+    walk the same byte layout with the same bounds checks, so a torn or
+    corrupted tail fails at the same offset with the same message from
+    either path (``tests/core/test_encoding.py`` pins this).
+    """
+    return ValueError(
+        f"truncated event encoding at offset {offset}: "
+        f"need {need} byte(s), have {have}"
+    )
+
+
 def _write_value(out: bytearray, value: Any) -> None:
     if value is None:
         out += _TAG_NULL
@@ -122,27 +139,57 @@ def _write_str(out: bytearray, text: str) -> None:
 
 
 def _read_str(buf: memoryview, pos: int) -> tuple[str, int]:
+    if pos + 4 > len(buf):
+        raise _truncated(pos, 4, len(buf) - pos)
     (length,) = _U32.unpack_from(buf, pos)
     pos += 4
+    if pos + length > len(buf):
+        raise _truncated(pos, length, len(buf) - pos)
     return bytes(buf[pos : pos + length]).decode(), pos + length
 
 
+def _skip_str(buf: memoryview, pos: int) -> int:
+    """Advance past one encoded string without decoding it.
+
+    Bounds checks (and their error messages) mirror :func:`_read_str`
+    exactly, so the scanner and the decoder reject a torn buffer with
+    the same structured error.
+    """
+    if pos + 4 > len(buf):
+        raise _truncated(pos, 4, len(buf) - pos)
+    (length,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    if pos + length > len(buf):
+        raise _truncated(pos, length, len(buf) - pos)
+    return pos + length
+
+
 def _read_value(buf: memoryview, pos: int) -> tuple[Any, int]:
+    if pos >= len(buf):
+        raise _truncated(pos, 1, 0)
     tag = bytes(buf[pos : pos + 1])
     pos += 1
     if tag == _TAG_NULL:
         return None, pos
     if tag == _TAG_BOOL:
+        if pos >= len(buf):
+            raise _truncated(pos, 1, 0)
         return buf[pos] != 0, pos + 1
     if tag == _TAG_INT:
+        if pos + 8 > len(buf):
+            raise _truncated(pos, 8, len(buf) - pos)
         (v,) = _I64.unpack_from(buf, pos)
         return v, pos + 8
     if tag == _TAG_FLOAT:
+        if pos + 8 > len(buf):
+            raise _truncated(pos, 8, len(buf) - pos)
         (v,) = _F64.unpack_from(buf, pos)
         return v, pos + 8
     if tag == _TAG_STR:
         return _read_str(buf, pos)
     if tag == _TAG_LIST:
+        if pos + 4 > len(buf):
+            raise _truncated(pos, 4, len(buf) - pos)
         (count,) = _U32.unpack_from(buf, pos)
         pos += 4
         items = []
@@ -151,6 +198,8 @@ def _read_value(buf: memoryview, pos: int) -> tuple[Any, int]:
             items.append(item)
         return items, pos
     if tag == _TAG_MAP:
+        if pos + 4 > len(buf):
+            raise _truncated(pos, 4, len(buf) - pos)
         (count,) = _U32.unpack_from(buf, pos)
         pos += 4
         mapping: dict[str, Any] = {}
@@ -158,6 +207,49 @@ def _read_value(buf: memoryview, pos: int) -> tuple[Any, int]:
             key, pos = _read_str(buf, pos)
             mapping[key], pos = _read_value(buf, pos)
         return mapping, pos
+    raise ValueError(f"corrupt event encoding: unknown tag {tag!r} at offset {pos - 1}")
+
+
+def _skip_value(buf: memoryview, pos: int) -> int:
+    """Advance past one tagged value without materializing it.
+
+    The frame scanner's building block: the structure (and every bounds
+    check and error message) mirrors :func:`_read_value`, minus the
+    allocations — no ints, floats, strings, lists or dicts are built.
+    """
+    if pos >= len(buf):
+        raise _truncated(pos, 1, 0)
+    tag = bytes(buf[pos : pos + 1])
+    pos += 1
+    if tag == _TAG_NULL:
+        return pos
+    if tag == _TAG_BOOL:
+        if pos >= len(buf):
+            raise _truncated(pos, 1, 0)
+        return pos + 1
+    if tag == _TAG_INT or tag == _TAG_FLOAT:
+        if pos + 8 > len(buf):
+            raise _truncated(pos, 8, len(buf) - pos)
+        return pos + 8
+    if tag == _TAG_STR:
+        return _skip_str(buf, pos)
+    if tag == _TAG_LIST:
+        if pos + 4 > len(buf):
+            raise _truncated(pos, 4, len(buf) - pos)
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        for _ in range(count):
+            pos = _skip_value(buf, pos)
+        return pos
+    if tag == _TAG_MAP:
+        if pos + 4 > len(buf):
+            raise _truncated(pos, 4, len(buf) - pos)
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        for _ in range(count):
+            pos = _skip_str(buf, pos)
+            pos = _skip_value(buf, pos)
+        return pos
     raise ValueError(f"corrupt event encoding: unknown tag {tag!r} at offset {pos - 1}")
 
 
@@ -210,6 +302,8 @@ def decode_binary(data: bytes | memoryview) -> Event:
 def _decode_binary_at(buf: memoryview, pos: int) -> tuple[Event, int]:
     event_type, pos = _read_str(buf, pos)
     host, pos = _read_str(buf, pos)
+    if pos + _HEADER.size > len(buf):
+        raise _truncated(pos, _HEADER.size, len(buf) - pos)
     request_id, timestamp, nfields = _HEADER.unpack_from(buf, pos)
     pos += _HEADER.size
     payload: dict[str, Any] = {}
@@ -282,8 +376,10 @@ def encode_batch(events: list[Event]) -> bytes:
     return bytes(out)
 
 
-def decode_batch(data: bytes) -> list[Event]:
+def decode_batch(data: bytes | memoryview) -> list[Event]:
     buf = memoryview(data)
+    if len(buf) < 4:
+        raise _truncated(0, 4, len(buf))
     (count,) = _U32.unpack_from(buf, 0)
     pos = 4
     events: list[Event] = []
@@ -293,3 +389,108 @@ def decode_batch(data: bytes) -> list[Event]:
     if pos != len(data):
         raise ValueError(f"trailing garbage after batch at offset {pos}")
     return events
+
+
+def decode_event_frames(data: bytes | memoryview, count: int) -> list[Event]:
+    """Decode exactly *count* concatenated event frames (no count prefix).
+
+    The shard-worker half of the zero-copy ingest path: the parent
+    splices per-shard event frames out of a batch buffer with
+    :func:`scan_batch_shards` and ships the raw bytes; the worker turns
+    them back into :class:`Event` objects here.  Rejects leftover bytes
+    — a mis-sliced shard must fail loudly, never drop events.
+    """
+    buf = memoryview(data)
+    pos = 0
+    events: list[Event] = []
+    for _ in range(count):
+        event, pos = _decode_binary_at(buf, pos)
+        events.append(event)
+    if pos != len(buf):
+        raise ValueError(f"trailing garbage after batch at offset {pos}")
+    return events
+
+
+# -- frame scanning ------------------------------------------------------------
+#
+# The zero-copy shard-ingest entry points (docs/SCALING.md §"Zero-copy
+# shard ingest").  A scan walks a length-prefixed batch reading only each
+# event's two leading strings (type skipped, host interned) and the fixed
+# ``<qdI`` header — request id for sharding, timestamp for window
+# segmentation — and records byte extents instead of building events.
+# Per-shard ingest then ships slices of the original buffer; only the
+# worker that owns a shard ever decodes its payloads.
+
+
+def scan_batch(
+    buf: bytes | memoryview, pos: int = 0
+) -> tuple[list[tuple[int, float, str, int, int]], int]:
+    """Index a length-prefixed batch without decoding its events.
+
+    Returns ``(frames, end)`` where each frame is
+    ``(request_id, timestamp, host, start, stop)`` — the header fields
+    the central needs for sharding/windowing/coverage plus the event's
+    byte extent ``buf[start:stop]`` — and *end* is the offset just past
+    the batch (callers embedding a batch mid-buffer continue from it).
+
+    Walks every byte the decoder would: a torn or corrupted buffer
+    raises the same structured error at the same offset as
+    :func:`decode_batch`; nothing is ever silently dropped or mis-sliced.
+    """
+    mv = buf if isinstance(buf, memoryview) else memoryview(buf)
+    size = len(mv)
+    if pos + 4 > size:
+        raise _truncated(pos, 4, size - pos)
+    (count,) = _U32.unpack_from(mv, pos)
+    pos += 4
+    frames: list[tuple[int, float, str, int, int]] = []
+    # One host string decode per distinct byte pattern: a flush carries
+    # one host's events, so this is almost always a single decode.
+    hosts: dict[bytes, str] = {}
+    header_size = _HEADER.size
+    for _ in range(count):
+        start = pos
+        pos = _skip_str(mv, pos)  # event_type: never materialized here
+        if pos + 4 > size:
+            raise _truncated(pos, 4, size - pos)
+        (hlen,) = _U32.unpack_from(mv, pos)
+        pos += 4
+        if pos + hlen > size:
+            raise _truncated(pos, hlen, size - pos)
+        hkey = bytes(mv[pos : pos + hlen])
+        host = hosts.get(hkey)
+        if host is None:
+            host = hosts[hkey] = hkey.decode()
+        pos += hlen
+        if pos + header_size > size:
+            raise _truncated(pos, header_size, size - pos)
+        request_id, timestamp, nfields = _HEADER.unpack_from(mv, pos)
+        pos += header_size
+        for _ in range(nfields):
+            pos = _skip_str(mv, pos)
+            pos = _skip_value(mv, pos)
+        frames.append((request_id, timestamp, host, start, pos))
+    return frames, pos
+
+
+def scan_batch_shards(buf: bytes | memoryview, n: int) -> list[list[memoryview]]:
+    """Partition an encoded batch into per-shard event byte slices.
+
+    Shard assignment is ``request_id % n`` — exactly the ShardPool's
+    object-path partitioning — and each shard's slices keep the batch's
+    arrival order, so decoding shard *i*'s slices yields precisely the
+    events ``decode_batch`` would have routed there, in the same order
+    (the partition-equivalence property tests pin this).  The slices are
+    memoryviews over *buf*: nothing is copied until a shard's slices are
+    joined for the worker pipe.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one shard, got {n}")
+    mv = buf if isinstance(buf, memoryview) else memoryview(buf)
+    frames, end = scan_batch(mv)
+    if end != len(mv):
+        raise ValueError(f"trailing garbage after batch at offset {end}")
+    shards: list[list[memoryview]] = [[] for _ in range(n)]
+    for request_id, _timestamp, _host, start, stop in frames:
+        shards[request_id % n].append(mv[start:stop])
+    return shards

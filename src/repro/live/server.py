@@ -39,7 +39,11 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TextIO
 
-from ..core.agent.transport import EventBatch, decode_full_batch
+from ..core.agent.transport import (
+    EventBatch,
+    decode_full_batch,
+    peek_full_batch_host,
+)
 from ..core.central.engine import DEFAULT_GRACE_SECONDS, CentralEngine
 from ..core.central.pool import ShardPool
 from ..core.central.results import ResultSet
@@ -637,11 +641,22 @@ class ScrubDaemon:
                 return
             msg_type, payload = frame
             if msg_type == MsgType.BATCH:
-                batch = decode_full_batch(payload)
-                for shard, sub_batch in self._route(batch):
-                    # Bounded queues: a saturated engine backpressures the
-                    # socket (the sending host then drops, never blocks).
-                    await self._shard_queues[shard].put(sub_batch)
+                if self.workers > 0:
+                    # Pooled engine: hand the wire frame over *undecoded* —
+                    # ShardPool.ingest_frame scans it and ships raw byte
+                    # slices to its worker processes, so the daemon's event
+                    # loop never builds an Event object (docs/SCALING.md
+                    # §"Zero-copy shard ingest").  Only the host name is
+                    # peeked, to key the per-host shard queue.
+                    host = peek_full_batch_host(payload)
+                    shard = zlib.crc32(host.encode()) % len(self._shard_queues)
+                    await self._shard_queues[shard].put(payload)
+                else:
+                    batch = decode_full_batch(payload)
+                    for shard, sub_batch in self._route(batch):
+                        # Bounded queues: a saturated engine backpressures
+                        # the socket (the sending host drops, never blocks).
+                        await self._shard_queues[shard].put(sub_batch)
             elif msg_type == MsgType.PING:
                 barrier = _ShardBarrier(len(self._shard_queues))
                 for q in self._shard_queues:
@@ -704,7 +719,11 @@ class ScrubDaemon:
                 item.hit()
                 continue
             try:
-                self.engine.ingest(item)
+                if isinstance(item, (bytes, bytearray, memoryview)):
+                    # Raw wire frame from the pooled data channel.
+                    self.engine.ingest_frame(item)
+                else:
+                    self.engine.ingest(item)
             except Exception as exc:  # keep ingesting; one bad batch ≠ outage
                 self._say(f"shard {index}: ingest failed: {exc!r}")
 

@@ -4,6 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.agent.transport import (
+    EventBatch,
+    decode_full_batch,
+    encode_full_batch,
+    scan_full_batch,
+)
 from repro.core.events import Event
 from repro.core.events.encoding import (
     decode_batch,
@@ -16,6 +22,7 @@ from repro.core.events.encoding import (
     encode_json,
     encoded_size_batch,
     encoded_size_event,
+    scan_batch_shards,
 )
 
 
@@ -92,6 +99,108 @@ class TestBatchEncoding:
     def test_batch_trailing_garbage(self):
         with pytest.raises(ValueError, match="trailing"):
             decode_batch(encode_batch([_event({})]) + b"!")
+
+
+# -- torn and corrupted frames -----------------------------------------------------
+#
+# The zero-copy scanner must fail *identically* to the decoder: a torn or
+# corrupted buffer raises the same structured error at the same offset
+# whether it is fully decoded or only scanned for shard slices — never a
+# silent drop, never a mis-slice.  Test data is ASCII on purpose: the
+# scanner skips event-type and payload-key strings without a utf-8
+# decode, so only byte-level surgery (truncation, tag/length/count
+# clobbering) is guaranteed to surface symmetrically.
+
+
+def _raises_identically(buf: bytes) -> None:
+    """Both paths must reject *buf* with the same error type and text."""
+    with pytest.raises(ValueError) as decode_err:
+        decode_batch(buf)
+    with pytest.raises(ValueError) as scan_err:
+        scan_batch_shards(buf, 3)
+    assert str(scan_err.value) == str(decode_err.value)
+
+
+def _full_raises_identically(data: bytes) -> None:
+    with pytest.raises(ValueError) as decode_err:
+        decode_full_batch(data)
+    with pytest.raises(ValueError) as scan_err:
+        scan_full_batch(data)
+    assert str(scan_err.value) == str(decode_err.value)
+
+
+class TestTornFrames:
+    BATCH = [
+        _event({"price": 1.25, "city": "Porto", "tags": [1, "a", None]},
+               rid=3, ts=2.0, host="h1"),
+        _event({"count": 7, "nested": {"deep": {"ok": True}}},
+               rid=-9, ts=61.0, host="h2"),
+        _event({}, rid=4, ts=0.5, host="h1"),
+    ]
+
+    def test_every_truncation_point_fails_identically(self):
+        buf = encode_batch(self.BATCH)
+        for cut in range(len(buf)):
+            _raises_identically(buf[:cut])
+
+    def test_every_full_batch_truncation_fails_identically(self):
+        data = encode_full_batch(
+            EventBatch(
+                host="h1",
+                query_id="q1",
+                events=self.BATCH,
+                seen_counts={("bid", 0): 9},
+                dropped=2,
+                shed=1,
+                quarantined="budget",
+            )
+        )
+        for cut in range(len(data)):
+            _full_raises_identically(data[:cut])
+
+    def test_trailing_garbage_fails_identically(self):
+        _raises_identically(encode_batch(self.BATCH) + b"\x00")
+        _raises_identically(encode_batch([]) + b"junk")
+
+    def test_corrupt_value_tag_fails_identically(self):
+        buf = bytearray(encode_batch([_event({"a": 1}, host="h")]))
+        # Layout of the only field: [u32 klen]['a'][tag][i64]; the tag
+        # byte sits 9 bytes from the end.
+        assert buf[-9:-8] == b"I"
+        buf[-9] = ord("Z")
+        _raises_identically(bytes(buf))
+
+    def test_inflated_string_length_fails_identically(self):
+        buf = bytearray(encode_batch([_event({}, host="hh")]))
+        # The batch is [u32 count][u32 tlen]["bid"]...; inflate the
+        # event-type length so it runs past the end of the buffer.
+        buf[4:8] = (2**20).to_bytes(4, "little")
+        _raises_identically(bytes(buf))
+
+    def test_inflated_event_count_fails_identically(self):
+        buf = bytearray(encode_batch(self.BATCH))
+        buf[0:4] = (len(self.BATCH) + 1).to_bytes(4, "little")
+        _raises_identically(bytes(buf))
+
+    def test_inflated_field_count_fails_identically(self):
+        event = _event({"a": 1}, host="h")
+        buf = bytearray(encode_batch([event]))
+        # The <qdI header trails the two leading strings; its last 4
+        # bytes (nfields) start 20 bytes after them.  Inflate nfields so
+        # both walkers run off the end mid-field-list.
+        header_at = 4 + (4 + len("bid")) + (4 + len("h"))
+        nfields_at = header_at + 8 + 8
+        assert buf[nfields_at:nfields_at + 4] == (1).to_bytes(4, "little")
+        buf[nfields_at:nfields_at + 4] = (3).to_bytes(4, "little")
+        _raises_identically(bytes(buf))
+
+    def test_scanner_never_silently_short_slices(self):
+        """A cut anywhere inside the batch body can never yield a scan
+        that quietly returns fewer events than the count prefix."""
+        buf = encode_batch(self.BATCH)
+        for cut in range(4, len(buf)):
+            with pytest.raises(ValueError):
+                scan_batch_shards(buf[:cut], 2)
 
 
 # -- property-based round trips ---------------------------------------------------

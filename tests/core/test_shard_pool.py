@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.agent.transport import EventBatch
+from repro.core.agent.transport import EventBatch, encode_full_batch
 from repro.core.api import ManualClock, Scrub
 from repro.core.central.engine import CentralEngine
 from repro.core.central.pool import ShardPool
@@ -110,6 +110,34 @@ def _run(engine: CentralEngine, registry: EventRegistry, query: str) -> str:
     return _signature(engine.finish("q1"))
 
 
+def _run_frames(engine: CentralEngine, registry: EventRegistry, query: str) -> str:
+    """`_run`, but every batch crosses the wire codec and enters through
+    `ingest_frame` — the zero-copy path scrubd hands the pool."""
+    plan = _plan(query, registry)
+    engine.register(
+        plan.central_object,
+        planned_hosts=2,
+        targeted_hosts=2,
+        targeted_names=("h1", "h2"),
+    )
+    for batch in _heavy_batches():
+        engine.ingest_frame(encode_full_batch(batch))
+    engine.advance(61.5)
+    engine.ingest_frame(
+        encode_full_batch(
+            EventBatch(
+                host="h1",
+                query_id="q1",
+                events=[
+                    Event("bid", {"exchange_id": 1, "bid_price": 0.5, "user_id": 1},
+                          9_999, 30.0, "h1")
+                ],
+            )
+        )
+    )
+    return _signature(engine.finish("q1"))
+
+
 @pytest.mark.parametrize(
     "query",
     [
@@ -127,6 +155,106 @@ def test_pool_matches_serial_engine(query):
         assert _run(pool1, registry, query) == serial
     with ShardPool(workers=4, grace_seconds=1.0) as pool4:
         assert _run(pool4, registry, query) == serial
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        HEAVY_QUERY,
+        "select COUNT(*) from bid window 60s;",
+        "select bid.exchange_id, MIN(bid.bid_price), MAX(bid.bid_price) "
+        "from bid window 60s group by bid.exchange_id, bid.user_id;",
+    ],
+    ids=["heavy", "global-count", "two-key-minmax"],
+)
+def test_frame_ingest_matches_object_ingest(query):
+    """The zero-copy frame path must be observably identical to both the
+    serial engine and the pool's own object path — results, coverage,
+    estimates, drop/late accounting, straggler counting, the lot."""
+    registry = _registry()
+    serial = _run(CentralEngine(grace_seconds=1.0), registry, query)
+    # Serial engine through ingest_frame: decode-then-ingest fallback.
+    assert _run_frames(CentralEngine(grace_seconds=1.0), registry, query) == serial
+    with ShardPool(workers=1, grace_seconds=1.0) as pool1:
+        assert _run_frames(pool1, registry, query) == serial
+    with ShardPool(workers=4, grace_seconds=1.0) as pool4:
+        assert _run_frames(pool4, registry, query) == serial
+
+
+def test_frame_ingest_stats_match_object_ingest():
+    """Byte/event/batch/late accounting is identical whether batches
+    arrive as objects or wire frames (wire_size() is pinned to the
+    encoded length, so bytes_received must agree exactly)."""
+    registry = _registry()
+    object_pool = ShardPool(workers=2, grace_seconds=1.0)
+    frame_pool = ShardPool(workers=2, grace_seconds=1.0)
+    with object_pool, frame_pool:
+        _run(object_pool, registry, HEAVY_QUERY)
+        _run_frames(frame_pool, registry, HEAVY_QUERY)
+        for field in ("batches_received", "events_received", "bytes_received",
+                      "events_late"):
+            assert getattr(frame_pool.stats, field) == getattr(
+                object_pool.stats, field
+            ), field
+
+
+def test_frame_ingest_raw_selection_falls_back_to_parent():
+    """Non-aggregating queries never fan out; a wire frame for one is
+    decoded on the parent and keeps exact arrival order."""
+    registry = _registry()
+    query = "select bid.user_id, bid.bid_price from bid window 60s;"
+    events = [
+        Event("bid", {"exchange_id": 1, "bid_price": i * 0.25, "user_id": i},
+              i, 1.0 + i * 0.01, "h1")
+        for i in range(40)
+    ]
+    with ShardPool(workers=4, grace_seconds=1.0) as pool:
+        plan = _plan(query, registry)
+        pool.register(plan.central_object)
+        assert pool._queries["q1"].parallel is False
+        pool.ingest_frame(
+            encode_full_batch(EventBatch(host="h1", query_id="q1", events=events))
+        )
+        results = pool.finish("q1")
+    assert [r.values for r in results.rows] == [(i, i * 0.25) for i in range(40)]
+
+
+def test_frame_ingest_unknown_query_dropped_silently():
+    """A frame for a finished query is the expected in-flight race: no
+    stats movement, no error — same contract as the object path."""
+    with ShardPool(workers=2, grace_seconds=1.0) as pool:
+        pool.ingest_frame(
+            encode_full_batch(
+                EventBatch(
+                    host="h1",
+                    query_id="gone",
+                    events=[Event("bid", {"exchange_id": 1}, 1, 1.0, "h1")],
+                )
+            )
+        )
+        assert pool.stats.batches_received == 0
+        assert pool.stats.events_received == 0
+
+
+def test_frame_ingest_metadata_only_batch():
+    """A heartbeat flush (seen counts + drops, no events) still lands its
+    M_i and drop accounting through the frame path."""
+    registry = _registry()
+    with ShardPool(workers=2, grace_seconds=1.0) as pool:
+        plan = _plan(HEAVY_QUERY, registry)
+        pool.register(plan.central_object, planned_hosts=2, targeted_hosts=2,
+                      targeted_names=("h1", "h2"))
+        pool.ingest_frame(
+            encode_full_batch(
+                EventBatch(host="h1", query_id="q1", events=[],
+                           seen_counts={("bid", 0): 17}, dropped=4)
+            )
+        )
+        rq = pool._queries["q1"]
+        assert rq.host_window_acc(0, "h1").seen == 17
+        assert rq.dropped_by_window.get(0) == 4
+        assert pool.stats.batches_received == 1
+        pool.finish("q1")
 
 
 def test_pool_workers_1_vs_4_identical():

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.agent.transport import EventBatch
+from repro.core.agent.transport import EventBatch, encode_full_batch
 from repro.core.central.pool import ShardPool
 from repro.core.events import Event, EventRegistry
 from repro.core.query import parse_query, plan_query, validate_query
@@ -96,6 +96,63 @@ def test_sigkill_one_of_four_workers_mid_scenario():
         # event of window 1 is aggregated, coverage shows no gap.
         for host in ("h1", "h2"):
             pool.ingest(_batch(1, host, rid_base=120))
+        (w1,) = pool.advance(121.5)
+        assert w1.coverage.shard_gaps == {}
+        assert sum(row[1] for row in w1.rows) == 120
+
+        results = pool.finish("q1")
+        assert results.total_host_dropped == sent_dropped
+        assert results.total_host_shed == sent_shed
+
+
+def test_sigkill_worker_mid_frame_ingest():
+    """The zero-copy path must not weaken self-healing: a worker that was
+    handed raw frame shards and then SIGKILLed yields the exact same
+    shard-gap coverage and seen/dropped/shed conservation as the object
+    path, and post-respawn frame ingest lands whole windows again."""
+    registry = _registry()
+    sent_dropped = sent_shed = 0
+    with ShardPool(workers=4, grace_seconds=1.0) as pool:
+        pool.register(
+            _plan(registry).central_object,
+            planned_hosts=2, targeted_hosts=2, targeted_names=("h1", "h2"),
+        )
+        for host, dropped, shed in (("h1", 3, 5), ("h2", 0, 0)):
+            pool.ingest_frame(
+                encode_full_batch(_batch(0, host, dropped=dropped, shed=shed))
+            )
+            sent_dropped += dropped
+            sent_shed += shed
+
+        dead_pid = sigkill_worker(pool, 2)
+        assert dead_pid > 0
+
+        # The next frame that touches shard 2 hits the dead pipe; the
+        # supervisor respawns and the retried slice lands on the fresh
+        # worker — the caller never sees the fault.
+        pool.ingest_frame(encode_full_batch(_batch(0, "h1", rid_base=60,
+                                                   dropped=1)))
+        sent_dropped += 1
+        (w0,) = pool.advance(61.5)
+
+        assert w0.coverage is not None and w0.coverage.degraded
+        assert list(w0.coverage.shard_gaps) == ["shard-2"]
+        assert "worker respawned" in w0.coverage.shard_gaps["shard-2"]
+
+        # Seen / dropped / shed are parent-side accounting extracted in
+        # the same scan that sliced the frames; the kill cannot touch it.
+        assert w0.host_dropped == sent_dropped
+        assert w0.coverage.shed == {"h1": 5}
+
+        health = pool.pool_health()
+        assert health["alive"] == 4
+        assert health["respawns"] == 1
+        assert health["respawn_log"][0]["shard"] == 2
+
+        # Post-respawn frames are whole: re-registration covered the new
+        # worker, window 1 aggregates every event, no gap is reported.
+        for host in ("h1", "h2"):
+            pool.ingest_frame(encode_full_batch(_batch(1, host, rid_base=120)))
         (w1,) = pool.advance(121.5)
         assert w1.coverage.shard_gaps == {}
         assert sum(row[1] for row in w1.rows) == 120
