@@ -304,6 +304,10 @@ class ScrubAgent:
         #: lock-step with ``_routes``.
         self._armed: dict[str, Callable[..., int]] = {}
         self._governors: dict[str, QueryGovernor] = {}
+        #: query_id -> applied sampling-rate version (0 = install-time
+        #: rates, never retuned); reported alongside query_costs so the
+        #: central controller can tell when a retune has landed.
+        self._rate_versions: dict[str, int] = {}
         #: Quarantine reasons awaiting their ride on the next flush.
         self._pending_quarantine: dict[str, str] = {}
         #: Permanent record: query_id -> structured quarantine reason.
@@ -389,6 +393,7 @@ class ScrubAgent:
         with self._lock:
             installed = self._queries.pop(query_id, None)
             self._governors.pop(query_id, None)
+            self._rate_versions.pop(query_id, None)
             if installed is None:
                 # The flush expired the query and already cleaned up.
                 return True
@@ -400,6 +405,44 @@ class ScrubAgent:
                     self._by_type.pop(iq.spec.event_type, None)
             self._rebuild_routes()
         return True
+
+    def retune(
+        self, query_id: str, event_rate: float, version: Optional[int] = None
+    ) -> bool:
+        """Apply a controller-issued event-rate update to a live query.
+
+        Per-query counters (seen/shipped windows, cost EWMAs, governor
+        state) are untouched — only the samplers' thresholds move, and
+        the dispatchers are regenerated because codegen bakes the
+        threshold into the fused entry.  The keyed sampler makes the
+        change nested: lowering the rate keeps a strict subset of the
+        request ids kept before.  Stale versions (≤ the applied one) are
+        ignored so reordered INSTALL replays cannot roll a rate back.
+        Returns False for unknown queries and stale versions.
+        """
+        if not 0.0 < event_rate <= 1.0:
+            raise ValueError(f"sampling rate must be in (0, 1], got {event_rate}")
+        with self._lock:
+            installed = self._queries.get(query_id)
+            if installed is None:
+                return False
+            if version is not None and version <= self._rate_versions.get(query_id, 0):
+                return False
+            for iq in installed:
+                iq.sampler.set_rate(event_rate)
+                iq.sample_always = (
+                    event_rate >= 1.0 or iq.spec.aggregation is not None
+                )
+            if version is not None:
+                self._rate_versions[query_id] = version
+            self._rebuild_routes()
+        return True
+
+    def rates_version(self, query_id: str) -> int:
+        """The sampling-rate version currently applied for *query_id*
+        (0 = install-time rates)."""
+        with self._lock:
+            return self._rate_versions.get(query_id, 0)
 
     @property
     def active_query_ids(self) -> tuple[str, ...]:
@@ -457,6 +500,10 @@ class ScrubAgent:
                     "ewma_ns": round(ewma, 1),
                     "routed": routed,
                     "skipped": skipped,
+                    # The applied rate version rides the same heartbeat
+                    # payload: the controller treats its absence (an old
+                    # agent) or a lagging value as reason to freeze.
+                    "rates_version": self._rate_versions.get(query_id, 0),
                 }
             return out
 
@@ -944,6 +991,7 @@ class ScrubAgent:
         for query_id in expired:
             installed = self._queries.pop(query_id)
             self._governors.pop(query_id, None)
+            self._rate_versions.pop(query_id, None)
             for iq in installed:
                 per_type = self._by_type.get(iq.spec.event_type, [])
                 if iq in per_type:

@@ -14,6 +14,17 @@ identifier*: whether an event is kept for query Q depends only on
 Uniformity comes from a splitmix64 finalizer, which is a strong enough
 mixer that consecutive request ids map to effectively independent
 uniform draws.
+
+A third property makes the sampler safe to *retune* while a query runs
+(the closed-loop sampling controller adjusts rates between windows):
+
+* **nested by construction** — the keep decision is a threshold compare
+  (``mix(seed, rid) < rate·2^64``) against a per-request draw that does
+  not depend on the rate, so for any r1 < r2 the kept set at r1 is a
+  strict subset of the kept set at r2.  Lowering a rate only *removes*
+  requests (never swaps the kept population), and raising it back
+  restores exactly the previously kept ids — a retune never breaks join
+  coherence or reshuffles which requests a troubleshooter was watching.
 """
 
 from __future__ import annotations
@@ -58,6 +69,20 @@ class EventSampler:
     @property
     def rate(self) -> float:
         return self._rate
+
+    def set_rate(self, rate: float) -> None:
+        """Retune the keep fraction in place, preserving the seed.
+
+        Because ``keep`` compares a rate-independent draw against
+        ``rate·2^64``, the kept sets at any two rates are nested: the
+        new kept set is a subset (rate lowered) or superset (raised) of
+        the old one.  Used by the closed-loop sampling controller.
+        """
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"sampling rate must be in (0, 1], got {rate}")
+        self._rate = rate
+        self._always = rate >= 1.0
+        self._threshold = int(rate * float(1 << 64))
 
     def keep(self, request_id: int) -> bool:
         """Decide whether the event for *request_id* is sampled in."""

@@ -102,6 +102,20 @@ class ApproxEstimate:
     variance: float
     sampled_machines: int
     total_machines: int
+    #: Machine-stage unit variance (s_u² of per-machine estimated totals,
+    #: Eq. 3's first factor without the N(N-n)/n population scaling).
+    #: Carried so a controller can *invert* the bound: the predicted
+    #: machine-stage variance at n' of N sampled hosts is
+    #: ``N·(N-n')·machine_dispersion/n'`` — well-defined even when the
+    #: observed window ran at n = N, where the realized term is zero.
+    machine_dispersion: float = 0.0
+    #: Event-stage unit variance ((N/n)·Σ_i M_i·s_i², Eq. 3's second
+    #: term with the per-machine keep fraction divided out): predicted
+    #: event-stage variance at event rate r is
+    #: ``value_dispersion·(1/r - 1)`` — well-defined even at r = 1.
+    value_dispersion: float = 0.0
+    #: Σ m_i — events actually summarised into this estimate.
+    sample_events: int = 0
 
     @property
     def low(self) -> float:
@@ -183,6 +197,15 @@ def estimate_sum(
 
     variance = machine_term + event_term
 
+    # Rate-invertible dispersion telemetry for the sampling controller.
+    # Kept even in the exact (full-rate) branches below: a window run at
+    # full rates has zero realized error but its dispersions still
+    # predict the error any *lower* candidate rate would incur.
+    value_dispersion = (big_n / n) * sum(
+        s.machine_total * s.value_variance for s in samples
+    )
+    sample_events = sum(s.count for s in samples)
+
     if n >= 2:
         t_quantile = float(_stats.t.ppf(1.0 - (1.0 - confidence) / 2.0, df=n - 1))
         epsilon = t_quantile * math.sqrt(max(variance, 0.0))
@@ -195,7 +218,17 @@ def estimate_sum(
         # No sampling anywhere: the estimate is exact.
         epsilon = 0.0
         variance = 0.0
-    return ApproxEstimate(tau_hat, epsilon, confidence, variance, n, big_n)
+    return ApproxEstimate(
+        tau_hat,
+        epsilon,
+        confidence,
+        variance,
+        n,
+        big_n,
+        machine_dispersion=s_u_sq,
+        value_dispersion=value_dispersion,
+        sample_events=sample_events,
+    )
 
 
 def estimate_count(
@@ -215,6 +248,7 @@ def estimate_count(
     sampling rate to scale up — the event-stage error is then folded
     into the machine-stage term because scaled per-machine counts vary.
     """
+    machine_match_counts = list(machine_match_counts)
     totals = [c / event_sampling_rate for c in machine_match_counts]
     samples = [
         MachineSample(machine_total=math.ceil(t), count=0, total=0.0, sum_sq=0.0)
@@ -242,7 +276,20 @@ def estimate_count(
     if big_n == n and event_sampling_rate == 1.0:
         epsilon = 0.0
         variance = 0.0
-    return ApproxEstimate(tau_hat, epsilon, confidence, variance, n, big_n)
+    # COUNT has no event-stage error (M_i is counted exactly at any event
+    # rate), so value_dispersion stays 0: the controller learns that
+    # lowering the event rate cannot widen a COUNT bound.
+    return ApproxEstimate(
+        tau_hat,
+        epsilon,
+        confidence,
+        variance,
+        n,
+        big_n,
+        machine_dispersion=s_u_sq,
+        value_dispersion=0.0,
+        sample_events=sum(int(c) for c in machine_match_counts),
+    )
 
 
 def estimate_avg(
@@ -275,6 +322,19 @@ def estimate_avg(
     else:
         rel_sq = math.inf
     epsilon = abs(ratio) * math.sqrt(rel_sq) if math.isfinite(rel_sq) else math.inf
+    # Propagate the dispersions through the same delta method so the
+    # prediction formulas (N(N-n')·md/n' and vd·(1/r-1)) stay valid for
+    # AVG with the ratio's own scale: rel-var(avg) = rel-var(sum) +
+    # rel-var(count), both machine terms scale identically in n', and
+    # only the SUM contributes event-stage error.
+    machine_dispersion = 0.0
+    value_dispersion = 0.0
+    if sum_estimate.estimate != 0:
+        scale_s = (ratio / sum_estimate.estimate) ** 2
+        machine_dispersion += scale_s * sum_estimate.machine_dispersion
+        value_dispersion = scale_s * sum_estimate.value_dispersion
+    scale_c = (ratio / count_estimate.estimate) ** 2
+    machine_dispersion += scale_c * count_estimate.machine_dispersion
     return ApproxEstimate(
         ratio,
         epsilon,
@@ -282,4 +342,7 @@ def estimate_avg(
         epsilon ** 2,
         sum_estimate.sampled_machines,
         sum_estimate.total_machines,
+        machine_dispersion=machine_dispersion,
+        value_dispersion=value_dispersion,
+        sample_events=sum_estimate.sample_events,
     )

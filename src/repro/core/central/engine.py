@@ -117,8 +117,12 @@ class _RunningQuery:
         # A residual predicate would make the host-reported M_i counts
         # overcount the centrally-matched population, so estimation also
         # requires that all selection ran on the hosts.
+        # TARGET CI queries are estimable even at full rates: estimation
+        # is exact there (zero-width bounds), and running it from the
+        # first window is what gives the sampling controller the variance
+        # telemetry it inverts to pick cheaper rates.
         self.estimable = (
-            spec.sampling.is_sampled
+            (spec.sampling.is_sampled or spec.target_ci is not None)
             and not spec.group_by
             and len(spec.sources) == 1
             and spec.residual_predicate is None

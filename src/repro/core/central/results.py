@@ -157,6 +157,13 @@ class ResultSet:
     #: and — after an auto-abort — the structured abort reason.  ``None``
     #: for queries installed everywhere at once.
     rollout: Optional[dict[str, Any]] = None
+    #: Closed-loop sampling-controller status attached by the server for
+    #: ``TARGET CI`` queries: controller state (``tracking`` /
+    #: ``rate_limited`` / ``frozen``), current rates + rate version,
+    #: target vs achieved relative CI, and — when the impact budget
+    #: clamped the retune — the structured ``rate_limited`` reason with
+    #: the widened achievable bound.  ``None`` for open-loop queries.
+    sampling: Optional[dict[str, Any]] = None
 
     def add(self, window: WindowResult) -> None:
         self.windows.append(window)
@@ -241,11 +248,12 @@ class ResultSet:
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialize all windows to JSON (lists survive; estimates become
-        {estimate, error_bound, confidence} objects)."""
+        objects carrying the bound plus its variance/sample telemetry)."""
         payload = {
             "query_id": self.query_id,
             "columns": list(self.columns),
             "rollout": self.rollout,
+            "sampling": self.sampling,
             "windows": [
                 {
                     "start": w.window_start,
@@ -256,6 +264,10 @@ class ResultSet:
                             "estimate": est.estimate,
                             "error_bound": est.error_bound,
                             "confidence": est.confidence,
+                            "variance": est.variance,
+                            "sampled_machines": est.sampled_machines,
+                            "total_machines": est.total_machines,
+                            "sample_events": est.sample_events,
                         }
                         for name, est in w.estimates.items()
                     },
@@ -300,6 +312,27 @@ class ResultSet:
                 lines.append(
                     f"   aborted: {abort.get('reason')} on {abort.get('host')}"
                     f" — {abort.get('detail')}"
+                )
+        if self.sampling is not None:
+            target = self.sampling.get("target_relative_error")
+            achieved = self.sampling.get("achieved_relative_error")
+            lines.append(
+                f"   sampling: {self.sampling.get('state')}"
+                f" v{self.sampling.get('version')}"
+                f" hosts={self.sampling.get('host_rate', 0.0):g}"
+                f" events={self.sampling.get('event_rate', 0.0):g}"
+                + (f" target ±{target * 100:g}%" if target is not None else "")
+                + (
+                    f" achieved ±{achieved * 100:.2g}%"
+                    if achieved is not None and achieved == achieved
+                    else ""
+                )
+            )
+            limited = self.sampling.get("rate_limited")
+            if limited:
+                lines.append(
+                    f"   rate-limited: {limited.get('reason')}"
+                    f" — achievable ±{limited.get('achievable_relative_error', 0.0) * 100:.2g}%"
                 )
         for window in self.windows:
             degraded = ""

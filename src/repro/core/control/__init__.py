@@ -1,0 +1,28 @@
+"""Closed-loop accuracy-aware sampling control.
+
+The :class:`SamplingController` inverts the paper's two-stage sampling
+error bounds (Eqs. 1-3) to pick the *cheapest* ``(host_rate,
+event_rate)`` pair that still meets a query's ``TARGET CI`` accuracy
+goal, under the host impact budget.  See ``controller.py`` and
+``docs/SCALING.md`` ("Closed-loop sampling").
+"""
+
+from .controller import (
+    STATE_FROZEN,
+    STATE_RATE_LIMITED,
+    STATE_TRACKING,
+    STATE_WARMUP,
+    ControllerConfig,
+    RateUpdate,
+    SamplingController,
+)
+
+__all__ = [
+    "STATE_FROZEN",
+    "STATE_RATE_LIMITED",
+    "STATE_TRACKING",
+    "STATE_WARMUP",
+    "ControllerConfig",
+    "RateUpdate",
+    "SamplingController",
+]

@@ -32,6 +32,7 @@ __all__ = [
     "TargetAnd",
     "SamplingSpec",
     "SpanSpec",
+    "TargetCISpec",
     "Query",
     "AGGREGATE_FUNCS",
     "normalize_expr",
@@ -210,6 +211,28 @@ class SamplingSpec:
 
 
 @dataclass(frozen=True)
+class TargetCISpec:
+    """A ``TARGET CI x%`` accuracy goal: the user asks the system to keep
+    each window's 95% error bound within ``relative_error`` of the
+    estimate, and lets the sampling controller pick the cheapest
+    (host, event) rates that deliver it (ROADMAP: closed-loop
+    accuracy-aware sampling)."""
+
+    relative_error: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.relative_error < 1.0:
+            raise ValueError(
+                f"TARGET CI must be in (0%, 100%), got {self.relative_error * 100:g}%"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"TARGET CI confidence must be in (0, 1), got {self.confidence}"
+            )
+
+
+@dataclass(frozen=True)
 class SpanSpec:
     """Query span: start time (None = now) and finite duration in seconds.
 
@@ -232,6 +255,8 @@ class Query:
     where: Optional[Expr] = None
     target: TargetNode = field(default_factory=TargetAll)
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
+    #: Closed-loop accuracy goal (``TARGET CI x%``); None = static rates.
+    target_ci: Optional[TargetCISpec] = None
     span: SpanSpec = field(default_factory=SpanSpec)
     window: Optional[float] = None  # window length, seconds
     #: Sliding step in seconds; None = tumbling (the paper's default —
@@ -429,6 +454,8 @@ def _unparse_query(q: Query) -> str:
         parts.append(f"SAMPLE HOSTS {q.sampling.host_rate * 100:g}%")
     if q.sampling.event_rate < 1.0:
         parts.append(f"SAMPLE EVENTS {q.sampling.event_rate * 100:g}%")
+    if q.target_ci is not None:
+        parts.append(f"TARGET CI {q.target_ci.relative_error * 100:g}%")
     if q.span.start is not None:
         parts.append(f"START {q.span.start:g}")
     if q.span.duration is not None:

@@ -44,7 +44,7 @@ KEYWORDS = frozenset(
         "quantile", "having",
         "service", "services", "server", "servers", "datacenter", "all",
         "sample", "hosts", "events", "start", "now", "duration", "window",
-        "slide", "aggregate", "on",
+        "slide", "aggregate", "on", "target", "ci",
     }
 )
 

@@ -16,6 +16,7 @@ Grammar (clauses after FROM may appear in any order)::
                 | SERVER '=' ident_or_string
                 | DATACENTER '=' ident_or_string
     sampling   := SAMPLE HOSTS number '%' | SAMPLE EVENTS number '%'
+    target_ci  := TARGET CI number '%'
     span_part  := START (NOW | number | string) | DURATION dur
 """
 
@@ -45,6 +46,7 @@ from .ast import (
     SpanSpec,
     TargetAll,
     TargetAnd,
+    TargetCISpec,
     TargetNode,
     UnaryOp,
 )
@@ -133,6 +135,7 @@ class _Parser:
         target: TargetNode = TargetAll()
         host_rate = 1.0
         event_rate = 1.0
+        target_ci: Optional[TargetCISpec] = None
         start: Optional[float] = None
         duration: Optional[float] = None
         window: Optional[float] = None
@@ -166,6 +169,11 @@ class _Parser:
                     event_rate = self._sampling_rate()
                 else:
                     raise self._error("expected HOSTS or EVENTS after SAMPLE")
+            elif self._at_keyword("target"):
+                once("target ci")
+                self._advance()
+                self._expect_keyword("ci")
+                target_ci = TargetCISpec(relative_error=self._target_ci_rate())
             elif self._at_keyword("start"):
                 once("start")
                 self._advance()
@@ -213,6 +221,7 @@ class _Parser:
             target=target,
             sampling=sampling,
             span=span,
+            target_ci=target_ci,
             window=window,
             slide=slide,
             host_aggregate=host_aggregate,
@@ -250,6 +259,20 @@ class _Parser:
         if not 0.0 < pct <= 100.0:
             raise ScrubSyntaxError(
                 f"sampling percentage must be in (0, 100], got {pct:g}", tok.line, tok.column
+            )
+        return pct / 100.0
+
+    def _target_ci_rate(self) -> float:
+        tok = self._cur
+        if tok.type not in (TokenType.INT, TokenType.FLOAT):
+            raise self._error("expected a percentage after TARGET CI")
+        self._advance()
+        pct = float(tok.value)
+        if self._accept(TokenType.PERCENT_SIGN) is None:
+            raise self._error("expected '%' after TARGET CI percentage")
+        if not 0.0 < pct < 100.0:
+            raise ScrubSyntaxError(
+                f"TARGET CI must be in (0, 100), got {pct:g}", tok.line, tok.column
             )
         return pct / 100.0
 

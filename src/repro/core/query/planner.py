@@ -36,6 +36,7 @@ from .ast import (
     Query,
     SamplingSpec,
     SelectItem,
+    TargetCISpec,
     TargetNode,
     walk_exprs,
 )
@@ -132,6 +133,10 @@ class CentralQueryObject:
     host_aggregated: bool = False
     #: Post-aggregation group filter, applied at window close.
     having: Optional[Expr] = None
+    #: Closed-loop accuracy goal; makes the query estimable even at full
+    #: rates (exact, zero-width bounds) so the sampling controller sees
+    #: variance telemetry from the very first window.
+    target_ci: Optional[TargetCISpec] = None
 
     @property
     def is_join(self) -> bool:
@@ -206,6 +211,7 @@ def plan_query(validated: ValidatedQuery, query_id: str) -> QueryPlan:
         slide_seconds=query.slide,
         host_aggregated=query.host_aggregate,
         having=query.having,
+        target_ci=query.target_ci,
     )
 
     duration = (

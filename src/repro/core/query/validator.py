@@ -93,9 +93,11 @@ def validate_query(query: Query, registry: EventRegistry) -> ValidatedQuery:
         having=having,
     )
 
+    _check_sampling(resolved)
     _check_aggregate_rules(resolved)
     _check_types(resolved, schemas)
     _check_host_aggregation(resolved)
+    _check_target_ci(resolved)
 
     return ValidatedQuery(
         query=resolved,
@@ -261,6 +263,73 @@ def _item_is_aggregate_only(expr: Expr, groups: set[Expr]) -> bool:
         for sub in walk_exprs(expr)
         if sub is not expr and isinstance(sub, FieldRef)
     )
+
+
+def _check_sampling(query: Query) -> None:
+    """SUBMIT-time guard: reject impossible sampling rates and malformed
+    accuracy targets as structured query errors, before query objects are
+    generated — a bad rate must never reach an agent, where it would only
+    surface as a host-side ValueError long after the submit succeeded."""
+    for label, rate in (
+        ("host", query.sampling.host_rate),
+        ("event", query.sampling.event_rate),
+    ):
+        if not 0.0 < rate <= 1.0:
+            raise ScrubValidationError(
+                f"{label} sampling rate must be in (0, 1], got {rate:g}"
+            )
+    spec = query.target_ci
+    if spec is not None:
+        if not 0.0 < spec.relative_error < 1.0:
+            raise ScrubValidationError(
+                f"TARGET CI must be in (0%, 100%), got {spec.relative_error * 100:g}%"
+            )
+        if not 0.0 < spec.confidence < 1.0:
+            raise ScrubValidationError(
+                f"TARGET CI confidence must be in (0, 1), got {spec.confidence:g}"
+            )
+
+
+def _check_target_ci(query: Query) -> None:
+    """Rules for the closed-loop ``TARGET CI x%`` clause.
+
+    The sampling controller inverts the Eqs. 1-3 estimator, so the
+    clause is only meaningful where that estimator runs: a sampled
+    global aggregate (COUNT/SUM/AVG) over a single event type with
+    tumbling windows, executed centrally.  Mirrors the engine's
+    ``estimable`` conditions so a TARGET CI query is never silently
+    uncontrolled.
+    """
+    if query.target_ci is None:
+        return
+    if query.is_join:
+        raise ScrubValidationError(
+            "TARGET CI requires a single event type; joined queries have "
+            "no sampling error bound to control"
+        )
+    if query.group_by:
+        raise ScrubValidationError(
+            "TARGET CI cannot be combined with GROUP BY; error bounds are "
+            "computed for global aggregates only"
+        )
+    if query.slide is not None:
+        raise ScrubValidationError(
+            "TARGET CI requires tumbling windows; Eqs. 1-3 estimation is "
+            "tumbling-only"
+        )
+    if query.host_aggregate:
+        raise ScrubValidationError(
+            "TARGET CI cannot be combined with AGGREGATE ON HOSTS; partial "
+            "aggregates carry no per-host sample summaries"
+        )
+    estimable = [
+        agg for agg in query.aggregates() if agg.func in ("COUNT", "SUM", "AVG")
+    ]
+    if not estimable:
+        raise ScrubValidationError(
+            "TARGET CI requires at least one COUNT/SUM/AVG aggregate in "
+            "SELECT; other aggregates have no Eqs. 1-3 error bound"
+        )
 
 
 def _check_host_aggregation(query: Query) -> None:

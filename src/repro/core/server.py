@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Optional, Protocol
 from .agent.agent import ScrubAgent
 from .central.engine import CentralEngine
 from .central.results import ResultSet
+from .control import SamplingController
 from .events import EventRegistry
 from .query.ast import TargetNode
 from .query.errors import QueryNotFoundError, ScrubValidationError
@@ -122,6 +123,8 @@ class ScrubQueryServer:
         # Results survive query completion so callers can collect after the
         # periodic tick reaped an expired span.
         self._finished: dict[str, ResultSet] = {}
+        #: Closed-loop rate controllers for running TARGET CI queries.
+        self._controllers: dict[str, SamplingController] = {}
 
     # -- submission -------------------------------------------------------------
 
@@ -174,7 +177,32 @@ class ScrubQueryServer:
             expires_at=expires_at,
         )
         self._running[query_id] = (handle, agents)
+        target_ci = plan.central_object.target_ci
+        if target_ci is not None:
+            # The controller's clamp respects whatever governor budget
+            # the chosen agents run under (they share one in practice).
+            budget = next(
+                (a.impact_budget for a in agents if a.impact_budget is not None),
+                None,
+            )
+            self._controllers[query_id] = SamplingController(
+                query_id,
+                target_ci,
+                total_hosts=len(resolved),
+                targeted_hosts=len(chosen),
+                window_seconds=plan.central_object.window_seconds,
+                event_rate=plan.query.sampling.event_rate,
+                budget=budget,
+                # In-process agents can be widened directly; the solver
+                # may recommend more hosts to shrink the machine term.
+                can_widen=True,
+            )
         return handle
+
+    def controller(self, query_id: str) -> Optional[SamplingController]:
+        """The closed-loop rate controller for a running TARGET CI query
+        (None for open-loop queries)."""
+        return self._controllers.get(query_id)
 
     def _next_query_id(self) -> str:
         self._sequence += 1
@@ -189,7 +217,11 @@ class ScrubQueryServer:
         if done is not None:
             return done
         self._handle(query_id)
-        return self.central.results_so_far(query_id)
+        results = self.central.results_so_far(query_id)
+        controller = self._controllers.get(query_id)
+        if controller is not None:
+            results.sampling = controller.status()
+        return results
 
     def tick(self, now: Optional[float] = None) -> None:
         """Periodic maintenance: flush agents of running queries and close
@@ -201,11 +233,69 @@ class ScrubQueryServer:
                 continue
             for agent in agents:
                 agent.flush(now)
-        self.central.advance(now)
+        emitted = self.central.advance(now)
+        self._control_tick(emitted, now)
         # Reap queries whose span has fully elapsed (plus drain margin).
         for query_id, (handle, _agents) in list(self._running.items()):
             if not handle.finished and now >= handle.expires_at + self.drain_margin:
                 self.finish(query_id)
+
+    def _control_tick(self, emitted: list, now: float) -> None:
+        """Run each TARGET CI query's controller over the windows the
+        engine just closed and the agents' live cost counters, and apply
+        any retune it issues — event rates straight into the in-process
+        samplers, host widenings through the engine's target extension."""
+        if not self._controllers:
+            return
+        for window in emitted:
+            controller = self._controllers.get(window.query_id)
+            if controller is not None:
+                controller.observe_window(window, now)
+        for query_id, controller in list(self._controllers.items()):
+            entry = self._running.get(query_id)
+            if entry is None or entry[0].finished:
+                continue
+            handle, agents = entry
+            costs: dict[str, dict] = {}
+            for host, agent in zip(handle.targeted_hosts, agents):
+                per_query = agent.query_costs().get(query_id)
+                if per_query is not None:
+                    costs[host] = per_query
+            controller.observe_costs(costs, now)
+            update = controller.tick(now)
+            if update is not None:
+                self._apply_rates(handle, agents, update)
+
+    def _apply_rates(self, handle: QueryHandle, agents: list[ScrubAgent], update) -> None:
+        """Fan one versioned rate update out to the query's agents."""
+        query_id = handle.query_id
+        if update.host_count > len(handle.targeted_hosts):
+            current = set(handle.targeted_hosts)
+            extra = [
+                (host, agent)
+                for host, agent in self.directory.resolve(handle.plan.target)
+                if host not in current
+            ]
+            need = update.host_count - len(handle.targeted_hosts)
+            added: list[str] = []
+            for host, agent in extra[:need]:
+                try:
+                    for host_object in handle.plan.host_objects:
+                        agent.install(
+                            host_object, handle.activates_at, handle.expires_at
+                        )
+                except Exception:
+                    agent.uninstall(query_id)
+                    continue
+                agents.append(agent)
+                added.append(host)
+            if added:
+                handle.targeted_hosts = handle.targeted_hosts + tuple(added)
+                # The hosts were in the original resolve, so the planned
+                # population N is unchanged — only n grows.
+                self.central.extend_targets(query_id, tuple(added), planned_delta=0)
+        for agent in agents:
+            agent.retune(query_id, update.event_rate, update.version)
 
     def finish(self, query_id: str) -> ResultSet:
         """End a query now: uninstall from hosts (flushing), close all of
@@ -219,6 +309,9 @@ class ScrubQueryServer:
             agent.uninstall(query_id)
         handle.finished = True
         results = self.central.finish(query_id)
+        controller = self._controllers.pop(query_id, None)
+        if controller is not None:
+            results.sampling = controller.status()
         del self._running[query_id]
         self._finished[query_id] = results
         return results
@@ -229,7 +322,11 @@ class ScrubQueryServer:
         for agent in agents:
             agent.uninstall(query_id)
         handle.finished = True
-        self._finished[query_id] = self.central.finish(query_id, drain=False)
+        results = self.central.finish(query_id, drain=False)
+        controller = self._controllers.pop(query_id, None)
+        if controller is not None:
+            results.sampling = controller.status()
+        self._finished[query_id] = results
         del self._running[query_id]
 
     @property

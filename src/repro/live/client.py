@@ -362,8 +362,16 @@ class LiveAgent:
 
     def _install(self, message: dict[str, Any]) -> None:
         query_id = message.get("query_id")
+        rates = message.get("rates")
         if query_id in self.agent.active_query_ids:
-            return  # replayed on reconnect; already running
+            # Replayed on reconnect — the query is already running, but
+            # the push may carry a newer sampling-rate version than the
+            # one applied here (a retune, or a post-crash journal
+            # replay).  The agent's version compare makes stale or
+            # duplicate replays a no-op, so applying is idempotent.
+            if rates is not None:
+                self._apply_rates(query_id, rates)
+            return
         try:
             query = parse_query(message["query"])
             validated = validate_query(query, self.registry)
@@ -373,11 +381,28 @@ class LiveAgent:
                     host_object, message["activates_at"], message["expires_at"]
                 )
             self.installs_applied += 1
+            if rates is not None:
+                # A fresh install plans at the submitted rates; bring it
+                # straight to the controller's current version.
+                self._apply_rates(message["query_id"], rates)
         except Exception as exc:
             # A query this host cannot plan (e.g. stale schema) must not
             # kill the control loop; the host simply contributes nothing.
             print(
                 f"scrub[{self.host}]: install of {message.get('query_id')} failed: {exc}",
+                file=sys.stderr,
+            )
+
+    def _apply_rates(self, query_id: str, rates: dict[str, Any]) -> None:
+        try:
+            self.agent.retune(
+                query_id,
+                float(rates["event_rate"]),
+                version=int(rates["version"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"scrub[{self.host}]: rate update for {query_id} ignored: {exc}",
                 file=sys.stderr,
             )
 

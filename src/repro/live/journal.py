@@ -20,8 +20,14 @@ Four record kinds:
   at that point.  Last record wins on replay, so a scrubd crash
   mid-rollout recovers into the same stage with the same hosts
   installed — no host is installed twice, none skipped.
+* ``rates`` — one applied closed-loop sampling retune: the version and
+  the ``(host_rate, event_rate)`` pair the controller shipped.  Last
+  record wins on replay, so a scrubd killed mid-retune recovers with
+  exactly the last *journalled* rate version and replays it to the
+  fleet over the INSTALL path — agents compare versions, so hosts that
+  already applied it ignore the replay and laggards converge.
 * ``finish`` — the query's span ended and its results were collected;
-  replay treats the submit (and any rollout) as closed.
+  replay treats the submit (and any rollout or rates) as closed.
 
 Events and result windows are *not* journalled — windows open at crash
 time are lost, exactly like events lost to a full buffer, and the loss
@@ -61,6 +67,9 @@ class JournalState:
     #: query_id -> its latest rollout transition record (open queries
     #: only; a finish clears it).
     rollouts: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: query_id -> its latest applied sampling-rate record (open
+    #: queries only; a finish clears it).
+    rates: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: query_ids whose spans completed before the crash.
     finished: set[str] = field(default_factory=set)
     #: Records that failed to decode (torn tail) — at most one unless
@@ -142,9 +151,12 @@ class QueryJournal:
                     state.open_queries[record["query_id"]] = record
                 elif op == "rollout":
                     state.rollouts[record["query_id"]] = record
+                elif op == "rates":
+                    state.rates[record["query_id"]] = record
                 elif op == "finish":
                     state.open_queries.pop(record["query_id"], None)
                     state.rollouts.pop(record["query_id"], None)
+                    state.rates.pop(record["query_id"], None)
                     state.finished.add(record["query_id"])
                 intact_bytes += len(raw)
         return state, intact_bytes
@@ -204,6 +216,27 @@ class QueryJournal:
         if abort is not None:
             record["abort"] = abort
         self._append(record)
+
+    def record_rates(
+        self,
+        query_id: str,
+        version: int,
+        host_rate: float,
+        event_rate: float,
+        reason: str = "",
+    ) -> None:
+        """Journal one applied sampling retune *before* it fans out to
+        the fleet, so a crash mid-push replays exactly this version."""
+        self._append(
+            {
+                "op": "rates",
+                "query_id": query_id,
+                "version": version,
+                "host_rate": host_rate,
+                "event_rate": event_rate,
+                "reason": reason,
+            }
+        )
 
     def record_finish(self, query_id: str) -> None:
         self._append({"op": "finish", "query_id": query_id})

@@ -216,6 +216,7 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
         "query_id": results.query_id,
         "columns": list(results.columns),
         "rollout": results.rollout,
+        "sampling": results.sampling,
         "windows": [
             {
                 "start": w.window_start,
@@ -229,6 +230,9 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
                         "variance": est.variance,
                         "sampled_machines": est.sampled_machines,
                         "total_machines": est.total_machines,
+                        "machine_dispersion": est.machine_dispersion,
+                        "value_dispersion": est.value_dispersion,
+                        "sample_events": est.sample_events,
                     }
                     for name, est in w.estimates.items()
                 },
@@ -246,8 +250,9 @@ def resultset_to_payload(results: ResultSet) -> dict[str, Any]:
 def resultset_from_payload(payload: dict[str, Any]) -> ResultSet:
     columns = tuple(payload["columns"])
     results = ResultSet(payload["query_id"], columns)
-    # .get(): tolerate peers from before rollout metadata existed.
+    # .get(): tolerate peers from before rollout/sampling metadata existed.
     results.rollout = payload.get("rollout")
+    results.sampling = payload.get("sampling")
     for w in payload["windows"]:
         results.add(
             WindowResult(
@@ -264,6 +269,9 @@ def resultset_from_payload(payload: dict[str, Any]) -> ResultSet:
                         variance=est["variance"],
                         sampled_machines=est["sampled_machines"],
                         total_machines=est["total_machines"],
+                        machine_dispersion=est.get("machine_dispersion", 0.0),
+                        value_dispersion=est.get("value_dispersion", 0.0),
+                        sample_events=est.get("sample_events", 0),
                     )
                     for name, est in w["estimates"].items()
                 },

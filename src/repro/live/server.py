@@ -44,9 +44,11 @@ from ..core.agent.transport import (
     decode_full_batch,
     peek_full_batch_host,
 )
+from ..core.agent.governor import ImpactBudget
 from ..core.central.engine import DEFAULT_GRACE_SECONDS, CentralEngine
 from ..core.central.pool import ShardPool
 from ..core.central.results import ResultSet
+from ..core.control import RateUpdate, SamplingController
 from ..core.events import EventRegistry
 from ..core.query.errors import (
     QueryNotFoundError,
@@ -150,6 +152,11 @@ class _LiveQuery:
     #: rollout policy; ``None`` installs everywhere at once.  For
     #: rollout queries ``targeted`` tracks the installed-so-far set.
     rollout: Optional[QueryRollout] = None
+    #: Closed-loop rate controller when the query carries ``TARGET CI``;
+    #: ``None`` runs the submitted rates open-loop.  scrubd applies
+    #: event-rate retunes only (``can_widen=False``) — the host set is
+    #: the rollout machinery's business.
+    controller: Optional[SamplingController] = None
 
 
 class _ShardBarrier:
@@ -186,6 +193,7 @@ class ScrubDaemon:
         stale_after: Optional[float] = None,
         journal_path: Optional[str] = None,
         workers: int = 0,
+        impact_budget: Optional[ImpactBudget] = None,
         clock: Callable[[], float] = time.time,
         log: Optional[TextIO] = None,
     ) -> None:
@@ -198,6 +206,11 @@ class ScrubDaemon:
         self._lease_seconds = lease_seconds
         self._journal_path = journal_path
         self._journal: Optional[QueryJournal] = None
+        #: The governor budget TARGET CI controllers clamp against (the
+        #: agents enforce their own copies locally; the daemon's clamp
+        #: backs off *before* theirs trips).  ``None`` disables the
+        #: clamp, not the accuracy loop.
+        self.impact_budget = impact_budget
         self._clock = clock
         self._log = log
 
@@ -262,7 +275,12 @@ class ScrubDaemon:
         resumed = []
         for query_id, record in state.open_queries.items():
             try:
-                self._resume(query_id, record, state.rollouts.get(query_id))
+                self._resume(
+                    query_id,
+                    record,
+                    state.rollouts.get(query_id),
+                    state.rates.get(query_id),
+                )
             except ScrubError as exc:
                 self._say(f"journal: cannot resume {query_id}: {exc}")
                 continue
@@ -280,13 +298,17 @@ class ScrubDaemon:
         query_id: str,
         record: dict[str, Any],
         rollout_record: Optional[dict[str, Any]] = None,
+        rates_record: Optional[dict[str, Any]] = None,
     ) -> None:
         """Re-register one journalled query.  Planning is deterministic in
         (text, query id), so the central object is identical to the one
         the crashed daemon ran; windows open at crash time are lost.  A
         journalled rollout resumes in its last recorded stage with the
         same installed set — the bake timer restarts, the placement does
-        not."""
+        not.  A journalled rate retune resumes at exactly the last
+        journalled version: the recovered controller starts there and
+        reconnecting agents receive it in their INSTALL replay, so a
+        SIGKILL mid-retune never forks the fleet's sampling."""
         query = parse_query(record["query"])
         validated = validate_query(query, self.registry)
         plan = plan_query(validated, query_id)
@@ -318,6 +340,18 @@ class ScrubDaemon:
             targeted_names=targeted,
             delivery_state=lambda d=delivery: d,
         )
+        controller = self._make_controller(
+            query_id,
+            plan,
+            max(len(record["planned"]), len(targeted)),
+            max(len(targeted), 1),
+        )
+        if controller is not None and rates_record is not None:
+            try:
+                controller.version = int(rates_record["version"])
+                controller.event_rate = float(rates_record["event_rate"])
+            except (KeyError, TypeError, ValueError) as exc:
+                self._say(f"journal: bad rates record for {query_id}: {exc!r}")
         self._running[query_id] = _LiveQuery(
             plan=plan,
             text=record["query"],
@@ -327,6 +361,7 @@ class ScrubDaemon:
             targeted=targeted,
             delivery=delivery,
             rollout=rollout,
+            controller=controller,
         )
 
     async def run(self) -> None:
@@ -524,14 +559,8 @@ class ScrubDaemon:
                 # reaches it, nothing to push yet.
                 if name not in live.targeted:
                     continue
-            install = {
-                "query_id": query_id,
-                "query": live.text,
-                "activates_at": live.activates_at,
-                "expires_at": live.expires_at,
-            }
             try:
-                await conn.push(MsgType.INSTALL, install)
+                await conn.push(MsgType.INSTALL, self._install_message(query_id, live))
             except (ConnectionError, OSError, RuntimeError):
                 self.push_failures += 1
                 live.delivery[name] = "unreachable"
@@ -599,6 +628,14 @@ class ScrubDaemon:
             self.engine.extend_targets(query_id, (name,), planned_delta)
         except Exception as exc:
             self._say(f"late join: extend_targets({query_id}) failed: {exc!r}")
+        controller = live.controller
+        if controller is not None:
+            # Keep the controller's population model honest: the error
+            # inversion needs the real (N, n), not the submit-time pair.
+            controller.total_hosts += planned_delta
+            controller.host_count = min(
+                controller.host_count + 1, controller.total_hosts
+            )
 
     async def _evict(
         self, name: str, conn: _AgentConn, error: str, message: str
@@ -625,6 +662,49 @@ class ScrubDaemon:
         for live in self._running.values():
             if name in live.targeted:
                 live.delivery[name] = state
+
+    def _install_message(self, query_id: str, live: _LiveQuery) -> dict[str, Any]:
+        """The INSTALL payload for one query.  Every push path — submit,
+        reconnect sync, late join, rollout widen, retune fan-out — goes
+        through here so the current closed-loop rates always ride along:
+        agents compare versions, so a replayed install converges a
+        laggard and can never roll an up-to-date host back."""
+        message: dict[str, Any] = {
+            "query_id": query_id,
+            "query": live.text,
+            "activates_at": live.activates_at,
+            "expires_at": live.expires_at,
+        }
+        controller = live.controller
+        if controller is not None and controller.version > 0:
+            message["rates"] = {
+                "version": controller.version,
+                "host_rate": controller.host_count / controller.total_hosts,
+                "event_rate": controller.event_rate,
+            }
+        return message
+
+    def _make_controller(
+        self, query_id: str, plan: QueryPlan, total_hosts: int, targeted_hosts: int
+    ) -> Optional[SamplingController]:
+        """A closed-loop rate controller when the plan carries a
+        ``TARGET CI`` clause; None runs the submitted rates open-loop."""
+        target_ci = plan.central_object.target_ci
+        if target_ci is None:
+            return None
+        return SamplingController(
+            query_id,
+            target_ci,
+            total_hosts=max(total_hosts, targeted_hosts, 1),
+            targeted_hosts=max(targeted_hosts, 1),
+            window_seconds=plan.central_object.window_seconds,
+            event_rate=plan.query.sampling.event_rate,
+            budget=self.impact_budget,
+            # scrubd never widens the host set mid-query: placement is
+            # the rendezvous/rollout machinery's job, so the solver
+            # holds n' fixed and retunes the event rate only.
+            can_widen=False,
+        )
 
     # -- data channel -----------------------------------------------------------------
 
@@ -847,12 +927,21 @@ class ScrubDaemon:
                     query_id, rollout.state, rollout.stage,
                     tuple(rollout.order), tuple(rollout.installed),
                 )
-        install = {
-            "query_id": query_id,
-            "query": text,
-            "activates_at": activates_at,
-            "expires_at": expires_at,
-        }
+        live = _LiveQuery(
+            plan=plan,
+            text=text,
+            activates_at=activates_at,
+            expires_at=expires_at,
+            planned=planned_names,
+            targeted=targeted_names,
+            delivery=delivery,
+            rollout=rollout,
+            controller=self._make_controller(
+                query_id, plan, len(resolved), len(install_now)
+            ),
+        )
+        self._running[query_id] = live
+        install = self._install_message(query_id, live)
         install_failures: list[str] = []
         for name, conn in install_now:
             try:
@@ -870,17 +959,6 @@ class ScrubDaemon:
                     name, conn, "install-push-failed",
                     f"install of {query_id} could not be delivered",
                 )
-
-        self._running[query_id] = _LiveQuery(
-            plan=plan,
-            text=text,
-            activates_at=activates_at,
-            expires_at=expires_at,
-            planned=planned_names,
-            targeted=targeted_names,
-            delivery=delivery,
-            rollout=rollout,
-        )
         if rollout is not None:
             self._say(
                 f"query {query_id} canary on "
@@ -933,6 +1011,8 @@ class ScrubDaemon:
         results = self.engine.results_so_far(query_id)
         if live.rollout is not None:
             results.rollout = live.rollout.as_dict()
+        if live.controller is not None:
+            results.sampling = live.controller.status()
         return results
 
     async def _finish(self, query_id: str) -> ResultSet:
@@ -953,6 +1033,8 @@ class ScrubDaemon:
         results = self.engine.finish(query_id)
         if live.rollout is not None:
             results.rollout = live.rollout.as_dict()
+        if live.controller is not None:
+            results.sampling = live.controller.status()
         self._results[query_id] = results
         if self._journal is not None:
             self._journal.record_finish(query_id)
@@ -1000,6 +1082,14 @@ class ScrubDaemon:
                 for query_id, live in self._running.items()
                 if live.rollout is not None
             },
+            # Closed-loop sampling controllers for running TARGET CI
+            # queries (the scrub-shell ``\\rates`` view reads this); a
+            # finished query's final state rides its stored ResultSet.
+            "controllers": {
+                query_id: live.controller.status()
+                for query_id, live in self._running.items()
+                if live.controller is not None
+            },
             "shards": len(self._shard_queues),
             "workers": self.workers,
             "lease_seconds": self._lease_seconds,
@@ -1035,10 +1125,15 @@ class ScrubDaemon:
             now = self._clock()
             await self._expire_leases(now)
             await self._rollout_tick(now)
+            emitted: list = []
             try:
-                self.engine.advance(now)
+                emitted = self.engine.advance(now) or []
             except Exception as exc:
                 self._say(f"tick: advance failed: {exc!r}")
+            try:
+                await self._control_tick(emitted, now)
+            except Exception as exc:
+                self._say(f"tick: control failed: {exc!r}")
             for query_id, live in list(self._running.items()):
                 if now >= live.expires_at + self._drain_margin:
                     try:
@@ -1172,12 +1267,10 @@ class ScrubDaemon:
                     "connected" if self.fleet.conn(name) is not None
                     else "disconnected"
                 )
-            install = {
-                "query_id": query_id,
-                "query": live.text,
-                "activates_at": live.activates_at,
-                "expires_at": live.expires_at,
-            }
+            # The helper includes the current rate version, so a tranche
+            # installed mid-retune starts at the steady-state rates —
+            # canaries and latecomers never sample divergently.
+            install = self._install_message(query_id, live)
             for name in tranche:
                 conn = self.fleet.conn(name)
                 if conn is None:
@@ -1202,6 +1295,88 @@ class ScrubDaemon:
         self._say(
             f"query {query_id} rollout {rollout.state}: stage {rollout.stage}, "
             f"{len(rollout.installed)}/{len(rollout.order)} host(s) installed"
+        )
+
+    # -- closed-loop sampling --------------------------------------------------------
+
+    async def _control_tick(self, emitted: list, now: float) -> None:
+        """Drive every TARGET CI query's rate controller one step: feed
+        the windows the engine just closed and the cost counters from
+        agent heartbeats, then fan out any retune it issues."""
+        with_controller = [
+            (query_id, live)
+            for query_id, live in list(self._running.items())
+            if live.controller is not None
+        ]
+        if not with_controller:
+            return
+        for window in emitted:
+            live = self._running.get(window.query_id)
+            if live is not None and live.controller is not None:
+                live.controller.observe_window(window, now)
+        for query_id, live in with_controller:
+            controller = live.controller
+            assert controller is not None
+            if now >= live.expires_at:
+                continue
+            costs: dict[str, Any] = {}
+            for name in live.targeted:
+                conn = self.fleet.conn(name)
+                if conn is None:
+                    # A detached host must not freeze the loop on its
+                    # last heartbeat forever; it re-reports on rejoin.
+                    controller.forget_host(name)
+                    continue
+                per_query = conn.query_costs.get(query_id)
+                if isinstance(per_query, dict):
+                    costs[name] = per_query
+            controller.observe_costs(costs, now)
+            update = controller.tick(now)
+            if update is not None:
+                await self._apply_rates(query_id, live, update)
+
+    async def _apply_rates(
+        self, query_id: str, live: _LiveQuery, update: RateUpdate
+    ) -> None:
+        """Fan one versioned retune out to the query's hosts.  The
+        journal append comes *first*: a daemon killed between journal
+        and fan-out recovers with this exact version and replays it over
+        the INSTALL path, and agents' version compare makes the replay
+        idempotent — laggards converge, up-to-date hosts ignore it."""
+        if self._journal is not None:
+            self._journal.record_rates(
+                query_id,
+                update.version,
+                update.host_rate,
+                update.event_rate,
+                update.reason,
+            )
+        message = {
+            "query_id": query_id,
+            "rates": {
+                "version": update.version,
+                "host_rate": update.host_rate,
+                "event_rate": update.event_rate,
+            },
+            # Agents treat a RETUNE for an installed query as a rates
+            # refresh; the full INSTALL replay path stays reserved for
+            # reconnects.
+            "query": live.text,
+            "activates_at": live.activates_at,
+            "expires_at": live.expires_at,
+        }
+        for name in live.targeted:
+            conn = self.fleet.conn(name)
+            if conn is None:
+                continue  # replayed by _sync_queries when it re-registers
+            try:
+                await conn.push(MsgType.INSTALL, message)
+            except (ConnectionError, OSError, RuntimeError):
+                self.push_failures += 1
+                live.delivery[name] = "unreachable"
+        self._say(
+            f"query {query_id} retuned to v{update.version}: "
+            f"event_rate={update.event_rate:.4g} ({update.reason})"
         )
 
 
@@ -1236,6 +1411,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--journal", metavar="PATH", default=None,
         help="append-only query journal; open spans resume on restart",
     )
+    parser.add_argument(
+        "--budget-wall-ms", type=float, default=None, metavar="MS",
+        help="per-host wall budget (ms per second) that TARGET CI rate "
+        "controllers clamp against, backing off before the agents' own "
+        "governors engage (default: no daemon-side clamp)",
+    )
     args = parser.parse_args(argv)
 
     daemon = ScrubDaemon(
@@ -1249,6 +1430,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         stale_after=args.stale_after,
         journal_path=args.journal,
         workers=args.workers,
+        impact_budget=(
+            ImpactBudget(max_wall_seconds=args.budget_wall_ms / 1000.0)
+            if args.budget_wall_ms is not None
+            else None
+        ),
         log=sys.stdout,
     )
     try:

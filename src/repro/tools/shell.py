@@ -20,6 +20,8 @@ Shell commands (anything else is parsed as a Scrub query):
     \\fleet             (live mode) membership with last-seen age, epoch,
                        armed-query costs and quarantine counts
     \\queries           list running queries
+    \\rates             (live mode) closed-loop sampling controllers:
+                       applied rates, rate version, achieved vs target CI
     \\run <seconds>     advance virtual time without a query
     \\csv               print the last result set as CSV
     \\json              print the last result set as JSON
@@ -218,6 +220,8 @@ class LiveShell:
                 )
         elif cmd == "\\fleet":
             self._fleet()
+        elif cmd == "\\rates":
+            self._rates()
         elif cmd == "\\queries":
             stats = self._stats()
             self._print(
@@ -286,6 +290,37 @@ class LiveShell:
                 f"{member['last_seen_age']:6.1f}s {member['epoch']:>20d} "
                 f"{len(costs):>5d} {peak:>9s} "
                 f"{quarantine_counts.get(member['host'], 0):>4d}"
+            )
+
+    def _rates(self) -> None:
+        """The ``\\rates`` command: closed-loop sampling controllers —
+        applied rates, rate version, achieved vs target CI, and the
+        degradation state (docs/SCALING.md §6)."""
+        controllers = self._stats().get("controllers", {})
+        if not controllers:
+            self._print("  no TARGET CI queries running")
+            return
+        self._print(
+            f"  {'query':8s} {'state':12s} {'ver':>4s} {'hosts':>9s} "
+            f"{'ev rate':>8s} {'target':>7s} {'achieved':>9s}  note"
+        )
+        for query_id, ctl in sorted(controllers.items()):
+            achieved = ctl.get("achieved_relative_error")
+            note = ""
+            if ctl.get("frozen_reason"):
+                note = f"frozen: {ctl['frozen_reason']}"
+            elif ctl.get("rate_limited"):
+                limited = ctl["rate_limited"]
+                note = (
+                    f"{limited['reason']}: achievable "
+                    f"{limited['achievable_relative_error']:.1%}"
+                )
+            hosts = f"{ctl['host_count']}/{ctl['total_hosts']}"
+            measured = f"{achieved:.1%}" if achieved is not None else "-"
+            self._print(
+                f"  {query_id:8s} {ctl['state']:12s} {ctl['version']:>4d} "
+                f"{hosts:>9s} {ctl['event_rate']:>8.4f} "
+                f"{ctl['target_relative_error']:>6.1%} {measured:>9s}  {note}"
             )
 
     def _query(self, text: str) -> None:

@@ -1,0 +1,171 @@
+"""End-to-end acceptance for closed-loop accuracy-aware sampling.
+
+A ``TARGET CI`` query on a simulated fleet must start wide-open (full
+event rate), relax to the cheapest rate whose *measured* CI still meets
+the target, and then sit still inside the deadband.  When the impact
+budget tightens mid-run, the controller clamps and reports the honest
+achievable bound as ``rate_limited`` degradation — without the host
+governors ever escalating to shed or quarantine.
+"""
+
+import pytest
+
+from repro.cluster.runtime import SimCluster, run_to_completion
+from repro.core.agent.governor import (
+    STAGE_QUARANTINED,
+    STAGE_SHEDDING,
+    ImpactBudget,
+)
+from repro.core.events import EventRegistry
+
+TARGET = 0.10
+
+QUERY = (
+    "select SUM(bid_price) from bid @[Service in BidServers] "
+    "window 5s duration 120s target ci 10%;"
+)
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [("exchange_id", "long"), ("bid_price", "double")])
+    return r
+
+
+def priced_traffic(cluster, hosts, per_tick=10, tick=0.1):
+    """Steady traffic with a deterministic heavy-tailed price mix (1 in
+    20 bids is a 20x whale) so the value dispersion is large enough that
+    the CI inversion lands mid-ladder, not at the rate floor."""
+    counter = [0]
+
+    def emit():
+        for host in hosts:
+            for _ in range(per_tick):
+                rid = counter[0]
+                counter[0] += 1
+                host.charge_app(0.002)
+                host.agent.log(
+                    "bid",
+                    exchange_id=1,
+                    bid_price=20.0 if rid % 20 == 0 else 1.0,
+                    request_id=rid,
+                )
+
+    cluster.loop.call_every(tick, emit)
+
+
+class TestConvergence:
+    def test_starts_full_rate_and_relaxes_to_target(self, registry):
+        with SimCluster(registry, flush_interval=0.5) as cluster:
+            hosts = cluster.add_service("BidServers", "dc1", 8)
+            priced_traffic(cluster, hosts)
+            handle = cluster.submit(QUERY)
+            ctl = cluster.server.controller(handle.query_id)
+            assert ctl is not None
+            # Wide-open start: the submitted (full) rates apply until
+            # telemetry proves a cheaper pair meets the target.
+            assert ctl.event_rate == 1.0
+            assert ctl.version == 0
+
+            cluster.run_for(60.0)
+            mid = ctl.status()
+            assert mid["state"] == "tracking"
+            assert mid["version"] >= 1
+            assert mid["last_update_reason"] == "relax"
+            # Cheaper than submitted, but not degenerate: the deadband
+            # aims at 90% of the target, not the floor.
+            assert 0.05 < mid["event_rate"] <= 0.75
+            converged_version = mid["version"]
+
+            # Deadband: with telemetry steady, the pair must sit still —
+            # no further retunes over the rest of the run.
+            cluster.run_for(50.0)
+            assert ctl.status()["version"] == converged_version
+
+            results = run_to_completion(cluster, handle)
+
+        sampling = results.sampling
+        assert sampling is not None
+        assert sampling["state"] == "tracking"
+        assert sampling["rate_limited"] is None
+
+        # The measured CI at the relaxed rates meets the target: both
+        # the smoothed controller view and the raw late windows.
+        assert sampling["achieved_relative_error"] is not None
+        assert sampling["achieved_relative_error"] <= TARGET
+        settled = [
+            est
+            for window in results.windows
+            if window.window_start >= 60.0
+            for est in (window.estimates or {}).values()
+        ]
+        assert settled
+        for est in settled:
+            assert est.relative_error <= TARGET
+
+    def test_estimates_flow_at_full_rate(self, registry):
+        # Dispersion telemetry must be well-defined before any sampling
+        # happens, otherwise the loop could never take its first step.
+        with SimCluster(registry, flush_interval=0.5) as cluster:
+            hosts = cluster.add_service("BidServers", "dc1", 4)
+            priced_traffic(cluster, hosts, per_tick=5)
+            handle = cluster.submit(
+                "select SUM(bid_price) from bid @[Service in BidServers] "
+                "window 5s duration 10s target ci 10%;"
+            )
+            cluster.run_for(7.0)
+            results = cluster.poll(handle.query_id)
+            assert results.windows
+            est = next(iter(results.windows[0].estimates.values()))
+            assert est.sample_events > 0
+            assert est.value_dispersion >= 0.0
+
+
+class TestBudgetTightening:
+    def test_mid_run_clamp_degrades_honestly(self, registry):
+        generous = ImpactBudget(max_wall_seconds=0.5)
+        with SimCluster(
+            registry, flush_interval=0.5, impact_budget=generous
+        ) as cluster:
+            hosts = cluster.add_service("BidServers", "dc1", 8)
+            priced_traffic(cluster, hosts)
+            handle = cluster.submit(QUERY)
+            ctl = cluster.server.controller(handle.query_id)
+
+            cluster.run_for(50.0)
+            assert ctl.status()["state"] == "tracking"
+            rate_before = ctl.event_rate
+
+            # Operations tightens the budget mid-run (the controller's
+            # copy only — the agents keep their generous governors, so
+            # any overload response must come from the control loop).
+            ctl.budget = ImpactBudget(max_wall_seconds=1e-7)
+            cluster.run_for(30.0)
+
+            sampling = cluster.poll(handle.query_id).sampling
+            assert sampling["state"] == "rate_limited"
+            assert sampling["last_update_reason"] == "clamp"
+            assert sampling["event_rate"] < rate_before
+            limited = sampling["rate_limited"]
+            assert limited is not None
+            assert limited["reason"] == "impact-budget"
+            # The reported bound widens to what the clamped rate can
+            # actually deliver — never a silent accuracy lie.
+            assert limited["achievable_relative_error"] > TARGET
+            assert limited["target_relative_error"] == pytest.approx(TARGET)
+
+            # The controller backed off below the clamp line, so the
+            # governor ladder never fires: no shed, no quarantine.
+            for host in hosts:
+                agent = host.agent
+                assert agent.stats.events_shed == 0
+                assert agent.stats.queries_quarantined == 0
+                for snap in agent.governor_state().values():
+                    assert snap["stage"] not in (
+                        STAGE_SHEDDING,
+                        STAGE_QUARANTINED,
+                    )
+
+            results = run_to_completion(cluster, handle)
+        assert results.sampling["rate_limited"] is not None

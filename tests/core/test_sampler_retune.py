@@ -1,0 +1,134 @@
+"""Nested-by-construction rate changes: the keyed threshold sampler and
+the agent's versioned retune path.
+
+The closed-loop controller changes event rates while a query runs; the
+whole scheme is only sound if a rate change can never *reshuffle* which
+requests are kept — lowering a rate must only remove requests, raising
+it must restore exactly the previously kept ids.  The threshold-compare
+sampler gives this by construction; these tests pin it, property-style,
+and cover the agent's version-compare application on top.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.agent import EventSampler, RecordingTransport, ScrubAgent
+from repro.core.events import EventRegistry
+from repro.core.query import parse_query, plan_query, validate_query
+
+RIDS = list(range(0, 4000, 7))
+
+
+def kept_set(sampler: EventSampler) -> set[int]:
+    return {rid for rid in RIDS if sampler.keep(rid)}
+
+
+class TestSubsetProperty:
+    @given(
+        r1=st.floats(min_value=1e-6, max_value=1.0, exclude_max=True),
+        r2=st.floats(min_value=1e-6, max_value=1.0),
+        query_id=st.text(
+            alphabet="abcdefghij0123456789", min_size=1, max_size=12
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lower_rate_keeps_strict_subset(self, r1, r2, query_id):
+        lo, hi = sorted((r1, r2))
+        low = EventSampler(lo, query_id)
+        high = EventSampler(hi, query_id)
+        assert kept_set(low) <= kept_set(high)
+
+    @given(rate=st.floats(min_value=1e-6, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_set_rate_equivalent_to_fresh_sampler(self, rate):
+        retuned = EventSampler(1.0, "q42")
+        retuned.set_rate(rate)
+        fresh = EventSampler(rate, "q42")
+        assert kept_set(retuned) == kept_set(fresh)
+
+    def test_lower_then_restore_is_identity(self):
+        sampler = EventSampler(0.5, "q7")
+        before = kept_set(sampler)
+        sampler.set_rate(0.05)
+        reduced = kept_set(sampler)
+        assert reduced <= before
+        sampler.set_rate(0.5)
+        assert kept_set(sampler) == before
+
+    def test_rate_one_keeps_everything(self):
+        sampler = EventSampler(0.25, "q9")
+        sampler.set_rate(1.0)
+        assert kept_set(sampler) == set(RIDS)
+
+    def test_set_rate_validates(self):
+        sampler = EventSampler(0.5, "q1")
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                sampler.set_rate(bad)
+        assert sampler.rate == 0.5  # unchanged after rejection
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [("exchange_id", "long"), ("bid_price", "double")])
+    return r
+
+
+def install(agent, registry, text, query_id="q1"):
+    plan = plan_query(validate_query(parse_query(text), registry), query_id)
+    for obj in plan.host_objects:
+        agent.install(obj, 0.0, 3600.0)
+
+
+class TestAgentRetune:
+    def make(self, registry):
+        return ScrubAgent("h1", registry, RecordingTransport(), clock=lambda: 1.0)
+
+    def test_retune_applies_and_versions(self, registry):
+        agent = self.make(registry)
+        install(agent, registry, "select COUNT(*) from bid sample events 50%;")
+        assert agent.rates_version("q1") == 0
+        assert agent.retune("q1", 0.125, version=3)
+        assert agent.rates_version("q1") == 3
+        assert agent.query_costs()["q1"]["rates_version"] == 3
+
+    def test_stale_version_ignored(self, registry):
+        # INSTALL replays can arrive out of order after a daemon crash;
+        # an older version must never roll the sampler back.
+        agent = self.make(registry)
+        install(agent, registry, "select COUNT(*) from bid sample events 50%;")
+        assert agent.retune("q1", 0.125, version=5)
+        assert not agent.retune("q1", 0.9, version=4)
+        assert not agent.retune("q1", 0.7, version=5)
+        assert agent.rates_version("q1") == 5
+
+    def test_retune_unknown_query_is_noop(self, registry):
+        agent = self.make(registry)
+        assert not agent.retune("missing", 0.5, version=1)
+
+    def test_retune_changes_kept_population_nestedly(self, registry):
+        agent = self.make(registry)
+        install(agent, registry, "select SUM(bid_price) from bid sample events 90%;")
+
+        def kept(n=2000):
+            out = set()
+            for rid in range(n):
+                if agent.log("bid", request_id=rid, exchange_id=1, bid_price=1.0):
+                    out.add(rid)
+            return out
+
+        wide = kept()
+        agent.retune("q1", 0.1, version=1)
+        narrow = kept()
+        assert narrow <= wide
+        agent.retune("q1", 0.9, version=2)
+        assert kept() == wide
+
+    def test_uninstall_clears_version(self, registry):
+        agent = self.make(registry)
+        install(agent, registry, "select COUNT(*) from bid sample events 50%;")
+        agent.retune("q1", 0.25, version=2)
+        agent.uninstall("q1")
+        assert agent.rates_version("q1") == 0

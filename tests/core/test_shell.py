@@ -95,3 +95,66 @@ def test_all_scenarios_constructible():
     for name, factory in SCENARIOS.items():
         scenario = factory()
         assert scenario.cluster.hosts(), name
+
+
+class TestLiveShellRates:
+    PAYLOAD = {
+        "controllers": {
+            "q00001": {
+                "state": "tracking",
+                "version": 3,
+                "host_count": 8,
+                "total_hosts": 8,
+                "event_rate": 0.25,
+                "target_relative_error": 0.10,
+                "achieved_relative_error": 0.049,
+                "rate_limited": None,
+                "frozen_reason": None,
+            },
+            "q00002": {
+                "state": "rate_limited",
+                "version": 5,
+                "host_count": 4,
+                "total_hosts": 16,
+                "event_rate": 0.0009765625,
+                "target_relative_error": 0.05,
+                "achieved_relative_error": None,
+                "rate_limited": {
+                    "reason": "impact-budget",
+                    "achievable_relative_error": 0.42,
+                    "cap_event_rate": 0.0009765625,
+                    "target_relative_error": 0.05,
+                },
+                "frozen_reason": None,
+            },
+        }
+    }
+
+    def make_shell(self, monkeypatch, payload):
+        import repro.live.client as live_client
+        from repro.tools.shell import LiveShell
+
+        class StubClient:
+            def __init__(self, address):
+                pass
+
+            def stats(self):
+                return payload
+
+        monkeypatch.setattr(live_client, "ControlClient", StubClient)
+        out = io.StringIO()
+        return LiveShell(("127.0.0.1", 0), out=out), out
+
+    def test_rates_renders_controllers(self, monkeypatch):
+        shell, out = self.make_shell(monkeypatch, self.PAYLOAD)
+        text, _ = run_lines(shell, out, "\\rates")
+        assert "q00001" in text and "tracking" in text
+        assert "0.2500" in text and "10.0%" in text and "4.9%" in text
+        assert "q00002" in text and "rate_limited" in text
+        assert "impact-budget: achievable 42.0%" in text
+        assert "4/16" in text
+
+    def test_rates_empty(self, monkeypatch):
+        shell, out = self.make_shell(monkeypatch, {})
+        text, _ = run_lines(shell, out, "\\rates")
+        assert "no TARGET CI queries" in text

@@ -1,0 +1,119 @@
+"""SUBMIT-time handling of the ``TARGET CI x%`` clause and sampling
+rates: parsing, structured rejection of malformed clauses, validator
+rules, and the unparse roundtrip."""
+
+import pytest
+
+from repro.core.events import EventRegistry
+from repro.core.query import parse_query, unparse, validate_query
+from repro.core.query.ast import TargetCISpec
+from repro.core.query.errors import ScrubSyntaxError, ScrubValidationError
+
+
+@pytest.fixture
+def registry():
+    r = EventRegistry()
+    r.define("bid", [
+        ("exchange_id", "long"), ("bid_price", "double"), ("city", "string"),
+    ])
+    r.define("impression", [("cost", "double")])
+    return r
+
+
+def validate(text, registry):
+    return validate_query(parse_query(text), registry)
+
+
+class TestParsing:
+    def test_parse_target_ci(self):
+        q = parse_query(
+            "select SUM(bid_price) from bid sample events 10% target ci 5%;"
+        )
+        assert q.target_ci == TargetCISpec(relative_error=0.05)
+
+    def test_parse_fractional_percentage(self):
+        q = parse_query("select COUNT(*) from bid target ci 2.5%;")
+        assert q.target_ci.relative_error == pytest.approx(0.025)
+
+    def test_missing_percent_sign_rejected(self):
+        with pytest.raises(ScrubSyntaxError, match="'%' after TARGET CI"):
+            parse_query("select COUNT(*) from bid target ci 5;")
+
+    def test_missing_number_rejected(self):
+        with pytest.raises(ScrubSyntaxError, match="percentage after TARGET CI"):
+            parse_query("select COUNT(*) from bid target ci;")
+
+    @pytest.mark.parametrize("pct", ["0", "100", "250", "-5"])
+    def test_out_of_range_percentage_rejected(self, pct):
+        with pytest.raises(ScrubSyntaxError):
+            parse_query(f"select COUNT(*) from bid target ci {pct}%;")
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(ScrubSyntaxError, match="duplicate"):
+            parse_query("select COUNT(*) from bid target ci 5% target ci 4%;")
+
+    def test_unparse_roundtrip(self):
+        text = (
+            "select SUM(bid_price) from bid sample events 10% target ci 5%;"
+        )
+        q = parse_query(text)
+        again = parse_query(unparse(q))
+        assert again.target_ci == q.target_ci
+        assert again.sampling == q.sampling
+
+
+class TestValidation:
+    def test_plain_aggregate_accepted(self, registry):
+        q = validate(
+            "select SUM(bid_price) from bid sample events 25% target ci 5%;",
+            registry,
+        )
+        assert q.query.target_ci is not None
+
+    def test_full_rate_accepted(self, registry):
+        # The controller starts wide-open and relaxes down, so TARGET CI
+        # without SAMPLE clauses must be valid.
+        q = validate("select COUNT(*) from bid target ci 10%;", registry)
+        assert q.query.target_ci is not None
+
+    def test_join_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="single event type"):
+            validate(
+                "select COUNT(*) from bid, impression target ci 5%;", registry
+            )
+
+    def test_group_by_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="GROUP BY"):
+            validate(
+                "select city, COUNT(*) from bid group by city target ci 5%;",
+                registry,
+            )
+
+    def test_sliding_window_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="tumbling"):
+            validate(
+                "select COUNT(*) from bid window 10s slide 5s "
+                "target ci 5%;",
+                registry,
+            )
+
+    def test_host_aggregation_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="AGGREGATE ON HOSTS"):
+            validate(
+                "select COUNT(*) from bid aggregate on hosts target ci 5%;",
+                registry,
+            )
+
+    def test_non_estimable_aggregate_rejected(self, registry):
+        with pytest.raises(ScrubValidationError, match="COUNT/SUM/AVG"):
+            validate(
+                "select MAX(bid_price) from bid target ci 5%;", registry
+            )
+
+    def test_spec_construction_bounds(self):
+        with pytest.raises(ValueError):
+            TargetCISpec(relative_error=0.0)
+        with pytest.raises(ValueError):
+            TargetCISpec(relative_error=1.0)
+        with pytest.raises(ValueError):
+            TargetCISpec(relative_error=0.05, confidence=1.0)

@@ -212,3 +212,47 @@ class TestCrashTolerance:
 
 def test_open_journal_propagates_none():
     assert open_journal(None) is None
+
+
+class TestRatesRecords:
+    def test_last_rates_record_wins_on_replay(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 60.0, ("h",), ("h",))
+        journal.record_rates("q00001", 1, 1.0, 0.7071, reason="relax")
+        journal.record_rates("q00001", 2, 1.0, 0.5, reason="relax")
+        journal.record_rates("q00001", 3, 1.0, 0.25, reason="clamp")
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        record = reloaded.state.rates["q00001"]
+        assert record["version"] == 3
+        assert record["event_rate"] == 0.25
+        assert record["reason"] == "clamp"
+        reloaded.close()
+
+    def test_finish_clears_the_rates_with_its_submit(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 60.0, ("h",), ("h",))
+        journal.record_rates("q00001", 1, 1.0, 0.5)
+        journal.record_finish("q00001")
+        journal.close()
+
+        reloaded = QueryJournal(journal.path)
+        assert reloaded.state.rates == {}
+        assert reloaded.state.finished == {"q00001"}
+        reloaded.close()
+
+    def test_torn_rates_append_replays_previous_version(self, tmp_path):
+        # A SIGKILL mid-append must recover to the last *journalled*
+        # retune, never a half-written one.
+        journal = _journal(tmp_path)
+        journal.record_submit("q00001", "a;", 0.0, 60.0, ("h",), ("h",))
+        journal.record_rates("q00001", 1, 1.0, 0.7071)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as f:
+            f.write('{"op":"rates","query_id":"q00001","version":2,"ev')
+
+        reloaded = QueryJournal(journal.path)
+        assert reloaded.state.torn_records == 1
+        assert reloaded.state.rates["q00001"]["version"] == 1
+        reloaded.close()
