@@ -6,6 +6,7 @@ from .groupby import GroupByProcessor, WindowGroups, make_field_getter
 from .join import JoinBuffer, JoinedRow
 from .pool import ShardPool
 from .results import ResultRow, ResultSet, WindowResult
+from .shm_ring import DEFAULT_RING_CAPACITY, RingUnavailable, ShmRing
 from .window import (
     SlidingWindowAssigner,
     TumblingWindowAssigner,
@@ -18,12 +19,15 @@ __all__ = [
     "CentralEngine",
     "CentralStats",
     "DEFAULT_GRACE_SECONDS",
+    "DEFAULT_RING_CAPACITY",
     "GroupByProcessor",
     "JoinBuffer",
     "JoinedRow",
     "ResultRow",
     "ResultSet",
+    "RingUnavailable",
     "ShardPool",
+    "ShmRing",
     "SlidingWindowAssigner",
     "TumblingWindowAssigner",
     "WindowAssigner",

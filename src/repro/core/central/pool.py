@@ -40,14 +40,22 @@ stays idempotent with dead workers in any state.
 
 The boundary is the pickle-able event codec: events cross the pipe via
 ``Event.__reduce__``, aggregate states come back via their flat pickle
-forms.  Everything observable — results, stats, coverage, drop/late
-accounting — matches the serial engine exactly in fault-free runs;
-``benchmarks/run_bench.py`` and ``tests/core/test_shard_pool.py`` pin
-that equivalence with supervision enabled.
+forms.  On the default shared-memory transport the hot path is leaner
+still: ``ingest_frame`` writes each shard's wire bytes once into that
+worker's SPSC ring (``shm_ring.ShmRing``) and sends only an integer
+descriptor over the pipe — the parent passes offsets, not bytes (see
+docs/SCALING.md §"Shared-memory ring ingest").  Ring-full spills to the
+pipe-bytes path, platform problems fall back to it entirely, and every
+respawn gets a fresh generation-tagged ring.  Everything observable —
+results, stats, coverage, drop/late accounting — matches the serial
+engine exactly in fault-free runs; ``benchmarks/run_bench.py`` and
+``tests/core/test_shard_pool.py`` pin that equivalence with supervision
+enabled, on both transports.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import warnings
@@ -59,27 +67,66 @@ from ..query.errors import ScrubExecutionError
 from ..query.planner import CentralQueryObject
 from .engine import DEFAULT_GRACE_SECONDS, CentralEngine, _RunningQuery
 from .results import ResultSet, WindowResult
+from .shm_ring import DEFAULT_RING_CAPACITY, ShmRing
 from .window import TumblingWindowAssigner
 
 __all__ = ["ShardPool", "DEFAULT_WORKER_TIMEOUT"]
+
+_log = logging.getLogger(__name__)
 
 #: Seconds the parent waits for a worker's window-close reply before it
 #: declares the worker hung and respawns it.
 DEFAULT_WORKER_TIMEOUT = 10.0
 
+#: Idle-recv heartbeat: how often a quiescent worker checks whether its
+#: parent is still alive (a parent killed without close() cannot EOF the
+#: pipe — the fork child holds the other end too).
+_ORPHAN_POLL_SECONDS = 2.0
 
-def _worker_main(conn, grace_seconds: float) -> None:
+
+def _worker_main(
+    conn,
+    grace_seconds: float,
+    ring_name: Optional[str] = None,
+    generation: int = 0,
+) -> None:
     """Shard worker loop: a thin message pump around a CentralEngine.
 
     The worker reuses the engine's batched processing internals but never
     closes windows itself — the parent owns window lifecycle and asks for
     partial state instead.  Errors are remembered per query and reported
     on the next close so a poisoned event cannot wedge the protocol.
+
+    When the parent assigned a shared-memory ring, the very first pipe
+    message is the attach handshake ``("ready", ok, detail)`` — sent
+    before any other traffic so the parent can fall back to pipe-bytes
+    without desynchronizing later replies.
     """
     engine = CentralEngine(grace_seconds=grace_seconds)
     failed: dict[str, str] = {}
+    parent_pid = os.getppid()
+    ring = None
+    if ring_name is not None:
+        try:
+            ring = ShmRing.attach(ring_name, generation)
+            conn.send(("ready", True, ""))
+        except Exception as exc:  # noqa: BLE001 - reported in the handshake
+            try:
+                conn.send(("ready", False, f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                pass
     while True:
         try:
+            # The fork child inherits the parent-side pipe end, so a
+            # parent that dies without close() never EOFs this recv —
+            # the worker would block forever, pinning its ring segment
+            # in /dev/shm.  Poll with a heartbeat and exit once we have
+            # been reparented; the resource tracker then reaps the
+            # orphaned segments.
+            if not conn.poll(_ORPHAN_POLL_SECONDS):
+                if os.getppid() != parent_pid:
+                    break
+                continue
             message = conn.recv()
         except (EOFError, OSError):
             break
@@ -110,6 +157,40 @@ def _worker_main(conn, grace_seconds: float) -> None:
                 engine._process_window_events(rq, window, events)
             except Exception as exc:  # noqa: BLE001 - reported at close
                 failed[query_id] = f"{type(exc).__name__}: {exc}"
+        elif kind == "shm":
+            # Shared-memory ingest: the payload bytes never crossed the
+            # pipe — decode them straight out of the ring, then release
+            # the span back to the producer.  The release runs even when
+            # the query failed or vanished; a skipped ack would strand
+            # those bytes and jam the ring into permanent spill.
+            _, query_id, window, count, offset, length, upto, _seq, gen = message
+            if ring is None or gen != ring.generation:
+                continue
+            events = None
+            error: Optional[str] = None
+            rq = None
+            payload = ring.payload(offset, length)
+            try:
+                if query_id not in failed:
+                    rq = engine._queries.get(query_id)
+                    if rq is not None:
+                        try:
+                            events = decode_event_frames(payload, count)
+                        except Exception as exc:  # noqa: BLE001
+                            error = f"{type(exc).__name__}: {exc}"
+            finally:
+                # Decode copied the bytes out; drop the sub-view *before*
+                # acking — a lingering export would keep the segment's
+                # mmap pinned past ring.close() at worker exit.
+                payload.release()
+                ring.release(upto)
+            if error is not None:
+                failed[query_id] = error
+            elif events is not None:
+                try:
+                    engine._process_window_events(rq, window, events)
+                except Exception as exc:  # noqa: BLE001 - reported at close
+                    failed[query_id] = f"{type(exc).__name__}: {exc}"
         elif kind == "close":
             _, query_id, window = message
             error = failed.get(query_id)
@@ -130,6 +211,8 @@ def _worker_main(conn, grace_seconds: float) -> None:
             failed.pop(query_id, None)
         elif kind == "stop":
             break
+    if ring is not None:
+        ring.close()
     conn.close()
 
 
@@ -166,15 +249,28 @@ def _collect_window(engine: CentralEngine, query_id: str, window: int):
 
 
 class _Worker:
-    """One supervised shard worker: its process, pipe, and generation."""
+    """One supervised shard worker: process, pipe, generation, and ring.
 
-    __slots__ = ("index", "proc", "conn", "generation")
+    ``ring`` is ``None`` on the pipe-bytes transport (or after a
+    capability fallback); the per-worker counters feed ``pool_health()``.
+    """
 
-    def __init__(self, index: int, proc, conn, generation: int) -> None:
+    __slots__ = (
+        "index", "proc", "conn", "generation",
+        "ring", "seq", "descriptors", "bytes_in_place", "spills",
+    )
+
+    def __init__(self, index: int, proc, conn, generation: int, ring=None) -> None:
         self.index = index
         self.proc = proc
         self.conn = conn
         self.generation = generation
+        self.ring = ring
+        #: Monotonic descriptor sequence (debugging/observability aid).
+        self.seq = 0
+        self.descriptors = 0
+        self.bytes_in_place = 0
+        self.spills = 0
 
 
 class _WorkerHung(Exception):
@@ -196,13 +292,24 @@ class ShardPool(CentralEngine):
         grace_seconds: float = DEFAULT_GRACE_SECONDS,
         on_window: Optional[Callable[[WindowResult], None]] = None,
         worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+        transport: str = "shm",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ) -> None:
         super().__init__(grace_seconds, on_window)
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         if worker_timeout <= 0:
             raise ValueError(f"worker_timeout must be positive, got {worker_timeout}")
+        if transport not in ("shm", "pipe"):
+            raise ValueError(f"transport must be 'shm' or 'pipe', got {transport!r}")
+        if ring_capacity <= 0:
+            raise ValueError(f"ring_capacity must be positive, got {ring_capacity}")
         self._worker_timeout = worker_timeout
         self._grace_seconds = grace_seconds
+        #: Whether new worker spawns get a shared-memory ring.  Flips to
+        #: False (once, with a log line) on any create/attach failure —
+        #: the pool degrades to pipe-bytes instead of crashing.
+        self._use_shm = transport == "shm"
+        self._ring_capacity = ring_capacity
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -227,11 +334,32 @@ class ShardPool(CentralEngine):
 
     # -- supervision -----------------------------------------------------------
 
+    def _fallback_to_pipe(self, reason: str) -> None:
+        """Disable the shm transport for this pool, logging once."""
+        if self._use_shm:
+            self._use_shm = False
+            _log.warning(
+                "shared-memory ring transport disabled (%s); "
+                "falling back to pipe-bytes shard ingest",
+                reason,
+            )
+
     def _spawn(self, index: int, generation: int) -> _Worker:
+        ring = None
+        if self._use_shm:
+            try:
+                ring = ShmRing.create(self._ring_capacity, generation)
+            except Exception as exc:  # noqa: BLE001 - capability fallback
+                self._fallback_to_pipe(f"ring create failed: {exc}")
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._grace_seconds),
+            args=(
+                child_conn,
+                self._grace_seconds,
+                ring.name if ring is not None else None,
+                generation,
+            ),
             name=f"scrub-shard-{index}.{generation}",
             daemon=True,
         )
@@ -241,7 +369,51 @@ class ShardPool(CentralEngine):
             warnings.simplefilter("ignore", DeprecationWarning)
             proc.start()
         child_conn.close()
-        return _Worker(index, proc, parent_conn, generation)
+        worker = _Worker(index, proc, parent_conn, generation, ring)
+        if ring is not None:
+            worker = self._confirm_ring(worker)
+        return worker
+
+    def _confirm_ring(self, worker: _Worker) -> _Worker:
+        """Wait for the worker's attach handshake; degrade on failure.
+
+        A worker that reports a failed attach keeps running ring-less
+        (it sent the handshake, so its pipe is in sync).  A worker that
+        never answers is killed and respawned without a ring — the
+        ring-less spawn path has no handshake, so this cannot recurse.
+        Either way the pool-wide transport falls back and the orphaned
+        segment is unlinked; the pool never crashes here.
+        """
+        ring = worker.ring
+        answered = True
+        try:
+            if not worker.conn.poll(self._worker_timeout):
+                raise _WorkerHung()
+            reply = worker.conn.recv()
+            ok = reply[0] == "ready" and reply[1]
+            detail = reply[2] if len(reply) > 2 else ""
+        except _WorkerHung:
+            answered, ok = False, False
+            detail = f"no attach reply within {self._worker_timeout:g}s"
+        except (EOFError, OSError) as exc:
+            answered, ok = False, False
+            detail = f"worker died during attach: {exc}"
+        if ok:
+            return worker
+        self._fallback_to_pipe(f"worker {worker.index} ring attach failed: {detail}")
+        ring.destroy()
+        worker.ring = None
+        if answered:
+            # The worker reported the failure itself: it is alive, its
+            # pipe is in sync, and it runs fine without a ring.
+            return worker
+        worker.proc.kill()
+        worker.proc.join(timeout=5)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        return self._spawn(worker.index, worker.generation)
 
     def _supervise(self, index: int, reason: str) -> None:
         """Replace a dead or hung worker and account for the data gap.
@@ -262,8 +434,19 @@ class ShardPool(CentralEngine):
             old.conn.close()
         except OSError:  # pragma: no cover - defensive
             pass
+        if old.ring is not None:
+            # The dead worker's unacked in-flight descriptors die with its
+            # ring; the replacement gets a fresh generation-tagged segment
+            # so it can never read its predecessor's stale cursors.  The
+            # data loss is what _mark_gap below reports as shard_gaps.
+            old.ring.destroy()
+            old.ring = None
 
         fresh = self._spawn(index, generation=old.generation + 1)
+        # Transport counters are shard-lifetime, not process-lifetime.
+        fresh.spills += old.spills
+        fresh.descriptors += old.descriptors
+        fresh.bytes_in_place += old.bytes_in_place
         self._workers[index] = fresh
         self.worker_respawns += 1
         gap_reason = f"worker respawned: {reason}"
@@ -293,12 +476,42 @@ class ShardPool(CentralEngine):
         return gaps.pop(window, {})
 
     def pool_health(self) -> dict[str, Any]:
-        """Supervisor view: worker liveness and respawn history."""
+        """Supervisor view: liveness, respawn history, and ring transport.
+
+        ``transport`` reports the pool-wide mode (``"pipe"`` after a
+        capability fallback even if some earlier workers still hold
+        rings); the ``rings`` list gives the per-worker truth.
+        """
+        rings = []
+        spills = 0
+        bytes_in_place = 0
+        for w in self._workers:
+            ring = w.ring
+            entry = {
+                "shard": w.index,
+                "generation": w.generation,
+                "transport": "shm" if ring is not None else "pipe",
+                "depth": 0,
+                "high_water": 0,
+                "capacity": 0,
+                "descriptors": w.descriptors,
+                "bytes_in_place": w.bytes_in_place,
+                "spills": w.spills,
+            }
+            if ring is not None:
+                entry.update(ring.stats())
+            spills += w.spills
+            bytes_in_place += w.bytes_in_place
+            rings.append(entry)
         return {
             "workers": self.workers,
             "alive": sum(1 for w in self._workers if w.proc.is_alive()),
             "respawns": self.worker_respawns,
             "respawn_log": list(self._respawn_log),
+            "transport": "shm" if self._use_shm else "pipe",
+            "ring_spills": spills,
+            "ring_bytes_in_place": bytes_in_place,
+            "rings": rings,
         }
 
     def _send_to_worker(self, index: int, message: tuple, reason: str) -> bool:
@@ -386,6 +599,14 @@ class ShardPool(CentralEngine):
                 worker.conn.close()
             except OSError:  # pragma: no cover - defensive
                 pass
+        # Rings are unlinked only now, after every worker has been joined
+        # (or killed): the join is the cursor drain — no process still
+        # maps a segment, no descriptor is mid-decode, so the unlink can
+        # never race a reader or leak a SharedMemory segment.
+        for worker in self._workers:
+            if worker.ring is not None:
+                worker.ring.destroy()
+                worker.ring = None
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -441,10 +662,14 @@ class ShardPool(CentralEngine):
         batch metadata plus every event's ``request_id``, timestamp, host,
         and byte extents — no :class:`Event` is built on this process.
         Window segmentation and shard partitioning run over that header
-        index; each worker gets its shard's raw bytes per window as
-        ``("frames", query_id, window, count, payload)`` and decodes on
-        its side of the pipe.  Falls back to the decoded object path for
-        non-parallel (raw-selection) queries, which run on the parent.
+        index; each worker's per-window slice then ships via
+        :meth:`_ship_shard` — on the shm transport the bytes are written
+        once into the worker's ring and only an integer descriptor
+        crosses the pipe; on the pipe transport (or on ring-full spill)
+        the raw bytes go as ``("frames", query_id, window, count,
+        payload)``.  Either way the worker decodes on its side.  Falls
+        back to the decoded object path for non-parallel (raw-selection)
+        queries, which run on the parent.
         """
         enc = scan_full_batch(data)
         meta = enc.meta
@@ -471,32 +696,91 @@ class ShardPool(CentralEngine):
             if hosts is None:
                 hosts = rq.hosts_by_window[window] = set()
             if n == 1:
-                payload = bytearray()
+                extents: list[tuple[int, int]] = []
+                total = 0
                 for _rid, _ts, host, start, stop in frames:
                     hosts.add(host)
-                    payload += buf[start:stop]
-                self._send_to_worker(
-                    0, ("frames", query_id, window, len(frames), bytes(payload)),
-                    "pipe error during ingest",
-                )
+                    extents.append((start, stop))
+                    total += stop - start
+                self._ship_shard(0, query_id, window, len(frames), extents, total, buf)
                 continue
-            shards: list[Optional[bytearray]] = [None] * n
+            shard_extents: list[Optional[list[tuple[int, int]]]] = [None] * n
             counts = [0] * n
+            totals = [0] * n
             for rid, _ts, host, start, stop in frames:
                 hosts.add(host)
                 index = rid % n
-                shard = shards[index]
-                if shard is None:
-                    shard = shards[index] = bytearray()
-                shard += buf[start:stop]
+                slot = shard_extents[index]
+                if slot is None:
+                    slot = shard_extents[index] = []
+                slot.append((start, stop))
                 counts[index] += 1
-            for index, shard in enumerate(shards):
-                if shard is not None:
-                    self._send_to_worker(
-                        index,
-                        ("frames", query_id, window, counts[index], bytes(shard)),
-                        "pipe error during ingest",
+                totals[index] += stop - start
+            for index, slot in enumerate(shard_extents):
+                if slot is not None:
+                    self._ship_shard(
+                        index, query_id, window, counts[index], slot,
+                        totals[index], buf,
                     )
+
+    def _ship_shard(
+        self,
+        index: int,
+        query_id: str,
+        window: int,
+        count: int,
+        extents: list[tuple[int, int]],
+        total: int,
+        buf,
+    ) -> None:
+        """Ship one shard's slice of a scanned frame to its worker.
+
+        Shared-memory fast path: reserve ``total`` ring bytes, copy each
+        frame extent straight from the source buffer into the ring (the
+        single copy on this path — no intermediate join), and send an
+        integer descriptor.  Any failure degrades instead of blocking:
+
+        * ring full / payload larger than the ring → spill the bytes over
+          the pipe (``spills`` counter), never wait for the consumer;
+        * pipe death after the reserve → supervise.  The reserved span
+          belonged to the torn-down ring, and the fresh worker has a
+          fresh ring — re-shipping the *descriptor* would point into
+          freed memory, so the payload is re-sent as pipe bytes instead.
+        """
+        worker = self._workers[index]
+        ring = worker.ring
+        if ring is not None:
+            reserved = ring.try_reserve(total)
+            if reserved is not None:
+                offset, release = reserved
+                dest = ring.data
+                pos = offset
+                for start, stop in extents:
+                    n = stop - start
+                    dest[pos : pos + n] = buf[start:stop]
+                    pos += n
+                worker.seq += 1
+                message = (
+                    "shm", query_id, window, count,
+                    offset, total, release, worker.seq, worker.generation,
+                )
+                try:
+                    worker.conn.send(message)
+                except (BrokenPipeError, EOFError, OSError):
+                    self._supervise(index, "pipe error during ingest")
+                else:
+                    worker.descriptors += 1
+                    worker.bytes_in_place += total
+                    return
+            self._workers[index].spills += 1
+        payload = bytearray()
+        for start, stop in extents:
+            payload += buf[start:stop]
+        self._send_to_worker(
+            index,
+            ("frames", query_id, window, count, bytes(payload)),
+            "pipe error during ingest",
+        )
 
     def _segment_frames(
         self, rq: _RunningQuery, frames: list

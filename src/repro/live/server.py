@@ -47,6 +47,7 @@ from ..core.agent.transport import (
 from ..core.agent.governor import ImpactBudget
 from ..core.central.engine import DEFAULT_GRACE_SECONDS, CentralEngine
 from ..core.central.pool import ShardPool
+from ..core.central.shm_ring import DEFAULT_RING_CAPACITY
 from ..core.central.results import ResultSet
 from ..core.control import RateUpdate, SamplingController
 from ..core.events import EventRegistry
@@ -193,6 +194,7 @@ class ScrubDaemon:
         stale_after: Optional[float] = None,
         journal_path: Optional[str] = None,
         workers: int = 0,
+        ring_kib: int = DEFAULT_RING_CAPACITY // 1024,
         impact_budget: Optional[ImpactBudget] = None,
         clock: Callable[[], float] = time.time,
         log: Optional[TextIO] = None,
@@ -222,7 +224,13 @@ class ScrubDaemon:
         self.workers = max(0, workers)
         self.engine: CentralEngine
         if self.workers > 0:
-            self.engine = ShardPool(workers=self.workers, grace_seconds=grace_seconds)
+            # Shared-memory ring transport by default; the pool falls
+            # back to pipe-bytes on its own if the platform can't do it.
+            self.engine = ShardPool(
+                workers=self.workers,
+                grace_seconds=grace_seconds,
+                ring_capacity=max(1, ring_kib) * 1024,
+            )
         else:
             self.engine = CentralEngine(grace_seconds=grace_seconds)
         #: Dynamic membership + stale age-out.  One clock end to end:
@@ -1393,6 +1401,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         "(0 = single-process serial engine)",
     )
     parser.add_argument(
+        "--ring-kib", type=int, default=DEFAULT_RING_CAPACITY // 1024,
+        metavar="KIB",
+        help="per-worker shared-memory ring size in KiB for --workers "
+        "ingest; full rings spill to the pipe, and unsupported "
+        "platforms fall back to pipe-bytes entirely",
+    )
+    parser.add_argument(
         "--grace", type=float, default=DEFAULT_GRACE_SECONDS,
         help="seconds past a window end before it closes",
     )
@@ -1430,6 +1445,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         stale_after=args.stale_after,
         journal_path=args.journal,
         workers=args.workers,
+        ring_kib=args.ring_kib,
         impact_budget=(
             ImpactBudget(max_wall_seconds=args.budget_wall_ms / 1000.0)
             if args.budget_wall_ms is not None

@@ -22,6 +22,8 @@ Shell commands (anything else is parsed as a Scrub query):
     \\queries           list running queries
     \\rates             (live mode) closed-loop sampling controllers:
                        applied rates, rate version, achieved vs target CI
+    \\pool              (live mode) shard-pool health: transport, respawns,
+                       per-worker ring depth/high-water/spills
     \\run <seconds>     advance virtual time without a query
     \\csv               print the last result set as CSV
     \\json              print the last result set as JSON
@@ -222,6 +224,8 @@ class LiveShell:
             self._fleet()
         elif cmd == "\\rates":
             self._rates()
+        elif cmd == "\\pool":
+            self._pool()
         elif cmd == "\\queries":
             stats = self._stats()
             self._print(
@@ -321,6 +325,36 @@ class LiveShell:
                 f"  {query_id:8s} {ctl['state']:12s} {ctl['version']:>4d} "
                 f"{hosts:>9s} {ctl['event_rate']:>8.4f} "
                 f"{ctl['target_relative_error']:>6.1%} {measured:>9s}  {note}"
+            )
+
+    def _pool(self) -> None:
+        """The ``\\pool`` command: shard-pool health and ring transport —
+        per-worker ring depth, high-water, spills, and descriptor counts
+        (docs/SCALING.md §"Shared-memory ring ingest")."""
+        pool = self._stats().get("pool")
+        if not pool:
+            self._print("  central runs serial (scrubd started without --workers)")
+            return
+        self._print(
+            f"  transport {pool.get('transport', 'pipe')}: "
+            f"{pool['alive']}/{pool['workers']} worker(s) alive, "
+            f"{pool['respawns']} respawn(s), "
+            f"{pool.get('ring_spills', 0)} ring spill(s), "
+            f"{pool.get('ring_bytes_in_place', 0)} byte(s) shipped in place"
+        )
+        rings = pool.get("rings", [])
+        if not rings:
+            return
+        self._print(
+            f"  {'shard':>5s} {'gen':>4s} {'mode':>4s} {'depth':>9s} "
+            f"{'high':>9s} {'cap':>9s} {'descs':>8s} {'spills':>7s}"
+        )
+        for ring in rings:
+            self._print(
+                f"  {ring['shard']:>5d} {ring['generation']:>4d} "
+                f"{ring['transport']:>4s} {ring['depth']:>9d} "
+                f"{ring['high_water']:>9d} {ring['capacity']:>9d} "
+                f"{ring['descriptors']:>8d} {ring['spills']:>7d}"
             )
 
     def _query(self, text: str) -> None:

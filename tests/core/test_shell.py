@@ -97,6 +97,22 @@ def test_all_scenarios_constructible():
         assert scenario.cluster.hosts(), name
 
 
+def _make_live_shell(monkeypatch, payload):
+    import repro.live.client as live_client
+    from repro.tools.shell import LiveShell
+
+    class StubClient:
+        def __init__(self, address):
+            pass
+
+        def stats(self):
+            return payload
+
+    monkeypatch.setattr(live_client, "ControlClient", StubClient)
+    out = io.StringIO()
+    return LiveShell(("127.0.0.1", 0), out=out), out
+
+
 class TestLiveShellRates:
     PAYLOAD = {
         "controllers": {
@@ -131,19 +147,7 @@ class TestLiveShellRates:
     }
 
     def make_shell(self, monkeypatch, payload):
-        import repro.live.client as live_client
-        from repro.tools.shell import LiveShell
-
-        class StubClient:
-            def __init__(self, address):
-                pass
-
-            def stats(self):
-                return payload
-
-        monkeypatch.setattr(live_client, "ControlClient", StubClient)
-        out = io.StringIO()
-        return LiveShell(("127.0.0.1", 0), out=out), out
+        return _make_live_shell(monkeypatch, payload)
 
     def test_rates_renders_controllers(self, monkeypatch):
         shell, out = self.make_shell(monkeypatch, self.PAYLOAD)
@@ -158,3 +162,53 @@ class TestLiveShellRates:
         shell, out = self.make_shell(monkeypatch, {})
         text, _ = run_lines(shell, out, "\\rates")
         assert "no TARGET CI queries" in text
+
+
+class TestLiveShellPool:
+    PAYLOAD = {
+        "pool": {
+            "workers": 2,
+            "alive": 2,
+            "respawns": 1,
+            "respawn_log": [{"shard": 1, "generation": 1, "reason": "killed"}],
+            "transport": "shm",
+            "ring_spills": 3,
+            "ring_bytes_in_place": 59_400,
+            "rings": [
+                {
+                    "shard": 0, "generation": 0, "transport": "shm",
+                    "depth": 128, "high_water": 24_750,
+                    "capacity": 1_048_576, "descriptors": 42,
+                    "bytes_in_place": 31_000, "spills": 0,
+                },
+                {
+                    "shard": 1, "generation": 1, "transport": "shm",
+                    "depth": 0, "high_water": 9_000,
+                    "capacity": 1_048_576, "descriptors": 17,
+                    "bytes_in_place": 28_400, "spills": 3,
+                },
+            ],
+        }
+    }
+
+    def test_pool_renders_transport_and_rings(self, monkeypatch):
+        shell, out = _make_live_shell(monkeypatch, self.PAYLOAD)
+        text, _ = run_lines(shell, out, "\\pool")
+        assert "transport shm" in text
+        assert "2/2 worker(s) alive" in text
+        assert "1 respawn(s)" in text
+        assert "3 ring spill(s)" in text
+        assert "59400 byte(s) shipped in place" in text
+        # Per-worker rows: shard, generation, depth, high-water, spills.
+        assert "24750" in text and "9000" in text
+        assert "1048576" in text
+
+    def test_pool_serial_daemon(self, monkeypatch):
+        shell, out = _make_live_shell(monkeypatch, {"pool": None})
+        text, _ = run_lines(shell, out, "\\pool")
+        assert "central runs serial" in text
+
+    def test_pool_in_help(self, monkeypatch):
+        shell, out = _make_live_shell(monkeypatch, {})
+        text, _ = run_lines(shell, out, "\\help")
+        assert "\\pool" in text

@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.agent.transport import EventBatch, encode_full_batch
 from repro.core.central.pool import ShardPool
+from repro.core.central.shm_ring import RingUnavailable, ShmRing
 from repro.core.events import Event, EventRegistry
 from repro.core.query import parse_query, plan_query, validate_query
 from repro.live.chaos import sigcont_worker, sigkill_worker, sigstop_worker
@@ -160,6 +161,166 @@ def test_sigkill_worker_mid_frame_ingest():
         results = pool.finish("q1")
         assert results.total_host_dropped == sent_dropped
         assert results.total_host_shed == sent_shed
+
+
+def test_sigkill_worker_mid_ring_ingest():
+    """SIGKILL a worker holding **unacked in-flight ring descriptors**:
+    the bytes sitting in its shared-memory ring die with it, and must be
+    reported as ``shard_gaps`` degraded coverage exactly like the lost
+    pipe slices — with exact seen/dropped/shed conservation, a fresh
+    generation-tagged ring for the replacement (never a stale cursor),
+    and the dead worker's segment unlinked, not leaked."""
+    registry = _registry()
+    sent_dropped = sent_shed = 0
+    with ShardPool(workers=4, grace_seconds=1.0) as pool:
+        if pool.pool_health()["transport"] != "shm":
+            pytest.skip("shared-memory transport unavailable on this platform")
+        pool.register(
+            _plan(registry).central_object,
+            planned_hosts=2, targeted_hosts=2, targeted_names=("h1", "h2"),
+        )
+        for host, dropped, shed in (("h1", 3, 5), ("h2", 0, 0)):
+            pool.ingest_frame(
+                encode_full_batch(_batch(0, host, dropped=dropped, shed=shed))
+            )
+            sent_dropped += dropped
+            sent_shed += shed
+
+        # Freeze shard 2, then keep ingesting: its descriptors pile up
+        # reserved-but-unacked in the ring, provably in flight.
+        old_ring_name = pool._workers[2].ring.name
+        sigstop_worker(pool, 2)
+        pool.ingest_frame(encode_full_batch(_batch(0, "h2", rid_base=200)))
+        ring2 = pool.pool_health()["rings"][2]
+        assert ring2["depth"] > 0
+        assert ring2["descriptors"] > 0
+
+        dead_pid = sigkill_worker(pool, 2)
+        assert dead_pid > 0
+
+        # The next slice for shard 2 hits the dead pipe mid-ring-ingest;
+        # the supervisor respawns and the slice is re-shipped as pipe
+        # bytes (a descriptor would point into the unlinked old ring).
+        pool.ingest_frame(encode_full_batch(_batch(0, "h1", rid_base=60,
+                                                   dropped=1)))
+        sent_dropped += 1
+        (w0,) = pool.advance(61.5)
+
+        # The unacked in-flight descriptors are the lost slice: named
+        # shard gap, same contract as the pipe-transport kill.
+        assert w0.coverage is not None and w0.coverage.degraded
+        assert list(w0.coverage.shard_gaps) == ["shard-2"]
+        assert "worker respawned" in w0.coverage.shard_gaps["shard-2"]
+
+        # Exact conservation: seen/dropped/shed live on the parent and
+        # survive both the kill and the in-flight descriptor loss.
+        assert w0.host_dropped == sent_dropped
+        assert w0.coverage.shed == {"h1": 5}
+
+        health = pool.pool_health()
+        assert health["alive"] == 4
+        assert health["respawns"] == 1
+        assert health["respawn_log"][0]["shard"] == 2
+        # The replacement rides a fresh generation-tagged ring; the dead
+        # worker's segment is gone from the system, not leaked.
+        ring2 = health["rings"][2]
+        assert ring2["generation"] == 1
+        assert ring2["transport"] == "shm"
+        assert ring2["depth"] == 0
+        with pytest.raises(RingUnavailable):
+            ShmRing.attach(old_ring_name, generation=0)
+
+        # Post-respawn windows are whole again, over the new ring.
+        for host in ("h1", "h2"):
+            pool.ingest_frame(encode_full_batch(_batch(1, host, rid_base=120)))
+        (w1,) = pool.advance(121.5)
+        assert w1.coverage.shard_gaps == {}
+        assert sum(row[1] for row in w1.rows) == 120
+
+        results = pool.finish("q1")
+        assert results.total_host_dropped == sent_dropped
+        assert results.total_host_shed == sent_shed
+
+
+def test_parent_sigkill_orphans_exit_and_segments_are_reaped(tmp_path):
+    """SIGKILL the *parent* mid-stream: the fork children inherit the
+    parent end of their own pipes, so no EOF ever arrives — without the
+    orphan heartbeat they would block in recv() forever, pinning their
+    ring segments in /dev/shm.  The contract: workers notice the
+    reparenting within the poll interval and exit, and their exit lets
+    the resource tracker unlink every ring segment."""
+    import json
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm to observe segment reaping on")
+
+    script = tmp_path / "orphan_parent.py"
+    script.write_text(
+        """
+import json, os, signal, sys
+from repro.core.central.pool import ShardPool
+
+pool = ShardPool(workers=2, grace_seconds=1.0)
+health = pool.pool_health()
+if health["transport"] != "shm":
+    print(json.dumps({"skip": True}), flush=True)
+    sys.exit(0)
+print(json.dumps({
+    "skip": False,
+    "pids": [w.proc.pid for w in pool._workers],
+    "rings": [w.ring.name for w in pool._workers],
+}), flush=True)
+signal.pause()  # parent waits here until the test SIGKILLs it
+""",
+        encoding="utf-8",
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    try:
+        info = json.loads(proc.stdout.readline())
+        if info["skip"]:
+            pytest.skip("shared-memory transport unavailable on this platform")
+
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+
+        # Workers must notice the reparenting and exit on their own
+        # (no one is left to close() their pipes), well within a few
+        # heartbeat intervals.
+        deadline = time.monotonic() + 15.0
+        alive = set(info["pids"])
+        while alive and time.monotonic() < deadline:
+            for pid in list(alive):
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    alive.discard(pid)
+            time.sleep(0.2)
+        assert not alive, f"orphaned workers still running: {sorted(alive)}"
+
+        # With every holder gone, the resource tracker unlinks the ring
+        # segments (checked on the filesystem — an attach would pin and
+        # re-register the segment with *this* process's tracker).
+        deadline = time.monotonic() + 10.0
+        leaked = {n for n in info["rings"]
+                  if os.path.exists(f"/dev/shm/{n.lstrip('/')}")}
+        while leaked and time.monotonic() < deadline:
+            leaked = {n for n in leaked
+                      if os.path.exists(f"/dev/shm/{n.lstrip('/')}")}
+            time.sleep(0.2)
+        assert not leaked, f"ring segments leaked after orphan exit: {sorted(leaked)}"
+    finally:
+        if proc.poll() is None:  # pragma: no cover - defensive teardown
+            proc.kill()
+            proc.wait(timeout=5)
+        proc.stdout.close()
 
 
 def test_sigstop_hung_worker_detected_and_sigcont_is_harmless():
